@@ -1,0 +1,32 @@
+//! # rg-baselines
+//!
+//! Sequential baseline algorithms for the region-growing reproduction —
+//! the approaches the paper positions itself against:
+//!
+//! * [`ccl`] — **connected component labeling** (two-pass, union-find):
+//!   the T = 0 special case of region growing and the subject of the
+//!   paper's reference \[1\] (Alnuweiri & Prasanna 1992);
+//! * [`seeded`] — **classic pixel-by-pixel region growing** in raster
+//!   order (the "childhood and adolescence" techniques surveyed by the
+//!   paper's reference \[10\], Zucker 1976): grow a region from each
+//!   unvisited seed by absorbing any neighbouring pixel that keeps the
+//!   pixel range within the threshold;
+//! * [`hp`] — the original **Horowitz–Pavlidis directed split-and-merge**
+//!   (the paper's reference \[5\], 1974): top-down quadtree splitting
+//!   followed by *greedy sequential* merging — unlike the paper's
+//!   parallel mutual-choice merge, one merge happens at a time, in
+//!   deterministic scan order.
+//!
+//! All three produce valid segmentations under
+//! [`rg_core::verify_segmentation`]'s connectivity and homogeneity
+//! invariants (maximality too, for the merging variants), and on
+//! flat-contrast scenes they agree with the parallel algorithm's region
+//! counts — the comparisons live in `tests/` and in the
+//! `baseline_comparison` bench/example.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ccl;
+pub mod hp;
+pub mod seeded;

@@ -1,0 +1,168 @@
+//! Classic sequential region growing (raster-order seeded growth).
+//!
+//! The technique the paper's reference \[10\] (Zucker, *Region growing:
+//! Childhood and adolescence*, 1976) surveys: take the first unassigned
+//! pixel in raster order as a seed, grow its region by repeatedly
+//! absorbing any frontier pixel that keeps the region's homogeneity
+//! criterion satisfied, and move to the next seed when the region can no
+//! longer grow.
+//!
+//! This is the inherently sequential baseline: the result depends on the
+//! scan order (a pixel absorbed early can block a "better" region later),
+//! which is exactly the order-dependence the split-and-merge formulation
+//! tames. On flat-contrast scenes the partitions coincide; on gradients
+//! they legitimately differ (see `tests/baseline_agreement.rs`).
+
+use rg_core::labels::compact_first_appearance;
+use rg_core::{Config, Connectivity, RegionStats};
+use rg_imaging::{Image, Intensity};
+use std::collections::VecDeque;
+
+/// A seeded-growth segmentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeededSegmentation {
+    /// Per-pixel compact region label.
+    pub labels: Vec<u32>,
+    /// Number of regions grown.
+    pub num_regions: usize,
+    /// Image width.
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+}
+
+/// Grows regions from raster-order seeds under `config`'s criterion,
+/// threshold, and connectivity.
+pub fn grow_regions<P: Intensity>(img: &Image<P>, config: &Config) -> SeededSegmentation {
+    let (w, h) = (img.width(), img.height());
+    let mut assignment: Vec<u32> = vec![u32::MAX; w * h];
+    let mut region_id = 0u32;
+    let mut frontier: VecDeque<usize> = VecDeque::new();
+
+    let neighbours = |i: usize, out: &mut Vec<usize>| {
+        let (x, y) = (i % w, i / w);
+        out.clear();
+        if x > 0 {
+            out.push(i - 1);
+        }
+        if x + 1 < w {
+            out.push(i + 1);
+        }
+        if y > 0 {
+            out.push(i - w);
+        }
+        if y + 1 < h {
+            out.push(i + w);
+        }
+        if config.connectivity == Connectivity::Eight {
+            if x > 0 && y > 0 {
+                out.push(i - w - 1);
+            }
+            if x + 1 < w && y > 0 {
+                out.push(i - w + 1);
+            }
+            if x > 0 && y + 1 < h {
+                out.push(i + w - 1);
+            }
+            if x + 1 < w && y + 1 < h {
+                out.push(i + w + 1);
+            }
+        }
+    };
+
+    let mut nbuf = Vec::with_capacity(8);
+    for seed in 0..w * h {
+        if assignment[seed] != u32::MAX {
+            continue;
+        }
+        let mut stats = RegionStats::of_pixel(img.pixels()[seed]);
+        assignment[seed] = region_id;
+        frontier.clear();
+        frontier.push_back(seed);
+        while let Some(i) = frontier.pop_front() {
+            neighbours(i, &mut nbuf);
+            for &j in &nbuf {
+                if assignment[j] != u32::MAX {
+                    continue;
+                }
+                let cand = RegionStats::of_pixel(img.pixels()[j]);
+                if config.criterion.satisfies(&stats, &cand, config.threshold) {
+                    stats = stats.fold(cand);
+                    assignment[j] = region_id;
+                    frontier.push_back(j);
+                }
+            }
+        }
+        region_id += 1;
+    }
+
+    let (labels, num_regions) = compact_first_appearance(&assignment);
+    SeededSegmentation {
+        labels,
+        num_regions,
+        width: w,
+        height: h,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rg_imaging::synth;
+
+    #[test]
+    fn flat_scene_matches_flat_components() {
+        let img = synth::rect_collection(64);
+        let seg = grow_regions(&img, &Config::with_threshold(10));
+        assert_eq!(seg.num_regions, 7);
+    }
+
+    #[test]
+    fn threshold_zero_equals_components() {
+        let img = synth::random_rects(32, 32, 5, 3);
+        let seg = grow_regions(&img, &Config::with_threshold(0));
+        let ccl = crate::ccl::label_components(&img, Connectivity::Four);
+        assert_eq!(seg.labels, ccl.labels);
+        assert_eq!(seg.num_regions, ccl.num_components);
+    }
+
+    #[test]
+    fn gradient_shows_order_dependence() {
+        // The chaining pathology: a smooth ramp is absorbed greedily from
+        // the top-left until the range budget is spent, producing diagonal
+        // bands whose count depends on the threshold.
+        let img = synth::gradient(32, 32, 1);
+        let seg = grow_regions(&img, &Config::with_threshold(10));
+        assert!(seg.num_regions > 1);
+        assert!(seg.num_regions < 32 * 32);
+        // First band contains the seed corner.
+        assert_eq!(seg.labels[0], 0);
+    }
+
+    #[test]
+    fn regions_are_homogeneous() {
+        let img = synth::uniform_noise(48, 48, 50, 200, 5);
+        let t = 30;
+        let seg = grow_regions(&img, &Config::with_threshold(t));
+        // Recompute per-region ranges.
+        let mut lo = vec![u8::MAX; seg.num_regions];
+        let mut hi = vec![u8::MIN; seg.num_regions];
+        for (i, &l) in seg.labels.iter().enumerate() {
+            let p = img.pixels()[i];
+            lo[l as usize] = lo[l as usize].min(p);
+            hi[l as usize] = hi[l as usize].max(p);
+        }
+        for r in 0..seg.num_regions {
+            assert!((hi[r] - lo[r]) as u32 <= t);
+        }
+    }
+
+    #[test]
+    fn eight_connectivity_grows_across_diagonals() {
+        let img = synth::checkerboard(4, 1, 10, 12); // contrast 2
+        let cfg4 = Config::with_threshold(0);
+        let cfg8 = Config::with_threshold(0).connectivity(Connectivity::Eight);
+        assert_eq!(grow_regions(&img, &cfg4).num_regions, 16);
+        assert_eq!(grow_regions(&img, &cfg8).num_regions, 2);
+    }
+}

@@ -1,0 +1,28 @@
+//! Host-side cost of the two all-to-many schemes on the simulated CM-5
+//! (the simulated-time comparison lives in `paper_tables`; this measures
+//! the simulator itself as a parallel workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cmmd_sim::CommScheme;
+use rg_core::Config;
+use rg_imaging::synth;
+use rg_msgpass::segment_msgpass;
+
+fn bench_comm_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("comm_schemes");
+    g.sample_size(10);
+    let img = synth::rect_collection(128);
+    let cfg = Config::with_threshold(10);
+    for (name, scheme) in [
+        ("lp", CommScheme::LinearPermutation),
+        ("async", CommScheme::Async),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, 32), &img, |b, img| {
+            b.iter(|| segment_msgpass(img, &cfg, 32, scheme))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_comm_schemes);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Thread-scaling of the rayon engine: the modern analogue of the paper's
+//! processor-count comparison (8K vs 16K CM-2 processors).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rg_core::{segment_par, Config};
+use rg_imaging::synth;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thread_scaling");
+    g.sample_size(10);
+    let img = synth::circle_collection(512);
+    let cfg = Config::with_threshold(10);
+    let max = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut threads = vec![1usize, 2];
+    let mut t = 4;
+    while t <= max {
+        threads.push(t);
+        t *= 2;
+    }
+    for &t in &threads {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .expect("pool");
+        g.bench_with_input(BenchmarkId::new("segment_par", t), &img, |b, img| {
+            b.iter(|| pool.install(|| segment_par(img, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

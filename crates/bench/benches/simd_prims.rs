@@ -1,0 +1,37 @@
+//! Throughput of the cm-sim data-parallel primitives (host execution).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cm_sim::{CostModel, Field, Machine, Shape};
+
+fn bench_prims(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simd_prims");
+    let n = 1 << 16;
+    g.throughput(Throughput::Elements(n as u64));
+    let m = Machine::new(CostModel::cm2_8k());
+    let a: Field<u32> = Field::from_vec(Shape::one_d(n), (0..n as u32).collect());
+    let dest: Field<u32> = Field::from_vec(Shape::one_d(n), (0..n as u32).map(|i| i / 4).collect());
+
+    g.bench_function(BenchmarkId::new("map", n), |b| {
+        b.iter(|| m.map(&a, |x| x.wrapping_mul(3)))
+    });
+    g.bench_function(BenchmarkId::new("scan_inclusive", n), |b| {
+        b.iter(|| m.scan_inclusive(&a, |x, y| x.wrapping_add(y)))
+    });
+    g.bench_function(BenchmarkId::new("send_min", n), |b| {
+        b.iter(|| {
+            let mut out = Field::constant(Shape::one_d(n), u32::MAX);
+            m.send_combine(&dest, &a, None, &mut out, u32::min);
+            out
+        })
+    });
+    g.bench_function(BenchmarkId::new("get", n), |b| {
+        b.iter(|| m.get(&a, &dest, None, 0))
+    });
+    g.bench_function(BenchmarkId::new("sort_by_key", n), |b| {
+        b.iter(|| m.sort_by_key(&a, |x| x.wrapping_mul(0x9E3779B9)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_prims);
+criterion_main!(benches);

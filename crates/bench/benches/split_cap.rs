@@ -1,0 +1,25 @@
+//! Ablation of the split stage's square cap: how much merge work does the
+//! split preprocessing save? Cap 0 disables the split (merge-only
+//! baseline); larger caps hand the merge stage fewer, bigger units.
+//! (DESIGN.md design-choice ablation.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rg_core::{segment, Config};
+use rg_imaging::synth;
+
+fn bench_split_cap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("split_cap");
+    g.sample_size(10);
+    let img = synth::rect_collection(256);
+    for cap in [Some(0u8), Some(2), Some(4), None] {
+        let cfg = Config::with_threshold(10).max_square_log2(cap);
+        let label = cap.map_or("unbounded".to_string(), |c| format!("cap_{c}"));
+        g.bench_with_input(BenchmarkId::new(label, 256), &img, |b, img| {
+            b.iter(|| segment(img, &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_split_cap);
+criterion_main!(benches);

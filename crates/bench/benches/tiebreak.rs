@@ -1,0 +1,33 @@
+//! Tie-break ablation (the paper's "Resolving Ties at Random"): random
+//! tie-breaking converges in fewer iterations than smallest/largest-ID on
+//! tie-heavy scenes, and is therefore faster end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rg_core::{segment, Config, TieBreak};
+use rg_imaging::Image;
+
+fn bench_tiebreak(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tiebreak");
+    g.sample_size(10);
+    // A flat image is the maximal-tie workload: every edge weight is 0.
+    let img: Image<u8> = Image::new(256, 256, 80);
+    // Merge-only to stress the merge loop.
+    let base = Config::with_threshold(0).max_square_log2(Some(3));
+    for (name, tb) in [
+        ("random", TieBreak::Random { seed: 42 }),
+        ("smallest_id", TieBreak::SmallestId),
+        ("largest_id", TieBreak::LargestId),
+    ] {
+        let cfg = Config {
+            tie_break: tb,
+            ..base
+        };
+        g.bench_with_input(BenchmarkId::new(name, 256), &img, |b, img| {
+            b.iter(|| segment(img, &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tiebreak);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Regenerates the paper's six per-image result tables (and the tie-break
+//! ablation) side by side with the published numbers.
+//!
+//! ```text
+//! cargo run --release -p rg-bench --bin paper_tables          # all six
+//! cargo run --release -p rg-bench --bin paper_tables -- 3     # image 3
+//! cargo run --release -p rg-bench --bin paper_tables -- ablation
+//! cargo run --release -p rg-bench --bin paper_tables -- costs   # primitive breakdown
+//! ```
+
+use rg_bench::ablation::{format_ablation, run_ablation};
+use rg_bench::tables::{format_table, paper_config, run_all_platforms};
+use rg_imaging::synth::PaperImage;
+
+fn image_by_number(n: usize) -> Option<PaperImage> {
+    PaperImage::ALL.get(n.checked_sub(1)?).copied()
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    match arg.as_deref() {
+        Some("costs") => costs_breakdown(),
+        Some("ablation") => {
+            println!("== Resolving Ties at Random (paper's ablation claim) ==\n");
+            for pi in PaperImage::ALL {
+                let cfg = paper_config(pi.size());
+                let rows = run_ablation(pi, &cfg, &[1, 2, 3, 4, 5]);
+                println!("{}", format_ablation(pi, &rows));
+                let rand = &rows[0];
+                let small = &rows[1];
+                println!(
+                    "  -> random needs {} iters vs {} for smallest-ID ({})\n",
+                    rand.merge_iterations,
+                    small.merge_iterations,
+                    if rand.merge_iterations <= small.merge_iterations {
+                        "random wins or ties, as the paper reports"
+                    } else {
+                        "UNEXPECTED: random lost"
+                    }
+                );
+            }
+        }
+        Some(n) => {
+            let n: usize = n.parse().unwrap_or_else(|_| {
+                eprintln!("usage: paper_tables [1-6|ablation]");
+                std::process::exit(2);
+            });
+            let pi = image_by_number(n).unwrap_or_else(|| {
+                eprintln!("image number must be 1-6");
+                std::process::exit(2);
+            });
+            run_one(pi, n);
+        }
+        None => {
+            for (i, pi) in PaperImage::ALL.into_iter().enumerate() {
+                run_one(pi, i + 1);
+            }
+        }
+    }
+}
+
+/// Per-primitive cost breakdown on the CM-2 — the empirical counterpart of
+/// the paper's complexity section (split: elementwise + NEWS; merge:
+/// router-dominated).
+fn costs_breakdown() {
+    use cm_sim::{CostModel, ALL_PRIMS};
+    use rg_datapar::segment_datapar;
+    let pi = PaperImage::Image1;
+    let img = pi.generate();
+    let cfg = paper_config(pi.size());
+    for model in [CostModel::cm2_8k(), CostModel::cm5_dp_32()] {
+        let out = segment_datapar(&img, &cfg, model);
+        println!("== {} on {} ==", pi.description(), out.platform);
+        for (stage, ledger) in [
+            ("split", &out.split_ledger),
+            ("graph", &out.graph_ledger),
+            ("merge", &out.merge_ledger),
+        ] {
+            println!("  {stage} stage: {:.3}s total", ledger.seconds());
+            for prim in ALL_PRIMS {
+                let n = ledger.count(prim);
+                if n > 0 {
+                    println!(
+                        "    {:<12} {:>6} ops {:>9.3}s ({:>4.1}%)",
+                        format!("{prim:?}"),
+                        n,
+                        ledger.seconds_of(prim),
+                        100.0 * ledger.seconds_of(prim) / ledger.seconds()
+                    );
+                }
+            }
+        }
+        println!();
+    }
+}
+
+fn run_one(pi: PaperImage, n: usize) {
+    println!("== Image {n}: measured vs paper ==");
+    let rows = run_all_platforms(pi);
+    println!("{}", format_table(pi, &rows));
+}

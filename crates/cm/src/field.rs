@@ -1,0 +1,160 @@
+//! Parallel variables ("fields"): one value per virtual processor.
+//!
+//! A [`Field`] corresponds to a CM Fortran array mapped onto a virtual
+//! processor set — 2-D for pixel data, 1-D for the graph arrays. The field
+//! itself is inert data; all operations (and all cost accounting) go
+//! through [`crate::Machine`].
+
+/// Geometry of a virtual-processor set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shape {
+    /// Width (or length for 1-D sets).
+    pub w: usize,
+    /// Height (1 for 1-D sets).
+    pub h: usize,
+}
+
+impl Shape {
+    /// A 1-D VP set of `n` elements.
+    pub fn one_d(n: usize) -> Self {
+        Self { w: n, h: 1 }
+    }
+
+    /// A 2-D VP set of `w × h` elements.
+    pub fn two_d(w: usize, h: usize) -> Self {
+        Self { w, h }
+    }
+
+    /// Number of virtual processors.
+    pub fn len(&self) -> usize {
+        self.w * self.h
+    }
+
+    /// `true` iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The element types a field may hold. Blanket-implemented.
+pub trait Elem: Copy + Send + Sync + std::fmt::Debug + 'static {}
+impl<T: Copy + Send + Sync + std::fmt::Debug + 'static> Elem for T {}
+
+/// A parallel variable: one `T` per virtual processor, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field<T: Elem> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T: Elem> Field<T> {
+    /// A field filled with `v`.
+    pub fn constant(shape: Shape, v: T) -> Self {
+        Self {
+            shape,
+            data: vec![v; shape.len()],
+        }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer length does not match the shape.
+    pub fn from_vec(shape: Shape, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), shape.len(), "field buffer/shape mismatch");
+        Self { shape, data }
+    }
+
+    /// A 1-D field from a buffer.
+    pub fn from_slice(data: &[T]) -> Self {
+        Self {
+            shape: Shape::one_d(data.len()),
+            data: data.to_vec(),
+        }
+    }
+
+    /// The field's shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` iff the field is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at linear index `i`.
+    #[inline]
+    pub fn at(&self, i: usize) -> T {
+        self.data[i]
+    }
+
+    /// Element at `(x, y)` for 2-D fields.
+    #[inline]
+    pub fn at2(&self, x: usize, y: usize) -> T {
+        debug_assert!(x < self.shape.w && y < self.shape.h);
+        self.data[y * self.shape.w + x]
+    }
+
+    /// Mutable element access (host-side initialisation only; bulk updates
+    /// should go through machine operations so they are costed).
+    #[inline]
+    pub fn set(&mut self, i: usize, v: T) {
+        self.data[i] = v;
+    }
+
+    /// Read-only view of the backing buffer.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view (host-side initialisation only).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the field, returning the buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        let s = Shape::two_d(4, 3);
+        assert_eq!(s.len(), 12);
+        assert!(!s.is_empty());
+        assert_eq!(Shape::one_d(5).h, 1);
+        assert!(Shape::one_d(0).is_empty());
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let f = Field::constant(Shape::two_d(3, 2), 7u32);
+        assert_eq!(f.len(), 6);
+        assert_eq!(f.at(5), 7);
+        assert_eq!(f.at2(2, 1), 7);
+        let g = Field::from_slice(&[1u8, 2, 3]);
+        assert_eq!(g.shape(), Shape::one_d(3));
+        assert_eq!(g.at(1), 2);
+        let mut h = g.clone();
+        h.set(0, 9);
+        assert_eq!(h.as_slice(), &[9, 2, 3]);
+        assert_eq!(h.into_vec(), vec![9, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn from_vec_checks_len() {
+        let _ = Field::from_vec(Shape::two_d(2, 2), vec![1u8, 2, 3]);
+    }
+}

@@ -1,0 +1,48 @@
+//! # cm-sim
+//!
+//! A simulator for the Connection Machine's *data-parallel* programming
+//! model, built for the reproduction of *"Solving the Region Growing
+//! Problem on the Connection Machine"* (ICPP 1993).
+//!
+//! The real CM-2 (SIMD, up to 64K bit-serial processors) and CM-5 (MIMD
+//! fat-tree) are long gone; this crate provides the primitives a CM Fortran
+//! program compiles down to — parallel fields over virtual-processor sets,
+//! elementwise operations under context masks, reductions, scans
+//! (including segmented scans), NEWS grid shifts, the combining router, and
+//! sort — executing their semantics on the host while charging a
+//! configurable [`CostModel`] for what the hardware would have spent.
+//!
+//! Two calibrated models ship with the crate:
+//!
+//! * [`CostModel::cm2_8k`] / [`CostModel::cm2_16k`] — the paper's SIMD
+//!   machines (cost ∝ virtual-processor ratio, cheap instruction
+//!   broadcast);
+//! * [`CostModel::cm5_dp_32`] — CM Fortran on the 32-node CM-5, whose large
+//!   per-operation "housekeeping" overhead reproduces the paper's
+//!   observation that the data-parallel code ran *slower* on the newer
+//!   machine.
+//!
+//! ```
+//! use cm_sim::{CostModel, Field, Machine};
+//!
+//! let m = Machine::new(CostModel::cm2_8k());
+//! let a = Field::from_slice(&[3u32, 1, 4, 1, 5]);
+//! let doubled = m.map(&a, |x| x * 2);
+//! assert_eq!(m.reduce(&doubled, 0, |x, y| x + y), 28);
+//! assert!(m.seconds() > 0.0); // simulated time accrued
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost;
+pub mod field;
+pub mod machine;
+pub mod news;
+pub mod router;
+pub mod scan;
+pub mod sort;
+
+pub use cost::{CostLedger, CostModel, Prim, ALL_PRIMS};
+pub use field::{Elem, Field, Shape};
+pub use machine::Machine;

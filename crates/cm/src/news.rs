@@ -1,0 +1,103 @@
+//! NEWS grid communication: 2-D nearest-neighbour and power-of-two shifts.
+//!
+//! The CM-2 embedded a 2-D grid ("NEWS") in its hypercube; shifting a 2-D
+//! field by a power-of-two distance was far cheaper than general routing.
+//! The data-parallel split stage is built entirely from these shifts.
+
+use crate::cost::Prim;
+use crate::field::{Elem, Field};
+use crate::machine::Machine;
+
+impl Machine {
+    /// Shifts a 2-D field by `(dx, dy)`: `out[x, y] = a[x - dx, y - dy]`,
+    /// with `fill` flowing in at the boundary.
+    ///
+    /// Positive `dx` moves data rightwards/downwards (the usual image
+    /// convention).
+    pub fn shift2d<T: Elem>(&self, a: &Field<T>, dx: isize, dy: isize, fill: T) -> Field<T> {
+        let s = a.shape();
+        assert!(s.h > 1 || dy == 0, "vertical shift of a 1-D field");
+        self.charge(Prim::News, a.len());
+        let mut out = Vec::with_capacity(a.len());
+        for y in 0..s.h as isize {
+            for x in 0..s.w as isize {
+                let sx = x - dx;
+                let sy = y - dy;
+                if sx >= 0 && sx < s.w as isize && sy >= 0 && sy < s.h as isize {
+                    out.push(a.at2(sx as usize, sy as usize));
+                } else {
+                    out.push(fill);
+                }
+            }
+        }
+        Field::from_vec(s, out)
+    }
+
+    /// Shifts a 1-D field by `d`: `out[i] = a[i - d]` with boundary `fill`.
+    pub fn shift1d<T: Elem>(&self, a: &Field<T>, d: isize, fill: T) -> Field<T> {
+        self.charge(Prim::News, a.len());
+        let n = a.len() as isize;
+        let mut out = Vec::with_capacity(a.len());
+        for i in 0..n {
+            let j = i - d;
+            if j >= 0 && j < n {
+                out.push(a.at(j as usize));
+            } else {
+                out.push(fill);
+            }
+        }
+        Field::from_vec(a.shape(), out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cost::CostModel;
+    use crate::field::{Field, Shape};
+    use crate::machine::Machine;
+
+    fn machine() -> Machine {
+        Machine::new(CostModel::cm2_8k())
+    }
+
+    #[test]
+    fn shift_right_and_down() {
+        let m = machine();
+        let a = Field::from_vec(Shape::two_d(3, 2), vec![1u8, 2, 3, 4, 5, 6]);
+        let r = m.shift2d(&a, 1, 0, 0);
+        assert_eq!(r.as_slice(), &[0, 1, 2, 0, 4, 5]);
+        let d = m.shift2d(&a, 0, 1, 9);
+        assert_eq!(d.as_slice(), &[9, 9, 9, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shift_left_up_diagonal() {
+        let m = machine();
+        let a = Field::from_vec(Shape::two_d(2, 2), vec![1u8, 2, 3, 4]);
+        assert_eq!(m.shift2d(&a, -1, 0, 0).as_slice(), &[2, 0, 4, 0]);
+        assert_eq!(m.shift2d(&a, 0, -1, 0).as_slice(), &[3, 4, 0, 0]);
+        assert_eq!(m.shift2d(&a, -1, -1, 7).as_slice(), &[4, 7, 7, 7]);
+    }
+
+    #[test]
+    fn zero_shift_is_identity() {
+        let m = machine();
+        let a = Field::from_vec(Shape::two_d(2, 3), vec![1u8, 2, 3, 4, 5, 6]);
+        assert_eq!(m.shift2d(&a, 0, 0, 0), a);
+    }
+
+    #[test]
+    fn shift1d_both_ways() {
+        let m = machine();
+        let a = Field::from_slice(&[1u32, 2, 3, 4]);
+        assert_eq!(m.shift1d(&a, 1, 0).as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(m.shift1d(&a, -2, 9).as_slice(), &[3, 4, 9, 9]);
+    }
+
+    #[test]
+    fn large_shift_fills_everything() {
+        let m = machine();
+        let a = Field::from_slice(&[1u32, 2]);
+        assert_eq!(m.shift1d(&a, 5, 8).as_slice(), &[8, 8]);
+    }
+}

@@ -1,0 +1,156 @@
+//! The general router: combining sends and gathers.
+//!
+//! `send` with a combining operation (the CM's `send-with-min!!` family)
+//! and `get` (gather) are the irregular-communication workhorses of the
+//! merge stage: every directed half-edge sends its candidate rank to its
+//! source vertex with min-combining, and vertices fetch each other's
+//! choices and statistics with gets.
+
+use crate::cost::Prim;
+use crate::field::{Elem, Field};
+use crate::machine::Machine;
+
+impl Machine {
+    /// Combining send: for every active element `i`,
+    /// `out[dest[i]] = combine(out[dest[i]], src[i])`.
+    ///
+    /// `combine` must be associative and commutative (the router combines
+    /// colliding messages in arbitrary order); `out` is modified in place
+    /// so callers control the identity values.
+    ///
+    /// # Panics
+    /// Panics if an active destination is out of bounds.
+    pub fn send_combine<T: Elem>(
+        &self,
+        dest: &Field<u32>,
+        src: &Field<T>,
+        mask: Option<&Field<bool>>,
+        out: &mut Field<T>,
+        combine: impl Fn(T, T) -> T,
+    ) {
+        assert_eq!(dest.shape(), src.shape(), "send shape mismatch");
+        if let Some(m) = mask {
+            assert_eq!(m.shape(), src.shape(), "send mask mismatch");
+        }
+        self.charge(Prim::Send, src.len());
+        for i in 0..src.len() {
+            if mask.is_none_or(|m| m.at(i)) {
+                let d = dest.at(i) as usize;
+                let cur = out.at(d);
+                out.set(d, combine(cur, src.at(i)));
+            }
+        }
+    }
+
+    /// Gather: `out[i] = table[addr[i]]` for active elements, `default`
+    /// otherwise.
+    ///
+    /// # Panics
+    /// Panics if an active address is out of bounds.
+    pub fn get<T: Elem>(
+        &self,
+        table: &Field<T>,
+        addr: &Field<u32>,
+        mask: Option<&Field<bool>>,
+        default: T,
+    ) -> Field<T> {
+        if let Some(m) = mask {
+            assert_eq!(m.shape(), addr.shape(), "get mask mismatch");
+        }
+        self.charge(Prim::Get, addr.len());
+        let mut out = Vec::with_capacity(addr.len());
+        for i in 0..addr.len() {
+            if mask.is_none_or(|m| m.at(i)) {
+                out.push(table.at(addr.at(i) as usize));
+            } else {
+                out.push(default);
+            }
+        }
+        Field::from_vec(addr.shape(), out)
+    }
+
+    /// Scatter without combining (`send-with-overwrite`): later senders in
+    /// index order win on collision. Prefer [`Machine::send_combine`] when
+    /// collisions are possible — overwrite order is an implementation
+    /// artefact on real hardware.
+    pub fn scatter<T: Elem>(
+        &self,
+        dest: &Field<u32>,
+        src: &Field<T>,
+        mask: Option<&Field<bool>>,
+        out: &mut Field<T>,
+    ) {
+        self.send_combine(dest, src, mask, out, |_, new| new);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cost::CostModel;
+    use crate::field::Field;
+    use crate::machine::Machine;
+
+    fn machine() -> Machine {
+        Machine::new(CostModel::cm2_8k())
+    }
+
+    #[test]
+    fn send_with_min_combines_collisions() {
+        let m = machine();
+        let dest = Field::from_slice(&[0u32, 0, 1, 1]);
+        let src = Field::from_slice(&[5u32, 3, 9, 2]);
+        let mut out = Field::from_slice(&[u32::MAX, u32::MAX]);
+        m.send_combine(&dest, &src, None, &mut out, |a, b| a.min(b));
+        assert_eq!(out.as_slice(), &[3, 2]);
+    }
+
+    #[test]
+    fn send_with_add_and_mask() {
+        let m = machine();
+        let dest = Field::from_slice(&[1u32, 1, 1, 0]);
+        let src = Field::from_slice(&[1u64, 2, 4, 8]);
+        let mask = Field::from_slice(&[true, false, true, true]);
+        let mut out = Field::from_slice(&[0u64, 0]);
+        m.send_combine(&dest, &src, Some(&mask), &mut out, |a, b| a + b);
+        assert_eq!(out.as_slice(), &[8, 5]);
+    }
+
+    #[test]
+    fn get_gathers() {
+        let m = machine();
+        let table = Field::from_slice(&[10u32, 20, 30]);
+        let addr = Field::from_slice(&[2u32, 0, 1, 2]);
+        let got = m.get(&table, &addr, None, 0);
+        assert_eq!(got.as_slice(), &[30, 10, 20, 30]);
+    }
+
+    #[test]
+    fn get_respects_mask_default() {
+        let m = machine();
+        let table = Field::from_slice(&[10u32, 20]);
+        // Address 99 would be out of bounds, but it is masked off.
+        let addr = Field::from_slice(&[99u32, 1]);
+        let mask = Field::from_slice(&[false, true]);
+        let got = m.get(&table, &addr, Some(&mask), 7);
+        assert_eq!(got.as_slice(), &[7, 20]);
+    }
+
+    #[test]
+    fn scatter_overwrites() {
+        let m = machine();
+        let dest = Field::from_slice(&[0u32, 0]);
+        let src = Field::from_slice(&[1u8, 2]);
+        let mut out = Field::from_slice(&[0u8]);
+        m.scatter(&dest, &src, None, &mut out);
+        assert_eq!(out.as_slice(), &[2]); // index order: later wins
+    }
+
+    #[test]
+    #[should_panic]
+    fn active_oob_address_panics() {
+        let m = machine();
+        let table = Field::from_slice(&[1u32]);
+        let addr = Field::from_slice(&[3u32]);
+        let _ = m.get(&table, &addr, None, 0);
+    }
+}

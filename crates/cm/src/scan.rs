@@ -1,0 +1,159 @@
+//! Parallel prefix (scan) primitives.
+//!
+//! Scans were the CM's signature primitive (the `scan!!` instruction and
+//! CM Fortran's `*-prefix` intrinsics). The merge stage's data-parallel
+//! formulation uses segmented scans for per-vertex minima over sorted edge
+//! lists; the split stage uses enumerate (an exclusive +-scan over a mask)
+//! for compaction.
+
+use crate::cost::Prim;
+use crate::field::{Elem, Field};
+use crate::machine::Machine;
+
+impl Machine {
+    /// Inclusive scan: `out[i] = f(a[0], …, a[i])`.
+    ///
+    /// `f` must be associative.
+    pub fn scan_inclusive<T: Elem>(&self, a: &Field<T>, f: impl Fn(T, T) -> T) -> Field<T> {
+        self.charge(Prim::Scan, a.len());
+        let mut out = Vec::with_capacity(a.len());
+        let mut acc: Option<T> = None;
+        for &x in a.as_slice() {
+            acc = Some(match acc {
+                None => x,
+                Some(p) => f(p, x),
+            });
+            out.push(acc.unwrap());
+        }
+        Field::from_vec(a.shape(), out)
+    }
+
+    /// Exclusive scan with identity `init`:
+    /// `out[i] = f(init, a[0], …, a[i-1])`.
+    pub fn scan_exclusive<T: Elem>(
+        &self,
+        a: &Field<T>,
+        init: T,
+        f: impl Fn(T, T) -> T,
+    ) -> Field<T> {
+        self.charge(Prim::Scan, a.len());
+        let mut out = Vec::with_capacity(a.len());
+        let mut acc = init;
+        for &x in a.as_slice() {
+            out.push(acc);
+            acc = f(acc, x);
+        }
+        Field::from_vec(a.shape(), out)
+    }
+
+    /// Segmented inclusive scan: the accumulator resets wherever
+    /// `segment_start[i]` is `true`.
+    pub fn segmented_scan_inclusive<T: Elem>(
+        &self,
+        a: &Field<T>,
+        segment_start: &Field<bool>,
+        f: impl Fn(T, T) -> T,
+    ) -> Field<T> {
+        assert_eq!(a.shape(), segment_start.shape(), "segment mask mismatch");
+        self.charge(Prim::Scan, a.len());
+        let mut out = Vec::with_capacity(a.len());
+        let mut acc: Option<T> = None;
+        for (i, &x) in a.as_slice().iter().enumerate() {
+            if segment_start.at(i) {
+                acc = None;
+            }
+            acc = Some(match acc {
+                None => x,
+                Some(p) => f(p, x),
+            });
+            out.push(acc.unwrap());
+        }
+        Field::from_vec(a.shape(), out)
+    }
+
+    /// Enumerates the `true` positions of a mask: `out[i]` = number of
+    /// `true` entries strictly before `i` (an exclusive +-scan), returned
+    /// together with the total count. The standard compaction building
+    /// block.
+    pub fn enumerate(&self, mask: &Field<bool>) -> (Field<u32>, u32) {
+        self.charge(Prim::Scan, mask.len());
+        let mut out = Vec::with_capacity(mask.len());
+        let mut acc = 0u32;
+        for &b in mask.as_slice() {
+            out.push(acc);
+            acc += b as u32;
+        }
+        (Field::from_vec(mask.shape(), out), acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cost::CostModel;
+    use crate::field::Field;
+    use crate::machine::Machine;
+
+    fn machine() -> Machine {
+        Machine::new(CostModel::cm2_8k())
+    }
+
+    #[test]
+    fn inclusive_and_exclusive_sum() {
+        let m = machine();
+        let a = Field::from_slice(&[1u32, 2, 3, 4]);
+        assert_eq!(
+            m.scan_inclusive(&a, |x, y| x + y).as_slice(),
+            &[1, 3, 6, 10]
+        );
+        assert_eq!(
+            m.scan_exclusive(&a, 0, |x, y| x + y).as_slice(),
+            &[0, 1, 3, 6]
+        );
+    }
+
+    #[test]
+    fn max_scan() {
+        let m = machine();
+        let a = Field::from_slice(&[3u32, 1, 4, 1, 5]);
+        assert_eq!(
+            m.scan_inclusive(&a, |x, y| x.max(y)).as_slice(),
+            &[3, 3, 4, 4, 5]
+        );
+    }
+
+    #[test]
+    fn segmented_scan_resets() {
+        let m = machine();
+        let a = Field::from_slice(&[1u32, 2, 3, 4, 5]);
+        let seg = Field::from_slice(&[true, false, true, false, false]);
+        assert_eq!(
+            m.segmented_scan_inclusive(&a, &seg, |x, y| x + y).as_slice(),
+            &[1, 3, 3, 7, 12]
+        );
+        // Segmented min: the per-segment running minimum.
+        let b = Field::from_slice(&[9u32, 2, 7, 8, 1]);
+        assert_eq!(
+            m.segmented_scan_inclusive(&b, &seg, |x, y| x.min(y)).as_slice(),
+            &[9, 2, 7, 7, 1]
+        );
+    }
+
+    #[test]
+    fn enumerate_compacts() {
+        let m = machine();
+        let mask = Field::from_slice(&[false, true, true, false, true]);
+        let (idx, total) = m.enumerate(&mask);
+        assert_eq!(idx.as_slice(), &[0, 0, 1, 2, 2]);
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn empty_fields() {
+        let m = machine();
+        let a: Field<u32> = Field::from_slice(&[]);
+        assert!(m.scan_inclusive(&a, |x, y| x + y).is_empty());
+        let (idx, total) = m.enumerate(&Field::from_slice(&[]));
+        assert!(idx.is_empty());
+        assert_eq!(total, 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Sorting and ranking.
+//!
+//! The CM provided a hardware-assisted sort (`rank!!` + permute). The
+//! data-parallel merge stage can use it to deduplicate relabelled edges;
+//! the cost model charges `O((n/P)·log n)` router passes, the standard
+//! bitonic bound.
+
+use crate::cost::Prim;
+use crate::field::{Elem, Field};
+use crate::machine::Machine;
+
+impl Machine {
+    /// Stable rank of each element under ascending key order: `rank[i]` is
+    /// the position element `i` would occupy in the sorted order.
+    pub fn rank_by_key<T: Elem, K: Ord>(&self, a: &Field<T>, key: impl Fn(T) -> K) -> Field<u32> {
+        self.charge(Prim::Sort, a.len());
+        let mut order: Vec<u32> = (0..a.len() as u32).collect();
+        order.sort_by_key(|&i| key(a.at(i as usize)));
+        let mut rank = vec![0u32; a.len()];
+        for (pos, &i) in order.iter().enumerate() {
+            rank[i as usize] = pos as u32;
+        }
+        Field::from_vec(a.shape(), rank)
+    }
+
+    /// Sorts a field by key (stable). Equivalent to `rank_by_key` followed
+    /// by a permute, charged as a single sort.
+    pub fn sort_by_key<T: Elem, K: Ord>(&self, a: &Field<T>, key: impl Fn(T) -> K) -> Field<T> {
+        self.charge(Prim::Sort, a.len());
+        let mut data = a.as_slice().to_vec();
+        data.sort_by_key(|&x| key(x));
+        Field::from_vec(a.shape(), data)
+    }
+
+    /// Permute: `out[perm[i]] = a[i]`. `perm` must be a permutation.
+    pub fn permute<T: Elem>(&self, a: &Field<T>, perm: &Field<u32>, fill: T) -> Field<T> {
+        assert_eq!(a.shape(), perm.shape(), "permute shape mismatch");
+        self.charge(Prim::Send, a.len());
+        let mut out = vec![fill; a.len()];
+        let mut hit = vec![false; a.len()];
+        for i in 0..a.len() {
+            let d = perm.at(i) as usize;
+            assert!(!hit[d], "permute: duplicate destination {d}");
+            hit[d] = true;
+            out[d] = a.at(i);
+        }
+        Field::from_vec(a.shape(), out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cost::CostModel;
+    use crate::field::Field;
+    use crate::machine::Machine;
+
+    fn machine() -> Machine {
+        Machine::new(CostModel::cm2_8k())
+    }
+
+    #[test]
+    fn rank_is_stable() {
+        let m = machine();
+        let a = Field::from_slice(&[30u32, 10, 30, 20]);
+        let r = m.rank_by_key(&a, |x| x);
+        // 10 -> 0, 20 -> 1, first 30 -> 2, second 30 -> 3.
+        assert_eq!(r.as_slice(), &[2, 0, 3, 1]);
+    }
+
+    #[test]
+    fn sort_by_key_sorts() {
+        let m = machine();
+        let a = Field::from_slice(&[(3u32, 'c'), (1, 'a'), (2, 'b')]);
+        let s = m.sort_by_key(&a, |(k, _)| k);
+        assert_eq!(s.as_slice(), &[(1, 'a'), (2, 'b'), (3, 'c')]);
+    }
+
+    #[test]
+    fn rank_then_permute_equals_sort() {
+        let m = machine();
+        let a = Field::from_slice(&[5u32, 1, 4, 2, 3]);
+        let r = m.rank_by_key(&a, |x| x);
+        let s = m.permute(&a, &r, 0);
+        assert_eq!(s.as_slice(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate destination")]
+    fn permute_rejects_collisions() {
+        let m = machine();
+        let a = Field::from_slice(&[1u32, 2]);
+        let p = Field::from_slice(&[0u32, 0]);
+        let _ = m.permute(&a, &p, 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests: the simulated data-parallel primitives agree with
+//! straightforward host references on arbitrary inputs.
+
+use cm_sim::{CostModel, Field, Machine, Shape};
+use proptest::prelude::*;
+
+fn machine() -> Machine {
+    Machine::new(CostModel::cm2_8k())
+}
+
+proptest! {
+    #[test]
+    fn scan_inclusive_matches_reference(data in proptest::collection::vec(0u64..1 << 40, 0..200)) {
+        let m = machine();
+        let f = Field::from_slice(&data);
+        let got = m.scan_inclusive(&f, |a, b| a + b);
+        let mut acc = 0u64;
+        let expect: Vec<u64> = data.iter().map(|&x| { acc += x; acc }).collect();
+        prop_assert_eq!(got.as_slice(), &expect[..]);
+    }
+
+    #[test]
+    fn exclusive_scan_shifts_inclusive(data in proptest::collection::vec(0u32..1000, 1..200)) {
+        let m = machine();
+        let f = Field::from_slice(&data);
+        let inc = m.scan_inclusive(&f, |a, b| a + b);
+        let exc = m.scan_exclusive(&f, 0, |a, b| a + b);
+        for i in 1..data.len() {
+            prop_assert_eq!(exc.at(i), inc.at(i - 1));
+        }
+        prop_assert_eq!(exc.at(0), 0);
+    }
+
+    #[test]
+    fn segmented_scan_equals_per_segment_scan(
+        data in proptest::collection::vec(0u64..1000, 1..150),
+        segbits in proptest::collection::vec(proptest::bool::ANY, 1..150),
+    ) {
+        let n = data.len().min(segbits.len());
+        let data = &data[..n];
+        let mut seg = segbits[..n].to_vec();
+        seg[0] = true;
+        let m = machine();
+        let got = m.segmented_scan_inclusive(
+            &Field::from_slice(data),
+            &Field::from_slice(&seg),
+            |a, b| a + b,
+        );
+        // Reference: restart the accumulator at each segment head.
+        let mut acc = 0;
+        let mut expect = Vec::with_capacity(n);
+        for i in 0..n {
+            if seg[i] { acc = 0; }
+            acc += data[i];
+            expect.push(acc);
+        }
+        prop_assert_eq!(got.as_slice(), &expect[..]);
+    }
+
+    #[test]
+    fn send_min_matches_bucket_min(
+        pairs in proptest::collection::vec((0u32..32, 0u32..10_000), 0..300),
+    ) {
+        let m = machine();
+        let dest = Field::from_slice(&pairs.iter().map(|p| p.0).collect::<Vec<_>>());
+        let src = Field::from_slice(&pairs.iter().map(|p| p.1).collect::<Vec<_>>());
+        let mut out = Field::constant(Shape::one_d(32), u32::MAX);
+        m.send_combine(&dest, &src, None, &mut out, u32::min);
+        let mut expect = [u32::MAX; 32];
+        for &(d, v) in &pairs {
+            expect[d as usize] = expect[d as usize].min(v);
+        }
+        prop_assert_eq!(out.as_slice(), &expect[..]);
+    }
+
+    #[test]
+    fn get_after_scatter_roundtrips(perm_seed in 0u64..1000, n in 1usize..200) {
+        // Scatter a permutation then gather through it: identity.
+        let m = machine();
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        // Deterministic Fisher-Yates from the seed.
+        let mut state = perm_seed.wrapping_add(0x9E3779B97F4A7C15);
+        for i in (1..n).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            idx.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let perm = Field::from_slice(&idx);
+        let vals = Field::from_slice(&(0..n as u32).map(|i| i * 3).collect::<Vec<_>>());
+        let scattered = m.permute(&vals, &perm, 0);
+        let back = m.get(&scattered, &perm, None, 0);
+        prop_assert_eq!(back.as_slice(), vals.as_slice());
+    }
+
+    #[test]
+    fn sort_matches_std(data in proptest::collection::vec(0u32..10_000, 0..300)) {
+        let m = machine();
+        let f = Field::from_slice(&data);
+        let sorted = m.sort_by_key(&f, |x| x);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(sorted.as_slice(), &expect[..]);
+    }
+
+    #[test]
+    fn shift_composition(data in proptest::collection::vec(0u8..=255, 1..100), d1 in -5isize..5, d2 in -5isize..5) {
+        // Shifting by d1 then d2 with the same fill equals shifting by
+        // d1+d2 when no wrapped-out value re-enters: use fill 0 and check
+        // interior cells only.
+        let m = machine();
+        let f = Field::from_slice(&data);
+        let a = m.shift1d(&m.shift1d(&f, d1, 0), d2, 0);
+        let b = m.shift1d(&f, d1 + d2, 0);
+        let n = data.len() as isize;
+        for i in 0..n {
+            let src = i - d1 - d2;
+            let intermediate = i - d2;
+            if src >= 0 && src < n && intermediate >= 0 && intermediate < n {
+                prop_assert_eq!(a.at(i as usize), b.at(i as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_is_order_insensitive(data in proptest::collection::vec(0u64..1 << 30, 1..200)) {
+        let m = machine();
+        let f = Field::from_slice(&data);
+        prop_assert_eq!(m.reduce(&f, 0, |a, b| a + b), data.iter().sum::<u64>());
+        prop_assert_eq!(
+            m.reduce(&f, u64::MAX, |a, b| a.min(b)),
+            data.iter().copied().min().unwrap()
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Timestamped message channels and payload encoding helpers.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A message in flight: the sender's rank, the virtual time at which it
+/// left the sender, and the payload.
+#[derive(Debug, Clone)]
+pub struct Msg {
+    /// Sender rank.
+    pub src: usize,
+    /// Sender-side virtual timestamp, nanoseconds.
+    pub ts_ns: f64,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// Encodes a `u32` slice little-endian.
+pub fn encode_u32s(data: &[u32]) -> Bytes {
+    let mut b = BytesMut::with_capacity(data.len() * 4);
+    for &v in data {
+        b.put_u32_le(v);
+    }
+    b.freeze()
+}
+
+/// Decodes a little-endian `u32` payload.
+///
+/// # Panics
+/// Panics if the length is not a multiple of 4.
+pub fn decode_u32s(mut b: Bytes) -> Vec<u32> {
+    assert_eq!(b.len() % 4, 0, "u32 payload length {} not /4", b.len());
+    let mut out = Vec::with_capacity(b.len() / 4);
+    while b.has_remaining() {
+        out.push(b.get_u32_le());
+    }
+    out
+}
+
+/// Encodes a `u64` slice little-endian.
+pub fn encode_u64s(data: &[u64]) -> Bytes {
+    let mut b = BytesMut::with_capacity(data.len() * 8);
+    for &v in data {
+        b.put_u64_le(v);
+    }
+    b.freeze()
+}
+
+/// Decodes a little-endian `u64` payload.
+///
+/// # Panics
+/// Panics if the length is not a multiple of 8.
+pub fn decode_u64s(mut b: Bytes) -> Vec<u64> {
+    assert_eq!(b.len() % 8, 0, "u64 payload length {} not /8", b.len());
+    let mut out = Vec::with_capacity(b.len() / 8);
+    while b.has_remaining() {
+        out.push(b.get_u64_le());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_roundtrip() {
+        let data = vec![0u32, 1, u32::MAX, 0xDEAD_BEEF];
+        assert_eq!(decode_u32s(encode_u32s(&data)), data);
+        assert!(decode_u32s(Bytes::new()).is_empty());
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let data = vec![0u64, u64::MAX, 0x0123_4567_89AB_CDEF];
+        assert_eq!(decode_u64s(encode_u64s(&data)), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "not /4")]
+    fn bad_length_panics() {
+        let _ = decode_u32s(Bytes::from_static(&[1, 2, 3]));
+    }
+}

@@ -1,0 +1,104 @@
+//! Shared state behind the control-network collectives.
+//!
+//! A [`CollectiveCtx`] implements the all-gather skeleton every collective
+//! reduces to: each rank deposits `(timestamp, value)` in its slot, waits
+//! for the group, snapshots all slots, and waits again before slots are
+//! reused. Two barrier phases make the slot array race-free without
+//! generation counters.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::Barrier;
+
+/// Rendezvous state shared by all nodes of one SPMD run.
+pub struct CollectiveCtx {
+    barrier: Barrier,
+    clock_slots: Mutex<Vec<f64>>,
+    byte_slots: Mutex<Vec<(f64, Bytes)>>,
+    u64_slots: Mutex<Vec<(f64, u64)>>,
+}
+
+impl CollectiveCtx {
+    /// Context for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            barrier: Barrier::new(n),
+            clock_slots: Mutex::new(vec![0.0; n]),
+            byte_slots: Mutex::new(vec![(0.0, Bytes::new()); n]),
+            u64_slots: Mutex::new(vec![(0.0, 0); n]),
+        }
+    }
+
+    /// All-gather of clocks (used by barriers).
+    pub fn exchange_clock(&self, rank: usize, clock_ns: f64) -> Vec<f64> {
+        self.clock_slots.lock()[rank] = clock_ns;
+        self.barrier.wait();
+        let snapshot = self.clock_slots.lock().clone();
+        self.barrier.wait();
+        snapshot
+    }
+
+    /// All-gather of byte payloads (global concatenation).
+    pub fn exchange_bytes(&self, rank: usize, clock_ns: f64, payload: Bytes) -> Vec<(f64, Bytes)> {
+        self.byte_slots.lock()[rank] = (clock_ns, payload);
+        self.barrier.wait();
+        let snapshot = self.byte_slots.lock().clone();
+        self.barrier.wait();
+        snapshot
+    }
+
+    /// All-gather of `u64` values (reductions).
+    pub fn exchange_u64(&self, rank: usize, clock_ns: f64, v: u64) -> Vec<(f64, u64)> {
+        self.u64_slots.lock()[rank] = (clock_ns, v);
+        self.barrier.wait();
+        let snapshot = self.u64_slots.lock().clone();
+        self.barrier.wait();
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn exchange_is_consistent_across_threads() {
+        let n = 6;
+        let ctx = Arc::new(CollectiveCtx::new(n));
+        let results: Vec<Vec<(f64, u64)>> = std::thread::scope(|s| {
+            let mut joins = Vec::new();
+            for rank in 0..n {
+                let ctx = Arc::clone(&ctx);
+                joins.push(s.spawn(move || ctx.exchange_u64(rank, rank as f64, rank as u64 * 7)));
+            }
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        for r in &results {
+            assert_eq!(r, &results[0]);
+            for (i, &(ts, v)) in r.iter().enumerate() {
+                assert_eq!(ts, i as f64);
+                assert_eq!(v, i as u64 * 7);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_rounds_do_not_bleed() {
+        let n = 4;
+        let ctx = Arc::new(CollectiveCtx::new(n));
+        std::thread::scope(|s| {
+            for rank in 0..n {
+                let ctx = Arc::clone(&ctx);
+                s.spawn(move || {
+                    for round in 0..50u64 {
+                        let got = ctx.exchange_u64(rank, 0.0, round * 10 + rank as u64);
+                        for (i, &(_, v)) in got.iter().enumerate() {
+                            assert_eq!(v, round * 10 + i as u64, "round {round}");
+                        }
+                    }
+                });
+            }
+        });
+    }
+}

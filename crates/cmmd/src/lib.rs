@@ -1,0 +1,42 @@
+//! # cmmd-sim
+//!
+//! A simulator for CMMD — the CM-5's message-passing library — built for
+//! the reproduction of *"Solving the Region Growing Problem on the
+//! Connection Machine"* (ICPP 1993).
+//!
+//! The paper's fastest implementation is Fortran 77 + CMMD on a 32-node
+//! CM-5. This crate recreates that execution model: [`run_spmd`] launches
+//! one thread per node running the same node program; each [`Node`] carries
+//! point-to-point blocking/async sends and receives, control-network
+//! collectives (barrier, global concatenation, reductions), and — the
+//! paper's focus — two **all-to-many personalized communication** schemes,
+//! [`CommScheme::LinearPermutation`] and [`CommScheme::Async`].
+//!
+//! Timing is *virtual*: every node advances its own clock by calibrated
+//! per-operation costs ([`TimeParams`]); receives synchronise clocks
+//! conservatively with sender timestamps. The reported makespan is the
+//! maximum node clock — deterministic for a fixed program, independent of
+//! host scheduling.
+//!
+//! ```
+//! use cmmd_sim::{run_spmd, TimeParams, channel::encode_u32s, channel::decode_u32s};
+//!
+//! let res = run_spmd(4, TimeParams::cm5_mp(), |node| {
+//!     let parts = node.concat(encode_u32s(&[node.rank() as u32]));
+//!     parts.into_iter().flat_map(decode_u32s).sum::<u32>()
+//! });
+//! assert_eq!(res.results, vec![6, 6, 6, 6]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alltomany;
+pub mod channel;
+pub mod collectives;
+pub mod runtime;
+pub mod time;
+
+pub use alltomany::{all_to_many, CommScheme};
+pub use runtime::{run_spmd, Node, SpmdResult};
+pub use time::TimeParams;

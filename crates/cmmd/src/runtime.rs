@@ -1,0 +1,480 @@
+//! The SPMD node runtime.
+//!
+//! [`run_spmd`] launches one OS thread per simulated CM-5 node and hands
+//! each a [`Node`] handle carrying its rank, its point-to-point channel
+//! endpoints, the shared collective context, and its virtual clock. The
+//! node program is the same closure on every rank — exactly the CMMD
+//! "hostless" execution model the paper's F77 code used.
+
+use crate::channel::Msg;
+use crate::collectives::CollectiveCtx;
+use crate::time::TimeParams;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+
+/// Result of an SPMD run.
+#[derive(Debug, Clone)]
+pub struct SpmdResult<R> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-rank final virtual clocks, seconds.
+    pub node_seconds: Vec<f64>,
+    /// Makespan: the maximum final clock, seconds.
+    pub max_seconds: f64,
+}
+
+/// A node's handle onto the simulated machine.
+pub struct Node {
+    rank: usize,
+    size: usize,
+    params: TimeParams,
+    clock_ns: f64,
+    msgs_sent: u64,
+    bytes_sent: u64,
+    /// `to[d]` sends to rank `d`.
+    to: Vec<Sender<Msg>>,
+    /// `from[s]` receives from rank `s`.
+    from: Vec<Receiver<Msg>>,
+    collectives: Arc<CollectiveCtx>,
+}
+
+impl Node {
+    /// This node's rank in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The machine's time parameters.
+    pub fn params(&self) -> &TimeParams {
+        &self.params
+    }
+
+    /// Current virtual time, nanoseconds.
+    pub fn clock_ns(&self) -> f64 {
+        self.clock_ns
+    }
+
+    /// Current virtual time, seconds.
+    pub fn clock_seconds(&self) -> f64 {
+        self.clock_ns / 1e9
+    }
+
+    /// Charges local computation: `work` abstract units (pixel visits,
+    /// element operations) at `t_cpu` each.
+    pub fn compute(&mut self, work: u64) {
+        self.clock_ns += work as f64 * self.params.t_cpu_ns;
+    }
+
+    /// Charges an explicit number of nanoseconds (for modelled costs that
+    /// are not per-element).
+    pub fn charge_ns(&mut self, ns: f64) {
+        self.clock_ns += ns;
+    }
+
+    /// Advances the clock to at least `ts_ns` (used by receive paths).
+    fn sync_to(&mut self, ts_ns: f64) {
+        if ts_ns > self.clock_ns {
+            self.clock_ns = ts_ns;
+        }
+    }
+
+    /// Blocking (synchronous) send: charges the rendezvous setup plus
+    /// bandwidth, then enqueues the message stamped with the post-charge
+    /// clock.
+    pub fn send_sync(&mut self, dst: usize, payload: Bytes) {
+        self.clock_ns +=
+            self.params.alpha_sync_ns + payload.len() as f64 * self.params.beta_ns_per_byte;
+        self.post(dst, payload);
+    }
+
+    /// Asynchronous send: cheaper setup; bandwidth is charged to the
+    /// receiver side (the NI drains the buffer while the CPU continues).
+    pub fn send_async(&mut self, dst: usize, payload: Bytes) {
+        self.clock_ns += self.params.alpha_async_ns;
+        self.post(dst, payload);
+    }
+
+    /// Point-to-point messages sent so far.
+    pub fn msgs_sent(&self) -> u64 {
+        self.msgs_sent
+    }
+
+    /// Point-to-point payload bytes sent so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    fn post(&mut self, dst: usize, payload: Bytes) {
+        self.msgs_sent += 1;
+        self.bytes_sent += payload.len() as u64;
+        let msg = Msg {
+            src: self.rank,
+            ts_ns: self.clock_ns,
+            payload,
+        };
+        self.to[dst]
+            .send(msg)
+            .expect("peer node hung up — node program panicked?");
+    }
+
+    /// Blocking receive of the next message from `src`. The clock advances
+    /// to the message's arrival time (sender timestamp + latency +
+    /// bandwidth) if that is later than local time.
+    pub fn recv_from(&mut self, src: usize) -> Bytes {
+        let msg = self.from[src]
+            .recv()
+            .expect("peer node hung up — node program panicked?");
+        debug_assert_eq!(msg.src, src);
+        let arrival = msg.ts_ns
+            + self.params.net_latency_ns
+            + msg.payload.len() as f64 * self.params.beta_ns_per_byte;
+        self.sync_to(arrival);
+        self.clock_ns += self.params.recv_overhead_ns;
+        msg.payload
+    }
+
+    /// Barrier across all nodes; clocks synchronise to the latest arrival
+    /// plus the control-tree latency.
+    pub fn barrier(&mut self) {
+        let all = self.collectives.exchange_clock(self.rank, self.clock_ns);
+        let max = all.iter().copied().fold(f64::MIN, f64::max);
+        self.clock_ns = max + (self.size.max(2) as f64).log2() * self.params.tree_stage_ns;
+    }
+
+    /// Global concatenation: every node contributes a payload; every node
+    /// receives all payloads indexed by rank. This is CMMD's
+    /// `CMMD_concat_with_nodes`, the primitive the paper's LP scheme uses
+    /// to build the communication matrix.
+    pub fn concat(&mut self, payload: Bytes) -> Vec<Bytes> {
+        let parts = self
+            .collectives
+            .exchange_bytes(self.rank, self.clock_ns, payload);
+        let max_ts = parts.iter().map(|(t, _)| *t).fold(f64::MIN, f64::max);
+        let total: usize = parts.iter().map(|(_, b)| b.len()).sum();
+        self.clock_ns = max_ts
+            + (self.size.max(2) as f64).log2() * self.params.tree_stage_ns
+            + total as f64 * self.params.beta_ns_per_byte;
+        parts.into_iter().map(|(_, b)| b).collect()
+    }
+
+    /// Global reduction of a `u64` with an associative-commutative `op`;
+    /// every node receives the result.
+    pub fn allreduce_u64(&mut self, v: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
+        let parts = self.collectives.exchange_u64(self.rank, self.clock_ns, v);
+        let max_ts = parts.iter().map(|(t, _)| *t).fold(f64::MIN, f64::max);
+        self.clock_ns = max_ts + (self.size.max(2) as f64).log2() * self.params.tree_stage_ns;
+        parts.into_iter().map(|(_, x)| x).reduce(&op).unwrap()
+    }
+
+    /// Global OR — the merge loop's "does any node still have active
+    /// edges?" test.
+    pub fn allreduce_or(&mut self, v: bool) -> bool {
+        self.allreduce_u64(v as u64, |a, b| a | b) != 0
+    }
+
+    /// Broadcast from `root`: every node receives the root's payload
+    /// (CMMD's `CMMD_bc_from_node`). Built on the control-network
+    /// exchange; charged one tree traversal plus the payload bandwidth.
+    pub fn broadcast(&mut self, root: usize, payload: Bytes) -> Bytes {
+        assert!(root < self.size, "broadcast root out of range");
+        let contribution = if self.rank == root {
+            payload
+        } else {
+            Bytes::new()
+        };
+        let parts = self
+            .collectives
+            .exchange_bytes(self.rank, self.clock_ns, contribution);
+        let max_ts = parts.iter().map(|(t, _)| *t).fold(f64::MIN, f64::max);
+        let data = parts[root].1.clone();
+        self.clock_ns = max_ts
+            + (self.size.max(2) as f64).log2() * self.params.tree_stage_ns
+            + data.len() as f64 * self.params.beta_ns_per_byte;
+        data
+    }
+
+    /// Exclusive prefix over ranks: node `k` receives
+    /// `op(v_0, …, v_{k-1})` (`init` for rank 0) — CMMD's scan on the
+    /// control network.
+    pub fn scan_exclusive_u64(
+        &mut self,
+        v: u64,
+        init: u64,
+        op: impl Fn(u64, u64) -> u64,
+    ) -> u64 {
+        let parts = self.collectives.exchange_u64(self.rank, self.clock_ns, v);
+        let max_ts = parts.iter().map(|(t, _)| *t).fold(f64::MIN, f64::max);
+        self.clock_ns = max_ts + (self.size.max(2) as f64).log2() * self.params.tree_stage_ns;
+        parts[..self.rank].iter().fold(init, |acc, &(_, x)| op(acc, x))
+    }
+
+    /// Gather to `root`: the root receives every node's payload indexed by
+    /// rank; other nodes receive an empty vector. Charged like a
+    /// concatenation whose bandwidth lands on the root.
+    pub fn gather_to(&mut self, root: usize, payload: Bytes) -> Vec<Bytes> {
+        assert!(root < self.size, "gather root out of range");
+        let parts = self
+            .collectives
+            .exchange_bytes(self.rank, self.clock_ns, payload);
+        let max_ts = parts.iter().map(|(t, _)| *t).fold(f64::MIN, f64::max);
+        let total: usize = parts.iter().map(|(_, b)| b.len()).sum();
+        self.clock_ns = max_ts + (self.size.max(2) as f64).log2() * self.params.tree_stage_ns;
+        if self.rank == root {
+            self.clock_ns += total as f64 * self.params.beta_ns_per_byte;
+            parts.into_iter().map(|(_, b)| b).collect()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Runs `f` on `nodes` SPMD nodes, one thread each, and collects results
+/// and virtual times.
+pub fn run_spmd<R, F>(nodes: usize, params: TimeParams, f: F) -> SpmdResult<R>
+where
+    R: Send,
+    F: Fn(&mut Node) -> R + Sync,
+{
+    assert!(nodes > 0, "need at least one node");
+    // Build the P×P channel matrix: endpoint (s, d).
+    let mut senders: Vec<Vec<Option<Sender<Msg>>>> = (0..nodes)
+        .map(|_| (0..nodes).map(|_| None).collect())
+        .collect();
+    let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> = (0..nodes)
+        .map(|_| (0..nodes).map(|_| None).collect())
+        .collect();
+    for s in 0..nodes {
+        for d in 0..nodes {
+            let (tx, rx) = unbounded();
+            senders[s][d] = Some(tx);
+            receivers[d][s] = Some(rx);
+        }
+    }
+    let collectives = Arc::new(CollectiveCtx::new(nodes));
+
+    let mut handles: Vec<Node> = Vec::with_capacity(nodes);
+    for (rank, (snd_row, rcv_row)) in senders.into_iter().zip(receivers).enumerate() {
+        handles.push(Node {
+            rank,
+            size: nodes,
+            params,
+            clock_ns: 0.0,
+            msgs_sent: 0,
+            bytes_sent: 0,
+            to: snd_row.into_iter().map(Option::unwrap).collect(),
+            from: rcv_row.into_iter().map(Option::unwrap).collect(),
+            collectives: Arc::clone(&collectives),
+        });
+    }
+
+    let f = &f;
+    let mut out: Vec<Option<(R, f64)>> = (0..nodes).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(nodes);
+        for mut node in handles {
+            joins.push(scope.spawn(move || {
+                let r = f(&mut node);
+                (node.rank, r, node.clock_ns)
+            }));
+        }
+        for j in joins {
+            let (rank, r, clock) = j.join().expect("node program panicked");
+            out[rank] = Some((r, clock));
+        }
+    });
+
+    let mut results = Vec::with_capacity(nodes);
+    let mut node_seconds = Vec::with_capacity(nodes);
+    for slot in out {
+        let (r, clock) = slot.expect("missing node result");
+        results.push(r);
+        node_seconds.push(clock / 1e9);
+    }
+    let max_seconds = node_seconds.iter().copied().fold(0.0, f64::max);
+    SpmdResult {
+        results,
+        node_seconds,
+        max_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{decode_u32s, encode_u32s};
+
+    #[test]
+    fn ring_pass() {
+        // Each node sends its rank to the right neighbour; receives from
+        // the left.
+        let res = run_spmd(8, TimeParams::default(), |node| {
+            let right = (node.rank() + 1) % node.size();
+            let left = (node.rank() + node.size() - 1) % node.size();
+            node.send_sync(right, encode_u32s(&[node.rank() as u32]));
+            let got = decode_u32s(node.recv_from(left));
+            got[0]
+        });
+        assert_eq!(res.results, vec![7, 0, 1, 2, 3, 4, 5, 6]);
+        assert!(res.max_seconds > 0.0);
+    }
+
+    #[test]
+    fn clocks_synchronise_on_recv() {
+        // Node 0 computes a long time, then sends to node 1; node 1's
+        // receive must push its clock past node 0's send time.
+        let res = run_spmd(2, TimeParams::default(), |node| {
+            if node.rank() == 0 {
+                node.compute(1_000_000);
+                node.send_sync(1, encode_u32s(&[42]));
+            } else {
+                let _ = node.recv_from(0);
+            }
+            node.clock_seconds()
+        });
+        assert!(res.results[1] > res.results[0] * 0.99);
+        assert!(res.results[1] >= 1_000_000.0 * 150.0 / 1e9);
+    }
+
+    #[test]
+    fn barrier_equalises_clocks() {
+        let res = run_spmd(4, TimeParams::default(), |node| {
+            node.compute(node.rank() as u64 * 10_000);
+            node.barrier();
+            node.clock_seconds()
+        });
+        let first = res.results[0];
+        for &c in &res.results {
+            assert!((c - first).abs() < 1e-12, "{c} vs {first}");
+        }
+    }
+
+    #[test]
+    fn concat_gathers_in_rank_order() {
+        let res = run_spmd(4, TimeParams::default(), |node| {
+            let parts = node.concat(encode_u32s(&[node.rank() as u32 * 10]));
+            parts
+                .into_iter()
+                .flat_map(decode_u32s)
+                .collect::<Vec<u32>>()
+        });
+        for r in res.results {
+            assert_eq!(r, vec![0, 10, 20, 30]);
+        }
+    }
+
+    #[test]
+    fn allreduce_or_and_max() {
+        let res = run_spmd(4, TimeParams::default(), |node| {
+            let any = node.allreduce_or(node.rank() == 2);
+            let none = node.allreduce_or(false);
+            let max = node.allreduce_u64(node.rank() as u64, u64::max);
+            (any, none, max)
+        });
+        for (any, none, max) in res.results {
+            assert!(any);
+            assert!(!none);
+            assert_eq!(max, 3);
+        }
+    }
+
+    #[test]
+    fn async_send_cheaper_than_sync() {
+        let time_of = |sync: bool| {
+            run_spmd(2, TimeParams::default(), move |node| {
+                if node.rank() == 0 {
+                    let payload = encode_u32s(&vec![7u32; 100]);
+                    if sync {
+                        node.send_sync(1, payload);
+                    } else {
+                        node.send_async(1, payload);
+                    }
+                } else {
+                    let _ = node.recv_from(0);
+                }
+                node.clock_seconds()
+            })
+            .results[0]
+        };
+        assert!(time_of(false) < time_of(true));
+    }
+
+    #[test]
+    fn deterministic_virtual_time() {
+        let run = || {
+            run_spmd(6, TimeParams::default(), |node| {
+                node.compute((node.rank() as u64 + 1) * 1000);
+                let parts = node.concat(encode_u32s(&[node.rank() as u32]));
+                node.barrier();
+                (parts.len(), node.clock_ns())
+            })
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x, y);
+        }
+        assert_eq!(a.max_seconds, b.max_seconds);
+    }
+}
+
+#[cfg(test)]
+mod collective_tests {
+    use super::*;
+    use crate::channel::{decode_u32s, encode_u32s};
+
+    #[test]
+    fn broadcast_delivers_root_payload() {
+        let res = run_spmd(5, TimeParams::default(), |node| {
+            let payload = if node.rank() == 2 {
+                encode_u32s(&[41, 42])
+            } else {
+                encode_u32s(&[99]) // ignored: only the root's bytes matter
+            };
+            decode_u32s(node.broadcast(2, payload))
+        });
+        for r in res.results {
+            assert_eq!(r, vec![41, 42]);
+        }
+    }
+
+    #[test]
+    fn exclusive_scan_over_ranks() {
+        let res = run_spmd(6, TimeParams::default(), |node| {
+            node.scan_exclusive_u64(node.rank() as u64 + 1, 0, |a, b| a + b)
+        });
+        // Node k gets sum of 1..=k.
+        assert_eq!(res.results, vec![0, 1, 3, 6, 10, 15]);
+    }
+
+    #[test]
+    fn gather_lands_on_root_only() {
+        let res = run_spmd(4, TimeParams::default(), |node| {
+            let got = node.gather_to(1, encode_u32s(&[node.rank() as u32 * 7]));
+            got.into_iter().flat_map(decode_u32s).collect::<Vec<_>>()
+        });
+        assert!(res.results[0].is_empty());
+        assert_eq!(res.results[1], vec![0, 7, 14, 21]);
+        assert!(res.results[2].is_empty());
+    }
+
+    #[test]
+    fn send_counters_track_traffic() {
+        let res = run_spmd(3, TimeParams::default(), |node| {
+            if node.rank() == 0 {
+                node.send_sync(1, encode_u32s(&[1, 2, 3]));
+                node.send_async(2, encode_u32s(&[4]));
+            } else {
+                let _ = node.recv_from(0);
+            }
+            (node.msgs_sent(), node.bytes_sent())
+        });
+        assert_eq!(res.results[0], (2, 16));
+        assert_eq!(res.results[1], (0, 0));
+    }
+}

@@ -1,0 +1,79 @@
+//! Virtual-time parameters for the simulated CM-5 message-passing machine.
+//!
+//! Every node carries its own virtual clock (nanoseconds as `f64`). Local
+//! computation advances the clock by `work × t_cpu`; communication charges
+//! per-message setup (`α`) and per-byte bandwidth (`β`) costs, and a
+//! receive completes no earlier than the sender's timestamp plus network
+//! latency — a conservative per-message synchronisation, which is exactly
+//! how CMMD's blocking primitives behaved.
+//!
+//! The constants below are calibrated so the *split-stage* rows of the
+//! paper's tables (which are data-independent) land in the right range for
+//! the F77+CMMD implementation: ~0.022 s for a 128² image and ~0.098 s for
+//! 256² on 32 nodes. The merge stage then inherits the same constants.
+
+/// Cost constants of the message-passing machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeParams {
+    /// Per-unit local computation cost (one pixel visit / element
+    /// operation), nanoseconds.
+    pub t_cpu_ns: f64,
+    /// Setup cost of a synchronous (blocking) send — the LP scheme's
+    /// per-message price, nanoseconds.
+    pub alpha_sync_ns: f64,
+    /// Setup cost of an asynchronous send/receive posting, nanoseconds.
+    /// CMMD's async primitives avoided the rendezvous handshake.
+    pub alpha_async_ns: f64,
+    /// Per-byte bandwidth cost, nanoseconds (CM-5 data network ≈ 10 MB/s
+    /// usable per node → 100 ns/byte).
+    pub beta_ns_per_byte: f64,
+    /// Network latency added to every message, nanoseconds.
+    pub net_latency_ns: f64,
+    /// Loop/bookkeeping overhead of one Linear Permutation round,
+    /// nanoseconds (paid Q−1 times per all-to-many, even for empty
+    /// rounds — the reason LP loses to Async in the paper).
+    pub round_overhead_ns: f64,
+    /// Per-stage cost of the control-network tree (barriers, reductions,
+    /// concatenation), nanoseconds.
+    pub tree_stage_ns: f64,
+    /// Fixed cost of completing any receive, nanoseconds.
+    pub recv_overhead_ns: f64,
+}
+
+impl TimeParams {
+    /// Calibrated constants for the paper's 32-node CM-5 (33 MHz SPARC
+    /// nodes, fat-tree data network, control network collectives).
+    pub fn cm5_mp() -> Self {
+        Self {
+            t_cpu_ns: 650.0,
+            alpha_sync_ns: 120_000.0,
+            alpha_async_ns: 35_000.0,
+            beta_ns_per_byte: 100.0,
+            net_latency_ns: 5_000.0,
+            round_overhead_ns: 600_000.0,
+            tree_stage_ns: 8_000.0,
+            recv_overhead_ns: 10_000.0,
+        }
+    }
+}
+
+impl Default for TimeParams {
+    fn default() -> Self {
+        Self::cm5_mp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_cm5() {
+        let d = TimeParams::default();
+        assert_eq!(d, TimeParams::cm5_mp());
+        // Async setup must be cheaper than sync — the paper's LP-vs-Async
+        // result depends on it.
+        assert!(d.alpha_async_ns < d.alpha_sync_ns);
+        assert!(d.t_cpu_ns > 0.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Top-level segmentation pipeline: split → RAG → merge → labels.
+
+use crate::config::Config;
+use crate::graph::Rag;
+use crate::hierarchy::MergeTrace;
+use crate::labels::compact_first_appearance;
+use crate::merge::{MergeSummary, Merger};
+use crate::split::{split, split_par, SplitResult};
+use rayon::prelude::*;
+use rg_imaging::{Image, Intensity};
+
+/// A completed segmentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segmentation {
+    /// Per-pixel compact region label in `0..num_regions`, numbered by
+    /// first appearance in raster order (canonical across engines).
+    pub labels: Vec<u32>,
+    /// Number of regions found at the end of the merge stage.
+    pub num_regions: usize,
+    /// Number of square regions found at the end of the split stage.
+    pub num_squares: usize,
+    /// Productive split iterations.
+    pub split_iterations: u32,
+    /// Merge iterations executed.
+    pub merge_iterations: u32,
+    /// Merges performed per merge iteration.
+    pub merges_per_iteration: Vec<u32>,
+    /// Image width.
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+}
+
+impl Segmentation {
+    /// Label of pixel `(x, y)`.
+    #[inline]
+    pub fn label(&self, x: usize, y: usize) -> u32 {
+        self.labels[y * self.width + x]
+    }
+}
+
+/// Runs the full split-and-merge pipeline sequentially.
+pub fn segment<P: Intensity>(img: &Image<P>, config: &Config) -> Segmentation {
+    run_pipeline(img, config, false)
+}
+
+/// Like [`segment`], additionally recording the [`MergeTrace`] — the full
+/// merge dendrogram for hierarchical analysis (see [`crate::hierarchy`]).
+pub fn segment_with_trace<P: Intensity>(
+    img: &Image<P>,
+    config: &Config,
+) -> (Segmentation, MergeTrace) {
+    let split_result = split(img, config);
+    let rag = Rag::from_split(&split_result, config.connectivity);
+    let stride = split_result.width as u32;
+    let ids: Vec<u64> = split_result
+        .squares
+        .iter()
+        .map(|s| s.id(stride) as u64)
+        .collect();
+    let mut merger = Merger::new(rag, ids, config, false);
+    merger.enable_trace();
+    let summary = merger.run();
+    let trace = merger.take_trace().expect("trace was enabled");
+    let by_vertex = merger.labels_by_vertex();
+    let raw: Vec<u32> = split_result
+        .square_of
+        .iter()
+        .map(|&q| by_vertex[q as usize])
+        .collect();
+    let (labels, num_regions) = compact_first_appearance(&raw);
+    (
+        Segmentation {
+            labels,
+            num_regions,
+            num_squares: split_result.num_squares(),
+            split_iterations: split_result.iterations,
+            merge_iterations: summary.iterations,
+            merges_per_iteration: summary.merges_per_iteration,
+            width: img.width(),
+            height: img.height(),
+        },
+        trace,
+    )
+}
+
+/// Runs the full pipeline with rayon parallelism. Produces exactly the same
+/// segmentation as [`segment`].
+pub fn segment_par<P: Intensity>(img: &Image<P>, config: &Config) -> Segmentation {
+    run_pipeline(img, config, true)
+}
+
+fn run_pipeline<P: Intensity>(img: &Image<P>, config: &Config, parallel: bool) -> Segmentation {
+    let split_result = if parallel {
+        split_par(img, config)
+    } else {
+        split(img, config)
+    };
+    let (summary, labels) = merge_from_split(&split_result, config, parallel);
+    let (labels, num_regions) = compact_first_appearance(&labels);
+    Segmentation {
+        labels,
+        num_regions,
+        num_squares: split_result.num_squares(),
+        split_iterations: split_result.iterations,
+        merge_iterations: summary.iterations,
+        merges_per_iteration: summary.merges_per_iteration,
+        width: img.width(),
+        height: img.height(),
+    }
+}
+
+/// Runs the merge stage over an existing split result, returning the merge
+/// summary and the raw (uncompacted) per-pixel labels.
+pub fn merge_from_split<P: Intensity>(
+    split_result: &SplitResult<P>,
+    config: &Config,
+    parallel: bool,
+) -> (MergeSummary, Vec<u32>) {
+    let rag = if parallel {
+        Rag::from_split_par(split_result, config.connectivity)
+    } else {
+        Rag::from_split(split_result, config.connectivity)
+    };
+    let stride = split_result.width as u32;
+    let ids: Vec<u64> = split_result
+        .squares
+        .iter()
+        .map(|s| s.id(stride) as u64)
+        .collect();
+    let mut merger = Merger::new(rag, ids, config, parallel);
+    let summary = merger.run();
+    let by_vertex = merger.labels_by_vertex();
+    let labels: Vec<u32> = if parallel {
+        split_result
+            .square_of
+            .par_iter()
+            .map(|&q| by_vertex[q as usize])
+            .collect()
+    } else {
+        split_result
+            .square_of
+            .iter()
+            .map(|&q| by_vertex[q as usize])
+            .collect()
+    };
+    (summary, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TieBreak;
+    use rg_imaging::synth;
+
+    #[test]
+    fn figure_image_end_to_end() {
+        let img = synth::figure1_image();
+        let cfg = Config::with_threshold(3).tie_break(TieBreak::SmallestId);
+        let seg = segment(&img, &cfg);
+        assert_eq!(seg.num_squares, 7);
+        assert_eq!(seg.split_iterations, 1);
+        assert_eq!(seg.merge_iterations, 3);
+        assert_eq!(seg.num_regions, 2);
+        // Region 0 is the high-intensity body, region 1 the bright corner.
+        let expect = vec![
+            0, 0, 1, 1, //
+            0, 0, 0, 1, //
+            0, 0, 0, 0, //
+            0, 0, 0, 0,
+        ];
+        assert_eq!(seg.labels, expect);
+        assert_eq!(seg.label(2, 0), 1);
+        assert_eq!(seg.label(2, 1), 0);
+    }
+
+    #[test]
+    fn paper_images_reach_expected_region_counts() {
+        for pi in synth::PaperImage::ALL {
+            // 64² scaled versions keep the test fast; counts are identical
+            // by construction for the shapes that survive scaling.
+            let img = pi.generate();
+            let cfg = Config::with_threshold(synth::DEFAULT_THRESHOLD);
+            let seg = segment(&img, &cfg);
+            assert_eq!(
+                seg.num_regions,
+                pi.expected_final_regions(),
+                "{pi:?} ({})",
+                pi.description()
+            );
+        }
+    }
+
+    #[test]
+    fn par_equals_seq_on_paper_images() {
+        for pi in [synth::PaperImage::Image1, synth::PaperImage::Image3] {
+            let img = pi.generate();
+            for tie in [TieBreak::SmallestId, TieBreak::Random { seed: 11 }] {
+                let cfg = Config::with_threshold(10).tie_break(tie);
+                let a = segment(&img, &cfg);
+                let b = segment_par(&img, &cfg);
+                assert_eq!(a, b, "{pi:?} {tie:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_only_baseline_agrees_on_partition() {
+        // Disabling the split stage must not change the *final* partition
+        // on scenes whose regions are flat (every intensity either merges
+        // or doesn't, independent of grouping order).
+        let img = synth::rect_collection(64);
+        let with_split = segment(&img, &Config::with_threshold(10));
+        let merge_only = segment(
+            &img,
+            &Config::with_threshold(10).max_square_log2(Some(0)),
+        );
+        assert_eq!(with_split.num_regions, merge_only.num_regions);
+        assert_eq!(with_split.labels, merge_only.labels);
+        assert_eq!(merge_only.num_squares, 64 * 64);
+        // The split stage saves merge iterations (the paper's motivation).
+        assert!(with_split.merge_iterations <= merge_only.merge_iterations);
+    }
+
+    #[test]
+    fn labels_are_dense_and_sized() {
+        let img = synth::circle_collection(128);
+        let seg = segment(&img, &Config::with_threshold(10));
+        assert_eq!(seg.labels.len(), 128 * 128);
+        let max = *seg.labels.iter().max().unwrap();
+        assert_eq!(max as usize + 1, seg.num_regions);
+        assert_eq!(seg.num_regions, 11);
+    }
+}

@@ -1,0 +1,227 @@
+//! The region adjacency graph (RAG).
+//!
+//! *"The merge is achieved by reformulating the region growing problem as a
+//! weighted, un-directed graph problem, where the vertices of the graph
+//! represent the regions in the image, and the edges represent the
+//! neighboring relationships among these regions."*
+//!
+//! Edge weights are not stored: they derive from the current vertex
+//! statistics (`max(max_u, max_v) − min(min_u, min_v)` for the pixel-range
+//! criterion) and change as regions merge, so the merge engine recomputes
+//! them on the fly — the same trick that lets the CM implementations keep
+//! everything in flat arrays.
+
+use crate::config::{Connectivity, RegionStats};
+use crate::split::SplitResult;
+use rayon::prelude::*;
+use rg_imaging::Intensity;
+
+/// A region adjacency graph: `stats[v]` for each vertex, plus the canonical
+/// (sorted, deduplicated, `u < v`) undirected edge list.
+#[derive(Debug, Clone)]
+pub struct Rag<P: Intensity> {
+    /// Per-vertex region statistics, indexed by dense vertex id.
+    pub stats: Vec<RegionStats<P>>,
+    /// Undirected edges with `u < v`, sorted lexicographically, unique.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl<P: Intensity> Rag<P> {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Builds the RAG for the squares of a split result.
+    pub fn from_split(split: &SplitResult<P>, connectivity: Connectivity) -> Self {
+        let edges = adjacent_label_pairs(
+            &split.square_of,
+            split.width,
+            split.height,
+            connectivity,
+            false,
+        );
+        Self {
+            stats: split.stats.clone(),
+            edges,
+        }
+    }
+
+    /// Builds the RAG in parallel (identical output to [`Rag::from_split`]).
+    pub fn from_split_par(split: &SplitResult<P>, connectivity: Connectivity) -> Self {
+        let edges = adjacent_label_pairs(
+            &split.square_of,
+            split.width,
+            split.height,
+            connectivity,
+            true,
+        );
+        Self {
+            stats: split.stats.clone(),
+            edges,
+        }
+    }
+}
+
+/// Scans a row-major label map and returns every unordered pair of distinct
+/// labels that are pixel-adjacent under `connectivity`, sorted and deduped.
+///
+/// Used both to build the RAG over split squares and to verify maximality
+/// of a final segmentation.
+pub fn adjacent_label_pairs(
+    labels: &[u32],
+    width: usize,
+    height: usize,
+    connectivity: Connectivity,
+    parallel: bool,
+) -> Vec<(u32, u32)> {
+    assert_eq!(labels.len(), width * height, "label buffer size mismatch");
+    let row_pairs = |y: usize, out: &mut Vec<(u32, u32)>| {
+        let row = &labels[y * width..(y + 1) * width];
+        let below = if y + 1 < height {
+            Some(&labels[(y + 1) * width..(y + 2) * width])
+        } else {
+            None
+        };
+        for x in 0..width {
+            let a = row[x];
+            // Right neighbour.
+            if x + 1 < width {
+                push_pair(out, a, row[x + 1]);
+            }
+            if let Some(below) = below {
+                // Down neighbour.
+                push_pair(out, a, below[x]);
+                if connectivity == Connectivity::Eight {
+                    // Down-right and down-left diagonals.
+                    if x + 1 < width {
+                        push_pair(out, a, below[x + 1]);
+                    }
+                    if x > 0 {
+                        push_pair(out, a, below[x - 1]);
+                    }
+                }
+            }
+        }
+    };
+
+    let mut pairs: Vec<(u32, u32)> = if parallel {
+        (0..height)
+            .into_par_iter()
+            .fold(Vec::new, |mut acc, y| {
+                row_pairs(y, &mut acc);
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            })
+    } else {
+        let mut acc = Vec::new();
+        for y in 0..height {
+            row_pairs(y, &mut acc);
+        }
+        acc
+    };
+
+    if parallel {
+        pairs.par_sort_unstable();
+    } else {
+        pairs.sort_unstable();
+    }
+    pairs.dedup();
+    pairs
+}
+
+#[inline]
+fn push_pair(out: &mut Vec<(u32, u32)>, a: u32, b: u32) {
+    use std::cmp::Ordering;
+    match a.cmp(&b) {
+        Ordering::Less => out.push((a, b)),
+        Ordering::Greater => out.push((b, a)),
+        Ordering::Equal => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::split::split;
+    use rg_imaging::synth;
+
+    #[test]
+    fn figure1_rag() {
+        // Squares (dense index by raster order of top-left):
+        //   0: 2×2 @ (0,0)   1: 1×1 @ (2,0)  2: 1×1 @ (3,0)
+        //   3: 1×1 @ (2,1)   4: 1×1 @ (3,1)  5: 2×2 @ (0,2)  6: 2×2 @ (2,2)
+        let img = synth::figure1_image();
+        let s = split(&img, &Config::with_threshold(3));
+        let rag = Rag::from_split(&s, Connectivity::Four);
+        assert_eq!(rag.num_vertices(), 7);
+        let expect = vec![
+            (0, 1),
+            (0, 3),
+            (0, 5),
+            (1, 2),
+            (1, 3),
+            (2, 4),
+            (3, 4),
+            (3, 6),
+            (4, 6),
+            (5, 6),
+        ];
+        assert_eq!(rag.edges, expect);
+    }
+
+    #[test]
+    fn eight_connectivity_adds_diagonals() {
+        // 2×2 checkerboard of singleton regions: 4-conn has 4 edges, 8-conn
+        // adds the two diagonals.
+        let labels = vec![0, 1, 2, 3];
+        let four = adjacent_label_pairs(&labels, 2, 2, Connectivity::Four, false);
+        assert_eq!(four, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let eight = adjacent_label_pairs(&labels, 2, 2, Connectivity::Eight, false);
+        assert_eq!(eight, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let img = synth::random_rects(80, 48, 9, 5);
+        let s = split(&img, &Config::with_threshold(15));
+        for conn in [Connectivity::Four, Connectivity::Eight] {
+            let a = adjacent_label_pairs(&s.square_of, 80, 48, conn, false);
+            let b = adjacent_label_pairs(&s.square_of, 80, 48, conn, true);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn edges_are_canonical() {
+        let img = synth::circle_collection(64);
+        let s = split(&img, &Config::with_threshold(10));
+        let rag = Rag::from_split(&s, Connectivity::Four);
+        for w in rag.edges.windows(2) {
+            assert!(w[0] < w[1], "edges must be strictly sorted/unique");
+        }
+        assert!(rag.edges.iter().all(|&(u, v)| u < v));
+        assert!(rag
+            .edges
+            .iter()
+            .all(|&(u, v)| (v as usize) < rag.num_vertices() && (u as usize) < rag.num_vertices()));
+    }
+
+    #[test]
+    fn single_region_image_has_no_edges() {
+        let img: rg_imaging::Image<u8> = rg_imaging::Image::new(8, 8, 3);
+        let s = split(&img, &Config::with_threshold(5));
+        let rag = Rag::from_split(&s, Connectivity::Four);
+        assert_eq!(rag.num_vertices(), 1);
+        assert!(rag.edges.is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! # rg-core
+//!
+//! The core of the reproduction of *"Solving the Region Growing Problem on
+//! the Connection Machine"* (Copty, Ranka, Fox, Shankar; ICPP 1993): a
+//! parallel **split-and-merge** algorithm for image segmentation under the
+//! pixel-range homogeneity criterion.
+//!
+//! ## Pipeline
+//!
+//! 1. **Split** ([`split()`]): the image is partitioned bottom-up into
+//!    maximal homogeneous squares (a flat-array quadtree coalesce).
+//! 2. **Graph** ([`graph::Rag`]): squares become vertices of a region
+//!    adjacency graph; edge weights are the intensity range of the union of
+//!    the two endpoint regions.
+//! 3. **Merge** ([`merge::Merger`]): regions iteratively pick their best
+//!    neighbour; mutual picks merge (smaller ID representative); edges
+//!    relabel and de-activate; repeat until no active edge remains.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rg_core::{segment, Config, TieBreak};
+//! use rg_imaging::synth;
+//!
+//! let img = synth::nested_rects(128);
+//! let seg = segment(&img, &Config::with_threshold(10));
+//! assert_eq!(seg.num_regions, 2);
+//!
+//! // Random tie-breaking (the paper's fast default) with a fixed seed:
+//! let cfg = Config::with_threshold(10).tie_break(TieBreak::Random { seed: 1 });
+//! let seg2 = rg_core::segment_par(&img, &cfg); // rayon-parallel engine
+//! assert_eq!(seg2.num_regions, 2);
+//! ```
+//!
+//! Every engine in this workspace — [`segment`], [`segment_par`], the
+//! data-parallel CM simulation (`rg-datapar`), and the message-passing CM-5
+//! simulation (`rg-msgpass`) — produces the identical [`Segmentation`] for
+//! the same [`Config`], which the cross-engine integration tests enforce.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod graph;
+pub mod hierarchy;
+pub mod labels;
+pub mod metrics;
+pub mod regions;
+pub mod merge;
+pub mod split;
+pub mod verify;
+
+pub use config::{Config, Connectivity, Criterion, RegionStats, TieBreak};
+pub use engine::{segment, segment_par, segment_with_trace, Segmentation};
+pub use hierarchy::{MergeEvent, MergeTrace};
+pub use merge::{MergeSummary, Merger, StepReport};
+pub use split::{split, split_par, SplitResult, Square};
+pub use verify::{verify_segmentation, Violation};

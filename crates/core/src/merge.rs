@@ -1,0 +1,556 @@
+//! The merge stage: iterative mutual-choice merging on the RAG.
+//!
+//! One merge iteration (the paper's steps 3–4):
+//!
+//! 1. every region selects the neighbouring region that best satisfies the
+//!    homogeneity criterion (minimum edge weight), breaking ties by the
+//!    configured [`TieBreak`] policy;
+//! 2. two regions merge iff they selected each other (*mutual* choices);
+//!    several pairs merge in the same iteration without conflict because
+//!    each region makes exactly one choice;
+//! 3. the region with the smaller ID becomes the representative;
+//! 4. vertices and edges are updated: statistics fold, edge endpoints
+//!    relabel to representatives, self-loops disappear, and edges that no
+//!    longer satisfy the criterion are de-activated (dropped — under the
+//!    pixel-range criterion weights grow monotonically with merging, so
+//!    de-activation is permanent, exactly as in the paper; under the
+//!    mean-difference extension we keep the paper's drop-on-violation
+//!    semantics even though the mean distance is not monotone).
+//!
+//! The loop repeats while active edges exist.
+//!
+//! ### Termination
+//!
+//! With [`TieBreak::SmallestId`] / [`TieBreak::LargestId`] at least one
+//! mutual pair exists in every iteration (the globally minimal edge under
+//! the induced total order is always mutual), so the stage terminates in at
+//! most `R − 1` iterations. With [`TieBreak::Random`] an iteration may
+//! produce no merge (choices can form cycles); the engine re-randomises
+//! every iteration and, after [`Config::max_stall`] consecutive empty
+//! iterations, runs a single smallest-ID iteration to force progress.
+//!
+//! ### Determinism across engines
+//!
+//! All tie-break decisions hash *canonical region IDs* (the linear index of
+//! a region's top-left pixel — [`crate::split::Square::id`]), not dense
+//! vertex indices, so the sequential, rayon, data-parallel, and
+//! message-passing engines make identical random decisions given the same
+//! seed.
+
+use crate::config::{Config, Criterion, RegionStats, TieBreak};
+use crate::graph::Rag;
+use crate::hierarchy::{MergeEvent, MergeTrace};
+use rayon::prelude::*;
+use rg_dsu::DisjointSets;
+use rg_imaging::Intensity;
+
+/// Deterministic tie-break priority: a splitmix64-style hash of
+/// `(seed, iteration, chooser, candidate)`.
+///
+/// Public so the data-parallel and message-passing implementations can make
+/// bit-identical random choices.
+#[inline]
+pub fn tie_priority(seed: u64, iteration: u32, chooser: u64, candidate: u64) -> u64 {
+    let mut x = seed
+        .wrapping_add((iteration as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(chooser.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(candidate.wrapping_mul(0x94D0_49BB_1331_11EB));
+    // splitmix64 finaliser.
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// The key a chooser uses to rank `candidate` among equal-weight
+/// neighbours; smaller is better. Shared by every engine.
+#[inline]
+pub fn tie_key(
+    policy: TieBreak,
+    iteration: u32,
+    chooser_id: u64,
+    candidate_id: u64,
+) -> (u64, u64) {
+    match policy {
+        TieBreak::SmallestId => (candidate_id, 0),
+        TieBreak::LargestId => (u64::MAX - candidate_id, 0),
+        TieBreak::Random { seed } => (
+            tie_priority(seed, iteration, chooser_id, candidate_id),
+            candidate_id,
+        ),
+    }
+}
+
+/// What one call to [`Merger::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepReport {
+    /// Number of region pairs merged this iteration.
+    pub merges: u32,
+    /// `true` when the stall guard forced a smallest-ID iteration.
+    pub used_fallback: bool,
+}
+
+/// Summary of a completed merge stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeSummary {
+    /// Total merge iterations executed (including zero-merge iterations
+    /// under random tie-breaking).
+    pub iterations: u32,
+    /// Merges performed in each iteration.
+    pub merges_per_iteration: Vec<u32>,
+    /// Regions remaining at termination.
+    pub num_regions: usize,
+}
+
+/// The stepping merge engine over a RAG.
+///
+/// Construct with [`Merger::new`], then either [`Merger::run`] to
+/// completion or [`Merger::step`] repeatedly (the paper's Figure 2
+/// walkthrough is validated this way).
+#[derive(Debug)]
+pub struct Merger<P: Intensity> {
+    threshold: u32,
+    criterion: Criterion,
+    tie: TieBreak,
+    max_stall: u32,
+    parallel: bool,
+
+    /// Canonical region ID per dense vertex (order-isomorphic to the dense
+    /// index; used for tie-break hashing only).
+    ids: Vec<u64>,
+    /// Region statistics, current at representative indices.
+    stats: Vec<RegionStats<P>>,
+    /// Active edges between current representatives (`u < v`, sorted,
+    /// unique, criterion-satisfying).
+    edges: Vec<(u32, u32)>,
+    /// Full merge history (original vertex → representative).
+    history: DisjointSets,
+    /// Scratch: one-iteration redirect table (identity outside merged
+    /// losers).
+    redirect: Vec<u32>,
+    /// Losers of the current iteration, pending redirect reset.
+    pending_losers: Vec<u32>,
+
+    iterations: u32,
+    merges_per_iteration: Vec<u32>,
+    num_regions: usize,
+    stalls: u32,
+    trace: Option<MergeTrace>,
+}
+
+impl<P: Intensity> Merger<P> {
+    /// Creates the engine. `ids[v]` is the canonical ID of dense vertex
+    /// `v`; IDs must be strictly increasing (raster order of the regions).
+    ///
+    /// Edges of `rag` that do not satisfy the criterion are de-activated
+    /// immediately (the paper's step 2).
+    pub fn new(rag: Rag<P>, ids: Vec<u64>, config: &Config, parallel: bool) -> Self {
+        assert_eq!(ids.len(), rag.num_vertices(), "ids length mismatch");
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must increase");
+        let n = rag.num_vertices();
+        let stats = rag.stats;
+        let t = config.threshold;
+        let crit = config.criterion;
+        let mut edges = rag.edges;
+        edges.retain(|&(u, v)| crit.satisfies(&stats[u as usize], &stats[v as usize], t));
+        Self {
+            threshold: t,
+            criterion: crit,
+            tie: config.tie_break,
+            max_stall: config.max_stall,
+            parallel,
+            ids,
+            stats,
+            edges,
+            history: DisjointSets::new(n),
+            redirect: (0..n as u32).collect(),
+            pending_losers: Vec::new(),
+            iterations: 0,
+            merges_per_iteration: Vec::new(),
+            num_regions: n,
+            stalls: 0,
+            trace: None,
+        }
+    }
+
+    /// Starts recording a [`MergeTrace`] (call before the first step).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(MergeTrace::new(self.stats.len()));
+        }
+    }
+
+    /// Takes the recorded trace, if tracing was enabled.
+    pub fn take_trace(&mut self) -> Option<MergeTrace> {
+        self.trace.take()
+    }
+
+    /// `true` when no active edges remain.
+    pub fn is_done(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Active edge count.
+    pub fn active_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterations executed so far.
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    /// Regions currently alive.
+    pub fn num_regions(&self) -> usize {
+        self.num_regions
+    }
+
+    /// Merges performed in each iteration so far.
+    pub fn merges_per_iteration(&self) -> &[u32] {
+        &self.merges_per_iteration
+    }
+
+    /// Statistics of the region represented by dense vertex `rep`.
+    pub fn stats_of(&self, rep: u32) -> RegionStats<P> {
+        self.stats[rep as usize]
+    }
+
+    /// Representative (dense index) of each original vertex.
+    pub fn labels_by_vertex(&mut self) -> Vec<u32> {
+        (0..self.history.len() as u32)
+            .map(|v| self.history.find(v))
+            .collect()
+    }
+
+    /// Executes one merge iteration; no-op when already done.
+    pub fn step(&mut self) -> StepReport {
+        if self.is_done() {
+            return StepReport {
+                merges: 0,
+                used_fallback: false,
+            };
+        }
+        let used_fallback =
+            matches!(self.tie, TieBreak::Random { .. }) && self.stalls >= self.max_stall;
+        let policy = if used_fallback {
+            TieBreak::SmallestId
+        } else {
+            self.tie
+        };
+
+        let choice = self.compute_choices(policy);
+        let merges = self.apply_mutual_merges(&choice);
+        self.relabel_and_filter_edges();
+
+        self.iterations += 1;
+        self.merges_per_iteration.push(merges);
+        if merges == 0 {
+            self.stalls += 1;
+        } else {
+            self.stalls = 0;
+        }
+        StepReport {
+            merges,
+            used_fallback,
+        }
+    }
+
+    /// Runs to completion.
+    pub fn run(&mut self) -> MergeSummary {
+        while !self.is_done() {
+            self.step();
+        }
+        MergeSummary {
+            iterations: self.iterations,
+            merges_per_iteration: self.merges_per_iteration.clone(),
+            num_regions: self.num_regions,
+        }
+    }
+
+    /// For every vertex incident to an active edge, its chosen neighbour
+    /// (`u32::MAX` = no choice). The choice minimises
+    /// `(weight, tie_key, neighbour)`.
+    fn compute_choices(&self, policy: TieBreak) -> Vec<u32> {
+        let n = self.stats.len();
+        let iter = self.iterations;
+        let cand_key = |chooser: u32, nb: u32| -> (u64, u64, u64, u32) {
+            let w = self
+                .criterion
+                .weight(&self.stats[chooser as usize], &self.stats[nb as usize]);
+            let (k0, k1) = tie_key(
+                policy,
+                iter,
+                self.ids[chooser as usize],
+                self.ids[nb as usize],
+            );
+            (w, k0, k1, nb)
+        };
+
+        let mut choice = vec![u32::MAX; n];
+        if self.parallel && self.edges.len() >= 4096 {
+            // CM-style: build the directed candidate list, sort by
+            // (vertex, rank), take the head of each segment.
+            let mut directed: Vec<(u32, (u64, u64, u64, u32))> = self
+                .edges
+                .par_iter()
+                .flat_map_iter(|&(u, v)| {
+                    [(u, cand_key(u, v)), (v, cand_key(v, u))].into_iter()
+                })
+                .collect();
+            directed.par_sort_unstable();
+            let mut prev = u32::MAX;
+            for (vtx, key) in directed {
+                if vtx != prev {
+                    choice[vtx as usize] = key.3;
+                    prev = vtx;
+                }
+            }
+        } else {
+            let mut best: Vec<(u64, u64, u64, u32)> =
+                vec![(u64::MAX, u64::MAX, u64::MAX, u32::MAX); n];
+            for &(u, v) in &self.edges {
+                let ku = cand_key(u, v);
+                if ku < best[u as usize] {
+                    best[u as usize] = ku;
+                }
+                let kv = cand_key(v, u);
+                if kv < best[v as usize] {
+                    best[v as usize] = kv;
+                }
+            }
+            for (c, b) in choice.iter_mut().zip(&best) {
+                *c = b.3;
+            }
+        }
+        choice
+    }
+
+    /// Merges every mutual pair; returns the number of merges.
+    fn apply_mutual_merges(&mut self, choice: &[u32]) -> u32 {
+        let mut merges = 0u32;
+        let mut losers: Vec<u32> = Vec::new();
+        for u in 0..choice.len() as u32 {
+            let v = choice[u as usize];
+            if v != u32::MAX && u < v && choice[v as usize] == u {
+                if let Some(trace) = &mut self.trace {
+                    trace.events.push(MergeEvent {
+                        iteration: self.iterations,
+                        winner: u,
+                        loser: v,
+                        weight_fp16: self
+                            .criterion
+                            .weight(&self.stats[u as usize], &self.stats[v as usize]),
+                    });
+                }
+                // Representative = smaller dense index = smaller ID.
+                self.stats[u as usize] = self.stats[u as usize].fold(self.stats[v as usize]);
+                self.redirect[v as usize] = u;
+                losers.push(v);
+                self.history.union_min_rep(u, v);
+                self.num_regions -= 1;
+                merges += 1;
+            }
+        }
+        // losers kept in redirect until edges are relabelled; the caller
+        // resets them afterwards via relabel_and_filter_edges.
+        self.pending_losers = losers;
+        merges
+    }
+
+    /// Relabels edge endpoints through this iteration's redirects, drops
+    /// self-loops and criterion-violating edges, and restores the canonical
+    /// sorted-unique form.
+    fn relabel_and_filter_edges(&mut self) {
+        let redirect = &self.redirect;
+        let stats = &self.stats;
+        let t = self.threshold;
+        let crit = self.criterion;
+        let map = |&(u, v): &(u32, u32)| -> Option<(u32, u32)> {
+            let (mut a, mut b) = (redirect[u as usize], redirect[v as usize]);
+            if a == b {
+                return None;
+            }
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            if crit.satisfies(&stats[a as usize], &stats[b as usize], t) {
+                Some((a, b))
+            } else {
+                None
+            }
+        };
+        let mut next: Vec<(u32, u32)> = if self.parallel && self.edges.len() >= 4096 {
+            let mut v: Vec<_> = self.edges.par_iter().filter_map(map).collect();
+            v.par_sort_unstable();
+            v
+        } else {
+            let mut v: Vec<_> = self.edges.iter().filter_map(map).collect();
+            v.sort_unstable();
+            v
+        };
+        next.dedup();
+        self.edges = next;
+        // Reset redirects for the merged losers.
+        for l in self.pending_losers.drain(..) {
+            self.redirect[l as usize] = l;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Connectivity;
+    use crate::split::split;
+    use rg_imaging::synth;
+
+    fn make_merger(t: u32, tie: TieBreak, parallel: bool) -> Merger<u8> {
+        let img = synth::figure1_image();
+        let cfg = Config::with_threshold(t).tie_break(tie);
+        let s = split(&img, &cfg);
+        let rag = Rag::from_split(&s, Connectivity::Four);
+        let ids: Vec<u64> = s.squares.iter().map(|sq| sq.id(4) as u64).collect();
+        Merger::new(rag, ids, &cfg, parallel)
+    }
+
+    #[test]
+    fn figure2_walkthrough_smallest_id() {
+        // Hand-verified against the paper's Figure 2 (see DESIGN.md):
+        // start: 7 regions; iter 1 merges {0,5} and {2,4}; iter 2 merges
+        // {3,6}; iter 3 merges {0,3} and {1,2}; done with 2 regions.
+        let mut m = make_merger(3, TieBreak::SmallestId, false);
+        assert_eq!(m.num_regions(), 7);
+
+        let r1 = m.step();
+        assert_eq!(r1.merges, 2);
+        assert_eq!(m.num_regions(), 5);
+        let labels = m.labels_by_vertex();
+        assert_eq!(labels[5], 0); // B merged into A
+        assert_eq!(labels[4], 2); // pixel 4 merged into pixel 3's region
+
+        let r2 = m.step();
+        assert_eq!(r2.merges, 1);
+        assert_eq!(m.num_regions(), 4);
+        assert_eq!(m.labels_by_vertex()[6], 3); // C merged into region 3
+
+        let r3 = m.step();
+        assert_eq!(r3.merges, 2);
+        assert_eq!(m.num_regions(), 2);
+        assert!(m.is_done());
+        assert_eq!(m.iterations(), 3);
+
+        let labels = m.labels_by_vertex();
+        assert_eq!(labels, vec![0, 1, 1, 0, 1, 0, 0]);
+        // Final stats: region 0 = {6..8} ∪ {5} ∪ {7,8} ∪ {5,6}, range 3.
+        assert_eq!(m.stats_of(0).min, 5);
+        assert_eq!(m.stats_of(0).max, 8);
+        assert_eq!(m.stats_of(1).min, 1);
+        assert_eq!(m.stats_of(1).max, 4);
+    }
+
+    #[test]
+    fn parallel_step_identical() {
+        for tie in [
+            TieBreak::SmallestId,
+            TieBreak::LargestId,
+            TieBreak::Random { seed: 7 },
+        ] {
+            let mut a = make_merger(3, tie, false);
+            let mut b = make_merger(3, tie, true);
+            let sa = a.run();
+            let sb = b.run();
+            assert_eq!(sa, sb, "{tie:?}");
+            assert_eq!(a.labels_by_vertex(), b.labels_by_vertex());
+        }
+    }
+
+    #[test]
+    fn random_seeds_are_deterministic() {
+        let run = |seed| {
+            let mut m = make_merger(3, TieBreak::Random { seed }, false);
+            m.run();
+            m.labels_by_vertex()
+        };
+        assert_eq!(run(1), run(1));
+        assert_eq!(run(2), run(2));
+    }
+
+    #[test]
+    fn smallest_id_always_progresses() {
+        // A ring of equal-intensity singleton regions: every edge has equal
+        // weight, the worst case for ties. Smallest-ID must still merge at
+        // least one pair per iteration.
+        let img = synth::checkerboard(16, 1, 100, 100); // uniform, actually
+        let cfg = Config::with_threshold(0)
+            .tie_break(TieBreak::SmallestId)
+            .max_square_log2(Some(0));
+        let s = split(&img, &cfg);
+        let rag = Rag::from_split(&s, Connectivity::Four);
+        let ids: Vec<u64> = s.squares.iter().map(|sq| sq.id(16) as u64).collect();
+        let mut m = Merger::new(rag, ids, &cfg, false);
+        while !m.is_done() {
+            let r = m.step();
+            assert!(r.merges >= 1, "smallest-ID iteration with zero merges");
+        }
+        assert_eq!(m.num_regions(), 1);
+    }
+
+    #[test]
+    fn random_ties_merge_faster_on_tie_heavy_input() {
+        // Uniform image, merge-only: every edge weight is 0, so every
+        // choice is a tie. Random tie-breaking should finish in fewer
+        // iterations than smallest-ID (the paper's central claim).
+        let img: rg_imaging::Image<u8> = rg_imaging::Image::new(32, 32, 50);
+        let run = |tie| {
+            let cfg = Config::with_threshold(0)
+                .tie_break(tie)
+                .max_square_log2(Some(0));
+            let s = split(&img, &cfg);
+            let rag = Rag::from_split(&s, Connectivity::Four);
+            let ids: Vec<u64> = s.squares.iter().map(|sq| sq.id(32) as u64).collect();
+            let mut m = Merger::new(rag, ids, &cfg, false);
+            let summary = m.run();
+            assert_eq!(summary.num_regions, 1);
+            summary.iterations
+        };
+        let random = run(TieBreak::Random { seed: 42 });
+        let smallest = run(TieBreak::SmallestId);
+        assert!(
+            random < smallest,
+            "random ({random}) should beat smallest-ID ({smallest})"
+        );
+    }
+
+    #[test]
+    fn no_active_edges_means_zero_iterations() {
+        let mut m = make_merger(0, TieBreak::SmallestId, false);
+        // T = 0: which edges are active? Only pairs with identical
+        // min=max. Figure-1 squares have ranges > 0, so most edges die;
+        // run must terminate quickly regardless.
+        let summary = m.run();
+        assert_eq!(summary.iterations as usize, summary.merges_per_iteration.len());
+    }
+
+    #[test]
+    fn tie_priority_spreads() {
+        // Sanity: the hash separates close inputs.
+        let a = tie_priority(0, 0, 1, 2);
+        let b = tie_priority(0, 0, 1, 3);
+        let c = tie_priority(0, 1, 1, 2);
+        let d = tie_priority(1, 0, 1, 2);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn merge_summary_consistency() {
+        let mut m = make_merger(3, TieBreak::Random { seed: 9 }, false);
+        let start = m.num_regions();
+        let summary = m.run();
+        let merged: u32 = summary.merges_per_iteration.iter().sum();
+        assert_eq!(start - merged as usize, summary.num_regions);
+    }
+}

@@ -1,0 +1,165 @@
+//! Segmentation comparison metrics.
+//!
+//! Quantitative comparison of two labelings of the same image — used to
+//! measure how far the sequential baselines drift from the parallel
+//! algorithm on scenes where the partition is not unique (gradients,
+//! noise), and to assert exact agreement (metric values at their ideal)
+//! where it is.
+//!
+//! * [`rand_index`] — probability that a random pixel pair is treated the
+//!   same way (together/apart) by both segmentations; 1.0 = identical
+//!   partitions.
+//! * [`variation_of_information`] — the information-theoretic distance
+//!   `H(A|B) + H(B|A)` in bits; 0.0 = identical partitions; metric (obeys
+//!   the triangle inequality).
+//! * [`ConfusionTable`] — the underlying sparse contingency table, exposed
+//!   for custom measures.
+
+use std::collections::HashMap;
+
+/// Sparse contingency table between two labelings.
+#[derive(Debug, Clone)]
+pub struct ConfusionTable {
+    /// `(label_a, label_b) → joint pixel count`.
+    pub joint: HashMap<(u32, u32), u64>,
+    /// Pixel count per label of the first segmentation.
+    pub count_a: HashMap<u32, u64>,
+    /// Pixel count per label of the second segmentation.
+    pub count_b: HashMap<u32, u64>,
+    /// Total pixels.
+    pub n: u64,
+}
+
+impl ConfusionTable {
+    /// Builds the table from two parallel label buffers.
+    ///
+    /// # Panics
+    /// Panics if the buffers have different lengths or are empty.
+    pub fn build(a: &[u32], b: &[u32]) -> Self {
+        assert_eq!(a.len(), b.len(), "label buffers must align");
+        assert!(!a.is_empty(), "empty labelings have no metrics");
+        let mut joint: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut count_a: HashMap<u32, u64> = HashMap::new();
+        let mut count_b: HashMap<u32, u64> = HashMap::new();
+        for (&x, &y) in a.iter().zip(b) {
+            *joint.entry((x, y)).or_insert(0) += 1;
+            *count_a.entry(x).or_insert(0) += 1;
+            *count_b.entry(y).or_insert(0) += 1;
+        }
+        Self {
+            joint,
+            count_a,
+            count_b,
+            n: a.len() as u64,
+        }
+    }
+}
+
+/// Number of unordered pairs from `c` elements.
+fn pairs(c: u64) -> u128 {
+    (c as u128) * (c as u128 - 1) / 2
+}
+
+/// Rand index between two labelings: fraction of pixel pairs on which the
+/// segmentations agree (both join or both separate). 1.0 iff the
+/// partitions are identical.
+pub fn rand_index(a: &[u32], b: &[u32]) -> f64 {
+    let t = ConfusionTable::build(a, b);
+    let total = pairs(t.n);
+    if total == 0 {
+        return 1.0;
+    }
+    let sum_joint: u128 = t.joint.values().map(|&c| pairs(c)).sum();
+    let sum_a: u128 = t.count_a.values().map(|&c| pairs(c)).sum();
+    let sum_b: u128 = t.count_b.values().map(|&c| pairs(c)).sum();
+    // Agreements = pairs together in both + pairs apart in both.
+    let together_both = sum_joint;
+    let apart_both = total - sum_a - sum_b + sum_joint;
+    (together_both + apart_both) as f64 / total as f64
+}
+
+/// Variation of information between two labelings, in bits. 0.0 iff the
+/// partitions are identical; symmetric; a true metric on partitions.
+pub fn variation_of_information(a: &[u32], b: &[u32]) -> f64 {
+    let t = ConfusionTable::build(a, b);
+    let n = t.n as f64;
+    let mut h_a = 0.0;
+    for &c in t.count_a.values() {
+        let p = c as f64 / n;
+        h_a -= p * p.log2();
+    }
+    let mut h_b = 0.0;
+    for &c in t.count_b.values() {
+        let p = c as f64 / n;
+        h_b -= p * p.log2();
+    }
+    let mut mi = 0.0;
+    for (&(x, y), &c) in &t.joint {
+        let pxy = c as f64 / n;
+        let px = t.count_a[&x] as f64 / n;
+        let py = t.count_b[&y] as f64 / n;
+        mi += pxy * (pxy / (px * py)).log2();
+    }
+    // VI = H(A) + H(B) - 2 I(A;B); clamp tiny negative fp residue.
+    (h_a + h_b - 2.0 * mi).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_perfectly() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![5, 5, 9, 9, 0, 0]; // same partition, different names
+        assert_eq!(rand_index(&a, &b), 1.0);
+        assert!(variation_of_information(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_partitions_score_poorly() {
+        // a: all together; b: all apart.
+        let a = vec![0; 6];
+        let b = vec![0, 1, 2, 3, 4, 5];
+        let ri = rand_index(&a, &b);
+        // Pairs together in both: 0. Pairs apart in both: 0. RI = 0.
+        assert_eq!(ri, 0.0);
+        let vi = variation_of_information(&a, &b);
+        assert!((vi - (6.0f64).log2()).abs() < 1e-9); // H(b) = log2 6
+    }
+
+    #[test]
+    fn vi_is_symmetric() {
+        let a = vec![0, 0, 1, 1, 1, 2];
+        let b = vec![0, 1, 1, 1, 2, 2];
+        let d1 = variation_of_information(&a, &b);
+        let d2 = variation_of_information(&b, &a);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!(d1 > 0.0);
+        assert_eq!(rand_index(&a, &b), rand_index(&b, &a));
+    }
+
+    #[test]
+    fn refinement_behaviour() {
+        // b refines a (splits region 0 in two): RI < 1 but still high,
+        // VI equals the conditional entropy of the refinement.
+        let a = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let b = vec![0, 0, 2, 2, 1, 1, 1, 1];
+        let ri = rand_index(&a, &b);
+        assert!(ri > 0.7 && ri < 1.0);
+        let vi = variation_of_information(&a, &b);
+        assert!(vi > 0.0 && vi < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        let _ = rand_index(&[0, 1], &[0]);
+    }
+
+    #[test]
+    fn single_pixel() {
+        assert_eq!(rand_index(&[0], &[0]), 1.0);
+        assert_eq!(variation_of_information(&[0], &[3]), 0.0);
+    }
+}

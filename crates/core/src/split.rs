@@ -1,0 +1,486 @@
+//! The split stage: bottom-up coalescing of homogeneous squares.
+//!
+//! *"At first, each pixel is considered a homogeneous square region of size
+//! 1×1. Then every group of four adjacent pixels are tested for homogeneity.
+//! If the homogeneity criterion is satisfied, the pixels are combined into
+//! one larger square region of size 2×2, and so on."*
+//!
+//! Implementation notes:
+//!
+//! * The image need not be square or a power of two: the quadtree is taken
+//!   over the enclosing power-of-two square, and blocks that are not wholly
+//!   inside the image never coalesce (border pixels end up in smaller
+//!   squares).
+//! * Iteration `k` can only coalesce groups of four *whole* level-(k−1)
+//!   squares, so the first unproductive iteration is terminal; like the
+//!   paper we report only productive iterations.
+//! * [`Config::max_square_log2`] caps square growth; `Some(0)` disables the
+//!   stage (the merge-only baseline).
+//! * [`split`] and [`split_par`] produce bit-identical results; the latter
+//!   parallelises each level over block rows with rayon.
+
+use crate::config::{Config, RegionStats};
+use rayon::prelude::*;
+use rg_imaging::{Image, Intensity};
+
+/// One homogeneous square produced by the split stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Square {
+    /// Column of the top-left pixel.
+    pub x: u32,
+    /// Row of the top-left pixel.
+    pub y: u32,
+    /// log2 of the side length (side = `1 << log2`).
+    pub log2: u8,
+}
+
+impl Square {
+    /// Side length in pixels.
+    #[inline]
+    pub fn side(&self) -> u32 {
+        1 << self.log2
+    }
+
+    /// The paper's region ID: the linear (row-major) index of the top-left
+    /// pixel in the *global* image of width `stride`. IDs are unique,
+    /// canonical across all engines (sequential, data-parallel,
+    /// message-passing), and their order is the raster order of the squares.
+    #[inline]
+    pub fn id(&self, stride: u32) -> u32 {
+        self.y * stride + self.x
+    }
+}
+
+/// Output of the split stage.
+#[derive(Debug, Clone)]
+pub struct SplitResult<P: Intensity> {
+    /// The homogeneous squares, sorted by raster order of their top-left
+    /// pixel (so the *dense index* of a square orders exactly like its
+    /// [`Square::id`]).
+    pub squares: Vec<Square>,
+    /// Per-square statistics, parallel to `squares`.
+    pub stats: Vec<RegionStats<P>>,
+    /// For every pixel (row-major), the dense index of its square.
+    pub square_of: Vec<u32>,
+    /// Number of productive split iterations (≥ 1 coalesce each).
+    pub iterations: u32,
+    /// Image width.
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+}
+
+impl<P: Intensity> SplitResult<P> {
+    /// Number of square regions found.
+    pub fn num_squares(&self) -> usize {
+        self.squares.len()
+    }
+}
+
+/// Per-level block grid of optional region stats over the padded square.
+struct Pyramid<P: Intensity> {
+    levels: Vec<Vec<Option<RegionStats<P>>>>,
+}
+
+impl<P: Intensity> Pyramid<P> {
+    fn build(img: &Image<P>, max_level: usize, parallel: bool) -> Self {
+        let side = img.width().max(img.height()).next_power_of_two();
+        let top = (side.trailing_zeros() as usize).min(max_level);
+        let mut levels = Vec::with_capacity(top + 1);
+
+        let mut base = vec![None; side * side];
+        if parallel {
+            base.par_chunks_mut(side)
+                .enumerate()
+                .for_each(|(y, row)| {
+                    if y < img.height() {
+                        for (x, cell) in row.iter_mut().enumerate().take(img.width()) {
+                            *cell = Some(RegionStats::of_pixel(img.get(x, y)));
+                        }
+                    }
+                });
+        } else {
+            for y in 0..img.height() {
+                for x in 0..img.width() {
+                    base[y * side + x] = Some(RegionStats::of_pixel(img.get(x, y)));
+                }
+            }
+        }
+        levels.push(base);
+
+        for k in 1..=top {
+            let child_side = side >> (k - 1);
+            let this_side = side >> k;
+            let child = &levels[k - 1];
+            let mut cur = vec![None; this_side * this_side];
+            let combine_row = |by: usize, row: &mut [Option<RegionStats<P>>]| {
+                for (bx, cell) in row.iter_mut().enumerate() {
+                    let mut acc: Option<RegionStats<P>> = None;
+                    for (dy, dx) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)] {
+                        if let Some(c) = child[(2 * by + dy) * child_side + (2 * bx + dx)] {
+                            acc = Some(match acc {
+                                None => c,
+                                Some(a) => a.fold(c),
+                            });
+                        }
+                    }
+                    *cell = acc;
+                }
+            };
+            if parallel {
+                cur.par_chunks_mut(this_side)
+                    .enumerate()
+                    .for_each(|(by, row)| combine_row(by, row));
+            } else {
+                for (by, row) in cur.chunks_mut(this_side).enumerate() {
+                    combine_row(by, row);
+                }
+            }
+            levels.push(cur);
+        }
+
+        Self { levels }
+    }
+}
+
+/// Runs the split stage sequentially.
+pub fn split<P: Intensity>(img: &Image<P>, config: &Config) -> SplitResult<P> {
+    split_impl(img, config, false)
+}
+
+/// Runs the split stage with rayon-parallel level passes. Produces exactly
+/// the same result as [`split`].
+pub fn split_par<P: Intensity>(img: &Image<P>, config: &Config) -> SplitResult<P> {
+    split_impl(img, config, true)
+}
+
+fn split_impl<P: Intensity>(img: &Image<P>, config: &Config, parallel: bool) -> SplitResult<P> {
+    let (w, h) = (img.width(), img.height());
+    let side = w.max(h).next_power_of_two();
+    let top_possible = side.trailing_zeros() as usize;
+    let cap = config
+        .max_square_log2
+        .map(|m| m as usize)
+        .unwrap_or(top_possible)
+        .min(top_possible);
+
+    let pyr = Pyramid::build(img, cap, parallel);
+
+    // is_square[k] : bitmap over the level-k block grid; level 0 squares are
+    // exactly the real pixels.
+    let mut is_square: Vec<Vec<bool>> = Vec::with_capacity(cap + 1);
+    {
+        let mut l0 = vec![false; side * side];
+        for y in 0..h {
+            for cell in &mut l0[y * side..y * side + w] {
+                *cell = true;
+            }
+        }
+        is_square.push(l0);
+    }
+
+    let mut iterations = 0u32;
+    for k in 1..=cap {
+        let this_side = side >> k;
+        let child_side = side >> (k - 1);
+        let child_sq = &is_square[k - 1];
+        let child_stats = &pyr.levels[k - 1];
+        let t = config.threshold;
+        let crit = config.criterion;
+        let b = 1usize << k;
+
+        let decide = |bx: usize, by: usize| -> bool {
+            // The block must lie wholly inside the image...
+            if (bx + 1) * b > w || (by + 1) * b > h {
+                return false;
+            }
+            // ...its four children must currently be whole squares...
+            let mut kids = [RegionStats::of_pixel(P::MIN_VALUE); 4];
+            for (i, (dy, dx)) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)]
+                .into_iter()
+                .enumerate()
+            {
+                let ci = (2 * by + dy) * child_side + (2 * bx + dx);
+                if !child_sq[ci] {
+                    return false;
+                }
+                kids[i] = child_stats[ci].expect("whole child square has stats");
+            }
+            // ...and the combination must be homogeneous.
+            crit.combine_ok(&kids, t)
+        };
+
+        let mut cur = vec![false; this_side * this_side];
+        if parallel {
+            cur.par_chunks_mut(this_side)
+                .enumerate()
+                .for_each(|(by, row)| {
+                    for (bx, cell) in row.iter_mut().enumerate() {
+                        *cell = decide(bx, by);
+                    }
+                });
+        } else {
+            for (by, row) in cur.chunks_mut(this_side).enumerate() {
+                for (bx, cell) in row.iter_mut().enumerate() {
+                    *cell = decide(bx, by);
+                }
+            }
+        }
+
+        let any = cur.iter().any(|&s| s);
+        is_square.push(cur);
+        if any {
+            iterations += 1;
+        } else {
+            break;
+        }
+    }
+
+    // Extract maximal squares, top-down (a square is maximal when no
+    // ancestor block is itself a square).
+    let top = is_square.len() - 1;
+    let mut squares = Vec::new();
+    // Seed the traversal with every block of the top processed level (the
+    // top level may be below the pyramid apex when the loop ended early or
+    // a cap is set).
+    let top_grid = side >> top;
+    let mut stack: Vec<(usize, usize, usize)> = Vec::new();
+    for by in (0..top_grid).rev() {
+        for bx in (0..top_grid).rev() {
+            stack.push((top, bx, by));
+        }
+    }
+    while let Some((k, bx, by)) = stack.pop() {
+        let b = 1usize << k;
+        let (x0, y0) = (bx * b, by * b);
+        if x0 >= w || y0 >= h {
+            continue; // block entirely in the padding
+        }
+        let this_side = side >> k;
+        if is_square[k][by * this_side + bx] {
+            squares.push(Square {
+                x: x0 as u32,
+                y: y0 as u32,
+                log2: k as u8,
+            });
+        } else if k > 0 {
+            // Push in reverse Morton order so pops visit TL, TR, BL, BR.
+            for (dy, dx) in [(1usize, 1usize), (1, 0), (0, 1), (0, 0)] {
+                stack.push((k - 1, 2 * bx + dx, 2 * by + dy));
+            }
+        }
+    }
+
+    // Canonical order: raster order of the top-left pixel, which makes the
+    // dense square index order-isomorphic to Square::id.
+    squares.sort_unstable_by_key(|s| (s.y, s.x));
+
+    // Per-square stats and the pixel -> square map.
+    let mut stats = Vec::with_capacity(squares.len());
+    let mut square_of = vec![u32::MAX; w * h];
+    for (i, s) in squares.iter().enumerate() {
+        let k = s.log2 as usize;
+        let this_side = side >> k;
+        let st = pyr.levels[k][(s.y as usize >> k) * this_side + (s.x as usize >> k)]
+            .expect("emitted square has stats");
+        stats.push(st);
+        for y in s.y as usize..s.y as usize + s.side() as usize {
+            for cell in &mut square_of[y * w + s.x as usize..y * w + s.x as usize + s.side() as usize]
+            {
+                *cell = i as u32;
+            }
+        }
+    }
+    debug_assert!(square_of.iter().all(|&q| q != u32::MAX));
+
+    SplitResult {
+        squares,
+        stats,
+        square_of,
+        iterations,
+        width: w,
+        height: h,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Criterion;
+    use rg_imaging::synth;
+
+    fn cfg(t: u32) -> Config {
+        Config::with_threshold(t)
+    }
+
+    #[test]
+    fn figure1_split() {
+        // Paper Figure 1: 4×4 image, T = 3 → after one iteration, three 2×2
+        // squares coalesce (top-left, bottom-left, bottom-right); the
+        // top-right quadrant stays four 1×1 squares. 7 squares total.
+        let img = synth::figure1_image();
+        let r = split(&img, &cfg(3));
+        assert_eq!(r.iterations, 1);
+        assert_eq!(r.num_squares(), 7);
+        let sides: Vec<(u32, u32, u32)> = r.squares.iter().map(|s| (s.x, s.y, s.side())).collect();
+        assert!(sides.contains(&(0, 0, 2)));
+        assert!(sides.contains(&(0, 2, 2)));
+        assert!(sides.contains(&(2, 2, 2)));
+        assert!(sides.contains(&(2, 0, 1)));
+        assert!(sides.contains(&(3, 0, 1)));
+        assert!(sides.contains(&(2, 1, 1)));
+        assert!(sides.contains(&(3, 1, 1)));
+        // Stats of the top-left square: {6,7,8,6}.
+        let tl = r.squares.iter().position(|s| (s.x, s.y) == (0, 0)).unwrap();
+        assert_eq!(r.stats[tl].min, 6);
+        assert_eq!(r.stats[tl].max, 8);
+        assert_eq!(r.stats[tl].sum, 27);
+        assert_eq!(r.stats[tl].count, 4);
+    }
+
+    #[test]
+    fn uniform_image_becomes_one_square() {
+        let img: Image<u8> = Image::new(16, 16, 42);
+        let r = split(&img, &cfg(0));
+        assert_eq!(r.num_squares(), 1);
+        assert_eq!(r.squares[0].side(), 16);
+        assert_eq!(r.iterations, 4); // 2,4,8,16
+    }
+
+    #[test]
+    fn worst_case_checkerboard_one_unproductive_probe() {
+        // 1-pixel checkerboard with contrast > T: nothing ever coalesces.
+        let img = synth::checkerboard(8, 1, 0, 200);
+        let r = split(&img, &cfg(10));
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.num_squares(), 64);
+        assert!(r.squares.iter().all(|s| s.side() == 1));
+    }
+
+    #[test]
+    fn cap_limits_square_growth() {
+        let img: Image<u8> = Image::new(32, 32, 7);
+        let r = split(&img, &cfg(5).max_square_log2(Some(3)));
+        assert!(r.squares.iter().all(|s| s.side() == 8));
+        assert_eq!(r.num_squares(), 16);
+        assert_eq!(r.iterations, 3);
+        // Cap 0 = merge-only baseline: every pixel is a square.
+        let r0 = split(&img, &cfg(5).max_square_log2(Some(0)));
+        assert_eq!(r0.num_squares(), 32 * 32);
+        assert_eq!(r0.iterations, 0);
+    }
+
+    #[test]
+    fn non_pow2_image_border_stays_fine() {
+        let img: Image<u8> = Image::new(10, 6, 9);
+        let r = split(&img, &cfg(0));
+        // Coverage is exact.
+        let mut covered = [false; 60];
+        for s in &r.squares {
+            for y in s.y..s.y + s.side() {
+                for x in s.x..s.x + s.side() {
+                    assert!(x < 10 && y < 6, "square leaks outside image");
+                    let i = (y * 10 + x) as usize;
+                    assert!(!covered[i], "double cover at ({x},{y})");
+                    covered[i] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+        // The largest possible square in a 10×6 uniform image is 4 (at
+        // aligned positions 0 and 4); column 8..10 gives 2s and the bottom
+        // rows 4..6 give 2s.
+        assert!(r.squares.iter().all(|s| s.side() <= 4));
+        assert!(r.squares.iter().any(|s| s.side() == 4));
+    }
+
+    #[test]
+    fn squares_sorted_by_raster_order_and_ids_increase() {
+        let img = synth::rect_collection(64);
+        let r = split(&img, &cfg(10));
+        for w in r.squares.windows(2) {
+            assert!((w[0].y, w[0].x) < (w[1].y, w[1].x));
+            assert!(w[0].id(64) < w[1].id(64));
+        }
+    }
+
+    #[test]
+    fn square_of_consistent_with_squares() {
+        let img = synth::circle_collection(64);
+        let r = split(&img, &cfg(10));
+        for (i, s) in r.squares.iter().enumerate() {
+            assert_eq!(r.square_of[(s.y as usize) * 64 + s.x as usize], i as u32);
+        }
+        // Every pixel's square actually contains it.
+        for y in 0..64usize {
+            for x in 0..64usize {
+                let s = r.squares[r.square_of[y * 64 + x] as usize];
+                assert!(x >= s.x as usize && x < (s.x + s.side()) as usize);
+                assert!(y >= s.y as usize && y < (s.y + s.side()) as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn every_square_homogeneous_and_maximal() {
+        let img = synth::random_rects(48, 48, 8, 3);
+        let t = 12;
+        let r = split(&img, &cfg(t));
+        for (s, st) in r.squares.iter().zip(&r.stats) {
+            // Homogeneous.
+            assert!(st.range() <= t, "square at ({},{}) range {}", s.x, s.y, st.range());
+            // Stats correct (recompute brute force).
+            let mut lo = u8::MAX;
+            let mut hi = u8::MIN;
+            let mut sum = 0u64;
+            for y in s.y..s.y + s.side() {
+                for x in s.x..s.x + s.side() {
+                    let p = img.get(x as usize, y as usize);
+                    lo = lo.min(p);
+                    hi = hi.max(p);
+                    sum += p as u64;
+                }
+            }
+            assert_eq!((st.min, st.max, st.sum, st.count), (lo, hi, sum, (s.side() as u64).pow(2)));
+        }
+    }
+
+    #[test]
+    fn par_matches_seq() {
+        for seed in 0..4 {
+            let img = synth::random_rects(96, 64, 10, seed);
+            for t in [0, 5, 40] {
+                let a = split(&img, &cfg(t));
+                let b = split_par(&img, &cfg(t));
+                assert_eq!(a.squares, b.squares);
+                assert_eq!(a.stats, b.stats);
+                assert_eq!(a.square_of, b.square_of);
+                assert_eq!(a.iterations, b.iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_criterion_split() {
+        // For singleton pixels the two criteria coincide (max pairwise
+        // value difference = range), so the divergence shows at level 2:
+        // blocks whose means are close but whose pooled range is wide
+        // coalesce under MeanDifference only.
+        #[rustfmt::skip]
+        let img: Image<u8> = Image::from_vec(4, 4, vec![
+            0, 8,  4, 12,
+            8, 0, 12,  4,
+            4, 12, 0,  8,
+            12, 4, 8,  0,
+        ]);
+        let range_cfg = cfg(8);
+        let mean_cfg = cfg(8).criterion(Criterion::MeanDifference);
+        // Both coalesce the four 2×2 blocks (internal diffs ≤ 8) ...
+        let r = split(&img, &range_cfg);
+        assert_eq!(r.num_squares(), 4);
+        assert!(r.squares.iter().all(|s| s.side() == 2));
+        // ... but only the mean criterion accepts the 4×4 (means all 6,
+        // pooled range 12 > 8).
+        assert_eq!(split(&img, &mean_cfg).num_squares(), 1);
+    }
+}

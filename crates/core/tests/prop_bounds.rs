@@ -1,0 +1,90 @@
+//! Property tests of the paper's complexity-section iteration bounds.
+//!
+//! *Split:* best case 1 iteration, worst case log₂(N).
+//! *Merge:* a region of R sub-regions needs at least ⌈log₂ R⌉ iterations
+//! (regions at most double per iteration) and — for the deterministic
+//! policies, which merge at least one pair every iteration — at most
+//! `R_initial − R_final` iterations.
+
+use proptest::prelude::*;
+use rg_core::{segment, split, Config, TieBreak};
+use rg_imaging::{synth, Image};
+
+prop_compose! {
+    fn scene()(
+        seed in 0u64..100_000,
+        w in 8usize..64,
+        h in 8usize..64,
+        count in 0usize..8,
+    ) -> Image<u8> {
+        synth::random_rects(w, h, count, seed)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn split_iterations_bounded_by_log_n(img in scene(), t in 0u32..200) {
+        let s = split(&img, &Config::with_threshold(t));
+        let side = img.width().max(img.height()).next_power_of_two();
+        prop_assert!(s.iterations <= side.trailing_zeros());
+    }
+
+    #[test]
+    fn merge_iterations_bounded_for_deterministic_policies(
+        img in scene(),
+        t in 0u32..200,
+        largest in proptest::bool::ANY,
+    ) {
+        let tie = if largest { TieBreak::LargestId } else { TieBreak::SmallestId };
+        let cfg = Config::with_threshold(t).tie_break(tie);
+        let seg = segment(&img, &cfg);
+        // Worst case: one merge per iteration.
+        prop_assert!(
+            (seg.merge_iterations as usize) <= seg.num_squares - seg.num_regions
+                || seg.merge_iterations == 0
+        );
+        // Deterministic policies never have an empty iteration.
+        prop_assert!(seg.merges_per_iteration.iter().all(|&m| m >= 1));
+    }
+
+    #[test]
+    fn merge_iterations_at_least_log_of_largest_region(img in scene(), t in 0u32..200) {
+        let cfg = Config::with_threshold(t);
+        let seg = segment(&img, &cfg);
+        // Count the squares composing each final region by re-running the
+        // split and mapping squares through final labels.
+        let s = split(&img, &cfg);
+        let mut squares_per_region = vec![0u64; seg.num_regions];
+        for sq in &s.squares {
+            let label = seg.labels[sq.y as usize * img.width() + sq.x as usize];
+            squares_per_region[label as usize] += 1;
+        }
+        let r = *squares_per_region.iter().max().unwrap();
+        let lower = 64 - r.leading_zeros() - 1 + u32::from(!r.is_power_of_two());
+        prop_assert!(
+            seg.merge_iterations >= lower,
+            "region of {r} squares needs >= {lower} iterations, got {}",
+            seg.merge_iterations
+        );
+    }
+
+    #[test]
+    fn total_merges_equal_squares_minus_regions(img in scene(), t in 0u32..200, seed in 0u64..50) {
+        let cfg = Config::with_threshold(t).tie_break(TieBreak::Random { seed });
+        let seg = segment(&img, &cfg);
+        let merged: u32 = seg.merges_per_iteration.iter().sum();
+        prop_assert_eq!(merged as usize, seg.num_squares - seg.num_regions);
+    }
+
+    #[test]
+    fn uniform_image_split_is_logarithmic(k in 1u32..7) {
+        // Whole-image coalescing: exactly log2(N) productive iterations.
+        let n = 1usize << k;
+        let img: Image<u8> = Image::new(n, n, 7);
+        let s = split(&img, &Config::with_threshold(0));
+        prop_assert_eq!(s.iterations, k);
+        prop_assert_eq!(s.num_squares(), 1);
+    }
+}

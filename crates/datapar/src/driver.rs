@@ -1,0 +1,183 @@
+//! End-to-end data-parallel driver: the CM Fortran program, step by step.
+
+use crate::graph_dp::build_graph;
+use crate::merge_dp::merge_dp;
+use crate::split_dp::split_dp;
+use cm_sim::{CostModel, Machine};
+use rg_core::labels::compact_first_appearance;
+use rg_core::{Config, Segmentation};
+use rg_imaging::{Image, Intensity};
+
+/// A data-parallel run's outputs: the segmentation plus the simulated
+/// per-stage times on the chosen platform.
+#[derive(Debug, Clone)]
+pub struct DataParOutcome {
+    /// Per-primitive ledger of the split stage.
+    pub split_ledger: cm_sim::CostLedger,
+    /// Per-primitive ledger of the graph-construction step.
+    pub graph_ledger: cm_sim::CostLedger,
+    /// Per-primitive ledger of the merge stage.
+    pub merge_ledger: cm_sim::CostLedger,
+    /// The segmentation (identical to the host engines' output).
+    pub seg: Segmentation,
+    /// Simulated seconds spent in the split stage.
+    pub split_seconds: f64,
+    /// Simulated seconds spent building the graph (the paper folds this
+    /// into the merge stage; reported separately here and summed in the
+    /// tables).
+    pub graph_seconds: f64,
+    /// Simulated seconds spent in the merge stage.
+    pub merge_seconds: f64,
+    /// Platform name from the cost model.
+    pub platform: &'static str,
+}
+
+impl DataParOutcome {
+    /// Merge-stage time as the paper reports it (graph setup + merging).
+    pub fn merge_seconds_as_reported(&self) -> f64 {
+        self.graph_seconds + self.merge_seconds
+    }
+}
+
+/// Runs the full data-parallel split-and-merge program on a simulated
+/// machine with the given cost model.
+pub fn segment_datapar<P: Intensity>(
+    img: &Image<P>,
+    config: &Config,
+    model: CostModel,
+) -> DataParOutcome {
+    let m = Machine::new(model);
+
+    // Step 1: split.
+    let split = split_dp(&m, img, config);
+    let split_ledger = m.ledger_snapshot();
+    let split_seconds = split_ledger.seconds();
+    m.reset_ledger();
+
+    // Step 2: vertices and edges.
+    let graph = build_graph(&m, &split, config.connectivity);
+    let graph_ledger = m.ledger_snapshot();
+    let graph_seconds = graph_ledger.seconds();
+    m.reset_ledger();
+
+    // Steps 3–5: merge loop.
+    let merged = merge_dp(&m, &graph, config);
+    let merge_ledger = m.ledger_snapshot();
+    let merge_seconds = merge_ledger.seconds();
+
+    // Host-side label compaction (front-end work, uncharged — the CM host
+    // also post-processed results).
+    let (labels, num_regions) = compact_first_appearance(merged.pixel_rep.as_slice());
+    debug_assert_eq!(num_regions, merged.summary.num_regions);
+
+    DataParOutcome {
+        split_ledger,
+        graph_ledger,
+        merge_ledger,
+        seg: Segmentation {
+            labels,
+            num_regions,
+            num_squares: graph.num_vertices as usize,
+            split_iterations: split.iterations,
+            merge_iterations: merged.summary.iterations,
+            merges_per_iteration: merged.summary.merges_per_iteration,
+            width: img.width(),
+            height: img.height(),
+        },
+        split_seconds,
+        graph_seconds,
+        merge_seconds,
+        platform: m.model().name,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rg_core::{segment, Criterion, TieBreak};
+    use rg_imaging::synth;
+
+    fn check_matches_host(img: &Image<u8>, config: &Config) {
+        let host = segment(img, config);
+        for model in [CostModel::cm2_8k(), CostModel::cm5_dp_32()] {
+            let dp = segment_datapar(img, config, model);
+            assert_eq!(dp.seg, host, "model {}", dp.platform);
+            assert!(dp.split_seconds > 0.0);
+            assert!(dp.merge_seconds > 0.0 || host.merge_iterations == 0);
+        }
+    }
+
+    #[test]
+    fn figure1_matches_host() {
+        let img = synth::figure1_image();
+        check_matches_host(&img, &Config::with_threshold(3).tie_break(TieBreak::SmallestId));
+    }
+
+    #[test]
+    fn paper_style_images_match_host() {
+        check_matches_host(&synth::nested_rects(64), &Config::with_threshold(10));
+        check_matches_host(&synth::rect_collection(64), &Config::with_threshold(10));
+    }
+
+    #[test]
+    fn random_scenes_match_host_all_policies() {
+        for seed in 0..3 {
+            let img = synth::random_rects(32, 32, 6, seed);
+            for tie in [
+                TieBreak::SmallestId,
+                TieBreak::LargestId,
+                TieBreak::Random { seed: 5 },
+            ] {
+                for t in [5, 25] {
+                    check_matches_host(&img, &Config::with_threshold(t).tie_break(tie));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_square_image_matches_host() {
+        let img = synth::uniform_noise(40, 24, 100, 112, 9);
+        check_matches_host(&img, &Config::with_threshold(12));
+    }
+
+    #[test]
+    fn mean_criterion_matches_host() {
+        let img = synth::uniform_noise(32, 32, 100, 130, 3);
+        check_matches_host(
+            &img,
+            &Config::with_threshold(8).criterion(Criterion::MeanDifference),
+        );
+    }
+
+    #[test]
+    fn merge_only_baseline_matches_host() {
+        let img = synth::rect_collection(32);
+        check_matches_host(
+            &img,
+            &Config::with_threshold(10).max_square_log2(Some(0)),
+        );
+    }
+
+    #[test]
+    fn cm2_16k_is_faster_than_8k() {
+        let img = synth::nested_rects(128);
+        let cfg = Config::with_threshold(10);
+        let a = segment_datapar(&img, &cfg, CostModel::cm2_8k());
+        let b = segment_datapar(&img, &cfg, CostModel::cm2_16k());
+        assert_eq!(a.seg, b.seg);
+        assert!(b.split_seconds < a.split_seconds);
+        assert!(b.merge_seconds_as_reported() < a.merge_seconds_as_reported());
+    }
+
+    #[test]
+    fn cm5_dp_is_slower_than_cm2_on_paper_sizes() {
+        // The paper's headline observation for the data-parallel code.
+        let img = synth::rect_collection(128);
+        let cfg = Config::with_threshold(10);
+        let cm2 = segment_datapar(&img, &cfg, CostModel::cm2_16k());
+        let cm5 = segment_datapar(&img, &cfg, CostModel::cm5_dp_32());
+        assert!(cm5.split_seconds > cm2.split_seconds);
+        assert!(cm5.merge_seconds_as_reported() > cm2.merge_seconds_as_reported());
+    }
+}

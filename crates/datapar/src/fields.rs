@@ -1,0 +1,96 @@
+//! Shared field bundles for the data-parallel implementation.
+
+use cm_sim::{Field, Machine};
+
+/// Level value marking a pixel that is not a square corner (or a vertex
+/// slot that is not alive).
+pub const DEAD: u32 = u32::MAX;
+
+/// "No choice" sentinel in vertex choice fields.
+pub const NONE: u32 = u32::MAX;
+
+/// Region statistics spread across four parallel fields (min, max, sum,
+/// count) — the flat-array layout the paper insists on (no structs on the
+/// CM, just aligned arrays).
+#[derive(Debug, Clone)]
+pub struct PixelStats {
+    /// Minimum intensity (widened to u32).
+    pub min: Field<u32>,
+    /// Maximum intensity.
+    pub max: Field<u32>,
+    /// Intensity sum (for the mean-difference extension).
+    pub sum: Field<u64>,
+    /// Pixel count.
+    pub cnt: Field<u64>,
+}
+
+impl PixelStats {
+    /// All four fields shifted by `(dx, dy)` (NEWS moves, costed).
+    pub fn shifted(&self, m: &Machine, dx: isize, dy: isize) -> PixelStats {
+        PixelStats {
+            min: m.shift2d(&self.min, dx, dy, u32::MAX),
+            max: m.shift2d(&self.max, dx, dy, 0),
+            sum: m.shift2d(&self.sum, dx, dy, 0),
+            cnt: m.shift2d(&self.cnt, dx, dy, 0),
+        }
+    }
+
+    /// Folds `other` into `self` where `mask` holds.
+    pub fn fold_where(&mut self, m: &Machine, mask: &Field<bool>, other: &PixelStats) {
+        m.update_where(&mut self.min, mask, &other.min, |a, b| a.min(b));
+        m.update_where(&mut self.max, mask, &other.max, |a, b| a.max(b));
+        m.update_where(&mut self.sum, mask, &other.sum, |a, b| a + b);
+        m.update_where(&mut self.cnt, mask, &other.cnt, |a, b| a + b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_sim::{CostModel, Machine, Shape};
+
+    fn machine() -> Machine {
+        Machine::new(CostModel::cm2_8k())
+    }
+
+    fn stats(vals: &[(u32, u32, u64, u64)]) -> PixelStats {
+        let shape = Shape::one_d(vals.len());
+        PixelStats {
+            min: Field::from_vec(shape, vals.iter().map(|v| v.0).collect()),
+            max: Field::from_vec(shape, vals.iter().map(|v| v.1).collect()),
+            sum: Field::from_vec(shape, vals.iter().map(|v| v.2).collect()),
+            cnt: Field::from_vec(shape, vals.iter().map(|v| v.3).collect()),
+        }
+    }
+
+    #[test]
+    fn fold_where_respects_mask() {
+        let m = machine();
+        let mut a = stats(&[(5, 9, 14, 2), (1, 1, 1, 1)]);
+        let b = stats(&[(3, 12, 15, 1), (0, 100, 100, 9)]);
+        let mask = Field::from_slice(&[true, false]);
+        a.fold_where(&m, &mask, &b);
+        assert_eq!(a.min.as_slice(), &[3, 1]);
+        assert_eq!(a.max.as_slice(), &[12, 1]);
+        assert_eq!(a.sum.as_slice(), &[29, 1]);
+        assert_eq!(a.cnt.as_slice(), &[3, 1]);
+    }
+
+    #[test]
+    fn shifted_moves_all_four_fields() {
+        let m = machine();
+        let shape = Shape::two_d(2, 1);
+        let s = PixelStats {
+            min: Field::from_vec(shape, vec![1, 2]),
+            max: Field::from_vec(shape, vec![3, 4]),
+            sum: Field::from_vec(shape, vec![5, 6]),
+            cnt: Field::from_vec(shape, vec![7, 8]),
+        };
+        let moved = s.shifted(&m, 1, 0);
+        // Shift right: boundary fill flows in on the left.
+        assert_eq!(moved.min.as_slice(), &[u32::MAX, 1]);
+        assert_eq!(moved.max.as_slice(), &[0, 3]);
+        assert_eq!(moved.sum.as_slice(), &[0, 5]);
+        assert_eq!(moved.cnt.as_slice(), &[0, 7]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Data-parallel graph construction (the paper's step 2).
+//!
+//! *"For each square region in the pixel image, a corresponding graph
+//! vertex is created, and for each pair of neighboring square regions, an
+//! edge is created."*
+//!
+//! CM Fortran arrays are statically shaped, so the paper's 1-D vertex and
+//! edge arrays are sized by the *pixel grid*, not by the live region
+//! count: the vertex for the square whose top-left corner is pixel `p`
+//! lives in slot `p` (slots of non-corner pixels are dead), and each pixel
+//! contributes one potential edge per scan direction (invalid for
+//! non-boundary pixels). Activity masks — the CM's context flags — carry
+//! the liveness. This static layout is what makes the merge stage's cost
+//! scale with `N²/P` on the CM-2, exactly as the paper's tables show.
+//!
+//! A pleasant consequence: the vertex slot index *is* the canonical region
+//! ID ([`rg_core::Square::id`]), so tie-break hashes agree with the host
+//! engines with no translation.
+
+use crate::fields::{PixelStats, DEAD};
+use crate::split_dp::DpSplit;
+use cm_sim::{Field, Machine, Shape};
+use rg_core::Connectivity;
+
+/// Machine-resident vertex and edge arrays (static, slot-indexed).
+pub struct DpGraph {
+    /// Number of live vertices (square regions).
+    pub num_vertices: u32,
+    /// Slot liveness: `true` iff the pixel is a square corner.
+    pub v_alive: Field<bool>,
+    /// Slot-indexed region statistics (corner-resident split output).
+    pub v_stats: PixelStats,
+    /// Per-pixel slot of the containing square (2-D field).
+    pub sq_of: Field<u32>,
+    /// Edge endpoint slots (smaller first); `K·N²` entries for `K` scan
+    /// directions.
+    pub e_u: Field<u32>,
+    /// Edge endpoint slots (larger).
+    pub e_v: Field<u32>,
+    /// Structural validity of each edge slot (a real boundary crossing).
+    pub e_valid: Field<bool>,
+}
+
+/// Builds the static vertex and edge arrays from a split result.
+pub fn build_graph(m: &Machine, split: &DpSplit, connectivity: Connectivity) -> DpGraph {
+    let w = split.width;
+    let shape = split.level.shape();
+
+    // --- vertices --------------------------------------------------------
+    let corner = m.map(&split.level, |l| l != DEAD);
+    let num_vertices = m.count_true(&corner) as u32;
+    let v_alive = corner.clone();
+    let v_stats = split.stats.clone();
+
+    // --- per-pixel owning slot -------------------------------------------
+    // Corners know their square; broadcast the descriptor
+    // `(corner_x, corner_y, level)` across each square with log-stepped
+    // NEWS copies. A pixel only accepts a candidate whose square contains
+    // it — squares tile the image, so acceptance implies correctness, and
+    // the doubling schedule is safe even when a shift crosses into a
+    // neighbouring smaller square.
+    const NO_SQ: (u32, u32, u32) = (0, 0, DEAD);
+    let idx = m.iota(shape);
+    let mut desc = {
+        let packed = m.zip(&idx, &split.level, move |i, lvl| {
+            (i % w as u32, i / w as u32, lvl)
+        });
+        m.select(&corner, &packed, &Field::constant(shape, NO_SQ))
+    };
+    let covers = |x: u32, y: u32, c: (u32, u32, u32)| -> bool {
+        if c.2 == DEAD {
+            return false;
+        }
+        let side = 1u32 << c.2;
+        x >= c.0 && x < c.0 + side && y >= c.1 && y < c.1 + side
+    };
+    let max_side = split.width.max(split.height).next_power_of_two();
+    for (dx, dy) in [(1isize, 0isize), (0, 1)] {
+        let mut d = 1isize;
+        while (d as usize) < max_side {
+            let incoming = m.shift2d(&desc, d * dx, d * dy, NO_SQ);
+            desc = m.zip3(&desc, &incoming, &idx, move |own, cand, i| {
+                let (x, y) = (i % w as u32, i / w as u32);
+                if own.2 == DEAD && covers(x, y, cand) {
+                    cand
+                } else {
+                    own
+                }
+            });
+            d <<= 1;
+        }
+    }
+    let sq_of = m.map(&desc, move |c| c.1 * w as u32 + c.0);
+    debug_assert!(desc.as_slice().iter().all(|&c| c.2 != DEAD));
+
+    // --- edges -------------------------------------------------------------
+    // One candidate edge per pixel per scan direction; canonicalised
+    // (min, max); invalid where no boundary is crossed.
+    let dirs: &[(isize, isize)] = match connectivity {
+        Connectivity::Four => &[(1, 0), (0, 1)],
+        Connectivity::Eight => &[(1, 0), (0, 1), (1, 1), (-1, 1)],
+    };
+    let mut us: Vec<u32> = Vec::with_capacity(dirs.len() * shape.len());
+    let mut vs: Vec<u32> = Vec::with_capacity(dirs.len() * shape.len());
+    let mut valid: Vec<bool> = Vec::with_capacity(dirs.len() * shape.len());
+    for &(dx, dy) in dirs {
+        let nb = m.shift2d(&sq_of, -dx, -dy, u32::MAX);
+        let cand = m.zip(&sq_of, &nb, |a, b| {
+            if b == u32::MAX || a == b {
+                (0u32, 0u32, false)
+            } else {
+                (a.min(b), a.max(b), true)
+            }
+        });
+        // Re-layout the per-direction candidates into the long edge
+        // arrays (VP-set reshaping; no communication charge).
+        for &(u, v, ok) in cand.as_slice() {
+            us.push(u);
+            vs.push(v);
+            valid.push(ok);
+        }
+    }
+    let eshape = Shape::one_d(us.len());
+    DpGraph {
+        num_vertices,
+        v_alive,
+        v_stats,
+        sq_of,
+        e_u: Field::from_vec(eshape, us),
+        e_v: Field::from_vec(eshape, vs),
+        e_valid: Field::from_vec(eshape, valid),
+    }
+}

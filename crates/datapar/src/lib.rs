@@ -1,0 +1,36 @@
+//! # rg-datapar
+//!
+//! The **data-parallel** implementation of split-and-merge region growing,
+//! written against the `cm-sim` machine exactly as the paper's CM Fortran
+//! program was written against the Connection Machine run-time: 2-D fields
+//! for pixel state, 1-D fields for the graph, and nothing but elementwise
+//! operations, NEWS shifts, scans, combining router traffic, and global
+//! reductions.
+//!
+//! The same program runs under the CM-2 and CM-5 cost models (the paper
+//! executed the same CM Fortran source on both machines); the simulated
+//! times differ, the segmentation does not — and it is bit-identical to
+//! `rg_core::segment`.
+//!
+//! ```
+//! use cm_sim::CostModel;
+//! use rg_core::Config;
+//! use rg_imaging::synth;
+//! use rg_datapar::segment_datapar;
+//!
+//! let img = synth::nested_rects(64);
+//! let out = segment_datapar(&img, &Config::with_threshold(10), CostModel::cm2_8k());
+//! assert_eq!(out.seg.num_regions, 2);
+//! println!("simulated split time on {}: {:.3}s", out.platform, out.split_seconds);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod driver;
+pub mod fields;
+pub mod graph_dp;
+pub mod merge_dp;
+pub mod split_dp;
+
+pub use driver::{segment_datapar, DataParOutcome};

@@ -1,0 +1,248 @@
+//! Lock-free concurrent union-find.
+//!
+//! Parents live in `AtomicU32` words. `find` performs *path halving*
+//! (grandparent splicing) with relaxed-failure CAS — safe because a stale
+//! splice only ever points a node at another node in the same set, never
+//! changing set membership. `union` links the larger root id under the
+//! smaller one via CAS on the root's parent word and retries on contention,
+//! following Anderson & Woll's randomized-linking-by-id scheme (linking by
+//! *minimum id* rather than coin flips, which is the paper's representative
+//! convention).
+//!
+//! Linearizability of `union`/`find` for this construction is standard; the
+//! structure is lock-free: a failed CAS implies another thread made
+//! progress.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A concurrent forest of disjoint sets over `0..len`.
+///
+/// All operations take `&self` and may be called from many threads
+/// simultaneously (e.g. inside `rayon` parallel iterators).
+#[derive(Debug)]
+pub struct ConcurrentDisjointSets {
+    parent: Vec<AtomicU32>,
+}
+
+impl ConcurrentDisjointSets {
+    /// Creates `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        assert!(len <= u32::MAX as usize, "universe too large for u32 ids");
+        Self {
+            parent: (0..len as u32).map(AtomicU32::new).collect(),
+        }
+    }
+
+    /// Size of the universe.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` iff the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative (smallest-id root) of `x`'s set.
+    ///
+    /// Performs path halving as it walks: each visited node is spliced to
+    /// its grandparent with a best-effort CAS.
+    pub fn find(&self, x: u32) -> u32 {
+        let mut cur = x;
+        loop {
+            let p = self.parent[cur as usize].load(Ordering::Acquire);
+            if p == cur {
+                return cur;
+            }
+            let gp = self.parent[p as usize].load(Ordering::Acquire);
+            if gp != p {
+                // Path halving: try to splice cur -> grandparent. Failure is
+                // fine; someone else already improved the path.
+                let _ = self.parent[cur as usize].compare_exchange_weak(
+                    p,
+                    gp,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
+            }
+            cur = gp;
+        }
+    }
+
+    /// Merges the sets of `a` and `b`. The smaller root id always wins (the
+    /// paper's representative convention). Returns `false` if they were
+    /// already in the same set.
+    pub fn union(&self, a: u32, b: u32) -> bool {
+        let mut ra = self.find(a);
+        let mut rb = self.find(b);
+        loop {
+            if ra == rb {
+                return false;
+            }
+            // Link the larger id under the smaller.
+            let (hi, lo) = if ra < rb { (rb, ra) } else { (ra, rb) };
+            match self.parent[hi as usize].compare_exchange(
+                hi,
+                lo,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(_) => {
+                    // hi stopped being a root under us; re-resolve and retry.
+                    ra = self.find(ra);
+                    rb = self.find(rb);
+                }
+            }
+        }
+    }
+
+    /// `true` iff `a` and `b` currently belong to the same set.
+    ///
+    /// Only meaningful as a snapshot when concurrent unions are quiescent;
+    /// the merge engine calls it between iterations (a synchronisation
+    /// point), never racing with unions.
+    pub fn same_set(&self, a: u32, b: u32) -> bool {
+        // Standard retry loop: find(a)==find(b) may be invalidated by a
+        // racing union of a's root; re-check that the root is still a root.
+        loop {
+            let ra = self.find(a);
+            let rb = self.find(b);
+            if ra == rb {
+                return true;
+            }
+            if self.parent[ra as usize].load(Ordering::Acquire) == ra {
+                return false;
+            }
+        }
+    }
+
+    /// Snapshots the structure into a plain parent vector (fully
+    /// compressed: every entry points directly at its root).
+    ///
+    /// Must not race with unions.
+    pub fn snapshot_roots(&self) -> Vec<u32> {
+        (0..self.len() as u32).map(|x| self.find(x)).collect()
+    }
+}
+
+impl From<&ConcurrentDisjointSets> for crate::seq::DisjointSets {
+    /// Converts a quiescent concurrent forest into a sequential one with the
+    /// same set partition.
+    fn from(c: &ConcurrentDisjointSets) -> Self {
+        let roots = c.snapshot_roots();
+        let mut d = crate::seq::DisjointSets::new(roots.len());
+        for (i, &r) in roots.iter().enumerate() {
+            d.union_min_rep(i as u32, r);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_semantics() {
+        let d = ConcurrentDisjointSets::new(6);
+        assert!(d.union(0, 1));
+        assert!(d.union(2, 3));
+        assert!(!d.union(1, 0));
+        assert!(d.same_set(0, 1));
+        assert!(!d.same_set(0, 2));
+        assert!(d.union(3, 0));
+        assert!(d.same_set(1, 2));
+    }
+
+    #[test]
+    fn min_id_becomes_root() {
+        let d = ConcurrentDisjointSets::new(10);
+        d.union(9, 4);
+        assert_eq!(d.find(9), 4);
+        d.union(4, 2);
+        assert_eq!(d.find(9), 2);
+        d.union(7, 9);
+        assert_eq!(d.find(7), 2);
+    }
+
+    #[test]
+    fn snapshot_matches_seq_conversion() {
+        let d = ConcurrentDisjointSets::new(8);
+        d.union(0, 4);
+        d.union(4, 6);
+        d.union(1, 3);
+        let roots = d.snapshot_roots();
+        assert_eq!(roots[6], 0);
+        assert_eq!(roots[3], 1);
+        let mut s: crate::seq::DisjointSets = (&d).into();
+        assert!(s.same_set(0, 6));
+        assert!(s.same_set(1, 3));
+        assert!(!s.same_set(0, 1));
+        assert_eq!(s.num_sets(), 5); // {0,4,6} {1,3} {2} {5} {7}
+    }
+
+    #[test]
+    fn parallel_chain_union() {
+        // Union a long chain from many threads; the final partition must be
+        // a single set rooted at 0.
+        let n = 50_000u32;
+        let d = ConcurrentDisjointSets::new(n as usize);
+        std::thread::scope(|s| {
+            let threads = 8;
+            for t in 0..threads {
+                let d = &d;
+                s.spawn(move || {
+                    let mut i = t as u32;
+                    while i + 1 < n {
+                        d.union(i, i + 1);
+                        i += threads as u32;
+                    }
+                });
+            }
+        });
+        // Chains interleave: every (i, i+1) with i ≡ t mod 8 got unioned by
+        // thread t, so the whole range is connected.
+        for i in 0..n {
+            assert_eq!(d.find(i), 0);
+        }
+    }
+
+    #[test]
+    fn parallel_random_unions_agree_with_sequential() {
+        use rand::{Rng, SeedableRng};
+        let n = 4_096usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let pairs: Vec<(u32, u32)> = (0..8_000)
+            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+            .collect();
+
+        let conc = ConcurrentDisjointSets::new(n);
+        rayon::scope(|s| {
+            for chunk in pairs.chunks(500) {
+                let conc = &conc;
+                s.spawn(move |_| {
+                    for &(a, b) in chunk {
+                        conc.union(a, b);
+                    }
+                });
+            }
+        });
+
+        let mut seq = crate::seq::DisjointSets::new(n);
+        for &(a, b) in &pairs {
+            seq.union(a, b);
+        }
+
+        // Same partition: roots pairwise-consistent.
+        for i in 0..n as u32 {
+            for &j in &[0u32, (i + 1) % n as u32, (i * 7 + 13) % n as u32] {
+                assert_eq!(
+                    conc.same_set(i, j),
+                    seq.same_set(i, j),
+                    "disagree on ({i},{j})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # rg-dsu
+//!
+//! Disjoint-set (union-find) substrate for the region-growing reproduction.
+//!
+//! Two variants:
+//!
+//! * [`seq::DisjointSets`] — the classic sequential structure with union by
+//!   rank and path compression (amortised inverse-Ackermann operations).
+//!   Used by the sequential engines and by segmentation verification.
+//! * [`concurrent::ConcurrentDisjointSets`] — a wait-free-find, lock-free
+//!   union structure storing parents in `AtomicU32` words with CAS splicing
+//!   and path halving, after Anderson & Woll. Used by the rayon merge engine
+//!   where many mutual region pairs union in parallel within one iteration.
+//!
+//! Both expose the same core operations (`find`, `union`, `same_set`) so the
+//! engines can be written against either.
+
+#![warn(missing_docs)]
+// The concurrent variant uses atomics only; no raw pointers.
+#![forbid(unsafe_code)]
+
+pub mod concurrent;
+pub mod seq;
+
+pub use concurrent::ConcurrentDisjointSets;
+pub use seq::DisjointSets;

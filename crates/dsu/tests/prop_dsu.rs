@@ -1,0 +1,87 @@
+//! Property tests: the sequential and concurrent union-find structures
+//! implement the same partition semantics.
+
+use proptest::prelude::*;
+use rg_dsu::{ConcurrentDisjointSets, DisjointSets};
+
+prop_compose! {
+    fn ops()(
+        n in 2usize..256,
+    )(
+        pairs in proptest::collection::vec((0usize.., 0usize..), 0..400),
+        n in Just(n),
+    ) -> (usize, Vec<(u32, u32)>) {
+        (n, pairs.into_iter().map(|(a, b)| ((a % n) as u32, (b % n) as u32)).collect())
+    }
+}
+
+proptest! {
+    #[test]
+    fn seq_and_concurrent_agree((n, pairs) in ops()) {
+        let mut seq = DisjointSets::new(n);
+        let conc = ConcurrentDisjointSets::new(n);
+        for &(a, b) in &pairs {
+            let x = seq.union(a, b);
+            let y = conc.union(a, b);
+            prop_assert_eq!(x, y, "union({},{}) disagreement", a, b);
+        }
+        for i in 0..n as u32 {
+            for j in [0u32, i / 2, (i + 1) % n as u32] {
+                prop_assert_eq!(seq.same_set(i, j), conc.same_set(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn union_min_rep_root_is_minimum((n, pairs) in ops()) {
+        let mut d = DisjointSets::new(n);
+        for &(a, b) in &pairs {
+            d.union_min_rep(a, b);
+        }
+        // Every root must be the minimum element of its set.
+        let mut min_of_root = std::collections::HashMap::new();
+        for i in 0..n as u32 {
+            let r = d.find(i);
+            let e = min_of_root.entry(r).or_insert(i);
+            *e = (*e).min(i);
+        }
+        for (root, min) in min_of_root {
+            prop_assert_eq!(root, min);
+        }
+    }
+
+    #[test]
+    fn num_sets_matches_distinct_roots((n, pairs) in ops()) {
+        let mut d = DisjointSets::new(n);
+        for &(a, b) in &pairs {
+            d.union(a, b);
+        }
+        let roots: std::collections::HashSet<u32> = (0..n as u32).map(|i| d.find(i)).collect();
+        prop_assert_eq!(roots.len(), d.num_sets());
+        let labels = d.compact_labels();
+        let distinct: std::collections::HashSet<u32> = labels.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), roots.len());
+    }
+
+    #[test]
+    fn concurrent_parallel_equals_sequential((n, pairs) in ops()) {
+        let conc = ConcurrentDisjointSets::new(n);
+        std::thread::scope(|s| {
+            for chunk in pairs.chunks(64.max(pairs.len() / 4 + 1)) {
+                let conc = &conc;
+                s.spawn(move || {
+                    for &(a, b) in chunk {
+                        conc.union(a, b);
+                    }
+                });
+            }
+        });
+        let mut seq = DisjointSets::new(n);
+        for &(a, b) in &pairs {
+            seq.union(a, b);
+        }
+        for i in 0..n as u32 {
+            prop_assert_eq!(conc.same_set(i, 0), seq.same_set(i, 0));
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Block min/max pyramids and per-label statistics.
+//!
+//! The split stage of the paper repeatedly asks for the intensity *range*
+//! (max − min) of aligned 2ᵏ×2ᵏ blocks. [`MinMaxPyramid`] answers those
+//! queries in O(1) after an O(n) bottom-up pass — exactly the computation the
+//! CM implementations perform with strided grid communication.
+
+use crate::image::{Image, Intensity};
+
+/// Per-level block minima/maxima over the enclosing power-of-two square.
+///
+/// Level `k` partitions the (conceptually padded) image into aligned
+/// `2ᵏ × 2ᵏ` blocks; entry `(bx, by)` of level `k` stores the min and max
+/// intensity over the *intersection* of block `(bx, by)` with the real image.
+/// Blocks entirely outside the image are marked empty.
+#[derive(Debug, Clone)]
+pub struct MinMaxPyramid<P: Intensity> {
+    /// `levels[k]` has `blocks_per_side(k)²` entries, row-major.
+    levels: Vec<Vec<BlockStat<P>>>,
+    /// Side of the enclosing power-of-two square.
+    side: usize,
+    width: usize,
+    height: usize,
+}
+
+/// Min/max of one block; `None` for blocks with no pixels inside the image.
+pub type BlockStat<P> = Option<(P, P)>;
+
+/// Smallest power of two ≥ `n`.
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+impl<P: Intensity> MinMaxPyramid<P> {
+    /// Builds the full pyramid for `img`.
+    pub fn build(img: &Image<P>) -> Self {
+        let side = next_pow2(img.width().max(img.height()));
+        let num_levels = side.trailing_zeros() as usize + 1;
+        let mut levels = Vec::with_capacity(num_levels);
+
+        // Level 0: one entry per padded-cell; real pixels carry their value.
+        let mut base = vec![None; side * side];
+        for y in 0..img.height() {
+            let row = img.row(y);
+            for (x, &p) in row.iter().enumerate() {
+                base[y * side + x] = Some((p, p));
+            }
+        }
+        levels.push(base);
+
+        // Higher levels combine 2×2 child blocks.
+        for k in 1..num_levels {
+            let child_side = side >> (k - 1);
+            let this_side = side >> k;
+            let child = &levels[k - 1];
+            let mut cur = vec![None; this_side * this_side];
+            for by in 0..this_side {
+                for bx in 0..this_side {
+                    let mut acc: BlockStat<P> = None;
+                    for (dy, dx) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                        let c = child[(2 * by + dy) * child_side + (2 * bx + dx)];
+                        acc = combine(acc, c);
+                    }
+                    cur[by * this_side + bx] = acc;
+                }
+            }
+            levels.push(cur);
+        }
+
+        Self {
+            levels,
+            side,
+            width: img.width(),
+            height: img.height(),
+        }
+    }
+
+    /// Side of the enclosing power-of-two square.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Number of levels (`log2(side) + 1`).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Width of the underlying image.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height of the underlying image.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Min/max of block `(bx, by)` at `level`; `None` if the block lies
+    /// entirely outside the image.
+    #[inline]
+    pub fn block(&self, level: usize, bx: usize, by: usize) -> BlockStat<P> {
+        let s = self.side >> level;
+        debug_assert!(bx < s && by < s);
+        self.levels[level][by * s + bx]
+    }
+
+    /// Intensity range (max − min) of the block, or `None` when empty.
+    #[inline]
+    pub fn range(&self, level: usize, bx: usize, by: usize) -> Option<u32> {
+        self.block(level, bx, by)
+            .map(|(lo, hi)| hi.to_u32() - lo.to_u32())
+    }
+
+    /// `true` iff the block at `level, (bx, by)` lies entirely inside the
+    /// real image (no padding cells).
+    #[inline]
+    pub fn block_is_whole(&self, level: usize, bx: usize, by: usize) -> bool {
+        let b = 1usize << level;
+        (bx + 1) * b <= self.width && (by + 1) * b <= self.height
+    }
+}
+
+#[inline]
+fn combine<P: Intensity>(a: BlockStat<P>, b: BlockStat<P>) -> BlockStat<P> {
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some((lo1, hi1)), Some((lo2, hi2))) => Some((lo1.min(lo2), hi1.max(hi2))),
+    }
+}
+
+/// Integral image (summed-area table) over `u64` sums.
+///
+/// Answers "sum of intensities in any axis-aligned rectangle" in O(1)
+/// after an O(n) build — the standard companion to [`MinMaxPyramid`] when
+/// the mean-difference criterion needs block sums, and generally useful
+/// for fast box statistics.
+#[derive(Debug, Clone)]
+pub struct SummedAreaTable {
+    /// `(width+1) × (height+1)` cumulative sums, row-major; row/col 0 are
+    /// zero so queries need no branching.
+    acc: Vec<u64>,
+    width: usize,
+    height: usize,
+}
+
+impl SummedAreaTable {
+    /// Builds the table for `img`.
+    pub fn build<P: Intensity>(img: &Image<P>) -> Self {
+        let (w, h) = (img.width(), img.height());
+        let stride = w + 1;
+        let mut acc = vec![0u64; stride * (h + 1)];
+        for y in 0..h {
+            let mut row_sum = 0u64;
+            let row = img.row(y);
+            for x in 0..w {
+                row_sum += row[x].to_u32() as u64;
+                acc[(y + 1) * stride + x + 1] = acc[y * stride + x + 1] + row_sum;
+            }
+        }
+        Self {
+            acc,
+            width: w,
+            height: h,
+        }
+    }
+
+    /// Sum of intensities over the half-open rectangle
+    /// `[x0, x1) × [y0, y1)`.
+    ///
+    /// # Panics
+    /// Panics if the rectangle exceeds the image bounds or is inverted.
+    #[inline]
+    pub fn sum(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> u64 {
+        assert!(x0 <= x1 && y0 <= y1, "inverted rectangle");
+        assert!(x1 <= self.width && y1 <= self.height, "rectangle out of bounds");
+        let s = self.width + 1;
+        self.acc[y1 * s + x1] + self.acc[y0 * s + x0]
+            - self.acc[y0 * s + x1]
+            - self.acc[y1 * s + x0]
+    }
+
+    /// Mean intensity over the half-open rectangle, `None` when empty.
+    pub fn mean(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> Option<f64> {
+        let area = (x1 - x0) * (y1 - y0);
+        if area == 0 {
+            return None;
+        }
+        Some(self.sum(x0, y0, x1, y1) as f64 / area as f64)
+    }
+
+    /// Image width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+}
+
+/// Per-label statistics over a labelled image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelStat<P: Intensity> {
+    /// Minimum intensity among the label's pixels.
+    pub min: P,
+    /// Maximum intensity among the label's pixels.
+    pub max: P,
+    /// Number of pixels carrying the label.
+    pub count: usize,
+}
+
+impl<P: Intensity> LabelStat<P> {
+    /// Intensity range (max − min) widened to `u32`.
+    pub fn range(&self) -> u32 {
+        self.max.to_u32() - self.min.to_u32()
+    }
+}
+
+/// Computes min/max/count for every label present in `labels`.
+///
+/// `labels` is a row-major array parallel to the image (same convention the
+/// merge stage uses for its output); the result maps `label → stat` sparsely.
+///
+/// # Panics
+/// Panics if `labels.len() != img.len()`.
+pub fn label_stats<P: Intensity>(
+    img: &Image<P>,
+    labels: &[u32],
+) -> std::collections::HashMap<u32, LabelStat<P>> {
+    assert_eq!(labels.len(), img.len(), "label buffer size mismatch");
+    let mut out: std::collections::HashMap<u32, LabelStat<P>> = std::collections::HashMap::new();
+    for (&l, &p) in labels.iter().zip(img.pixels()) {
+        out.entry(l)
+            .and_modify(|s| {
+                s.min = s.min.min(p);
+                s.max = s.max.max(p);
+                s.count += 1;
+            })
+            .or_insert(LabelStat {
+                min: p,
+                max: p,
+                count: 1,
+            });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(128), 128);
+        assert_eq!(next_pow2(129), 256);
+    }
+
+    #[test]
+    fn pyramid_square_pow2() {
+        // 4x4 image from the paper's Figure 1.
+        let img: Image<u8> = Image::from_vec(
+            4,
+            4,
+            vec![6, 7, 1, 3, 8, 6, 5, 4, 8, 8, 6, 5, 8, 7, 6, 6],
+        );
+        let pyr = MinMaxPyramid::build(&img);
+        assert_eq!(pyr.side(), 4);
+        assert_eq!(pyr.num_levels(), 3);
+        // Top-left 2x2 block {6,7,8,6} -> (6,8)
+        assert_eq!(pyr.block(1, 0, 0), Some((6, 8)));
+        // Top-right 2x2 block {1,3,5,4} -> (1,5)
+        assert_eq!(pyr.block(1, 1, 0), Some((1, 5)));
+        // Whole image
+        assert_eq!(pyr.block(2, 0, 0), Some((1, 8)));
+        assert_eq!(pyr.range(2, 0, 0), Some(7));
+        assert!(pyr.block_is_whole(1, 1, 1));
+        assert!(pyr.block_is_whole(2, 0, 0));
+    }
+
+    #[test]
+    fn pyramid_non_pow2_pads() {
+        let img: Image<u8> = Image::from_fn(5, 3, |x, y| (x + y) as u8);
+        let pyr = MinMaxPyramid::build(&img);
+        assert_eq!(pyr.side(), 8);
+        // Block (1,1) at level 2 covers x in 4..8, y in 4..8: only padding.
+        assert_eq!(pyr.block(2, 1, 1), None);
+        // Block (1,0) at level 2 covers x in 4..8, y in 0..4; real pixels are
+        // x=4, y=0..3 with values 4,5,6.
+        assert_eq!(pyr.block(2, 1, 0), Some((4, 6)));
+        assert!(!pyr.block_is_whole(2, 1, 0));
+        assert!(!pyr.block_is_whole(0, 5, 0));
+        assert!(pyr.block_is_whole(0, 4, 2));
+    }
+
+    #[test]
+    fn pyramid_levels_consistent_with_bruteforce() {
+        let img: Image<u8> = Image::from_fn(16, 16, |x, y| ((x * 31 + y * 17) % 97) as u8);
+        let pyr = MinMaxPyramid::build(&img);
+        for level in 0..pyr.num_levels() {
+            let b = 1usize << level;
+            let s = pyr.side() >> level;
+            for by in 0..s {
+                for bx in 0..s {
+                    let mut lo = u8::MAX;
+                    let mut hi = u8::MIN;
+                    let mut any = false;
+                    for y in by * b..((by + 1) * b).min(img.height()) {
+                        for x in bx * b..((bx + 1) * b).min(img.width()) {
+                            any = true;
+                            let p = img.get(x, y);
+                            lo = lo.min(p);
+                            hi = hi.max(p);
+                        }
+                    }
+                    let expect = if any { Some((lo, hi)) } else { None };
+                    assert_eq!(pyr.block(level, bx, by), expect, "level {level} ({bx},{by})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sat_matches_bruteforce() {
+        let img: Image<u8> = Image::from_fn(13, 9, |x, y| ((x * 37 + y * 11) % 251) as u8);
+        let sat = SummedAreaTable::build(&img);
+        assert_eq!(sat.width(), 13);
+        assert_eq!(sat.height(), 9);
+        for (x0, y0, x1, y1) in [(0, 0, 13, 9), (2, 3, 7, 8), (5, 5, 5, 5), (0, 0, 1, 1), (12, 8, 13, 9)] {
+            let mut expect = 0u64;
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    expect += img.get(x, y) as u64;
+                }
+            }
+            assert_eq!(sat.sum(x0, y0, x1, y1), expect, "({x0},{y0})-({x1},{y1})");
+        }
+        assert_eq!(sat.mean(5, 5, 5, 5), None);
+        assert_eq!(sat.mean(0, 0, 2, 1), Some((img.get(0,0) as f64 + img.get(1,0) as f64) / 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn sat_rejects_oob() {
+        let img: Image<u8> = Image::new(4, 4, 1);
+        let sat = SummedAreaTable::build(&img);
+        let _ = sat.sum(0, 0, 5, 4);
+    }
+
+    #[test]
+    fn label_stats_counts_and_ranges() {
+        let img: Image<u8> = Image::from_vec(2, 2, vec![10, 20, 30, 40]);
+        let labels = vec![1, 1, 2, 2];
+        let stats = label_stats(&img, &labels);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[&1].min, 10);
+        assert_eq!(stats[&1].max, 20);
+        assert_eq!(stats[&1].count, 2);
+        assert_eq!(stats[&2].range(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn label_stats_len_mismatch() {
+        let img: Image<u8> = Image::new(2, 2, 0);
+        let _ = label_stats(&img, &[0, 1, 2]);
+    }
+}

@@ -1,0 +1,311 @@
+//! End-to-end message-passing driver: the F77 + CMMD node program.
+
+use crate::boundary::build_local_rag;
+use crate::decomp::Decomposition;
+use crate::merge_mp::{merge_mp, MpMergeOutcome};
+use cmmd_sim::channel::{decode_u32s, encode_u32s};
+use cmmd_sim::{run_spmd, CommScheme, TimeParams};
+use rg_core::labels::compact_first_appearance;
+use rg_core::{Config, Segmentation};
+use rg_imaging::{Image, Intensity};
+use std::collections::HashMap;
+
+/// Work units to resolve one pixel's final label.
+const LABEL_UNITS_PER_PX: u64 = 3;
+
+/// A message-passing run's outputs.
+#[derive(Debug, Clone)]
+pub struct MsgPassOutcome {
+    /// The segmentation (identical to the host engines given the same
+    /// square cap).
+    pub seg: Segmentation,
+    /// Simulated seconds for the split stage (synchronised makespan).
+    pub split_seconds: f64,
+    /// Simulated seconds for graph setup + boundary exchange.
+    pub graph_seconds: f64,
+    /// Simulated seconds for the merge stage.
+    pub merge_seconds: f64,
+    /// Communication scheme used.
+    pub scheme: CommScheme,
+    /// Node count.
+    pub nodes: usize,
+    /// The square-size cap actually applied (the decomposition's safe cap,
+    /// possibly lowered by the config).
+    pub cap_used: u8,
+    /// Total point-to-point messages sent across all nodes.
+    pub total_messages: u64,
+    /// Total point-to-point payload bytes sent across all nodes.
+    pub total_bytes: u64,
+}
+
+impl MsgPassOutcome {
+    /// Merge-stage time as the paper reports it (graph setup + merging).
+    pub fn merge_seconds_as_reported(&self) -> f64 {
+        self.graph_seconds + self.merge_seconds
+    }
+}
+
+/// Per-node results shipped back to the front end.
+struct NodeOut {
+    tile_labels: Vec<u32>, // raw representative ids per tile pixel
+    split_iterations: u32,
+    num_squares_local: usize,
+    merge: MpMergeOutcome,
+    t_split: f64,
+    t_graph: f64,
+    t_merge: f64,
+    msgs_sent: u64,
+    bytes_sent: u64,
+}
+
+/// Runs the full message-passing split-and-merge program on `nodes`
+/// simulated CM-5 nodes with the given communication scheme.
+///
+/// The split stage is structurally capped at squares that fit a node's
+/// sub-image ([`Decomposition::max_safe_square_log2`]); pass the same cap
+/// to the other engines to compare segmentations bit for bit.
+pub fn segment_msgpass<P: Intensity>(
+    img: &Image<P>,
+    config: &Config,
+    nodes: usize,
+    scheme: CommScheme,
+) -> MsgPassOutcome {
+    segment_msgpass_with(img, config, nodes, scheme, TimeParams::cm5_mp())
+}
+
+/// [`segment_msgpass`] with explicit time parameters.
+pub fn segment_msgpass_with<P: Intensity>(
+    img: &Image<P>,
+    config: &Config,
+    nodes: usize,
+    scheme: CommScheme,
+    params: TimeParams,
+) -> MsgPassOutcome {
+    let decomp = Decomposition::for_nodes(nodes, img.width(), img.height());
+    let safe_cap = decomp.max_safe_square_log2();
+    let cap_used = config
+        .max_square_log2
+        .map(|c| c.min(safe_cap))
+        .unwrap_or(safe_cap);
+
+    let res = run_spmd(decomp.nodes(), params, |node| {
+        // Steps 0–2: receive the sub-image, split it, build the local
+        // graph with boundary exchange (split time captured inside).
+        let mut rag = build_local_rag(node, &decomp, img, config, cap_used);
+        let t_split = rag.split_done_seconds;
+        node.barrier();
+        let t_graph = node.clock_seconds();
+
+        // Steps 3–5: cooperative merge.
+        let merge = merge_mp(node, &decomp, &mut rag, config, scheme);
+        node.barrier();
+        let t_merge = node.clock_seconds();
+
+        // Final label resolution: gather the global redirect history and
+        // chase each tile pixel's square to its representative.
+        let mut words = Vec::with_capacity(merge.redirects.len() * 2);
+        for &(dead, rep) in &merge.redirects {
+            words.push(dead);
+            words.push(rep);
+        }
+        let all: Vec<Vec<u32>> = node
+            .concat(encode_u32s(&words))
+            .into_iter()
+            .map(decode_u32s)
+            .collect();
+        let mut redirect: HashMap<u32, u32> = HashMap::new();
+        for part in all {
+            for c in part.chunks_exact(2) {
+                redirect.insert(c[0], c[1]);
+            }
+        }
+        let resolve = |mut id: u32| {
+            while let Some(&nxt) = redirect.get(&id) {
+                id = nxt;
+            }
+            id
+        };
+        let tile_labels: Vec<u32> = rag.pixel_square.iter().map(|&q| resolve(q)).collect();
+        node.compute(tile_labels.len() as u64 * LABEL_UNITS_PER_PX);
+
+        NodeOut {
+            tile_labels,
+            split_iterations: rag.split_iterations,
+            num_squares_local: rag.store.len() + merge.redirects.len(),
+            merge,
+            t_split,
+            t_graph,
+            t_merge,
+            msgs_sent: node.msgs_sent(),
+            bytes_sent: node.bytes_sent(),
+        }
+    });
+
+    // Assemble the global label image.
+    let (w, h) = (img.width(), img.height());
+    let mut raw = vec![0u32; w * h];
+    for (rank, out) in res.results.iter().enumerate() {
+        let t = decomp.tile(rank);
+        for ty in 0..t.h {
+            raw[(t.y0 + ty) * w + t.x0..(t.y0 + ty) * w + t.x0 + t.w]
+                .copy_from_slice(&out.tile_labels[ty * t.w..(ty + 1) * t.w]);
+        }
+    }
+    let (labels, num_regions) = compact_first_appearance(&raw);
+
+    let split_iterations = res.results.iter().map(|o| o.split_iterations).max().unwrap();
+    let num_squares = res.results.iter().map(|o| o.num_squares_local).sum();
+    let merge0 = &res.results[0].merge;
+    debug_assert_eq!(
+        num_regions,
+        res.results.iter().map(|o| o.merge.num_regions_local).sum::<usize>()
+    );
+
+    let t_split = res.results[0].t_split;
+    let t_graph = res.results[0].t_graph;
+    let t_merge = res.results[0].t_merge;
+    let total_messages: u64 = res.results.iter().map(|o| o.msgs_sent).sum();
+    let total_bytes: u64 = res.results.iter().map(|o| o.bytes_sent).sum();
+
+    MsgPassOutcome {
+        seg: Segmentation {
+            labels,
+            num_regions,
+            num_squares,
+            split_iterations,
+            merge_iterations: merge0.iterations,
+            merges_per_iteration: merge0.merges_per_iteration.clone(),
+            width: w,
+            height: h,
+        },
+        split_seconds: t_split,
+        graph_seconds: t_graph - t_split,
+        merge_seconds: t_merge - t_graph,
+        scheme,
+        nodes: decomp.nodes(),
+        cap_used,
+        total_messages,
+        total_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rg_core::{segment, Connectivity, TieBreak};
+    use rg_imaging::synth;
+
+    /// Host config with the MP-safe cap applied, for bit-exact comparison.
+    fn capped(config: &Config, nodes: usize, w: usize, h: usize) -> Config {
+        let d = Decomposition::for_nodes(nodes, w, h);
+        Config {
+            max_square_log2: Some(
+                config
+                    .max_square_log2
+                    .map(|c| c.min(d.max_safe_square_log2()))
+                    .unwrap_or(d.max_safe_square_log2()),
+            ),
+            ..*config
+        }
+    }
+
+    fn check_matches_host(img: &Image<u8>, config: &Config, nodes: usize) {
+        let host_cfg = capped(config, nodes, img.width(), img.height());
+        let host = segment(img, &host_cfg);
+        for scheme in [CommScheme::LinearPermutation, CommScheme::Async] {
+            let mp = segment_msgpass(img, config, nodes, scheme);
+            assert_eq!(mp.seg, host, "{scheme:?} nodes={nodes}");
+        }
+    }
+
+    #[test]
+    fn figure1_matches_host_on_4_nodes() {
+        let img = synth::figure1_image();
+        check_matches_host(
+            &img,
+            &Config::with_threshold(3).tie_break(TieBreak::SmallestId),
+            4,
+        );
+    }
+
+    #[test]
+    fn paper_style_images_match_host() {
+        check_matches_host(&synth::nested_rects(64), &Config::with_threshold(10), 8);
+        check_matches_host(&synth::rect_collection(64), &Config::with_threshold(10), 16);
+    }
+
+    #[test]
+    fn random_scenes_match_host_all_policies() {
+        for seed in 0..2 {
+            let img = synth::random_rects(32, 32, 6, seed);
+            for tie in [
+                TieBreak::SmallestId,
+                TieBreak::LargestId,
+                TieBreak::Random { seed: 5 },
+            ] {
+                check_matches_host(&img, &Config::with_threshold(20).tie_break(tie), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn eight_connectivity_matches_host() {
+        let img = synth::circle_collection(64);
+        check_matches_host(
+            &img,
+            &Config::with_threshold(10).connectivity(Connectivity::Eight),
+            4,
+        );
+    }
+
+    #[test]
+    fn non_divisible_image_matches_host() {
+        let img = synth::uniform_noise(50, 38, 80, 140, 2);
+        check_matches_host(&img, &Config::with_threshold(15), 6);
+    }
+
+    #[test]
+    fn single_node_matches_host() {
+        let img = synth::rect_collection(32);
+        check_matches_host(&img, &Config::with_threshold(10), 1);
+    }
+
+    #[test]
+    fn async_is_faster_than_lp_on_merge() {
+        let img = synth::circle_collection(128);
+        let cfg = Config::with_threshold(10);
+        let lp = segment_msgpass(&img, &cfg, 32, CommScheme::LinearPermutation);
+        let asy = segment_msgpass(&img, &cfg, 32, CommScheme::Async);
+        assert_eq!(lp.seg, asy.seg);
+        assert!(
+            asy.merge_seconds_as_reported() < lp.merge_seconds_as_reported(),
+            "async {} should beat LP {}",
+            asy.merge_seconds_as_reported(),
+            lp.merge_seconds_as_reported()
+        );
+    }
+
+    #[test]
+    fn comm_volume_identical_across_schemes() {
+        // LP and Async move the same payloads; only the timing differs.
+        let img = synth::rect_collection(64);
+        let cfg = Config::with_threshold(10);
+        let lp = segment_msgpass(&img, &cfg, 8, CommScheme::LinearPermutation);
+        let asy = segment_msgpass(&img, &cfg, 8, CommScheme::Async);
+        assert_eq!(lp.total_messages, asy.total_messages);
+        assert_eq!(lp.total_bytes, asy.total_bytes);
+        assert!(lp.total_messages > 0);
+    }
+
+    #[test]
+    fn reports_paper_like_metadata() {
+        let img = synth::nested_rects(128);
+        let out = segment_msgpass(&img, &Config::with_threshold(10), 32, CommScheme::Async);
+        assert_eq!(out.nodes, 32);
+        assert_eq!(out.cap_used, 4); // 16-pixel squares on 128² / 32 nodes
+        assert_eq!(out.seg.split_iterations, 4); // the paper's number
+        assert_eq!(out.seg.num_regions, 2);
+        assert!(out.split_seconds > 0.0);
+        assert!(out.merge_seconds > 0.0);
+    }
+}

@@ -1,0 +1,323 @@
+//! The distributed merge stage (paper steps 3–5).
+//!
+//! One iteration, from a node's point of view:
+//!
+//! 1. **Stats exchange** (all-to-many): for every half-edge `(s → d)` with
+//!    a remote target, the *owner of `d`* holds the mirror half-edge
+//!    `(d → s)` and therefore knows to send `d`'s fresh statistics to us;
+//!    symmetrically we send ours. No request round is needed.
+//! 2. **De-activation**: half-edges whose endpoints no longer satisfy the
+//!    criterion are dropped (weights only grow under the pixel-range
+//!    criterion, so this mirrors the paper's permanent de-activation). A
+//!    global OR then decides termination.
+//! 3. **Choice**: each owned region picks its best neighbour under
+//!    `(weight, tie-key, tie-key₂, id)` — identical keys to every other
+//!    engine.
+//! 4. **Choice exchange** (all-to-many): each choice targeting a remote
+//!    region is sent to its owner; both endpoint owners can then detect
+//!    mutual selection locally.
+//! 5. **Merge**: for a mutual pair, the smaller ID is the representative;
+//!    its owner folds the statistics (the loser's stats are on hand as a
+//!    ghost); the loser's owner retires the region and records the
+//!    redirect.
+//! 6. **Redirect exchange + relabel + half-edge transfer** (all-to-many ×2):
+//!    owners of dead regions notify every node holding an edge to them;
+//!    all half-edges relabel through the (single-level) redirects,
+//!    self-loops vanish, and half-edges whose new source moved to another
+//!    owner are shipped there.
+//!
+//! The paper's two communication schemes (LP / Async) plug in at every
+//! all-to-many step.
+
+use crate::boundary::LocalRag;
+use crate::decomp::Decomposition;
+use cmmd_sim::channel::{decode_u32s, encode_u32s};
+use cmmd_sim::{all_to_many, CommScheme, Node};
+use rg_core::merge::tie_key;
+use rg_core::{Config, RegionStats, TieBreak};
+use std::collections::{BTreeMap, HashMap};
+
+/// Work units swept per tile pixel per merge iteration (the F77 code is a
+/// "hand-coded translation of the data parallel one": it sweeps its static
+/// tile-sized arrays every iteration).
+pub const MERGE_SWEEP_UNITS_PER_PX: u64 = 320;
+/// Work units per live half-edge per iteration.
+pub const MERGE_UNITS_PER_EDGE: u64 = 12;
+/// Work units per owned region per iteration.
+pub const MERGE_UNITS_PER_REGION: u64 = 6;
+
+/// Outcome of the distributed merge on one node.
+#[derive(Debug, Clone)]
+pub struct MpMergeOutcome {
+    /// Merge iterations executed (identical on every node).
+    pub iterations: u32,
+    /// Global merges per iteration (identical on every node).
+    pub merges_per_iteration: Vec<u32>,
+    /// This node's full retire history `(dead id, representative id)`.
+    pub redirects: Vec<(u32, u32)>,
+    /// Regions this node still owns at termination.
+    pub num_regions_local: usize,
+}
+
+fn stats_words(id: u32, s: &RegionStats<u32>) -> [u32; 7] {
+    [
+        id,
+        s.min,
+        s.max,
+        s.sum as u32,
+        (s.sum >> 32) as u32,
+        s.count as u32,
+        (s.count >> 32) as u32,
+    ]
+}
+
+/// Runs the distributed merge loop; mutates `rag` in place.
+pub fn merge_mp(
+    node: &mut Node,
+    decomp: &Decomposition,
+    rag: &mut LocalRag,
+    config: &Config,
+    scheme: CommScheme,
+) -> MpMergeOutcome {
+    let me = node.rank();
+    let tile = decomp.tile(me);
+    let tile_px = (tile.w * tile.h) as u64;
+    let crit = config.criterion;
+    let t = config.threshold;
+
+    let mut iterations = 0u32;
+    let mut merges_per_iteration: Vec<u32> = Vec::new();
+    let mut stalls = 0u32;
+    let mut redirect_history: Vec<(u32, u32)> = Vec::new();
+
+    loop {
+        // ---- 1. stats exchange -------------------------------------------
+        // Send each owned region's stats once per remote owner that holds a
+        // mirror half-edge to it.
+        let mut per_dst: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+        {
+            let mut sent: std::collections::HashSet<(usize, u32)> = std::collections::HashSet::new();
+            for &(s, d) in rag.half_edges.iter() {
+                let owner_d = decomp.owner_of_id(d);
+                if owner_d != me && sent.insert((owner_d, s)) {
+                    per_dst
+                        .entry(owner_d)
+                        .or_default()
+                        .extend_from_slice(&stats_words(s, &rag.store[&s]));
+                }
+            }
+        }
+        let outgoing = per_dst
+            .into_iter()
+            .map(|(dst, words)| (dst, encode_u32s(&words)))
+            .collect();
+        rag.ghosts.clear();
+        for (_, payload) in all_to_many(node, outgoing, scheme) {
+            let words = decode_u32s(payload);
+            for c in words.chunks_exact(7) {
+                rag.ghosts.insert(
+                    c[0],
+                    RegionStats {
+                        min: c[1],
+                        max: c[2],
+                        sum: c[3] as u64 | ((c[4] as u64) << 32),
+                        count: c[5] as u64 | ((c[6] as u64) << 32),
+                    },
+                );
+            }
+        }
+
+        // ---- 2. de-activation + termination test -------------------------
+        let stats_of = |id: u32, store: &BTreeMap<u32, RegionStats<u32>>, ghosts: &HashMap<u32, RegionStats<u32>>| -> RegionStats<u32> {
+            if let Some(s) = store.get(&id) {
+                *s
+            } else {
+                *ghosts
+                    .get(&id)
+                    .unwrap_or_else(|| panic!("missing ghost stats for region {id}"))
+            }
+        };
+        {
+            let store = &rag.store;
+            let ghosts = &rag.ghosts;
+            rag.half_edges.retain(|&(s, d)| {
+                crit.satisfies(&store[&s], &stats_of(d, store, ghosts), t)
+            });
+        }
+        node.compute(rag.half_edges.len() as u64 * MERGE_UNITS_PER_EDGE);
+
+        let active = !rag.half_edges.is_empty();
+        if !node.allreduce_or(active) {
+            break;
+        }
+
+        // The hand-translated F77 merge sweeps its static arrays once per
+        // iteration regardless of how much is still alive.
+        node.compute(tile_px * MERGE_SWEEP_UNITS_PER_PX);
+        node.compute(rag.store.len() as u64 * MERGE_UNITS_PER_REGION);
+
+        // ---- 3. choices ---------------------------------------------------
+        let used_fallback =
+            matches!(config.tie_break, TieBreak::Random { .. }) && stalls >= config.max_stall;
+        let policy = if used_fallback {
+            TieBreak::SmallestId
+        } else {
+            config.tie_break
+        };
+        let mut choice: BTreeMap<u32, u32> = BTreeMap::new();
+        {
+            let store = &rag.store;
+            let ghosts = &rag.ghosts;
+            let mut best: Option<(u64, u64, u64, u32)> = None;
+            let mut cur: Option<u32> = None;
+            let flush = |src: Option<u32>, best: &mut Option<(u64, u64, u64, u32)>,
+                             choice: &mut BTreeMap<u32, u32>| {
+                if let (Some(s), Some(b)) = (src, best.take()) {
+                    choice.insert(s, b.3);
+                }
+            };
+            for &(s, d) in rag.half_edges.iter() {
+                if cur != Some(s) {
+                    flush(cur, &mut best, &mut choice);
+                    cur = Some(s);
+                }
+                let w = crit.weight(&store[&s], &stats_of(d, store, ghosts));
+                let (k0, k1) = tie_key(policy, iterations, s as u64, d as u64);
+                let key = (w, k0, k1, d);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+            flush(cur, &mut best, &mut choice);
+        }
+
+        // ---- 4. choice exchange ------------------------------------------
+        let mut per_dst: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+        for (&u, &v) in &choice {
+            let owner_v = decomp.owner_of_id(v);
+            if owner_v != me {
+                per_dst.entry(owner_v).or_default().extend_from_slice(&[u, v]);
+            }
+        }
+        let outgoing = per_dst
+            .into_iter()
+            .map(|(dst, words)| (dst, encode_u32s(&words)))
+            .collect();
+        // Remote claims (u chose v) targeting my regions v.
+        let mut remote_claims: Vec<(u32, u32)> = Vec::new();
+        for (_, payload) in all_to_many(node, outgoing, scheme) {
+            let words = decode_u32s(payload);
+            for c in words.chunks_exact(2) {
+                remote_claims.push((c[0], c[1]));
+            }
+        }
+
+        // ---- 5. merges ----------------------------------------------------
+        // Mutual pairs I can see: local-local pairs, plus (remote u, my v)
+        // where my choice[v] == u, plus (my u → remote v) confirmed by the
+        // incoming claim (v, u).
+        let mut mutual: Vec<(u32, u32)> = Vec::new(); // (rep, dead), rep < dead
+        for (&u, &v) in &choice {
+            if u < v && choice.get(&v) == Some(&u) {
+                mutual.push((u, v)); // both mine
+            }
+        }
+        for &(u, v) in &remote_claims {
+            debug_assert_eq!(decomp.owner_of_id(v), me);
+            if choice.get(&v) == Some(&u) {
+                mutual.push((u.min(v), u.max(v)));
+            }
+        }
+        mutual.sort_unstable();
+        mutual.dedup();
+
+        let mut my_merges = 0u64;
+        let mut newly_dead: Vec<(u32, u32)> = Vec::new(); // (dead, rep), dead mine
+        for &(rep, dead) in &mutual {
+            let dead_stats = stats_of(dead, &rag.store, &rag.ghosts);
+            if let Some(rs) = rag.store.get_mut(&rep) {
+                *rs = rs.fold(dead_stats);
+                my_merges += 1; // counted once, by the representative's owner
+            }
+            if rag.store.remove(&dead).is_some() {
+                newly_dead.push((dead, rep));
+                redirect_history.push((dead, rep));
+            }
+        }
+
+        // ---- 6. redirect exchange ------------------------------------------
+        // Notify owners of every region adjacent to a dead one.
+        let mut per_dst: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+        {
+            let dead_map: HashMap<u32, u32> = newly_dead.iter().copied().collect();
+            let mut sent: std::collections::HashSet<(usize, u32)> = std::collections::HashSet::new();
+            for &(s, d) in rag.half_edges.iter() {
+                if let Some(&rep) = dead_map.get(&s) {
+                    let owner_d = decomp.owner_of_id(d);
+                    if owner_d != me && sent.insert((owner_d, s)) {
+                        per_dst.entry(owner_d).or_default().extend_from_slice(&[s, rep]);
+                    }
+                }
+            }
+        }
+        let outgoing = per_dst
+            .into_iter()
+            .map(|(dst, words)| (dst, encode_u32s(&words)))
+            .collect();
+        let mut redir: HashMap<u32, u32> = newly_dead.iter().copied().collect();
+        for (_, payload) in all_to_many(node, outgoing, scheme) {
+            let words = decode_u32s(payload);
+            for c in words.chunks_exact(2) {
+                redir.insert(c[0], c[1]);
+            }
+        }
+
+        // ---- 6 (cont.): relabel, drop self-loops, transfer -----------------
+        let resolve = |id: u32| *redir.get(&id).unwrap_or(&id);
+        let mut keep: Vec<(u32, u32)> = Vec::new();
+        let mut per_dst: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+        for &(s, d) in rag.half_edges.iter() {
+            let (s2, d2) = (resolve(s), resolve(d));
+            if s2 == d2 {
+                continue;
+            }
+            let owner_s2 = decomp.owner_of_id(s2);
+            if owner_s2 == me {
+                keep.push((s2, d2));
+            } else {
+                per_dst.entry(owner_s2).or_default().extend_from_slice(&[s2, d2]);
+            }
+        }
+        let outgoing = per_dst
+            .into_iter()
+            .map(|(dst, words)| (dst, encode_u32s(&words)))
+            .collect();
+        for (_, payload) in all_to_many(node, outgoing, scheme) {
+            let words = decode_u32s(payload);
+            for c in words.chunks_exact(2) {
+                keep.push((c[0], c[1]));
+            }
+        }
+        keep.sort_unstable();
+        keep.dedup();
+        rag.half_edges = keep;
+        node.compute(rag.half_edges.len() as u64 * MERGE_UNITS_PER_EDGE);
+
+        // ---- bookkeeping ----------------------------------------------------
+        let global_merges = node.allreduce_u64(my_merges, |a, b| a + b) as u32;
+        iterations += 1;
+        merges_per_iteration.push(global_merges);
+        if global_merges == 0 {
+            stalls += 1;
+        } else {
+            stalls = 0;
+        }
+    }
+
+    MpMergeOutcome {
+        iterations,
+        merges_per_iteration,
+        redirects: redirect_history,
+        num_regions_local: rag.store.len(),
+    }
+}

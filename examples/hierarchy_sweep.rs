@@ -1,0 +1,45 @@
+//! Hierarchical segmentation from one run: record the merge dendrogram at
+//! a generous threshold, then read off the partition at any smaller
+//! "weight cut" without re-segmenting — the data-compression use Tilton's
+//! work (the paper's reference [8]) built on region growing.
+//!
+//! ```text
+//! cargo run --release --example hierarchy_sweep
+//! ```
+
+use rg_core::{segment_with_trace, Config};
+use rg_imaging::synth;
+
+fn main() {
+    // A noisy scene so merges happen at many distinct weights.
+    let img = synth::uniform_noise(256, 256, 30, 225, 2024);
+    let max_t = 80;
+    let cfg = Config::with_threshold(max_t);
+    let (seg, trace) = segment_with_trace(&img, &cfg);
+
+    println!(
+        "one run at T = {max_t}: {} squares -> {} regions in {} iterations, {} merge events\n",
+        seg.num_squares,
+        seg.num_regions,
+        seg.merge_iterations,
+        trace.len()
+    );
+
+    println!("weight-cut sweep (no re-segmentation needed):");
+    println!("{:>8} {:>12} {:>16}", "cut w", "regions", "compression");
+    let total_px = (seg.width * seg.height) as f64;
+    for w in [0u32, 5, 10, 20, 30, 40, 60, max_t] {
+        let regions = trace.regions_at_cut(w);
+        println!(
+            "{:>8} {:>12} {:>15.1}x",
+            w,
+            regions,
+            total_px / regions as f64
+        );
+    }
+
+    println!("\nparallelism profile (merges per iteration, first 12):");
+    for (it, n) in trace.merges_per_iteration().into_iter().take(12) {
+        println!("  iteration {:>3}: {:>6} merges  {}", it, n, "*".repeat((n as usize).min(60)));
+    }
+}

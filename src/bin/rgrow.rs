@@ -1,0 +1,250 @@
+//! `rgrow` — command-line split-and-merge region growing.
+//!
+//! ```text
+//! rgrow <input.pgm> [output.pgm] [options]
+//! rgrow --demo image3 out.pgm --engine mp-async
+//!
+//! options:
+//!   --threshold N          homogeneity threshold T in grey levels [10]
+//!   --tie random|smallest|largest    tie-break policy [random]
+//!   --seed N               seed for random tie-breaking [0x5EED]
+//!   --connectivity 4|8     region adjacency [4]
+//!   --criterion range|mean homogeneity criterion [range]
+//!   --cap N                max square side 2^N (0 = merge-only) [unbounded]
+//!   --engine seq|par|cm2-8k|cm2-16k|cm5-dp|mp-lp|mp-async   [par]
+//!   --nodes N              node count for mp-* engines [32]
+//!   --demo NAME            use a built-in scene instead of an input file
+//!                          (image1..image6, circles, rects, nested, tool)
+//!   --verify               check connectivity/homogeneity/maximality
+//!   --quiet                suppress the summary
+//! ```
+
+use cm_sim::CostModel;
+use cmmd_sim::CommScheme;
+use rg_core::{
+    labels::labels_to_image, segment, segment_par, verify_segmentation, Config, Connectivity,
+    Criterion, Segmentation, TieBreak,
+};
+use rg_imaging::{pgm, synth, GrayImage};
+use std::process::exit;
+
+struct Options {
+    input: Option<String>,
+    output: Option<String>,
+    demo: Option<String>,
+    threshold: u32,
+    tie: TieBreak,
+    connectivity: Connectivity,
+    criterion: Criterion,
+    cap: Option<u8>,
+    engine: String,
+    nodes: usize,
+    verify: bool,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rgrow <input.pgm> [output.pgm] [--threshold N] [--tie random|smallest|largest]\n\
+         \x20            [--seed N] [--connectivity 4|8] [--criterion range|mean] [--cap N]\n\
+         \x20            [--engine seq|par|cm2-8k|cm2-16k|cm5-dp|mp-lp|mp-async] [--nodes N]\n\
+         \x20            [--demo image1..image6|circles|rects|nested|tool] [--verify] [--quiet]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut o = Options {
+        input: None,
+        output: None,
+        demo: None,
+        threshold: 10,
+        tie: TieBreak::Random { seed: 0x5EED },
+        connectivity: Connectivity::Four,
+        criterion: Criterion::PixelRange,
+        cap: None,
+        engine: "par".to_string(),
+        nodes: 32,
+        verify: false,
+        quiet: false,
+    };
+    let mut seed = 0x5EEDu64;
+    let mut tie_name = "random".to_string();
+    let mut args = std::env::args().skip(1).peekable();
+    let need_value = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>,
+                          flag: &str|
+     -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage()
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threshold" | "-t" => {
+                o.threshold = need_value(&mut args, &a).parse().unwrap_or_else(|_| usage())
+            }
+            "--tie" => tie_name = need_value(&mut args, &a),
+            "--seed" => seed = need_value(&mut args, &a).parse().unwrap_or_else(|_| usage()),
+            "--connectivity" => {
+                o.connectivity = match need_value(&mut args, &a).as_str() {
+                    "4" => Connectivity::Four,
+                    "8" => Connectivity::Eight,
+                    _ => usage(),
+                }
+            }
+            "--criterion" => {
+                o.criterion = match need_value(&mut args, &a).as_str() {
+                    "range" => Criterion::PixelRange,
+                    "mean" => Criterion::MeanDifference,
+                    _ => usage(),
+                }
+            }
+            "--cap" => o.cap = Some(need_value(&mut args, &a).parse().unwrap_or_else(|_| usage())),
+            "--engine" => o.engine = need_value(&mut args, &a),
+            "--nodes" => o.nodes = need_value(&mut args, &a).parse().unwrap_or_else(|_| usage()),
+            "--demo" => o.demo = Some(need_value(&mut args, &a)),
+            "--verify" => o.verify = true,
+            "--quiet" | "-q" => o.quiet = true,
+            "--help" | "-h" => usage(),
+            _ if a.starts_with('-') => {
+                eprintln!("unknown flag {a}");
+                usage()
+            }
+            _ if o.input.is_none() && o.demo.is_none() => o.input = Some(a),
+            _ if o.output.is_none() => o.output = Some(a),
+            _ => usage(),
+        }
+    }
+    o.tie = match tie_name.as_str() {
+        "random" => TieBreak::Random { seed },
+        "smallest" => TieBreak::SmallestId,
+        "largest" => TieBreak::LargestId,
+        _ => usage(),
+    };
+    o
+}
+
+fn load_image(o: &Options) -> GrayImage {
+    if let Some(demo) = &o.demo {
+        return match demo.as_str() {
+            "image1" => synth::PaperImage::Image1.generate(),
+            "image2" => synth::PaperImage::Image2.generate(),
+            "image3" | "circles" => synth::PaperImage::Image3.generate(),
+            "image4" => synth::PaperImage::Image4.generate(),
+            "image5" | "rects" => synth::PaperImage::Image5.generate(),
+            "image6" | "tool" => synth::PaperImage::Image6.generate(),
+            "nested" => synth::nested_rects(256),
+            other => {
+                eprintln!("unknown demo scene {other:?}");
+                usage()
+            }
+        };
+    }
+    let path = o.input.as_ref().unwrap_or_else(|| usage());
+    pgm::load(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    })
+}
+
+fn run_engine(o: &Options, img: &GrayImage, cfg: &Config) -> (Segmentation, Option<String>) {
+    match o.engine.as_str() {
+        "seq" => (segment(img, cfg), None),
+        "par" => (segment_par(img, cfg), None),
+        "cm2-8k" | "cm2-16k" | "cm5-dp" => {
+            let model = match o.engine.as_str() {
+                "cm2-8k" => CostModel::cm2_8k(),
+                "cm2-16k" => CostModel::cm2_16k(),
+                _ => CostModel::cm5_dp_32(),
+            };
+            let out = rg_datapar::segment_datapar(img, cfg, model);
+            let note = format!(
+                "simulated on {}: split {:.3}s, merge {:.3}s",
+                out.platform,
+                out.split_seconds,
+                out.merge_seconds_as_reported()
+            );
+            (out.seg, Some(note))
+        }
+        "mp-lp" | "mp-async" => {
+            let scheme = if o.engine == "mp-lp" {
+                CommScheme::LinearPermutation
+            } else {
+                CommScheme::Async
+            };
+            let out = rg_msgpass::segment_msgpass(img, cfg, o.nodes, scheme);
+            let note = format!(
+                "simulated on CM-5 ({} nodes, {}): split {:.3}s, merge {:.3}s (square cap 2^{})",
+                out.nodes,
+                out.scheme.label(),
+                out.split_seconds,
+                out.merge_seconds_as_reported(),
+                out.cap_used
+            );
+            (out.seg, Some(note))
+        }
+        other => {
+            eprintln!("unknown engine {other:?}");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let o = parse_args();
+    if o.input.is_none() && o.demo.is_none() {
+        usage();
+    }
+    let img = load_image(&o);
+    let cfg = Config {
+        threshold: o.threshold,
+        tie_break: o.tie,
+        connectivity: o.connectivity,
+        criterion: o.criterion,
+        max_square_log2: o.cap,
+        ..Config::default()
+    };
+    let t0 = std::time::Instant::now();
+    let (seg, note) = run_engine(&o, &img, &cfg);
+    let wall = t0.elapsed();
+
+    if !o.quiet {
+        println!(
+            "{}x{} -> {} squares ({} split iters) -> {} regions ({} merge iters) in {:.1} ms",
+            seg.width,
+            seg.height,
+            seg.num_squares,
+            seg.split_iterations,
+            seg.num_regions,
+            seg.merge_iterations,
+            wall.as_secs_f64() * 1e3
+        );
+        if let Some(note) = note {
+            println!("{note}");
+        }
+    }
+    if o.verify {
+        match verify_segmentation(&img, &seg, &cfg) {
+            Ok(()) => {
+                if !o.quiet {
+                    println!("verify: ok");
+                }
+            }
+            Err(v) => {
+                eprintln!("verify FAILED: {} violations, first: {}", v.len(), v[0]);
+                exit(1);
+            }
+        }
+    }
+    if let Some(out) = &o.output {
+        let rendered = labels_to_image(&seg.labels, seg.width, seg.height);
+        pgm::save(&rendered, out).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            exit(1)
+        });
+        if !o.quiet {
+            println!("wrote {out}");
+        }
+    }
+}

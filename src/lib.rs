@@ -1,0 +1,27 @@
+//! # region-growing-repro
+//!
+//! Umbrella crate for the reproduction of *"Solving the Region Growing
+//! Problem on the Connection Machine"* (Copty, Ranka, Fox, Shankar;
+//! ICPP 1993): parallel split-and-merge image segmentation, with the
+//! paper's CM-2 and CM-5 execution platforms rebuilt as simulators.
+//!
+//! This crate simply re-exports the workspace members under one roof so
+//! the examples and integration tests read naturally:
+//!
+//! * [`imaging`] — rasters, PGM I/O, synthetic scenes ([`rg_imaging`])
+//! * [`core`] — the split-and-merge algorithm ([`rg_core`])
+//! * [`dsu`] — union-find substrate ([`rg_dsu`])
+//! * [`cm`] — the SIMD data-parallel machine simulator ([`cm_sim`])
+//! * [`cmmd`] — the message-passing node runtime ([`cmmd_sim`])
+//! * [`datapar`] — the CM Fortran-style implementation ([`rg_datapar`])
+//! * [`msgpass`] — the F77+CMMD-style implementation ([`rg_msgpass`])
+//! * [`baselines`] — CCL, seeded growing, Horowitz-Pavlidis ([`rg_baselines`])
+
+pub use cm_sim as cm;
+pub use rg_baselines as baselines;
+pub use cmmd_sim as cmmd;
+pub use rg_core as core;
+pub use rg_datapar as datapar;
+pub use rg_dsu as dsu;
+pub use rg_imaging as imaging;
+pub use rg_msgpass as msgpass;

@@ -1,0 +1,123 @@
+//! Cross-engine equivalence: the sequential, rayon, data-parallel (CM-2 and
+//! CM-5 cost models), and message-passing (LP and Async) engines must
+//! produce the identical `Segmentation` for the same configuration.
+//!
+//! This is the strongest end-to-end property of the reproduction: the
+//! paper's three codebases (CM Fortran on two machines, F77 + CMMD) were
+//! meant to compute the same thing; ours provably do.
+
+use cm_sim::CostModel;
+use cmmd_sim::CommScheme;
+use rg_core::{segment, segment_par, Config, Connectivity, Criterion, TieBreak};
+use rg_datapar::segment_datapar;
+use rg_imaging::synth;
+use rg_msgpass::{segment_msgpass, Decomposition};
+
+/// Runs every engine and asserts equality of the segmentations.
+fn assert_all_engines_agree(img: &rg_imaging::GrayImage, config: &Config, nodes: usize) {
+    // Clamp the cap as the message-passing decomposition requires.
+    let d = Decomposition::for_nodes(nodes, img.width(), img.height());
+    let cap = config
+        .max_square_log2
+        .map(|c| c.min(d.max_safe_square_log2()))
+        .unwrap_or(d.max_safe_square_log2());
+    let cfg = Config {
+        max_square_log2: Some(cap),
+        ..*config
+    };
+
+    let host = segment(img, &cfg);
+    let par = segment_par(img, &cfg);
+    assert_eq!(host, par, "rayon engine diverged");
+
+    for model in [CostModel::cm2_8k(), CostModel::cm2_16k(), CostModel::cm5_dp_32()] {
+        let dp = segment_datapar(img, &cfg, model);
+        assert_eq!(host, dp.seg, "data-parallel engine diverged on {}", dp.platform);
+    }
+    for scheme in [CommScheme::LinearPermutation, CommScheme::Async] {
+        let mp = segment_msgpass(img, &cfg, nodes, scheme);
+        assert_eq!(host, mp.seg, "message-passing engine diverged ({scheme:?})");
+    }
+}
+
+#[test]
+fn engines_agree_on_paper_worked_example() {
+    let img = synth::figure1_image();
+    assert_all_engines_agree(
+        &img,
+        &Config::with_threshold(3).tie_break(TieBreak::SmallestId),
+        4,
+    );
+}
+
+#[test]
+fn engines_agree_on_nested_rects() {
+    let img = synth::nested_rects(64);
+    assert_all_engines_agree(&img, &Config::with_threshold(10), 8);
+}
+
+#[test]
+fn engines_agree_on_circles_with_random_ties() {
+    let img = synth::circle_collection(64);
+    assert_all_engines_agree(
+        &img,
+        &Config::with_threshold(10).tie_break(TieBreak::Random { seed: 123 }),
+        16,
+    );
+}
+
+#[test]
+fn engines_agree_on_random_scenes() {
+    for seed in 0..3u64 {
+        let img = synth::random_rects(48, 32, 7, seed);
+        for tie in [TieBreak::SmallestId, TieBreak::Random { seed: 9 }] {
+            assert_all_engines_agree(&img, &Config::with_threshold(25).tie_break(tie), 4);
+        }
+    }
+}
+
+#[test]
+fn engines_agree_with_eight_connectivity() {
+    let img = synth::rect_collection(64);
+    assert_all_engines_agree(
+        &img,
+        &Config::with_threshold(10).connectivity(Connectivity::Eight),
+        4,
+    );
+}
+
+#[test]
+fn engines_agree_with_mean_criterion() {
+    let img = synth::uniform_noise(48, 48, 90, 120, 4);
+    assert_all_engines_agree(
+        &img,
+        &Config::with_threshold(6).criterion(Criterion::MeanDifference),
+        4,
+    );
+}
+
+#[test]
+fn engines_agree_on_merge_only_baseline() {
+    let img = synth::rect_collection(32);
+    assert_all_engines_agree(
+        &img,
+        &Config::with_threshold(10).max_square_log2(Some(0)),
+        4,
+    );
+}
+
+#[test]
+fn engines_agree_on_noise_that_fully_coalesces() {
+    // Noise within the threshold: one region total.
+    let img = synth::uniform_noise(64, 64, 100, 104, 8);
+    assert_all_engines_agree(&img, &Config::with_threshold(8), 8);
+}
+
+/// Large-scale smoke test: 1024² scene through the host engines plus one
+/// simulated platform each. Run with `cargo test -- --ignored --release`.
+#[test]
+#[ignore = "large; run explicitly with --ignored in release mode"]
+fn engines_agree_at_1024() {
+    let img = synth::circle_collection(1024);
+    assert_all_engines_agree(&img, &Config::with_threshold(10), 32);
+}

@@ -1,0 +1,82 @@
+//! Scaling-shape tests on the simulated machines: the paper's complexity
+//! claims O(N²/P + log P) for the split stage, and the corresponding
+//! processor/node sweeps must show monotone improvement with diminishing
+//! returns.
+
+use cm_sim::CostModel;
+use cmmd_sim::CommScheme;
+use rg_core::{Config, TieBreak};
+use rg_datapar::segment_datapar;
+use rg_imaging::synth;
+use rg_msgpass::segment_msgpass;
+
+fn cfg() -> Config {
+    Config::with_threshold(10)
+        .tie_break(TieBreak::Random { seed: 0x5EED })
+        .max_square_log2(Some(4))
+}
+
+#[test]
+fn cm2_split_time_scales_with_vp_ratio() {
+    // Doubling CM-2 processors should cut the split body roughly in half
+    // until the VP ratio reaches 1, after which only overhead remains.
+    let img = synth::nested_rects(128); // 16384 pixels
+    let mut times = Vec::new();
+    for procs in [2048usize, 4096, 8192, 16384, 32768] {
+        let model = CostModel::cm2(procs, "sweep");
+        let out = segment_datapar(&img, &cfg(), model);
+        times.push((procs, out.split_seconds));
+    }
+    // Monotone improvement up to VP ratio 1 (beyond that the only change
+    // is the log P wire term, which legitimately grows a hair).
+    for w in times[..4].windows(2) {
+        assert!(
+            w[1].1 < w[0].1,
+            "split time must shrink while the VP ratio shrinks: {w:?}"
+        );
+    }
+    // Strict improvement while the VP ratio shrinks (2048 -> 16384)...
+    let t0 = times[0].1;
+    let t3 = times[3].1;
+    assert!(t3 < t0 / 2.0, "expected >2x improvement, got {t0} -> {t3}");
+    // ...then diminishing returns once every pixel has its own processor.
+    let t4 = times[4].1;
+    assert!(
+        (t4 - t3).abs() < t3 * 0.05,
+        "beyond vp-ratio 1 only the log-P wire term changes: {t3} vs {t4}"
+    );
+}
+
+#[test]
+fn mp_split_time_scales_with_nodes() {
+    let img = synth::nested_rects(128);
+    let mut times = Vec::new();
+    for nodes in [4usize, 8, 16, 32] {
+        let out = segment_msgpass(&img, &cfg(), nodes, CommScheme::Async);
+        times.push((nodes, out.split_seconds));
+    }
+    for w in times.windows(2) {
+        assert!(
+            w[1].1 < w[0].1,
+            "more nodes must shrink the split: {w:?}"
+        );
+    }
+    // Near-linear at these sizes: 8x nodes should give >= 4x speedup.
+    assert!(times[0].1 / times[3].1 > 4.0);
+}
+
+#[test]
+fn lp_penalty_grows_with_node_count() {
+    // LP loops Q-1 rounds per exchange, so its gap to Async widens as the
+    // machine grows — the structural reason the paper prefers Async.
+    let img = synth::rect_collection(128);
+    let gap = |nodes: usize| {
+        let lp = segment_msgpass(&img, &cfg(), nodes, CommScheme::LinearPermutation);
+        let asy = segment_msgpass(&img, &cfg(), nodes, CommScheme::Async);
+        assert_eq!(lp.seg, asy.seg);
+        lp.merge_seconds_as_reported() - asy.merge_seconds_as_reported()
+    };
+    let small = gap(8);
+    let large = gap(32);
+    assert!(large > small, "LP penalty should grow: 8 nodes {small}, 32 nodes {large}");
+}

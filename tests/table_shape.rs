@@ -1,0 +1,121 @@
+//! Shape checks on the reproduced evaluation: the paper's qualitative
+//! findings must hold in the simulated tables — who wins, in what order,
+//! and the iteration-count patterns.
+//!
+//! These run on a reduced image set (one 128² and one 256²) to stay fast;
+//! `paper_tables` regenerates all six tables.
+
+use cm_sim::CostModel;
+use cmmd_sim::CommScheme;
+use rg_bench::tables::paper_config;
+use rg_datapar::segment_datapar;
+use rg_imaging::synth::PaperImage;
+use rg_msgpass::segment_msgpass;
+
+fn rows(pi: PaperImage) -> (f64, f64, f64, f64, f64, f64, f64, f64, f64, f64) {
+    let img = pi.generate();
+    let cfg = paper_config(pi.size());
+    let cm2_8k = segment_datapar(&img, &cfg, CostModel::cm2_8k());
+    let cm2_16k = segment_datapar(&img, &cfg, CostModel::cm2_16k());
+    let cm5_dp = segment_datapar(&img, &cfg, CostModel::cm5_dp_32());
+    let lp = segment_msgpass(&img, &cfg, 32, CommScheme::LinearPermutation);
+    let asy = segment_msgpass(&img, &cfg, 32, CommScheme::Async);
+    (
+        cm2_8k.split_seconds,
+        cm2_8k.merge_seconds_as_reported(),
+        cm2_16k.split_seconds,
+        cm2_16k.merge_seconds_as_reported(),
+        cm5_dp.split_seconds,
+        cm5_dp.merge_seconds_as_reported(),
+        lp.split_seconds,
+        lp.merge_seconds_as_reported(),
+        asy.split_seconds,
+        asy.merge_seconds_as_reported(),
+    )
+}
+
+fn assert_paper_shape(pi: PaperImage) {
+    let (s8, m8, s16, m16, sdp, mdp, slp, mlp, sas, mas) = rows(pi);
+
+    // Observation 1: 16K CM-2 beats 8K CM-2 (more processors help).
+    assert!(s16 < s8, "{pi:?}: 16K split {s16} !< 8K split {s8}");
+    assert!(m16 < m8, "{pi:?}: 16K merge {m16} !< 8K merge {m8}");
+
+    // Observation 2: the CM Fortran version on the CM-2 runs faster than
+    // on the CM-5 (housekeeping overhead).
+    assert!(s8 < sdp, "{pi:?}: CM-2 split {s8} !< CM-5 DP split {sdp}");
+    assert!(m8 < mdp, "{pi:?}: CM-2 merge {m8} !< CM-5 DP merge {mdp}");
+
+    // Observation 3: message passing is significantly faster than data
+    // parallel on the CM-5.
+    assert!(slp < sdp && sas < sdp, "{pi:?}: MP split should beat DP");
+    assert!(
+        mlp < mdp && mas < mdp,
+        "{pi:?}: MP merge ({mlp}, {mas}) should beat DP ({mdp})"
+    );
+
+    // Observation 4: asynchronous communication beats Linear Permutation.
+    assert!(mas < mlp, "{pi:?}: Async merge {mas} !< LP merge {mlp}");
+
+    // The message-passing split is the fastest split of all (the paper's
+    // 0.022 s vs 0.2-0.36 s rows).
+    assert!(sas < s16 && slp < s16, "{pi:?}: MP split should be fastest");
+}
+
+#[test]
+fn image1_shape() {
+    assert_paper_shape(PaperImage::Image1);
+}
+
+#[test]
+fn image6_shape() {
+    assert_paper_shape(PaperImage::Image6);
+}
+
+#[test]
+fn split_iterations_match_paper_exactly() {
+    // 4 iterations on 128² images, 5 on 256² — a structural property of
+    // the 32-node decomposition's square cap.
+    for pi in [PaperImage::Image1, PaperImage::Image4] {
+        let img = pi.generate();
+        let cfg = paper_config(pi.size());
+        let out = segment_msgpass(&img, &cfg, 32, CommScheme::Async);
+        let expect = if pi.size() == 128 { 4 } else { 5 };
+        assert_eq!(out.seg.split_iterations, expect, "{pi:?}");
+    }
+}
+
+#[test]
+fn final_region_counts_match_paper_exactly() {
+    for pi in PaperImage::ALL {
+        let img = pi.generate();
+        let cfg = paper_config(pi.size());
+        let out = segment_msgpass(&img, &cfg, 32, CommScheme::Async);
+        assert_eq!(
+            out.seg.num_regions,
+            pi.expected_final_regions(),
+            "{}",
+            pi.description()
+        );
+    }
+}
+
+#[test]
+fn split_square_counts_in_paper_range() {
+    // Our rasters are re-drawn, so square counts match in magnitude, not
+    // exactly: require within a factor of 2.5 of the paper's counts.
+    for pi in PaperImage::ALL {
+        let img = pi.generate();
+        let cfg = paper_config(pi.size());
+        let out = segment_msgpass(&img, &cfg, 32, CommScheme::Async);
+        let ours = out.seg.num_squares as f64;
+        let paper = pi.paper_split_squares() as f64;
+        let ratio = (ours / paper).max(paper / ours);
+        assert!(
+            ratio < 2.5,
+            "{pi:?}: {} squares vs paper {} (ratio {ratio:.2})",
+            out.seg.num_squares,
+            pi.paper_split_squares()
+        );
+    }
+}
