@@ -1,0 +1,250 @@
+//! Offline shim for the subset of [bytes](https://docs.rs/bytes) used by
+//! this workspace: cheaply clonable immutable `Bytes`, growable `BytesMut`,
+//! and the `Buf`/`BufMut` cursor traits for little-endian u32/u64 payloads.
+
+use std::sync::Arc;
+
+/// A cheaply clonable, immutable byte buffer with a read cursor.
+///
+/// Equality, length, and `Deref` all refer to the *remaining* bytes (the
+/// portion after the cursor), matching the real crate's view semantics.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a static byte slice.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self {
+            data: Arc::new(data.to_vec()),
+            pos: 0,
+        }
+    }
+
+    /// Remaining length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// `true` when no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remaining bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    /// Copies the remaining bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self {
+            data: Arc::new(data),
+            pos: 0,
+        }
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice().iter().take(32) {
+            write!(f, "\\x{b:02x}")?;
+        }
+        if self.len() > 32 {
+            write!(f, "…")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Read-cursor operations over a byte buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads and consumes `n` bytes.
+    fn take_bytes(&mut self, n: usize) -> &[u8];
+
+    /// `true` when bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize) {
+        let _ = self.take_bytes(n);
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let b = self.take_bytes(4);
+        u32::from_le_bytes(b.try_into().expect("get_u32_le: short buffer"))
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let b = self.take_bytes(8);
+        u64::from_le_bytes(b.try_into().expect("get_u64_le: short buffer"))
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_bytes(1)[0]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "buffer underflow: {} > {}", n, self.len());
+        let start = self.pos;
+        self.pos += n;
+        &self.data[start..start + n]
+    }
+}
+
+/// Write operations over a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+
+    /// Appends raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u32_u64() {
+        let mut m = BytesMut::with_capacity(12);
+        m.put_u32_le(0xDEAD_BEEF);
+        m.put_u64_le(0x0123_4567_89AB_CDEF);
+        let mut b = m.freeze();
+        assert_eq!(b.len(), 12);
+        assert_eq!(b.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn equality_ignores_consumed_prefix() {
+        let mut a = Bytes::from(vec![1, 2, 3, 4, 5]);
+        a.advance(2);
+        let b = Bytes::from(vec![3, 4, 5]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(&a[..], &[3, 4, 5]);
+    }
+
+    #[test]
+    fn from_static_and_clone() {
+        let a = Bytes::from_static(&[9, 9]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.to_vec(), vec![9, 9]);
+        assert!(Bytes::new().is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! Offline shim for the subset of [criterion](https://docs.rs/criterion)
+//! used by this workspace: `Criterion::benchmark_group`, `sample_size`,
+//! `throughput`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of statistical sampling it runs each benchmark for a small,
+//! fixed number of passes and prints the mean wall time — enough to make
+//! `cargo bench` produce useful relative numbers without the real crate.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units-processed annotation for a benchmark (printed alongside timings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `"{function}/{parameter}"`.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds a bare identifier from one displayable value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times a closure over a fixed number of passes.
+pub struct Bencher {
+    passes: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `passes` times, accumulating total wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.passes {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u32,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many passes each benchmark closure runs (min 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u32).max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark that takes no extra input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            passes: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            passes: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Ends the group (printing is done per-benchmark; this is a no-op).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let mean = b.elapsed.as_secs_f64() / f64::from(b.passes.max(1));
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  {:.3} Melem/s", n as f64 / mean / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  {:.3} MiB/s", n as f64 / mean / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<32} {:>12.6} ms/iter ({} iters){}",
+            self.name,
+            id.to_string(),
+            mean * 1e3,
+            b.passes,
+            rate
+        );
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 3,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name)
+            .bench_function(BenchmarkId::from_parameter("bench"), f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring the real macro's
+/// simple form `criterion_group!(name, target1, target2, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that invokes each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(10));
+        let mut ran = 0u32;
+        g.bench_with_input(BenchmarkId::new("add", 1), &21u32, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                x * 2
+            })
+        });
+        g.finish();
+        assert_eq!(ran, 2);
+    }
+
+    #[test]
+    fn bench_function_standalone() {
+        let mut c = Criterion::default();
+        let mut hits = 0u32;
+        c.bench_function("standalone", |b| b.iter(|| hits += 1));
+        assert!(hits >= 1);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

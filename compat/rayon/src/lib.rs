@@ -1,0 +1,277 @@
+//! Sequential shim for the subset of [rayon](https://docs.rs/rayon) used by
+//! this workspace.
+//!
+//! The build container has no crates.io access, so the real rayon cannot be
+//! resolved. This crate re-implements the *API shape* the workspace relies
+//! on — `par_iter`, `par_chunks_mut`, `into_par_iter`, `par_sort_unstable`,
+//! `flat_map_iter`, rayon-style `fold`/`reduce`, `scope`, and
+//! `ThreadPoolBuilder` — with strictly sequential execution. Every engine
+//! in the workspace is written to be order-independent, so the sequential
+//! fallback produces bit-identical results; only wall-clock parallel
+//! speedups are lost.
+
+use std::marker::PhantomData;
+
+/// A "parallel" iterator: a thin wrapper over a sequential [`Iterator`]
+/// exposing the rayon adapter names used in this workspace.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Maps each item (rayon: `ParallelIterator::map`).
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Filter + map in one pass.
+    pub fn filter_map<U, F: FnMut(I::Item) -> Option<U>>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    /// Flattens a sequential iterator produced per item (rayon:
+    /// `flat_map_iter`).
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Consumes the iterator, applying `f` to each item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// rayon-style fold: `identity` builds per-split accumulators (here:
+    /// exactly one), `f` folds items into them. Returns an iterator over
+    /// the partial accumulations, as rayon does.
+    pub fn fold<B, MkB, F>(self, identity: MkB, f: F) -> ParIter<std::iter::Once<B>>
+    where
+        MkB: Fn() -> B,
+        F: FnMut(B, I::Item) -> B,
+    {
+        ParIter(std::iter::once(self.0.fold(identity(), f)))
+    }
+
+    /// rayon-style reduce: folds all items starting from `identity()`.
+    pub fn reduce<MkB, F>(self, identity: MkB, f: F) -> I::Item
+    where
+        MkB: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), f)
+    }
+
+    /// Collects into any [`FromIterator`] collection.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sum of all items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// No-op chunking hint (rayon: `IndexedParallelIterator::with_min_len`).
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// `into_par_iter()` for anything iterable (ranges, vectors, ...).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Converts into a "parallel" iterator.
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+impl<T: IntoIterator> IntoParallelIterator for T {}
+
+/// Shared-slice adapters (rayon: `ParallelSlice` + `IntoParallelRefIterator`).
+pub trait ParallelSlice<T> {
+    /// `iter()` as a "parallel" iterator.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    /// `chunks(size)` as a "parallel" iterator.
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(size))
+    }
+}
+
+/// Mutable-slice adapters (rayon: `ParallelSliceMut`).
+pub trait ParallelSliceMut<T> {
+    /// `chunks_mut(size)` as a "parallel" iterator.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    /// Unstable sort (sequential here).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    /// Unstable sort by key (sequential here).
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(size))
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable()
+    }
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+        self.sort_unstable_by_key(f)
+    }
+}
+
+/// The scoped-task handle. `spawn` runs the task immediately (sequential
+/// execution preserves the fork-join semantics the callers rely on).
+pub struct Scope<'scope>(PhantomData<&'scope ()>);
+
+impl<'scope> Scope<'scope> {
+    /// Runs `f` immediately.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        f(self)
+    }
+}
+
+/// Creates a task scope; tasks spawned inside run immediately.
+pub fn scope<'scope, R, F>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    f(&Scope(PhantomData))
+}
+
+/// Runs two closures (sequentially) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; never actually produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error (shim)")
+    }
+}
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a (fictional) thread pool.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    _threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+    /// Accepted and ignored: execution is sequential.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self._threads = n;
+        self
+    }
+    /// Always succeeds.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool)
+    }
+}
+
+/// A (fictional) thread pool: `install` simply runs the closure.
+#[derive(Debug)]
+pub struct ThreadPool;
+
+impl ThreadPool {
+    /// Runs `f` on the "pool" (the current thread).
+    pub fn install<R, F: FnOnce() -> R>(&self, f: F) -> R {
+        f()
+    }
+}
+
+/// The rayon prelude: the traits that make `par_*` methods visible.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_match_sequential() {
+        let v = [3u32, 1, 2];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+
+        let mut s = vec![3u32, 1, 2];
+        s.par_sort_unstable();
+        assert_eq!(s, vec![1, 2, 3]);
+
+        let folded: Vec<u32> = (0..10usize)
+            .into_par_iter()
+            .fold(Vec::new, |mut acc, x| {
+                acc.push(x as u32);
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        assert_eq!(folded.len(), 10);
+    }
+
+    #[test]
+    fn chunks_and_scope() {
+        let mut buf = vec![0u8; 8];
+        buf.par_chunks_mut(4).enumerate().for_each(|(i, c)| {
+            for b in c {
+                *b = i as u8;
+            }
+        });
+        assert_eq!(buf, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+
+        let mut hits = 0;
+        super::scope(|s| {
+            s.spawn(|_| {});
+            hits += 1;
+        });
+        assert_eq!(hits, 1);
+
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 42), 42);
+    }
+}

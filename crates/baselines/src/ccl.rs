@@ -82,9 +82,15 @@ mod tests {
     #[test]
     fn checkerboard_components() {
         let img = synth::checkerboard(4, 1, 0, 255);
-        assert_eq!(label_components(&img, Connectivity::Four).num_components, 16);
+        assert_eq!(
+            label_components(&img, Connectivity::Four).num_components,
+            16
+        );
         // With 8-connectivity the two colours connect diagonally: 2 parts.
-        assert_eq!(label_components(&img, Connectivity::Eight).num_components, 2);
+        assert_eq!(
+            label_components(&img, Connectivity::Eight).num_components,
+            2
+        );
     }
 
     #[test]

@@ -103,10 +103,11 @@ pub fn split_and_merge<P: Intensity>(img: &Image<P>, config: &Config) -> HpSegme
             if ra == rb {
                 continue;
             }
-            if config
-                .criterion
-                .satisfies(&stats[ra as usize], &stats[rb as usize], config.threshold)
-            {
+            if config.criterion.satisfies(
+                &stats[ra as usize],
+                &stats[rb as usize],
+                config.threshold,
+            ) {
                 let folded = stats[ra as usize].fold(stats[rb as usize]);
                 dsu.union_min_rep(ra, rb);
                 let rep = dsu.find(ra);

@@ -2,8 +2,8 @@
 //! (the simulated-time comparison lives in `paper_tables`; this measures
 //! the simulator itself as a parallel workload).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cmmd_sim::CommScheme;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rg_core::Config;
 use rg_imaging::synth;
 use rg_msgpass::segment_msgpass;

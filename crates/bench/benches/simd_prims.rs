@@ -1,7 +1,7 @@
 //! Throughput of the cm-sim data-parallel primitives (host execution).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cm_sim::{CostModel, Field, Machine, Shape};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_prims(c: &mut Criterion) {
     let mut g = c.benchmark_group("simd_prims");

@@ -49,7 +49,11 @@ pub fn run_ablation(pi: PaperImage, base: &Config, seeds: &[u64]) -> Vec<Ablatio
             };
             let seg = segment(&img, &cfg);
             iters += seg.merge_iterations as u64;
-            merges += seg.merges_per_iteration.iter().map(|&m| m as u64).sum::<u64>();
+            merges += seg
+                .merges_per_iteration
+                .iter()
+                .map(|&m| m as u64)
+                .sum::<u64>();
             regions = seg.num_regions;
         }
         let n = policies.len() as f64;

@@ -61,33 +61,38 @@ fn main() {
 
 /// Per-primitive cost breakdown on the CM-2 — the empirical counterpart of
 /// the paper's complexity section (split: elementwise + NEWS; merge:
-/// router-dominated).
+/// router-dominated). The breakdown is read entirely from the telemetry
+/// report's `<stage>.<prim>.ops` / `.seconds` counters, the same ones a
+/// `--telemetry` JSON dump contains.
 fn costs_breakdown() {
     use cm_sim::{CostModel, ALL_PRIMS};
-    use rg_datapar::segment_datapar;
+    use rg_core::{Recorder, Stage};
+    use rg_datapar::segment_datapar_with_telemetry;
     let pi = PaperImage::Image1;
     let img = pi.generate();
     let cfg = paper_config(pi.size());
     for model in [CostModel::cm2_8k(), CostModel::cm5_dp_32()] {
-        let out = segment_datapar(&img, &cfg, model);
-        println!("== {} on {} ==", pi.description(), out.platform);
-        for (stage, ledger) in [
-            ("split", &out.split_ledger),
-            ("graph", &out.graph_ledger),
-            ("merge", &out.merge_ledger),
-        ] {
-            println!("  {stage} stage: {:.3}s total", ledger.seconds());
+        let mut rec = Recorder::new();
+        segment_datapar_with_telemetry(&img, &cfg, model, &mut rec);
+        let report = rec.into_report();
+        println!("== {} on {} ==", pi.description(), report.engine);
+        for stage in [Stage::Split, Stage::Graph, Stage::Merge] {
+            let total = report.stage_seconds(stage).unwrap_or(0.0);
+            println!("  {} stage: {total:.3}s total", stage.name());
             for prim in ALL_PRIMS {
-                let n = ledger.count(prim);
-                if n > 0 {
-                    println!(
-                        "    {:<12} {:>6} ops {:>9.3}s ({:>4.1}%)",
-                        format!("{prim:?}"),
-                        n,
-                        ledger.seconds_of(prim),
-                        100.0 * ledger.seconds_of(prim) / ledger.seconds()
-                    );
-                }
+                let name = format!("{prim:?}").to_lowercase();
+                let key = format!("{}.{name}", stage.name());
+                let Some(ops) = report.counter(&format!("{key}.ops")) else {
+                    continue;
+                };
+                let secs = report.counter(&format!("{key}.seconds")).unwrap_or(0.0);
+                println!(
+                    "    {:<12} {:>6} ops {:>9.3}s ({:>4.1}%)",
+                    format!("{prim:?}"),
+                    ops as u64,
+                    secs,
+                    100.0 * secs / total
+                );
             }
         }
         println!();

@@ -1,11 +1,16 @@
 //! Regeneration of the paper's six per-image result tables.
+//!
+//! Every platform run goes through the unified telemetry layer: each engine
+//! reports into a [`Recorder`] and the table rows are derived from the
+//! resulting [`TelemetryReport`]s, so the numbers printed here are exactly
+//! the numbers a `--telemetry` JSON dump would contain.
 
 use cm_sim::CostModel;
 use cmmd_sim::CommScheme;
-use rg_core::{Config, TieBreak};
-use rg_datapar::segment_datapar;
+use rg_core::{Config, Recorder, Stage, TelemetryReport, TieBreak};
+use rg_datapar::segment_datapar_with_telemetry;
 use rg_imaging::synth::PaperImage;
-use rg_msgpass::{segment_msgpass, Decomposition};
+use rg_msgpass::{segment_msgpass_with_telemetry, Decomposition};
 
 /// Node count of the paper's CM-5 (and the processor-grid assumption the
 /// square cap derives from).
@@ -29,6 +34,22 @@ pub struct PlatformResult {
     pub num_squares: usize,
     /// Regions at the end of the merge stage.
     pub num_regions: usize,
+}
+
+impl PlatformResult {
+    /// Derives a table row from a recorded telemetry report (simulated
+    /// stage seconds, iteration counts, square/region totals).
+    pub fn from_report(platform: String, r: &TelemetryReport) -> Self {
+        PlatformResult {
+            platform,
+            split_s: r.stage_seconds(Stage::Split).unwrap_or(0.0),
+            split_iters: r.split_iterations,
+            merge_s: r.merge_seconds_as_reported().unwrap_or(0.0),
+            merge_iters: r.total_merge_iterations(),
+            num_squares: r.num_squares,
+            num_regions: r.num_regions,
+        }
+    }
 }
 
 /// The paper's published row for a platform.
@@ -57,8 +78,10 @@ pub fn paper_config(image_side: usize) -> Config {
         .max_square_log2(Some(d.max_safe_square_log2()))
 }
 
-/// Runs one paper image across all five platform configurations.
-pub fn run_all_platforms(pi: PaperImage) -> Vec<PlatformResult> {
+/// Runs one paper image across all five platform configurations, returning
+/// each platform's table row together with the full telemetry report it was
+/// derived from.
+pub fn run_all_platforms_with_reports(pi: PaperImage) -> Vec<(PlatformResult, TelemetryReport)> {
     let img = pi.generate();
     let cfg = paper_config(pi.size());
     let mut rows = Vec::new();
@@ -68,30 +91,39 @@ pub fn run_all_platforms(pi: PaperImage) -> Vec<PlatformResult> {
         CostModel::cm2_16k(),
         CostModel::cm5_dp_32(),
     ] {
-        let out = segment_datapar(&img, &cfg, model);
-        rows.push(PlatformResult {
-            platform: format!("CM Fortran on {}", out.platform),
-            split_s: out.split_seconds,
-            split_iters: out.seg.split_iterations,
-            merge_s: out.merge_seconds_as_reported(),
-            merge_iters: out.seg.merge_iterations,
-            num_squares: out.seg.num_squares,
-            num_regions: out.seg.num_regions,
-        });
+        let mut rec = Recorder::new();
+        let out = segment_datapar_with_telemetry(&img, &cfg, model, &mut rec);
+        let report = rec.into_report();
+        rows.push((
+            PlatformResult::from_report(format!("CM Fortran on {}", out.platform), &report),
+            report,
+        ));
     }
     for scheme in [CommScheme::LinearPermutation, CommScheme::Async] {
-        let out = segment_msgpass(&img, &cfg, CM5_NODES, scheme);
-        rows.push(PlatformResult {
-            platform: format!("F77 + CMMD on CM-5 (32 nodes, {})", scheme.label()),
-            split_s: out.split_seconds,
-            split_iters: out.seg.split_iterations,
-            merge_s: out.merge_seconds_as_reported(),
-            merge_iters: out.seg.merge_iterations,
-            num_squares: out.seg.num_squares,
-            num_regions: out.seg.num_regions,
-        });
+        let mut rec = Recorder::new();
+        let out = segment_msgpass_with_telemetry(&img, &cfg, CM5_NODES, scheme, &mut rec);
+        let report = rec.into_report();
+        rows.push((
+            PlatformResult::from_report(
+                format!(
+                    "F77 + CMMD on CM-5 ({} nodes, {})",
+                    out.nodes,
+                    scheme.label()
+                ),
+                &report,
+            ),
+            report,
+        ));
     }
     rows
+}
+
+/// Runs one paper image across all five platform configurations.
+pub fn run_all_platforms(pi: PaperImage) -> Vec<PlatformResult> {
+    run_all_platforms_with_reports(pi)
+        .into_iter()
+        .map(|(row, _)| row)
+        .collect()
 }
 
 /// The paper's published numbers for each image (split s / iters, merge
@@ -186,8 +218,15 @@ pub fn format_table(pi: PaperImage, rows: &[PlatformResult]) -> String {
     for (r, p) in rows.iter().zip(refs.iter()) {
         s.push_str(&format!(
             "{:<40} {:>9.3} {:>6} | {:>9.3} {:>6} || {:>9.3} {:>6} | {:>9.3} {:>6}\n",
-            r.platform, r.split_s, r.split_iters, r.merge_s, r.merge_iters,
-            p.split_s, p.split_iters, p.merge_s, p.merge_iters
+            r.platform,
+            r.split_s,
+            r.split_iters,
+            r.merge_s,
+            r.merge_iters,
+            p.split_s,
+            p.split_iters,
+            p.merge_s,
+            p.merge_iters
         ));
     }
     s
@@ -207,6 +246,21 @@ mod tests {
         let r6 = paper_reference(PaperImage::Image6);
         assert_eq!(r6[2].merge_s, 75.582);
         assert_eq!(r6[2].platform, "CM Fortran on CM-5 (32 nodes)");
+    }
+
+    #[test]
+    fn from_report_mirrors_recorded_run() {
+        let img = rg_imaging::synth::nested_rects(64);
+        let cfg = Config::with_threshold(10);
+        let mut rec = Recorder::new();
+        let out = segment_datapar_with_telemetry(&img, &cfg, CostModel::cm2_8k(), &mut rec);
+        let row = PlatformResult::from_report("row".into(), rec.report());
+        assert_eq!(row.split_s, out.split_seconds);
+        assert_eq!(row.merge_s, out.merge_seconds_as_reported());
+        assert_eq!(row.split_iters, out.seg.split_iterations);
+        assert_eq!(row.merge_iters, out.seg.merge_iterations);
+        assert_eq!(row.num_squares, out.seg.num_squares);
+        assert_eq!(row.num_regions, out.seg.num_regions);
     }
 
     #[test]

@@ -255,7 +255,9 @@ mod tests {
         assert_eq!(l.count(Prim::Scan), 0);
         assert!(l.seconds() > 0.0);
         assert!(l.seconds_of(Prim::Send) > l.seconds_of(Prim::Reduce));
-        assert!((l.seconds_of(Prim::Send) + l.seconds_of(Prim::Reduce) - l.seconds()).abs() < 1e-12);
+        assert!(
+            (l.seconds_of(Prim::Send) + l.seconds_of(Prim::Reduce) - l.seconds()).abs() < 1e-12
+        );
         l.reset();
         assert_eq!(l.seconds(), 0.0);
         assert_eq!(l.count(Prim::Send), 0);

@@ -127,13 +127,15 @@ mod tests {
         let a = Field::from_slice(&[1u32, 2, 3, 4, 5]);
         let seg = Field::from_slice(&[true, false, true, false, false]);
         assert_eq!(
-            m.segmented_scan_inclusive(&a, &seg, |x, y| x + y).as_slice(),
+            m.segmented_scan_inclusive(&a, &seg, |x, y| x + y)
+                .as_slice(),
             &[1, 3, 3, 7, 12]
         );
         // Segmented min: the per-segment running minimum.
         let b = Field::from_slice(&[9u32, 2, 7, 8, 1]);
         assert_eq!(
-            m.segmented_scan_inclusive(&b, &seg, |x, y| x.min(y)).as_slice(),
+            m.segmented_scan_inclusive(&b, &seg, |x, y| x.min(y))
+                .as_slice(),
             &[9, 2, 7, 7, 1]
         );
     }

@@ -90,6 +90,7 @@ pub fn all_to_many(
                 let dst = (me + i) % q;
                 let src = (me + q - i) % q;
                 // The LP loop body runs every round, traffic or not.
+                node.note_comm_round();
                 node.charge_ns(node.params().round_overhead_ns);
                 for payload in buckets[dst].drain(..) {
                     node.send_sync(dst, payload);
@@ -101,6 +102,9 @@ pub fn all_to_many(
             }
         }
         CommScheme::Async => {
+            // One logical round: everything is posted up front and drained
+            // as it arrives.
+            node.note_comm_round();
             // Post all sends asynchronously...
             for (dst, bucket) in buckets.iter_mut().enumerate() {
                 if dst == me {
@@ -181,6 +185,27 @@ mod tests {
             t_async < t_lp,
             "async {t_async} should beat LP {t_lp} (the paper's observation)"
         );
+    }
+
+    #[test]
+    fn round_counters_reflect_schemes() {
+        // One exchange on Q nodes: LP executes Q−1 rounds per node whether
+        // or not a pair has traffic; Async always counts exactly one.
+        for (scheme, expect) in [
+            (CommScheme::LinearPermutation, 7u64),
+            (CommScheme::Async, 1u64),
+        ] {
+            let res = run_spmd(8, TimeParams::default(), move |node| {
+                let out = workload(node);
+                let _ = all_to_many(node, out, scheme);
+                node.comm_rounds()
+            });
+            assert!(
+                res.results.iter().all(|&r| r == expect),
+                "{scheme:?}: {:?}",
+                res.results
+            );
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub struct Node {
     clock_ns: f64,
     msgs_sent: u64,
     bytes_sent: u64,
+    comm_rounds: u64,
     /// `to[d]` sends to rank `d`.
     to: Vec<Sender<Msg>>,
     /// `from[s]` receives from rank `s`.
@@ -108,6 +109,18 @@ impl Node {
     /// Point-to-point payload bytes sent so far.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent
+    }
+
+    /// Records one communication round (see
+    /// [`crate::alltomany::all_to_many`]: LP counts each of its `Q−1`
+    /// permutation rounds, Async counts one round per exchange).
+    pub fn note_comm_round(&mut self) {
+        self.comm_rounds += 1;
+    }
+
+    /// Communication rounds recorded so far.
+    pub fn comm_rounds(&self) -> u64 {
+        self.comm_rounds
     }
 
     fn post(&mut self, dst: usize, payload: Bytes) {
@@ -202,16 +215,13 @@ impl Node {
     /// Exclusive prefix over ranks: node `k` receives
     /// `op(v_0, …, v_{k-1})` (`init` for rank 0) — CMMD's scan on the
     /// control network.
-    pub fn scan_exclusive_u64(
-        &mut self,
-        v: u64,
-        init: u64,
-        op: impl Fn(u64, u64) -> u64,
-    ) -> u64 {
+    pub fn scan_exclusive_u64(&mut self, v: u64, init: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
         let parts = self.collectives.exchange_u64(self.rank, self.clock_ns, v);
         let max_ts = parts.iter().map(|(t, _)| *t).fold(f64::MIN, f64::max);
         self.clock_ns = max_ts + (self.size.max(2) as f64).log2() * self.params.tree_stage_ns;
-        parts[..self.rank].iter().fold(init, |acc, &(_, x)| op(acc, x))
+        parts[..self.rank]
+            .iter()
+            .fold(init, |acc, &(_, x)| op(acc, x))
     }
 
     /// Gather to `root`: the root receives every node's payload indexed by
@@ -267,6 +277,7 @@ where
             clock_ns: 0.0,
             msgs_sent: 0,
             bytes_sent: 0,
+            comm_rounds: 0,
             to: snd_row.into_iter().map(Option::unwrap).collect(),
             from: rcv_row.into_iter().map(Option::unwrap).collect(),
             collectives: Arc::clone(&collectives),

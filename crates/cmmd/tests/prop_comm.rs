@@ -14,7 +14,10 @@ fn run_pattern(q: usize, pattern: &[Vec<u8>], scheme: CommScheme) -> (Vec<Vec<(u
         let mut out = Vec::new();
         for (dst, &count) in pattern[me].iter().enumerate() {
             for k in 0..count {
-                out.push((dst, encode_u32s(&[(me * 1000 + dst * 10 + k as usize) as u32])));
+                out.push((
+                    dst,
+                    encode_u32s(&[(me * 1000 + dst * 10 + k as usize) as u32]),
+                ));
             }
         }
         let got = all_to_many(node, out, scheme);

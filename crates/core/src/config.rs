@@ -134,7 +134,8 @@ impl Criterion {
             }
             Criterion::MeanDifference => {
                 // |mean_a - mean_b| computed exactly in u128, then scaled.
-                let num = (a.sum as u128 * b.count as u128).abs_diff(b.sum as u128 * a.count as u128);
+                let num =
+                    (a.sum as u128 * b.count as u128).abs_diff(b.sum as u128 * a.count as u128);
                 let den = a.count as u128 * b.count as u128;
                 ((num << WEIGHT_FP_SHIFT) / den) as u64
             }
@@ -144,12 +145,7 @@ impl Criterion {
     /// `true` iff merging the two regions satisfies the criterion with
     /// threshold `t` grey levels. Exact (no fixed-point rounding).
     #[inline]
-    pub fn satisfies<P: Intensity>(
-        &self,
-        a: &RegionStats<P>,
-        b: &RegionStats<P>,
-        t: u32,
-    ) -> bool {
+    pub fn satisfies<P: Intensity>(&self, a: &RegionStats<P>, b: &RegionStats<P>, t: u32) -> bool {
         match self {
             Criterion::PixelRange => {
                 let lo = a.min.min(b.min).to_u32();

@@ -6,8 +6,36 @@ use crate::hierarchy::MergeTrace;
 use crate::labels::compact_first_appearance;
 use crate::merge::{MergeSummary, Merger};
 use crate::split::{split, split_par, SplitResult};
+use crate::telemetry::{MergeIterationRecord, NullTelemetry, Stage, StageSpan, Telemetry};
 use rayon::prelude::*;
 use rg_imaging::{Image, Intensity};
+use std::time::Instant;
+
+/// A wall-clock stopwatch that avoids the syscall when telemetry is off.
+struct Stopwatch {
+    start: Option<Instant>,
+}
+
+impl Stopwatch {
+    fn start(enabled: bool) -> Self {
+        Self {
+            start: enabled.then(Instant::now),
+        }
+    }
+
+    /// Seconds since construction (0.0 when disabled), restarting the
+    /// stopwatch for the next stage.
+    fn lap(&mut self) -> f64 {
+        match &mut self.start {
+            Some(t) => {
+                let dt = t.elapsed().as_secs_f64();
+                *t = Instant::now();
+                dt
+            }
+            None => 0.0,
+        }
+    }
+}
 
 /// A completed segmentation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,7 +69,26 @@ impl Segmentation {
 
 /// Runs the full split-and-merge pipeline sequentially.
 pub fn segment<P: Intensity>(img: &Image<P>, config: &Config) -> Segmentation {
-    run_pipeline(img, config, false)
+    run_pipeline(img, config, false, &mut NullTelemetry)
+}
+
+/// Like [`segment`], reporting stage spans and per-iteration merge
+/// counters into the given [`Telemetry`] sink.
+pub fn segment_with_telemetry<P: Intensity>(
+    img: &Image<P>,
+    config: &Config,
+    tel: &mut dyn Telemetry,
+) -> Segmentation {
+    run_pipeline(img, config, false, tel)
+}
+
+/// Like [`segment_par`], reporting into the given [`Telemetry`] sink.
+pub fn segment_par_with_telemetry<P: Intensity>(
+    img: &Image<P>,
+    config: &Config,
+    tel: &mut dyn Telemetry,
+) -> Segmentation {
+    run_pipeline(img, config, true, tel)
 }
 
 /// Like [`segment`], additionally recording the [`MergeTrace`] — the full
@@ -87,17 +134,51 @@ pub fn segment_with_trace<P: Intensity>(
 /// Runs the full pipeline with rayon parallelism. Produces exactly the same
 /// segmentation as [`segment`].
 pub fn segment_par<P: Intensity>(img: &Image<P>, config: &Config) -> Segmentation {
-    run_pipeline(img, config, true)
+    run_pipeline(img, config, true, &mut NullTelemetry)
 }
 
-fn run_pipeline<P: Intensity>(img: &Image<P>, config: &Config, parallel: bool) -> Segmentation {
+fn run_pipeline<P: Intensity>(
+    img: &Image<P>,
+    config: &Config,
+    parallel: bool,
+    tel: &mut dyn Telemetry,
+) -> Segmentation {
+    let enabled = tel.enabled();
+    if enabled {
+        tel.run_start(
+            if parallel { "rayon" } else { "seq" },
+            img.width(),
+            img.height(),
+            config,
+        );
+    }
+    let mut watch = Stopwatch::start(enabled);
+
     let split_result = if parallel {
         split_par(img, config)
     } else {
         split(img, config)
     };
-    let (summary, labels) = merge_from_split(&split_result, config, parallel);
+    if enabled {
+        tel.stage(StageSpan {
+            stage: Stage::Split,
+            wall_seconds: watch.lap(),
+            sim_seconds: None,
+        });
+        tel.split_done(split_result.iterations, split_result.num_squares());
+    }
+
+    let (summary, labels) = merge_from_split_with(&split_result, config, parallel, tel, &mut watch);
+
     let (labels, num_regions) = compact_first_appearance(&labels);
+    if enabled {
+        tel.stage(StageSpan {
+            stage: Stage::Label,
+            wall_seconds: watch.lap(),
+            sim_seconds: None,
+        });
+        tel.run_end();
+    }
     Segmentation {
         labels,
         num_regions,
@@ -117,6 +198,26 @@ pub fn merge_from_split<P: Intensity>(
     config: &Config,
     parallel: bool,
 ) -> (MergeSummary, Vec<u32>) {
+    let mut watch = Stopwatch::start(false);
+    merge_from_split_with(
+        split_result,
+        config,
+        parallel,
+        &mut NullTelemetry,
+        &mut watch,
+    )
+}
+
+/// [`merge_from_split`] with telemetry: emits the graph/merge stage spans
+/// and one [`MergeIterationRecord`] per merge iteration.
+fn merge_from_split_with<P: Intensity>(
+    split_result: &SplitResult<P>,
+    config: &Config,
+    parallel: bool,
+    tel: &mut dyn Telemetry,
+    watch: &mut Stopwatch,
+) -> (MergeSummary, Vec<u32>) {
+    let enabled = tel.enabled();
     let rag = if parallel {
         Rag::from_split_par(split_result, config.connectivity)
     } else {
@@ -129,7 +230,41 @@ pub fn merge_from_split<P: Intensity>(
         .map(|s| s.id(stride) as u64)
         .collect();
     let mut merger = Merger::new(rag, ids, config, parallel);
-    let summary = merger.run();
+    if enabled {
+        tel.stage(StageSpan {
+            stage: Stage::Graph,
+            wall_seconds: watch.lap(),
+            sim_seconds: None,
+        });
+    }
+
+    let summary = if enabled {
+        while !merger.is_done() {
+            let iteration = merger.iterations();
+            let report = merger.step();
+            tel.merge_iteration(MergeIterationRecord {
+                iteration,
+                merges: report.merges,
+                used_fallback: report.used_fallback,
+            });
+        }
+        MergeSummary {
+            iterations: merger.iterations(),
+            merges_per_iteration: merger.merges_per_iteration().to_vec(),
+            num_regions: merger.num_regions(),
+        }
+    } else {
+        merger.run()
+    };
+    if enabled {
+        tel.merge_done(summary.num_regions);
+        tel.stage(StageSpan {
+            stage: Stage::Merge,
+            wall_seconds: watch.lap(),
+            sim_seconds: None,
+        });
+    }
+
     let by_vertex = merger.labels_by_vertex();
     let labels: Vec<u32> = if parallel {
         split_result
@@ -211,15 +346,45 @@ mod tests {
         // or doesn't, independent of grouping order).
         let img = synth::rect_collection(64);
         let with_split = segment(&img, &Config::with_threshold(10));
-        let merge_only = segment(
-            &img,
-            &Config::with_threshold(10).max_square_log2(Some(0)),
-        );
+        let merge_only = segment(&img, &Config::with_threshold(10).max_square_log2(Some(0)));
         assert_eq!(with_split.num_regions, merge_only.num_regions);
         assert_eq!(with_split.labels, merge_only.labels);
         assert_eq!(merge_only.num_squares, 64 * 64);
         // The split stage saves merge iterations (the paper's motivation).
         assert!(with_split.merge_iterations <= merge_only.merge_iterations);
+    }
+
+    #[test]
+    fn telemetry_matches_segmentation() {
+        use crate::telemetry::{Recorder, Stage};
+        let img = synth::nested_rects(64);
+        let cfg = Config::with_threshold(10).tie_break(TieBreak::Random { seed: 3 });
+        let mut rec_seq = Recorder::new();
+        let seg = segment_with_telemetry(&img, &cfg, &mut rec_seq);
+        let mut rec_par = Recorder::new();
+        let seg_par = segment_par_with_telemetry(&img, &cfg, &mut rec_par);
+        assert_eq!(seg, seg_par);
+
+        for (rec, engine) in [(&rec_seq, "seq"), (&rec_par, "rayon")] {
+            let r = rec.report();
+            assert!(rec.is_finished());
+            assert_eq!(r.engine, engine);
+            assert_eq!(r.width, 64);
+            assert_eq!(r.height, 64);
+            assert_eq!(r.merges_per_iteration(), seg.merges_per_iteration);
+            assert_eq!(r.total_merge_iterations(), seg.merge_iterations);
+            assert_eq!(r.split_iterations, seg.split_iterations);
+            assert_eq!(r.num_squares, seg.num_squares);
+            assert_eq!(r.num_regions, seg.num_regions);
+            // All four stages present, in pipeline order, wall-clocked.
+            let stages: Vec<Stage> = r.stages.iter().map(|s| s.stage).collect();
+            assert_eq!(
+                stages,
+                vec![Stage::Split, Stage::Graph, Stage::Merge, Stage::Label]
+            );
+            assert!(r.stages.iter().all(|s| s.sim_seconds.is_none()));
+            assert!(r.stages.iter().all(|s| s.wall_seconds >= 0.0));
+        }
     }
 
     #[test]

@@ -124,7 +124,10 @@ impl MergeTrace {
         let limit = (w as u64) << 16;
         // Merges admitted at cut w must still form a forest: a loser dies
         // exactly once globally, so simple counting suffices.
-        self.events.iter().filter(|e| e.weight_fp16 <= limit).count()
+        self.events
+            .iter()
+            .filter(|e| e.weight_fp16 <= limit)
+            .count()
     }
 }
 

@@ -44,16 +44,25 @@ pub mod config;
 pub mod engine;
 pub mod graph;
 pub mod hierarchy;
+pub mod json;
 pub mod labels;
+pub mod merge;
 pub mod metrics;
 pub mod regions;
-pub mod merge;
 pub mod split;
+pub mod telemetry;
 pub mod verify;
 
 pub use config::{Config, Connectivity, Criterion, RegionStats, TieBreak};
-pub use engine::{segment, segment_par, segment_with_trace, Segmentation};
+pub use engine::{
+    segment, segment_par, segment_par_with_telemetry, segment_with_telemetry, segment_with_trace,
+    Segmentation,
+};
 pub use hierarchy::{MergeEvent, MergeTrace};
 pub use merge::{MergeSummary, Merger, StepReport};
 pub use split::{split, split_par, SplitResult, Square};
+pub use telemetry::{
+    CommRecord, MergeIterationRecord, NullTelemetry, Recorder, Stage, StageSpan, Telemetry,
+    TelemetryReport,
+};
 pub use verify::{verify_segmentation, Violation};

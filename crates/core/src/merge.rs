@@ -67,12 +67,7 @@ pub fn tie_priority(seed: u64, iteration: u32, chooser: u64, candidate: u64) -> 
 /// The key a chooser uses to rank `candidate` among equal-weight
 /// neighbours; smaller is better. Shared by every engine.
 #[inline]
-pub fn tie_key(
-    policy: TieBreak,
-    iteration: u32,
-    chooser_id: u64,
-    candidate_id: u64,
-) -> (u64, u64) {
+pub fn tie_key(policy: TieBreak, iteration: u32, chooser_id: u64, candidate_id: u64) -> (u64, u64) {
     match policy {
         TieBreak::SmallestId => (candidate_id, 0),
         TieBreak::LargestId => (u64::MAX - candidate_id, 0),
@@ -295,9 +290,7 @@ impl<P: Intensity> Merger<P> {
             let mut directed: Vec<(u32, (u64, u64, u64, u32))> = self
                 .edges
                 .par_iter()
-                .flat_map_iter(|&(u, v)| {
-                    [(u, cand_key(u, v)), (v, cand_key(v, u))].into_iter()
-                })
+                .flat_map_iter(|&(u, v)| [(u, cand_key(u, v)), (v, cand_key(v, u))].into_iter())
                 .collect();
             directed.par_sort_unstable();
             let mut prev = u32::MAX;
@@ -530,7 +523,10 @@ mod tests {
         // min=max. Figure-1 squares have ranges > 0, so most edges die;
         // run must terminate quickly regardless.
         let summary = m.run();
-        assert_eq!(summary.iterations as usize, summary.merges_per_iteration.len());
+        assert_eq!(
+            summary.iterations as usize,
+            summary.merges_per_iteration.len()
+        );
     }
 
     #[test]

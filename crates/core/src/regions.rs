@@ -39,7 +39,11 @@ pub fn summarize_regions<P: Intensity>(
     seg: &Segmentation,
 ) -> Vec<RegionSummary<P>> {
     assert_eq!(img.width(), seg.width, "image/segmentation width mismatch");
-    assert_eq!(img.height(), seg.height, "image/segmentation height mismatch");
+    assert_eq!(
+        img.height(),
+        seg.height,
+        "image/segmentation height mismatch"
+    );
     struct Acc {
         stats: Option<RegionStats<u32>>,
         min_x: usize,

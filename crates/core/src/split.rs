@@ -90,15 +90,13 @@ impl<P: Intensity> Pyramid<P> {
 
         let mut base = vec![None; side * side];
         if parallel {
-            base.par_chunks_mut(side)
-                .enumerate()
-                .for_each(|(y, row)| {
-                    if y < img.height() {
-                        for (x, cell) in row.iter_mut().enumerate().take(img.width()) {
-                            *cell = Some(RegionStats::of_pixel(img.get(x, y)));
-                        }
+            base.par_chunks_mut(side).enumerate().for_each(|(y, row)| {
+                if y < img.height() {
+                    for (x, cell) in row.iter_mut().enumerate().take(img.width()) {
+                        *cell = Some(RegionStats::of_pixel(img.get(x, y)));
                     }
-                });
+                }
+            });
         } else {
             for y in 0..img.height() {
                 for x in 0..img.width() {
@@ -285,7 +283,8 @@ fn split_impl<P: Intensity>(img: &Image<P>, config: &Config, parallel: bool) -> 
             .expect("emitted square has stats");
         stats.push(st);
         for y in s.y as usize..s.y as usize + s.side() as usize {
-            for cell in &mut square_of[y * w + s.x as usize..y * w + s.x as usize + s.side() as usize]
+            for cell in
+                &mut square_of[y * w + s.x as usize..y * w + s.x as usize + s.side() as usize]
             {
                 *cell = i as u32;
             }
@@ -428,7 +427,13 @@ mod tests {
         let r = split(&img, &cfg(t));
         for (s, st) in r.squares.iter().zip(&r.stats) {
             // Homogeneous.
-            assert!(st.range() <= t, "square at ({},{}) range {}", s.x, s.y, st.range());
+            assert!(
+                st.range() <= t,
+                "square at ({},{}) range {}",
+                s.x,
+                s.y,
+                st.range()
+            );
             // Stats correct (recompute brute force).
             let mut lo = u8::MAX;
             let mut hi = u8::MIN;
@@ -441,7 +446,10 @@ mod tests {
                     sum += p as u64;
                 }
             }
-            assert_eq!((st.min, st.max, st.sum, st.count), (lo, hi, sum, (s.side() as u64).pow(2)));
+            assert_eq!(
+                (st.min, st.max, st.sum, st.count),
+                (lo, hi, sum, (s.side() as u64).pow(2))
+            );
         }
     }
 

@@ -287,9 +287,13 @@ mod tests {
         };
         let cfg = Config::with_threshold(5);
         let err = verify_segmentation(&img, &seg, &cfg).unwrap_err();
-        assert!(err
-            .iter()
-            .any(|v| matches!(v, Violation::NotConnected { label: 0, components: 2 })));
+        assert!(err.iter().any(|v| matches!(
+            v,
+            Violation::NotConnected {
+                label: 0,
+                components: 2
+            }
+        )));
     }
 
     #[test]
@@ -307,9 +311,13 @@ mod tests {
         };
         let cfg = Config::with_threshold(5);
         let err = verify_segmentation(&img, &seg, &cfg).unwrap_err();
-        assert!(err
-            .iter()
-            .any(|v| matches!(v, Violation::NotHomogeneous { label: 0, range: 200 })));
+        assert!(err.iter().any(|v| matches!(
+            v,
+            Violation::NotHomogeneous {
+                label: 0,
+                range: 200
+            }
+        )));
     }
 
     #[test]

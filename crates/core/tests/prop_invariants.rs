@@ -4,9 +4,7 @@
 //! rayon engines must agree bit for bit.
 
 use proptest::prelude::*;
-use rg_core::{
-    segment, segment_par, split, verify_segmentation, Config, Connectivity, TieBreak,
-};
+use rg_core::{segment, segment_par, split, verify_segmentation, Config, Connectivity, TieBreak};
 use rg_imaging::{synth, Image};
 
 prop_compose! {

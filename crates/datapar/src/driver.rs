@@ -3,10 +3,12 @@
 use crate::graph_dp::build_graph;
 use crate::merge_dp::merge_dp;
 use crate::split_dp::split_dp;
-use cm_sim::{CostModel, Machine};
+use cm_sim::{CostModel, Machine, ALL_PRIMS};
 use rg_core::labels::compact_first_appearance;
+use rg_core::telemetry::{derive_merge_iterations, NullTelemetry, Stage, StageSpan, Telemetry};
 use rg_core::{Config, Segmentation};
 use rg_imaging::{Image, Intensity};
+use std::time::Instant;
 
 /// A data-parallel run's outputs: the segmentation plus the simulated
 /// per-stage times on the chosen platform.
@@ -46,29 +48,116 @@ pub fn segment_datapar<P: Intensity>(
     config: &Config,
     model: CostModel,
 ) -> DataParOutcome {
+    segment_datapar_with_telemetry(img, config, model, &mut NullTelemetry)
+}
+
+/// [`segment_datapar`] reporting into the given [`Telemetry`] sink: stage
+/// spans carry both host wall time and the cost model's simulated seconds,
+/// and the per-primitive ledger counts land as named counters
+/// (`"<stage>.<prim>.ops"` / `"<stage>.<prim>.seconds"`).
+pub fn segment_datapar_with_telemetry<P: Intensity>(
+    img: &Image<P>,
+    config: &Config,
+    model: CostModel,
+    tel: &mut dyn Telemetry,
+) -> DataParOutcome {
     let m = Machine::new(model);
+    let enabled = tel.enabled();
+    if enabled {
+        tel.run_start(
+            &format!("datapar:{}", model.name),
+            img.width(),
+            img.height(),
+            config,
+        );
+    }
+    let mut t0 = enabled.then(Instant::now);
+    let mut lap = move || -> f64 {
+        match &mut t0 {
+            Some(t) => {
+                let dt = t.elapsed().as_secs_f64();
+                *t = Instant::now();
+                dt
+            }
+            None => 0.0,
+        }
+    };
 
     // Step 1: split.
     let split = split_dp(&m, img, config);
     let split_ledger = m.ledger_snapshot();
     let split_seconds = split_ledger.seconds();
     m.reset_ledger();
+    if enabled {
+        tel.stage(StageSpan {
+            stage: Stage::Split,
+            wall_seconds: lap(),
+            sim_seconds: Some(split_seconds),
+        });
+    }
 
     // Step 2: vertices and edges.
     let graph = build_graph(&m, &split, config.connectivity);
     let graph_ledger = m.ledger_snapshot();
     let graph_seconds = graph_ledger.seconds();
     m.reset_ledger();
+    if enabled {
+        tel.stage(StageSpan {
+            stage: Stage::Graph,
+            wall_seconds: lap(),
+            sim_seconds: Some(graph_seconds),
+        });
+        tel.split_done(split.iterations, graph.num_vertices as usize);
+    }
 
     // Steps 3–5: merge loop.
     let merged = merge_dp(&m, &graph, config);
     let merge_ledger = m.ledger_snapshot();
     let merge_seconds = merge_ledger.seconds();
+    if enabled {
+        tel.stage(StageSpan {
+            stage: Stage::Merge,
+            wall_seconds: lap(),
+            sim_seconds: Some(merge_seconds),
+        });
+        for rec in derive_merge_iterations(
+            &merged.summary.merges_per_iteration,
+            config.tie_break,
+            config.max_stall,
+        ) {
+            tel.merge_iteration(rec);
+        }
+        tel.merge_done(merged.summary.num_regions);
+    }
 
     // Host-side label compaction (front-end work, uncharged — the CM host
     // also post-processed results).
     let (labels, num_regions) = compact_first_appearance(merged.pixel_rep.as_slice());
     debug_assert_eq!(num_regions, merged.summary.num_regions);
+    if enabled {
+        tel.stage(StageSpan {
+            stage: Stage::Label,
+            wall_seconds: lap(),
+            sim_seconds: None,
+        });
+        // Per-primitive breakdown: the empirical counterpart of the
+        // paper's complexity analysis, one counter pair per primitive.
+        for (stage, ledger) in [
+            ("split", &split_ledger),
+            ("graph", &graph_ledger),
+            ("merge", &merge_ledger),
+        ] {
+            for prim in ALL_PRIMS {
+                let ops = ledger.count(prim);
+                if ops > 0 {
+                    let name = format!("{prim:?}").to_lowercase();
+                    tel.counter(&format!("{stage}.{name}.ops"), ops as f64);
+                    tel.counter(&format!("{stage}.{name}.seconds"), ledger.seconds_of(prim));
+                }
+            }
+        }
+        tel.run_end();
+    }
 
     DataParOutcome {
         split_ledger,
@@ -110,7 +199,10 @@ mod tests {
     #[test]
     fn figure1_matches_host() {
         let img = synth::figure1_image();
-        check_matches_host(&img, &Config::with_threshold(3).tie_break(TieBreak::SmallestId));
+        check_matches_host(
+            &img,
+            &Config::with_threshold(3).tie_break(TieBreak::SmallestId),
+        );
     }
 
     #[test]
@@ -153,10 +245,41 @@ mod tests {
     #[test]
     fn merge_only_baseline_matches_host() {
         let img = synth::rect_collection(32);
-        check_matches_host(
-            &img,
-            &Config::with_threshold(10).max_square_log2(Some(0)),
+        check_matches_host(&img, &Config::with_threshold(10).max_square_log2(Some(0)));
+    }
+
+    #[test]
+    fn telemetry_carries_simulated_times_and_prim_counters() {
+        use rg_core::telemetry::Recorder;
+        let img = synth::nested_rects(64);
+        let cfg = Config::with_threshold(10);
+        let mut rec = Recorder::new();
+        let out = segment_datapar_with_telemetry(&img, &cfg, CostModel::cm2_8k(), &mut rec);
+        let r = rec.report();
+        assert!(rec.is_finished());
+        assert_eq!(r.engine, "datapar:CM-2 (8K procs)");
+        // Stage spans carry the ledger's simulated seconds exactly.
+        assert_eq!(r.stage_seconds(Stage::Split), Some(out.split_seconds));
+        assert_eq!(
+            r.merge_seconds_as_reported(),
+            Some(out.merge_seconds_as_reported())
         );
+        // Segmentation-level counters agree with the outcome.
+        assert_eq!(r.merges_per_iteration(), out.seg.merges_per_iteration);
+        assert_eq!(r.split_iterations, out.seg.split_iterations);
+        assert_eq!(r.num_squares, out.seg.num_squares);
+        assert_eq!(r.num_regions, out.seg.num_regions);
+        // Per-primitive counters match the ledgers.
+        assert_eq!(
+            r.counter("split.elementwise.ops"),
+            Some(out.split_ledger.count(cm_sim::Prim::Elementwise) as f64)
+        );
+        assert_eq!(
+            r.counter("merge.send.ops"),
+            Some(out.merge_ledger.count(cm_sim::Prim::Send) as f64)
+        );
+        // No comm record for a data-parallel run.
+        assert!(r.comm.is_none());
     }
 
     #[test]

@@ -33,4 +33,4 @@ pub mod graph_dp;
 pub mod merge_dp;
 pub mod split_dp;
 
-pub use driver::{segment_datapar, DataParOutcome};
+pub use driver::{segment_datapar, segment_datapar_with_telemetry, DataParOutcome};

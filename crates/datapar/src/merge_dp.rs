@@ -80,7 +80,18 @@ pub fn merge_dp(m: &Machine, g: &DpGraph, config: &Config) -> DpMerge {
 
     // Initial de-activation (step 2's "edges that do not satisfy the
     // homogeneity criterion are de-activated").
-    refresh_active(m, crit, t, &v_min, &v_max, &v_sum, &v_cnt, &e_u, &e_v, &mut e_active);
+    refresh_active(
+        m,
+        crit,
+        t,
+        &v_min,
+        &v_max,
+        &v_sum,
+        &v_cnt,
+        &e_u,
+        &e_v,
+        &mut e_active,
+    );
 
     let mut iterations = 0u32;
     let mut merges_per_iteration = Vec::new();
@@ -194,7 +205,18 @@ pub fn merge_dp(m: &Machine, g: &DpGraph, config: &Config) -> DpMerge {
         e_v = m.get(&rep, &e_v, None, 0);
         let not_loop = m.zip(&e_u, &e_v, |a, b| a != b);
         e_active = m.zip(&e_active, &not_loop, |a, b| a && b);
-        refresh_active(m, crit, t, &v_min, &v_max, &v_sum, &v_cnt, &e_u, &e_v, &mut e_active);
+        refresh_active(
+            m,
+            crit,
+            t,
+            &v_min,
+            &v_max,
+            &v_sum,
+            &v_cnt,
+            &e_u,
+            &e_v,
+            &mut e_active,
+        );
 
         iterations += 1;
         merges_per_iteration.push(merges);

@@ -167,7 +167,10 @@ mod tests {
             .filter(|&(_, _, p)| p == 7)
             .map(|(x, y, _)| (x, y))
             .collect();
-        assert_eq!(painted, vec![(1, 1), (2, 1), (1, 2), (2, 2), (1, 3), (2, 3)]);
+        assert_eq!(
+            painted,
+            vec![(1, 1), (2, 1), (1, 2), (2, 2), (1, 3), (2, 3)]
+        );
     }
 
     #[test]

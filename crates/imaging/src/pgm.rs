@@ -72,7 +72,9 @@ pub fn write<P: Intensity, W: Write>(
     let (_, hi) = img.min_max();
     let maxval = maxval.unwrap_or_else(|| P::MAX_VALUE.to_u32().min(65_535));
     if maxval == 0 || maxval > 65_535 {
-        return Err(PgmError::Range(format!("maxval {maxval} out of [1, 65535]")));
+        return Err(PgmError::Range(format!(
+            "maxval {maxval} out of [1, 65535]"
+        )));
     }
     if hi.to_u32() > maxval {
         return Err(PgmError::Range(format!(

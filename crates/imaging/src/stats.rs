@@ -172,7 +172,10 @@ impl SummedAreaTable {
     #[inline]
     pub fn sum(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> u64 {
         assert!(x0 <= x1 && y0 <= y1, "inverted rectangle");
-        assert!(x1 <= self.width && y1 <= self.height, "rectangle out of bounds");
+        assert!(
+            x1 <= self.width && y1 <= self.height,
+            "rectangle out of bounds"
+        );
         let s = self.width + 1;
         self.acc[y1 * s + x1] + self.acc[y0 * s + x0]
             - self.acc[y0 * s + x1]
@@ -262,11 +265,8 @@ mod tests {
     #[test]
     fn pyramid_square_pow2() {
         // 4x4 image from the paper's Figure 1.
-        let img: Image<u8> = Image::from_vec(
-            4,
-            4,
-            vec![6, 7, 1, 3, 8, 6, 5, 4, 8, 8, 6, 5, 8, 7, 6, 6],
-        );
+        let img: Image<u8> =
+            Image::from_vec(4, 4, vec![6, 7, 1, 3, 8, 6, 5, 4, 8, 8, 6, 5, 8, 7, 6, 6]);
         let pyr = MinMaxPyramid::build(&img);
         assert_eq!(pyr.side(), 4);
         assert_eq!(pyr.num_levels(), 3);
@@ -317,7 +317,11 @@ mod tests {
                         }
                     }
                     let expect = if any { Some((lo, hi)) } else { None };
-                    assert_eq!(pyr.block(level, bx, by), expect, "level {level} ({bx},{by})");
+                    assert_eq!(
+                        pyr.block(level, bx, by),
+                        expect,
+                        "level {level} ({bx},{by})"
+                    );
                 }
             }
         }
@@ -329,7 +333,13 @@ mod tests {
         let sat = SummedAreaTable::build(&img);
         assert_eq!(sat.width(), 13);
         assert_eq!(sat.height(), 9);
-        for (x0, y0, x1, y1) in [(0, 0, 13, 9), (2, 3, 7, 8), (5, 5, 5, 5), (0, 0, 1, 1), (12, 8, 13, 9)] {
+        for (x0, y0, x1, y1) in [
+            (0, 0, 13, 9),
+            (2, 3, 7, 8),
+            (5, 5, 5, 5),
+            (0, 0, 1, 1),
+            (12, 8, 13, 9),
+        ] {
             let mut expect = 0u64;
             for y in y0..y1 {
                 for x in x0..x1 {
@@ -339,7 +349,10 @@ mod tests {
             assert_eq!(sat.sum(x0, y0, x1, y1), expect, "({x0},{y0})-({x1},{y1})");
         }
         assert_eq!(sat.mean(5, 5, 5, 5), None);
-        assert_eq!(sat.mean(0, 0, 2, 1), Some((img.get(0,0) as f64 + img.get(1,0) as f64) / 2.0));
+        assert_eq!(
+            sat.mean(0, 0, 2, 1),
+            Some((img.get(0, 0) as f64 + img.get(1, 0) as f64) / 2.0)
+        );
     }
 
     #[test]

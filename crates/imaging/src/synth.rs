@@ -403,11 +403,7 @@ mod tests {
             let img = pi.generate();
             assert_eq!(img.width(), pi.size());
             assert_eq!(img.height(), pi.size());
-            assert_eq!(
-                flat_components(&img),
-                pi.expected_final_regions(),
-                "{pi:?}"
-            );
+            assert_eq!(flat_components(&img), pi.expected_final_regions(), "{pi:?}");
         }
     }
 
@@ -418,7 +414,11 @@ mod tests {
         // are threshold-robust.
         for pi in PaperImage::ALL {
             let img = pi.generate();
-            let mut values: Vec<u8> = img.pixels().iter().copied().collect::<HashSet<_>>()
+            let mut values: Vec<u8> = img
+                .pixels()
+                .iter()
+                .copied()
+                .collect::<HashSet<_>>()
                 .into_iter()
                 .collect();
             values.sort_unstable();

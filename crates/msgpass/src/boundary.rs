@@ -103,8 +103,9 @@ pub fn build_local_rag<P: Intensity>(
         ..*config
     };
     let s = split(&sub, &local_cfg);
-    node.compute(tile.w as u64 * tile.h as u64 * SPLIT_UNITS_PER_PX_PER_LEVEL
-        * (s.iterations as u64 + 1));
+    node.compute(
+        tile.w as u64 * tile.h as u64 * SPLIT_UNITS_PER_PX_PER_LEVEL * (s.iterations as u64 + 1),
+    );
     // The split stage ends with a synchronisation point: the paper times
     // the stages separately.
     node.barrier();
@@ -129,7 +130,11 @@ pub fn build_local_rag<P: Intensity>(
             },
         );
     }
-    let pixel_square: Vec<u32> = s.square_of.iter().map(|&q| gid_of_square[q as usize]).collect();
+    let pixel_square: Vec<u32> = s
+        .square_of
+        .iter()
+        .map(|&q| gid_of_square[q as usize])
+        .collect();
 
     // --- step 2: internal edges ------------------------------------------
     let mut half_edges: Vec<(u32, u32)> = Vec::new();

@@ -6,9 +6,11 @@ use crate::merge_mp::{merge_mp, MpMergeOutcome};
 use cmmd_sim::channel::{decode_u32s, encode_u32s};
 use cmmd_sim::{run_spmd, CommScheme, TimeParams};
 use rg_core::labels::compact_first_appearance;
+use rg_core::telemetry::{derive_merge_iterations, CommRecord, Stage, StageSpan, Telemetry};
 use rg_core::{Config, Segmentation};
 use rg_imaging::{Image, Intensity};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Work units to resolve one pixel's final label.
 const LABEL_UNITS_PER_PX: u64 = 3;
@@ -36,6 +38,11 @@ pub struct MsgPassOutcome {
     pub total_messages: u64,
     /// Total point-to-point payload bytes sent across all nodes.
     pub total_bytes: u64,
+    /// Total communication rounds across all nodes (LP runs `Q−1` rounds
+    /// per exchange on every node, traffic or not; Async counts one per
+    /// exchange — the structural difference the paper's comparison hinges
+    /// on).
+    pub total_comm_rounds: u64,
 }
 
 impl MsgPassOutcome {
@@ -56,6 +63,7 @@ struct NodeOut {
     t_merge: f64,
     msgs_sent: u64,
     bytes_sent: u64,
+    comm_rounds: u64,
 }
 
 /// Runs the full message-passing split-and-merge program on `nodes`
@@ -71,6 +79,73 @@ pub fn segment_msgpass<P: Intensity>(
     scheme: CommScheme,
 ) -> MsgPassOutcome {
     segment_msgpass_with(img, config, nodes, scheme, TimeParams::cm5_mp())
+}
+
+/// [`segment_msgpass`] reporting into the given [`Telemetry`] sink: stage
+/// spans carry simulated seconds, and a [`CommRecord`] carries the LP
+/// round count / Async message totals from the `cmmd-sim` runtime.
+pub fn segment_msgpass_with_telemetry<P: Intensity>(
+    img: &Image<P>,
+    config: &Config,
+    nodes: usize,
+    scheme: CommScheme,
+    tel: &mut dyn Telemetry,
+) -> MsgPassOutcome {
+    let enabled = tel.enabled();
+    let wall = enabled.then(Instant::now);
+    let out = segment_msgpass_with(img, config, nodes, scheme, TimeParams::cm5_mp());
+    if enabled {
+        // Host wall time is not meaningful per simulated stage here (all
+        // nodes run concurrently on OS threads), so the whole run's wall
+        // time is attributed proportionally to the simulated stage times.
+        let wall_total = wall.map(|t| t.elapsed().as_secs_f64()).unwrap_or(0.0);
+        let sim_total =
+            (out.split_seconds + out.graph_seconds + out.merge_seconds).max(f64::MIN_POSITIVE);
+        tel.run_start(
+            &format!("msgpass:{}:{}", out.scheme.label(), out.nodes),
+            img.width(),
+            img.height(),
+            config,
+        );
+        for (stage, sim) in [
+            (Stage::Split, out.split_seconds),
+            (Stage::Graph, out.graph_seconds),
+            (Stage::Merge, out.merge_seconds),
+        ] {
+            tel.stage(StageSpan {
+                stage,
+                wall_seconds: wall_total * (sim / sim_total),
+                sim_seconds: Some(sim),
+            });
+        }
+        // Host-side label compaction happens inside the SPMD run's harness;
+        // its wall time is folded into the proportional attribution above,
+        // so the Label span itself carries none.
+        tel.stage(StageSpan {
+            stage: Stage::Label,
+            wall_seconds: 0.0,
+            sim_seconds: None,
+        });
+        tel.split_done(out.seg.split_iterations, out.seg.num_squares);
+        for rec in derive_merge_iterations(
+            &out.seg.merges_per_iteration,
+            config.tie_break,
+            config.max_stall,
+        ) {
+            tel.merge_iteration(rec);
+        }
+        tel.merge_done(out.seg.num_regions);
+        tel.comm(CommRecord {
+            scheme: out.scheme.label().to_string(),
+            nodes: out.nodes,
+            rounds: out.total_comm_rounds,
+            messages: out.total_messages,
+            bytes: out.total_bytes,
+        });
+        tel.counter("cap_used_log2", out.cap_used as f64);
+        tel.run_end();
+    }
+    out
 }
 
 /// [`segment_msgpass`] with explicit time parameters.
@@ -138,6 +213,7 @@ pub fn segment_msgpass_with<P: Intensity>(
             t_merge,
             msgs_sent: node.msgs_sent(),
             bytes_sent: node.bytes_sent(),
+            comm_rounds: node.comm_rounds(),
         }
     });
 
@@ -153,12 +229,20 @@ pub fn segment_msgpass_with<P: Intensity>(
     }
     let (labels, num_regions) = compact_first_appearance(&raw);
 
-    let split_iterations = res.results.iter().map(|o| o.split_iterations).max().unwrap();
+    let split_iterations = res
+        .results
+        .iter()
+        .map(|o| o.split_iterations)
+        .max()
+        .unwrap();
     let num_squares = res.results.iter().map(|o| o.num_squares_local).sum();
     let merge0 = &res.results[0].merge;
     debug_assert_eq!(
         num_regions,
-        res.results.iter().map(|o| o.merge.num_regions_local).sum::<usize>()
+        res.results
+            .iter()
+            .map(|o| o.merge.num_regions_local)
+            .sum::<usize>()
     );
 
     let t_split = res.results[0].t_split;
@@ -166,6 +250,7 @@ pub fn segment_msgpass_with<P: Intensity>(
     let t_merge = res.results[0].t_merge;
     let total_messages: u64 = res.results.iter().map(|o| o.msgs_sent).sum();
     let total_bytes: u64 = res.results.iter().map(|o| o.bytes_sent).sum();
+    let total_comm_rounds: u64 = res.results.iter().map(|o| o.comm_rounds).sum();
 
     MsgPassOutcome {
         seg: Segmentation {
@@ -186,6 +271,7 @@ pub fn segment_msgpass_with<P: Intensity>(
         cap_used,
         total_messages,
         total_bytes,
+        total_comm_rounds,
     }
 }
 
@@ -282,6 +368,51 @@ mod tests {
             "async {} should beat LP {}",
             asy.merge_seconds_as_reported(),
             lp.merge_seconds_as_reported()
+        );
+    }
+
+    #[test]
+    fn telemetry_carries_comm_counters() {
+        use rg_core::telemetry::Recorder;
+        let img = synth::rect_collection(64);
+        let cfg = Config::with_threshold(10);
+        let mut rec = Recorder::new();
+        let out =
+            segment_msgpass_with_telemetry(&img, &cfg, 8, CommScheme::LinearPermutation, &mut rec);
+        let r = rec.report();
+        assert!(rec.is_finished());
+        assert_eq!(r.engine, "msgpass:LP:8");
+        let comm = r.comm.as_ref().expect("msgpass must emit a CommRecord");
+        assert_eq!(comm.scheme, "LP");
+        assert_eq!(comm.nodes, 8);
+        assert_eq!(comm.messages, out.total_messages);
+        assert_eq!(comm.bytes, out.total_bytes);
+        assert_eq!(comm.rounds, out.total_comm_rounds);
+        assert!(comm.rounds > 0);
+        assert_eq!(r.stage_seconds(Stage::Split), Some(out.split_seconds));
+        assert_eq!(
+            r.merge_seconds_as_reported(),
+            Some(out.merge_seconds_as_reported())
+        );
+        assert_eq!(r.merges_per_iteration(), out.seg.merges_per_iteration);
+        assert_eq!(r.num_regions, out.seg.num_regions);
+        assert_eq!(r.counter("cap_used_log2"), Some(out.cap_used as f64));
+    }
+
+    #[test]
+    fn lp_executes_more_rounds_than_async() {
+        // The structural cost the paper blames for LP's slower merge: all
+        // Q−1 permutation rounds run per exchange whether or not a pair
+        // has traffic, while Async posts everything in one round.
+        let img = synth::rect_collection(64);
+        let cfg = Config::with_threshold(10);
+        let lp = segment_msgpass(&img, &cfg, 8, CommScheme::LinearPermutation);
+        let asy = segment_msgpass(&img, &cfg, 8, CommScheme::Async);
+        assert!(
+            lp.total_comm_rounds > asy.total_comm_rounds,
+            "LP rounds {} should exceed Async rounds {}",
+            lp.total_comm_rounds,
+            asy.total_comm_rounds
         );
     }
 

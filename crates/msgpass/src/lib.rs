@@ -38,4 +38,6 @@ pub mod driver;
 pub mod merge_mp;
 
 pub use decomp::Decomposition;
-pub use driver::{segment_msgpass, segment_msgpass_with, MsgPassOutcome};
+pub use driver::{
+    segment_msgpass, segment_msgpass_with, segment_msgpass_with_telemetry, MsgPassOutcome,
+};

@@ -96,7 +96,8 @@ pub fn merge_mp(
         // mirror half-edge to it.
         let mut per_dst: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
         {
-            let mut sent: std::collections::HashSet<(usize, u32)> = std::collections::HashSet::new();
+            let mut sent: std::collections::HashSet<(usize, u32)> =
+                std::collections::HashSet::new();
             for &(s, d) in rag.half_edges.iter() {
                 let owner_d = decomp.owner_of_id(d);
                 if owner_d != me && sent.insert((owner_d, s)) {
@@ -128,7 +129,10 @@ pub fn merge_mp(
         }
 
         // ---- 2. de-activation + termination test -------------------------
-        let stats_of = |id: u32, store: &BTreeMap<u32, RegionStats<u32>>, ghosts: &HashMap<u32, RegionStats<u32>>| -> RegionStats<u32> {
+        let stats_of = |id: u32,
+                        store: &BTreeMap<u32, RegionStats<u32>>,
+                        ghosts: &HashMap<u32, RegionStats<u32>>|
+         -> RegionStats<u32> {
             if let Some(s) = store.get(&id) {
                 *s
             } else {
@@ -140,9 +144,8 @@ pub fn merge_mp(
         {
             let store = &rag.store;
             let ghosts = &rag.ghosts;
-            rag.half_edges.retain(|&(s, d)| {
-                crit.satisfies(&store[&s], &stats_of(d, store, ghosts), t)
-            });
+            rag.half_edges
+                .retain(|&(s, d)| crit.satisfies(&store[&s], &stats_of(d, store, ghosts), t));
         }
         node.compute(rag.half_edges.len() as u64 * MERGE_UNITS_PER_EDGE);
 
@@ -170,8 +173,9 @@ pub fn merge_mp(
             let ghosts = &rag.ghosts;
             let mut best: Option<(u64, u64, u64, u32)> = None;
             let mut cur: Option<u32> = None;
-            let flush = |src: Option<u32>, best: &mut Option<(u64, u64, u64, u32)>,
-                             choice: &mut BTreeMap<u32, u32>| {
+            let flush = |src: Option<u32>,
+                         best: &mut Option<(u64, u64, u64, u32)>,
+                         choice: &mut BTreeMap<u32, u32>| {
                 if let (Some(s), Some(b)) = (src, best.take()) {
                     choice.insert(s, b.3);
                 }
@@ -196,7 +200,10 @@ pub fn merge_mp(
         for (&u, &v) in &choice {
             let owner_v = decomp.owner_of_id(v);
             if owner_v != me {
-                per_dst.entry(owner_v).or_default().extend_from_slice(&[u, v]);
+                per_dst
+                    .entry(owner_v)
+                    .or_default()
+                    .extend_from_slice(&[u, v]);
             }
         }
         let outgoing = per_dst
@@ -250,12 +257,16 @@ pub fn merge_mp(
         let mut per_dst: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
         {
             let dead_map: HashMap<u32, u32> = newly_dead.iter().copied().collect();
-            let mut sent: std::collections::HashSet<(usize, u32)> = std::collections::HashSet::new();
+            let mut sent: std::collections::HashSet<(usize, u32)> =
+                std::collections::HashSet::new();
             for &(s, d) in rag.half_edges.iter() {
                 if let Some(&rep) = dead_map.get(&s) {
                     let owner_d = decomp.owner_of_id(d);
                     if owner_d != me && sent.insert((owner_d, s)) {
-                        per_dst.entry(owner_d).or_default().extend_from_slice(&[s, rep]);
+                        per_dst
+                            .entry(owner_d)
+                            .or_default()
+                            .extend_from_slice(&[s, rep]);
                     }
                 }
             }
@@ -285,7 +296,10 @@ pub fn merge_mp(
             if owner_s2 == me {
                 keep.push((s2, d2));
             } else {
-                per_dst.entry(owner_s2).or_default().extend_from_slice(&[s2, d2]);
+                per_dst
+                    .entry(owner_s2)
+                    .or_default()
+                    .extend_from_slice(&[s2, d2]);
             }
         }
         let outgoing = per_dst

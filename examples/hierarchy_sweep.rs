@@ -40,6 +40,11 @@ fn main() {
 
     println!("\nparallelism profile (merges per iteration, first 12):");
     for (it, n) in trace.merges_per_iteration().into_iter().take(12) {
-        println!("  iteration {:>3}: {:>6} merges  {}", it, n, "*".repeat((n as usize).min(60)));
+        println!(
+            "  iteration {:>3}: {:>6} merges  {}",
+            it,
+            n,
+            "*".repeat((n as usize).min(60))
+        );
     }
 }

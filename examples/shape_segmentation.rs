@@ -48,10 +48,7 @@ fn main() {
             "{:<8} {:>9} {:>22} {:>16} {:>8.1}",
             r.label,
             r.area(),
-            format!(
-                "({},{})-({},{})",
-                r.bbox.0, r.bbox.1, r.bbox.2, r.bbox.3
-            ),
+            format!("({},{})-({},{})", r.bbox.0, r.bbox.1, r.bbox.2, r.bbox.3),
             format!("({:.1},{:.1})", r.centroid.0, r.centroid.1),
             r.mean()
         );

@@ -15,6 +15,8 @@
 //!   --nodes N              node count for mp-* engines [32]
 //!   --demo NAME            use a built-in scene instead of an input file
 //!                          (image1..image6, circles, rects, nested, tool)
+//!   --telemetry PATH       write a JSON telemetry report (stage timings,
+//!                          per-iteration merge counts, comm counters)
 //!   --verify               check connectivity/homogeneity/maximality
 //!   --quiet                suppress the summary
 //! ```
@@ -22,8 +24,9 @@
 use cm_sim::CostModel;
 use cmmd_sim::CommScheme;
 use rg_core::{
-    labels::labels_to_image, segment, segment_par, verify_segmentation, Config, Connectivity,
-    Criterion, Segmentation, TieBreak,
+    labels::labels_to_image, segment_par_with_telemetry, segment_with_telemetry,
+    verify_segmentation, Config, Connectivity, Criterion, NullTelemetry, Recorder, Segmentation,
+    Telemetry, TieBreak,
 };
 use rg_imaging::{pgm, synth, GrayImage};
 use std::process::exit;
@@ -39,6 +42,7 @@ struct Options {
     cap: Option<u8>,
     engine: String,
     nodes: usize,
+    telemetry: Option<String>,
     verify: bool,
     quiet: bool,
 }
@@ -48,7 +52,8 @@ fn usage() -> ! {
         "usage: rgrow <input.pgm> [output.pgm] [--threshold N] [--tie random|smallest|largest]\n\
          \x20            [--seed N] [--connectivity 4|8] [--criterion range|mean] [--cap N]\n\
          \x20            [--engine seq|par|cm2-8k|cm2-16k|cm5-dp|mp-lp|mp-async] [--nodes N]\n\
-         \x20            [--demo image1..image6|circles|rects|nested|tool] [--verify] [--quiet]"
+         \x20            [--demo image1..image6|circles|rects|nested|tool] [--telemetry out.json]\n\
+         \x20            [--verify] [--quiet]"
     );
     exit(2)
 }
@@ -65,27 +70,33 @@ fn parse_args() -> Options {
         cap: None,
         engine: "par".to_string(),
         nodes: 32,
+        telemetry: None,
         verify: false,
         quiet: false,
     };
     let mut seed = 0x5EEDu64;
     let mut tie_name = "random".to_string();
     let mut args = std::env::args().skip(1).peekable();
-    let need_value = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>,
-                          flag: &str|
-     -> String {
-        args.next().unwrap_or_else(|| {
-            eprintln!("missing value for {flag}");
-            usage()
-        })
-    };
+    let need_value =
+        |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>, flag: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage()
+            })
+        };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--threshold" | "-t" => {
-                o.threshold = need_value(&mut args, &a).parse().unwrap_or_else(|_| usage())
+                o.threshold = need_value(&mut args, &a)
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             "--tie" => tie_name = need_value(&mut args, &a),
-            "--seed" => seed = need_value(&mut args, &a).parse().unwrap_or_else(|_| usage()),
+            "--seed" => {
+                seed = need_value(&mut args, &a)
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             "--connectivity" => {
                 o.connectivity = match need_value(&mut args, &a).as_str() {
                     "4" => Connectivity::Four,
@@ -100,10 +111,21 @@ fn parse_args() -> Options {
                     _ => usage(),
                 }
             }
-            "--cap" => o.cap = Some(need_value(&mut args, &a).parse().unwrap_or_else(|_| usage())),
+            "--cap" => {
+                o.cap = Some(
+                    need_value(&mut args, &a)
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
             "--engine" => o.engine = need_value(&mut args, &a),
-            "--nodes" => o.nodes = need_value(&mut args, &a).parse().unwrap_or_else(|_| usage()),
+            "--nodes" => {
+                o.nodes = need_value(&mut args, &a)
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             "--demo" => o.demo = Some(need_value(&mut args, &a)),
+            "--telemetry" => o.telemetry = Some(need_value(&mut args, &a)),
             "--verify" => o.verify = true,
             "--quiet" | "-q" => o.quiet = true,
             "--help" | "-h" => usage(),
@@ -148,17 +170,22 @@ fn load_image(o: &Options) -> GrayImage {
     })
 }
 
-fn run_engine(o: &Options, img: &GrayImage, cfg: &Config) -> (Segmentation, Option<String>) {
+fn run_engine(
+    o: &Options,
+    img: &GrayImage,
+    cfg: &Config,
+    tel: &mut dyn Telemetry,
+) -> (Segmentation, Option<String>) {
     match o.engine.as_str() {
-        "seq" => (segment(img, cfg), None),
-        "par" => (segment_par(img, cfg), None),
+        "seq" => (segment_with_telemetry(img, cfg, tel), None),
+        "par" => (segment_par_with_telemetry(img, cfg, tel), None),
         "cm2-8k" | "cm2-16k" | "cm5-dp" => {
             let model = match o.engine.as_str() {
                 "cm2-8k" => CostModel::cm2_8k(),
                 "cm2-16k" => CostModel::cm2_16k(),
                 _ => CostModel::cm5_dp_32(),
             };
-            let out = rg_datapar::segment_datapar(img, cfg, model);
+            let out = rg_datapar::segment_datapar_with_telemetry(img, cfg, model, tel);
             let note = format!(
                 "simulated on {}: split {:.3}s, merge {:.3}s",
                 out.platform,
@@ -173,7 +200,7 @@ fn run_engine(o: &Options, img: &GrayImage, cfg: &Config) -> (Segmentation, Opti
             } else {
                 CommScheme::Async
             };
-            let out = rg_msgpass::segment_msgpass(img, cfg, o.nodes, scheme);
+            let out = rg_msgpass::segment_msgpass_with_telemetry(img, cfg, o.nodes, scheme, tel);
             let note = format!(
                 "simulated on CM-5 ({} nodes, {}): split {:.3}s, merge {:.3}s (square cap 2^{})",
                 out.nodes,
@@ -205,8 +232,15 @@ fn main() {
         max_square_log2: o.cap,
         ..Config::default()
     };
+    let mut recorder = Recorder::new();
+    let mut null = NullTelemetry;
+    let tel: &mut dyn Telemetry = if o.telemetry.is_some() {
+        &mut recorder
+    } else {
+        &mut null
+    };
     let t0 = std::time::Instant::now();
-    let (seg, note) = run_engine(&o, &img, &cfg);
+    let (seg, note) = run_engine(&o, &img, &cfg, tel);
     let wall = t0.elapsed();
 
     if !o.quiet {
@@ -235,6 +269,16 @@ fn main() {
                 eprintln!("verify FAILED: {} violations, first: {}", v.len(), v[0]);
                 exit(1);
             }
+        }
+    }
+    if let Some(path) = &o.telemetry {
+        let report = recorder.report();
+        std::fs::write(path, report.to_json_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1)
+        });
+        if !o.quiet {
+            println!("wrote telemetry to {path}");
         }
     }
     if let Some(out) = &o.output {

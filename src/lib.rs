@@ -18,8 +18,8 @@
 //! * [`baselines`] — CCL, seeded growing, Horowitz-Pavlidis ([`rg_baselines`])
 
 pub use cm_sim as cm;
-pub use rg_baselines as baselines;
 pub use cmmd_sim as cmmd;
+pub use rg_baselines as baselines;
 pub use rg_core as core;
 pub use rg_datapar as datapar;
 pub use rg_dsu as dsu;

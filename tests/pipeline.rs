@@ -39,10 +39,7 @@ fn split_stage_reduces_merge_iterations() {
     for pi in [synth::PaperImage::Image1, synth::PaperImage::Image2] {
         let img = pi.generate();
         let with_split = segment(&img, &Config::with_threshold(10));
-        let merge_only = segment(
-            &img,
-            &Config::with_threshold(10).max_square_log2(Some(0)),
-        );
+        let merge_only = segment(&img, &Config::with_threshold(10).max_square_log2(Some(0)));
         assert_eq!(with_split.labels, merge_only.labels, "{pi:?} partition");
         assert!(
             with_split.merge_iterations <= merge_only.merge_iterations,
@@ -116,8 +113,7 @@ fn par_engine_verifies_on_all_paper_images() {
         let img = pi.generate();
         let cfg = Config::with_threshold(10);
         let seg = segment_par(&img, &cfg);
-        verify_segmentation(&img, &seg, &cfg)
-            .unwrap_or_else(|v| panic!("{pi:?}: {}", v[0]));
+        verify_segmentation(&img, &seg, &cfg).unwrap_or_else(|v| panic!("{pi:?}: {}", v[0]));
     }
 }
 

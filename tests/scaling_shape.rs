@@ -56,10 +56,7 @@ fn mp_split_time_scales_with_nodes() {
         times.push((nodes, out.split_seconds));
     }
     for w in times.windows(2) {
-        assert!(
-            w[1].1 < w[0].1,
-            "more nodes must shrink the split: {w:?}"
-        );
+        assert!(w[1].1 < w[0].1, "more nodes must shrink the split: {w:?}");
     }
     // Near-linear at these sizes: 8x nodes should give >= 4x speedup.
     assert!(times[0].1 / times[3].1 > 4.0);
@@ -78,5 +75,8 @@ fn lp_penalty_grows_with_node_count() {
     };
     let small = gap(8);
     let large = gap(32);
-    assert!(large > small, "LP penalty should grow: 8 nodes {small}, 32 nodes {large}");
+    assert!(
+        large > small,
+        "LP penalty should grow: 8 nodes {small}, 32 nodes {large}"
+    );
 }

@@ -1,0 +1,100 @@
+//! Telemetry JSON round-trip and golden-file snapshot.
+//!
+//! The golden file pins the full report schema for a deterministic run —
+//! the 64×64 nested-rectangles scene on the simulated CM-2 (8K) — after
+//! canonicalising away host wall-clock times (`without_wall_times`).
+//! Simulated seconds, iteration histories, and per-primitive counters are
+//! all exact and platform-independent, so any change to the event schema or
+//! to the engines' behaviour shows up as a diff against the snapshot.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test telemetry_golden
+//! ```
+
+use cm_sim::CostModel;
+use cmmd_sim::CommScheme;
+use rg_core::{
+    segment_par_with_telemetry, segment_with_telemetry, Config, Recorder, TelemetryReport, TieBreak,
+};
+use rg_imaging::synth;
+use std::path::Path;
+
+const GOLDEN: &str = "tests/golden/telemetry_nested64.json";
+
+fn golden_report() -> TelemetryReport {
+    let img = synth::nested_rects(64);
+    let cfg = Config::with_threshold(10).tie_break(TieBreak::Random { seed: 0x5EED });
+    let mut rec = Recorder::new();
+    rg_datapar::segment_datapar_with_telemetry(&img, &cfg, CostModel::cm2_8k(), &mut rec);
+    rec.into_report().without_wall_times()
+}
+
+#[test]
+fn golden_snapshot_matches() {
+    let report = golden_report();
+    let rendered = report.to_json_pretty();
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {GOLDEN} ({e}); run with UPDATE_GOLDEN=1"));
+    // Compare parsed reports first for a structured failure message, then
+    // the exact rendering (field order, float formatting).
+    let expected_report = TelemetryReport::parse(&expected).expect("golden file parses");
+    assert_eq!(
+        report, expected_report,
+        "telemetry content diverged from golden snapshot"
+    );
+    assert_eq!(
+        rendered.trim_end(),
+        expected.trim_end(),
+        "telemetry JSON rendering diverged from golden snapshot"
+    );
+}
+
+#[test]
+fn round_trip_is_lossless_for_every_engine() {
+    let img = synth::nested_rects(64);
+    let cfg = Config::with_threshold(10).tie_break(TieBreak::Random { seed: 7 });
+
+    let mut reports = Vec::new();
+    let mut rec = Recorder::new();
+    segment_with_telemetry(&img, &cfg, &mut rec);
+    reports.push(rec.into_report());
+    let mut rec = Recorder::new();
+    segment_par_with_telemetry(&img, &cfg, &mut rec);
+    reports.push(rec.into_report());
+    let mut rec = Recorder::new();
+    rg_datapar::segment_datapar_with_telemetry(&img, &cfg, CostModel::cm5_dp_32(), &mut rec);
+    reports.push(rec.into_report());
+    let mut rec = Recorder::new();
+    rg_msgpass::segment_msgpass_with_telemetry(&img, &cfg, 8, CommScheme::Async, &mut rec);
+    reports.push(rec.into_report());
+
+    for r in reports {
+        let compact = r.to_json().to_compact();
+        let parsed = TelemetryReport::parse(&compact).expect("compact form parses");
+        assert_eq!(
+            parsed, r,
+            "compact round trip lost data for {}",
+            parsed.engine
+        );
+        let parsed = TelemetryReport::parse(&r.to_json_pretty()).expect("pretty form parses");
+        assert_eq!(
+            parsed, r,
+            "pretty round trip lost data for {}",
+            parsed.engine
+        );
+    }
+}
+
+#[test]
+fn golden_run_is_deterministic() {
+    // The snapshot is only meaningful if the canonicalised report is
+    // bit-identical across runs.
+    assert_eq!(golden_report(), golden_report());
+}
