@@ -1,0 +1,241 @@
+//! Records the merge-stage benchmark trajectory to `BENCH_merge.json`.
+//!
+//! Runs the incremental CSR backend and the reference edge-list backend on
+//! the same split results and records throughput (`edges_per_sec`), wall
+//! time, iteration counts, live-edge peaks, and the machine-independent
+//! `relabel_work` counter that the CI perf-smoke job guards on.
+//!
+//! ```text
+//! cargo run --release -p rg-bench --bin bench_record                  # 512x512, write BENCH_merge.json
+//! cargo run --release -p rg-bench --bin bench_record -- --quick      # 256x256 (CI smoke)
+//! cargo run --release -p rg-bench --bin bench_record -- --check     # exit 1 if CSR does more relabel work
+//! cargo run --release -p rg-bench --bin bench_record -- --out /tmp/b.json
+//! ```
+//!
+//! `edges_per_sec` is `initial_edges x iterations / wall_seconds`: the rate
+//! at which the engine would traverse the *initial* edge set once per
+//! iteration — exactly the work the reference backend actually does, so the
+//! CSR backend's number directly exposes how much of that traversal the
+//! incremental structure skips.
+
+use std::time::Instant;
+
+use rg_core::graph::Rag;
+use rg_core::json::Json;
+use rg_core::{split, Config, MergeBackend, Merger, TieBreak};
+use rg_imaging::{synth, GrayImage};
+
+/// One benchmarked configuration.
+struct Row {
+    backend: MergeBackend,
+    image: &'static str,
+    tie_break: &'static str,
+    threshold: u32,
+    initial_edges: u64,
+    iterations: u32,
+    num_regions: usize,
+    wall_ms: f64,
+    edges_per_sec: f64,
+    peak_live_edges: u64,
+    relabel_work: u64,
+    compactions: u64,
+}
+
+fn bench_one(
+    img: &GrayImage,
+    image_name: &'static str,
+    threshold: u32,
+    tie: TieBreak,
+    tie_name: &'static str,
+    backend: MergeBackend,
+) -> Row {
+    let cfg = Config {
+        merge_backend: backend,
+        ..Config::with_threshold(threshold).tie_break(tie)
+    };
+    let s = split(img, &cfg);
+    let rag = Rag::from_split(&s, cfg.connectivity);
+    let initial_edges = rag.num_edges() as u64;
+    let stride = s.width as u32;
+    let ids: Vec<u64> = s.squares.iter().map(|sq| sq.id(stride) as u64).collect();
+
+    // Warm-up pass (page in buffers, steady-state allocator), then the
+    // timed pass on a fresh Merger over the same RAG.
+    let warm = Rag::from_split(&s, cfg.connectivity);
+    Merger::new(warm, ids.clone(), &cfg, false).run();
+
+    let mut merger = Merger::new(rag, ids, &cfg, false);
+    let t0 = Instant::now();
+    let summary = merger.run();
+    let wall = t0.elapsed().as_secs_f64();
+
+    let edges_per_sec = if wall > 0.0 {
+        (initial_edges as f64) * f64::from(summary.iterations) / wall
+    } else {
+        0.0
+    };
+    Row {
+        backend,
+        image: image_name,
+        tie_break: tie_name,
+        threshold,
+        initial_edges,
+        iterations: summary.iterations,
+        num_regions: summary.num_regions,
+        wall_ms: wall * 1e3,
+        edges_per_sec,
+        peak_live_edges: merger.peak_active_edges(),
+        relabel_work: merger.relabel_work(),
+        compactions: merger.compactions(),
+    }
+}
+
+fn row_json(r: &Row) -> Json {
+    Json::obj(vec![
+        ("backend", Json::Str(r.backend.name().to_string())),
+        ("image", Json::Str(r.image.to_string())),
+        ("tie_break", Json::Str(r.tie_break.to_string())),
+        ("threshold", Json::Num(f64::from(r.threshold))),
+        ("initial_edges", Json::Num(r.initial_edges as f64)),
+        ("iterations", Json::Num(f64::from(r.iterations))),
+        ("num_regions", Json::Num(r.num_regions as f64)),
+        ("wall_ms", Json::Num((r.wall_ms * 1e3).round() / 1e3)),
+        ("edges_per_sec", Json::Num(r.edges_per_sec.round())),
+        ("peak_live_edges", Json::Num(r.peak_live_edges as f64)),
+        ("relabel_work", Json::Num(r.relabel_work as f64)),
+        ("compactions", Json::Num(r.compactions as f64)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let mut out = "BENCH_merge.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" | "--check" => {}
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = p.clone(),
+                    None => {
+                        eprintln!("--out requires a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            bad => {
+                eprintln!("unknown flag {bad:?}; use --quick, --check, --out <path>");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let n = if quick { 256 } else { 512 };
+    // Three merge-heavy scenes. `noise` keeps every edge an exact tie for
+    // long stretches (the reference backend's worst case: full re-sorts on a
+    // barely-shrinking edge list); `rects` and `circles` mirror the paper's
+    // object scenes at scale.
+    let scenes: Vec<(&'static str, u32, GrayImage)> = vec![
+        ("noise", 10, synth::uniform_noise(n, n, 120, 135, 7)),
+        ("rects", 12, synth::random_rects(n, n, 40, 11)),
+        ("circles", 10, synth::circle_collection(n)),
+    ];
+    let ties: [(TieBreak, &'static str); 2] = [
+        (TieBreak::Random { seed: 1 }, "random"),
+        (TieBreak::SmallestId, "smallest_id"),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, threshold, img) in &scenes {
+        for &(tie, tie_name) in &ties {
+            for backend in [MergeBackend::Csr, MergeBackend::Reference] {
+                let row = bench_one(img, name, *threshold, tie, tie_name, backend);
+                eprintln!(
+                    "{:9} {:8} {:11} edges={:7} iters={:3} wall={:9.3}ms \
+                     e/s={:12.0} peak={:7} work={:10} compactions={}",
+                    row.backend.name(),
+                    row.image,
+                    row.tie_break,
+                    row.initial_edges,
+                    row.iterations,
+                    row.wall_ms,
+                    row.edges_per_sec,
+                    row.peak_live_edges,
+                    row.relabel_work,
+                    row.compactions,
+                );
+                rows.push(row);
+            }
+        }
+    }
+
+    // Per-scene speedups (CSR over reference) and the relabel-work guard.
+    let mut speedups = Vec::new();
+    let mut guard_failures = Vec::new();
+    let mut log_sum = 0.0f64;
+    let mut log_n = 0u32;
+    for (name, _, _) in &scenes {
+        for &(_, tie_name) in &ties {
+            let find = |b: MergeBackend| {
+                rows.iter()
+                    .find(|r| r.backend == b && r.image == *name && r.tie_break == tie_name)
+                    .expect("row recorded")
+            };
+            let (csr, reference) = (find(MergeBackend::Csr), find(MergeBackend::Reference));
+            let speedup = if reference.edges_per_sec > 0.0 {
+                csr.edges_per_sec / reference.edges_per_sec
+            } else {
+                1.0
+            };
+            speedups.push((
+                format!("{name}/{tie_name}"),
+                Json::Num((speedup * 100.0).round() / 100.0),
+            ));
+            if speedup > 0.0 {
+                log_sum += speedup.ln();
+                log_n += 1;
+            }
+            if csr.relabel_work > reference.relabel_work {
+                guard_failures.push(format!(
+                    "{name}/{tie_name}: csr relabel_work {} > reference {}",
+                    csr.relabel_work, reference.relabel_work
+                ));
+            }
+        }
+    }
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("bench-merge-v1".to_string())),
+        ("generator", Json::Str("bench_record".to_string())),
+        ("image_size", Json::Num(f64::from(n as u32))),
+        ("rows", Json::Arr(rows.iter().map(row_json).collect())),
+        ("speedup_csr_over_reference", Json::Obj(speedups)),
+        (
+            "speedup_geomean",
+            Json::Num(if log_n > 0 {
+                ((log_sum / f64::from(log_n)).exp() * 100.0).round() / 100.0
+            } else {
+                1.0
+            }),
+        ),
+    ]);
+    std::fs::write(&out, doc.to_pretty() + "\n").unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out}");
+
+    if check && !guard_failures.is_empty() {
+        for f in &guard_failures {
+            eprintln!("PERF GUARD FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+    if check {
+        eprintln!("perf guard OK: CSR relabel work <= reference on every scene");
+    }
+}

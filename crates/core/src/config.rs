@@ -115,8 +115,78 @@ impl<P: Intensity> RegionStats<P> {
     }
 }
 
+/// Which merge-stage engine [`crate::merge::Merger`] runs internally.
+///
+/// Both backends execute the identical iteration structure (choices →
+/// mutual merges → edge relabel/de-activation) and produce byte-identical
+/// merge histories, summaries, and labels — the differential property tests
+/// in `crates/core/tests/prop_tiebreak.rs` enforce it. They differ only in
+/// data layout and per-iteration cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeBackend {
+    /// Compressed-sparse-row incremental engine (the default): tombstoned
+    /// in-place edge slots with periodic compaction, single-level
+    /// pointer-jumped endpoint relabelling, a segmented-min choice sweep
+    /// (no sorting), SoA region statistics, and persistent scratch buffers
+    /// so steady-state iterations are allocation-free.
+    #[default]
+    Csr,
+    /// The original edge-list engine: rebuilds, re-sorts, and re-dedups the
+    /// full edge list every iteration. Kept as the differential-testing
+    /// oracle and the bench baseline.
+    Reference,
+}
+
+impl MergeBackend {
+    /// Stable lower-case name used in bench records.
+    pub fn name(self) -> &'static str {
+        match self {
+            MergeBackend::Csr => "csr",
+            MergeBackend::Reference => "reference",
+        }
+    }
+}
+
 /// Fixed-point scale used by [`Criterion`] weights (16 fractional bits).
 pub const WEIGHT_FP_SHIFT: u32 = 16;
+
+/// Pixel-range edge weight in 16.16 fixed point from raw union bounds.
+///
+/// Scalar kernel shared by every engine: the host [`crate::merge::Merger`]
+/// backends, the data-parallel field code (`rg-datapar`), and the
+/// message-passing local merges (`rg-msgpass`) all compute weights through
+/// these primitives so a change lands everywhere at once.
+#[inline]
+pub fn range_weight_fp16(union_min: u32, union_max: u32) -> u64 {
+    ((union_max - union_min) as u64) << WEIGHT_FP_SHIFT
+}
+
+/// `true` iff a pixel-range union with the given bounds satisfies `t`.
+#[inline]
+pub fn range_satisfies(union_min: u32, union_max: u32, t: u32) -> bool {
+    union_max - union_min <= t
+}
+
+/// Mean-difference edge weight in 16.16 fixed point from raw sums/counts.
+/// Exact in `u128`; zero counts are treated as an infinite-mean sentinel by
+/// clamping the denominator (callers de-activate such edges anyway).
+#[inline]
+pub fn mean_weight_fp16(sum_a: u64, cnt_a: u64, sum_b: u64, cnt_b: u64) -> u64 {
+    let num = (sum_a as u128 * cnt_b as u128).abs_diff(sum_b as u128 * cnt_a as u128);
+    let den = (cnt_a as u128 * cnt_b as u128).max(1);
+    ((num << WEIGHT_FP_SHIFT) / den) as u64
+}
+
+/// `true` iff two regions' means differ by at most `t` (exact; `false`
+/// when either region is empty).
+#[inline]
+pub fn mean_satisfies(sum_a: u64, cnt_a: u64, sum_b: u64, cnt_b: u64, t: u32) -> bool {
+    if cnt_a == 0 || cnt_b == 0 {
+        return false;
+    }
+    let num = (sum_a as u128 * cnt_b as u128).abs_diff(sum_b as u128 * cnt_a as u128);
+    num <= t as u128 * cnt_a as u128 * cnt_b as u128
+}
 
 impl Criterion {
     /// Edge weight between two regions, in 16.16 fixed-point grey levels.
@@ -128,17 +198,9 @@ impl Criterion {
     pub fn weight<P: Intensity>(&self, a: &RegionStats<P>, b: &RegionStats<P>) -> u64 {
         match self {
             Criterion::PixelRange => {
-                let lo = a.min.min(b.min).to_u32() as u64;
-                let hi = a.max.max(b.max).to_u32() as u64;
-                (hi - lo) << WEIGHT_FP_SHIFT
+                range_weight_fp16(a.min.min(b.min).to_u32(), a.max.max(b.max).to_u32())
             }
-            Criterion::MeanDifference => {
-                // |mean_a - mean_b| computed exactly in u128, then scaled.
-                let num =
-                    (a.sum as u128 * b.count as u128).abs_diff(b.sum as u128 * a.count as u128);
-                let den = a.count as u128 * b.count as u128;
-                ((num << WEIGHT_FP_SHIFT) / den) as u64
-            }
+            Criterion::MeanDifference => mean_weight_fp16(a.sum, a.count, b.sum, b.count),
         }
     }
 
@@ -148,15 +210,9 @@ impl Criterion {
     pub fn satisfies<P: Intensity>(&self, a: &RegionStats<P>, b: &RegionStats<P>, t: u32) -> bool {
         match self {
             Criterion::PixelRange => {
-                let lo = a.min.min(b.min).to_u32();
-                let hi = a.max.max(b.max).to_u32();
-                hi - lo <= t
+                range_satisfies(a.min.min(b.min).to_u32(), a.max.max(b.max).to_u32(), t)
             }
-            Criterion::MeanDifference => {
-                let num =
-                    (a.sum as u128 * b.count as u128).abs_diff(b.sum as u128 * a.count as u128);
-                num <= t as u128 * a.count as u128 * b.count as u128
-            }
+            Criterion::MeanDifference => mean_satisfies(a.sum, a.count, b.sum, b.count, t),
         }
     }
 
@@ -212,6 +268,9 @@ pub struct Config {
     /// iterations tolerated before falling back to [`TieBreak::SmallestId`]
     /// for one iteration to guarantee progress.
     pub max_stall: u32,
+    /// Which internal merge engine [`crate::merge::Merger`] runs. Both
+    /// backends produce byte-identical results; see [`MergeBackend`].
+    pub merge_backend: MergeBackend,
 }
 
 impl Default for Config {
@@ -223,6 +282,7 @@ impl Default for Config {
             criterion: Criterion::PixelRange,
             max_square_log2: None,
             max_stall: 8,
+            merge_backend: MergeBackend::Csr,
         }
     }
 }
@@ -258,6 +318,12 @@ impl Config {
     /// Builder-style setter for the split-square cap.
     pub fn max_square_log2(mut self, m: Option<u8>) -> Self {
         self.max_square_log2 = m;
+        self
+    }
+
+    /// Builder-style setter for the merge backend.
+    pub fn merge_backend(mut self, b: MergeBackend) -> Self {
+        self.merge_backend = b;
         self
     }
 }
@@ -336,11 +402,46 @@ mod tests {
             .tie_break(TieBreak::LargestId)
             .connectivity(Connectivity::Eight)
             .criterion(Criterion::MeanDifference)
-            .max_square_log2(Some(4));
+            .max_square_log2(Some(4))
+            .merge_backend(MergeBackend::Reference);
         assert_eq!(c.threshold, 5);
         assert_eq!(c.tie_break, TieBreak::LargestId);
         assert_eq!(c.connectivity, Connectivity::Eight);
         assert_eq!(c.criterion, Criterion::MeanDifference);
         assert_eq!(c.max_square_log2, Some(4));
+        assert_eq!(c.merge_backend, MergeBackend::Reference);
+        assert_eq!(Config::default().merge_backend, MergeBackend::Csr);
+    }
+
+    #[test]
+    fn scalar_primitives_match_stats_paths() {
+        // The shared scalar kernels must agree with the RegionStats-based
+        // entry points bit for bit — every engine leans on this.
+        let a = rs(10, 20, 30, 2);
+        let b = rs(18, 25, 43, 2);
+        let lo = a.min.min(b.min) as u32;
+        let hi = a.max.max(b.max) as u32;
+        assert_eq!(
+            Criterion::PixelRange.weight(&a, &b),
+            range_weight_fp16(lo, hi)
+        );
+        for t in 0..32 {
+            assert_eq!(
+                Criterion::PixelRange.satisfies(&a, &b, t),
+                range_satisfies(lo, hi, t)
+            );
+            assert_eq!(
+                Criterion::MeanDifference.satisfies(&a, &b, t),
+                mean_satisfies(a.sum, a.count, b.sum, b.count, t)
+            );
+        }
+        assert_eq!(
+            Criterion::MeanDifference.weight(&a, &b),
+            mean_weight_fp16(a.sum, a.count, b.sum, b.count)
+        );
+        // Empty regions never satisfy the mean criterion.
+        assert!(!mean_satisfies(0, 0, 10, 1, 255));
+        assert_eq!(MergeBackend::Csr.name(), "csr");
+        assert_eq!(MergeBackend::Reference.name(), "reference");
     }
 }

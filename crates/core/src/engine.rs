@@ -246,6 +246,8 @@ fn merge_from_split_with<P: Intensity>(
                 iteration,
                 merges: report.merges,
                 used_fallback: report.used_fallback,
+                active_edges: Some(report.active_edges),
+                compacted: Some(report.compacted),
             });
         }
         MergeSummary {

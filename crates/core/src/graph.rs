@@ -15,18 +15,34 @@ use crate::config::{Connectivity, RegionStats};
 use crate::split::SplitResult;
 use rayon::prelude::*;
 use rg_imaging::Intensity;
+use std::borrow::Cow;
 
 /// A region adjacency graph: `stats[v]` for each vertex, plus the canonical
 /// (sorted, deduplicated, `u < v`) undirected edge list.
+///
+/// Statistics are carried as a [`Cow`]: [`Rag::from_split`] *borrows* the
+/// split result's stats instead of cloning them (the merge engine converts
+/// them into its SoA layout in one pass either way), while hand-built
+/// graphs (tests, synthetic workloads) own their vector.
 #[derive(Debug, Clone)]
-pub struct Rag<P: Intensity> {
+pub struct Rag<'a, P: Intensity> {
     /// Per-vertex region statistics, indexed by dense vertex id.
-    pub stats: Vec<RegionStats<P>>,
+    pub stats: Cow<'a, [RegionStats<P>]>,
     /// Undirected edges with `u < v`, sorted lexicographically, unique.
     pub edges: Vec<(u32, u32)>,
 }
 
-impl<P: Intensity> Rag<P> {
+impl<P: Intensity> Rag<'static, P> {
+    /// Builds a RAG owning its statistics (hand-built graphs).
+    pub fn from_parts(stats: Vec<RegionStats<P>>, edges: Vec<(u32, u32)>) -> Self {
+        Self {
+            stats: Cow::Owned(stats),
+            edges,
+        }
+    }
+}
+
+impl<'a, P: Intensity> Rag<'a, P> {
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
         self.stats.len()
@@ -37,8 +53,9 @@ impl<P: Intensity> Rag<P> {
         self.edges.len()
     }
 
-    /// Builds the RAG for the squares of a split result.
-    pub fn from_split(split: &SplitResult<P>, connectivity: Connectivity) -> Self {
+    /// Builds the RAG for the squares of a split result, borrowing the
+    /// split's statistics (no copy).
+    pub fn from_split(split: &'a SplitResult<P>, connectivity: Connectivity) -> Self {
         let edges = adjacent_label_pairs(
             &split.square_of,
             split.width,
@@ -47,13 +64,14 @@ impl<P: Intensity> Rag<P> {
             false,
         );
         Self {
-            stats: split.stats.clone(),
+            stats: Cow::Borrowed(&split.stats),
             edges,
         }
     }
 
-    /// Builds the RAG in parallel (identical output to [`Rag::from_split`]).
-    pub fn from_split_par(split: &SplitResult<P>, connectivity: Connectivity) -> Self {
+    /// Builds the RAG in parallel (identical output to [`Rag::from_split`],
+    /// statistics borrowed without copying).
+    pub fn from_split_par(split: &'a SplitResult<P>, connectivity: Connectivity) -> Self {
         let edges = adjacent_label_pairs(
             &split.square_of,
             split.width,
@@ -62,7 +80,7 @@ impl<P: Intensity> Rag<P> {
             true,
         );
         Self {
-            stats: split.stats.clone(),
+            stats: Cow::Borrowed(&split.stats),
             edges,
         }
     }

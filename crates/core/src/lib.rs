@@ -53,13 +53,13 @@ pub mod split;
 pub mod telemetry;
 pub mod verify;
 
-pub use config::{Config, Connectivity, Criterion, RegionStats, TieBreak};
+pub use config::{Config, Connectivity, Criterion, MergeBackend, RegionStats, TieBreak};
 pub use engine::{
     segment, segment_par, segment_par_with_telemetry, segment_with_telemetry, segment_with_trace,
     Segmentation,
 };
 pub use hierarchy::{MergeEvent, MergeTrace};
-pub use merge::{MergeSummary, Merger, StepReport};
+pub use merge::{choice_key, CandKey, MergeSummary, Merger, StepReport};
 pub use split::{split, split_par, SplitResult, Square};
 pub use telemetry::{
     CommRecord, MergeIterationRecord, NullTelemetry, Recorder, Stage, StageSpan, Telemetry,

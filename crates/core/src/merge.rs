@@ -19,6 +19,35 @@
 //!
 //! The loop repeats while active edges exist.
 //!
+//! ### Backends
+//!
+//! Two interchangeable merge backends implement step 4
+//! ([`crate::config::MergeBackend`]):
+//!
+//! * **CSR** (default): a compressed-sparse-row adjacency structure in the
+//!   spirit of the CM implementations' flat arrays. Each original vertex
+//!   owns a *row* of directed neighbour slots. One fused sweep at the end
+//!   of every iteration redirects endpoints through the iteration's
+//!   one-level redirect table (exact, because a representative never loses
+//!   in the iteration it wins), drops self-loops / per-owner duplicates /
+//!   criterion-violating slots, squeezes the surviving slots *and* rows in
+//!   place, and pre-folds the next iteration's per-region choice minima —
+//!   no per-iteration edge-list rebuild, no global sort, no steady-state
+//!   allocation, and no dead slot or empty row is ever rescanned. The
+//!   steady-state cost per iteration is O(live slots + live owners), with
+//!   none of the O(vertices) refill floors the reference engine pays.
+//! * **Reference**: the original edge-list engine that rebuilds, re-sorts
+//!   and re-dedups the whole list every iteration. Kept for differential
+//!   testing and as the perf baseline recorded in `BENCH_merge.json`.
+//!
+//! Both backends produce byte-identical merge histories: the candidate
+//! argmin is order-invariant (strict total order per chooser, see
+//! `prop_tiebreak.rs`), duplicate parallel edges never change a minimum,
+//! and the CSR backend filters criterion-violating slots *eagerly* at the
+//! end of each iteration — exactly when the reference filters — so the
+//! de-activation schedule, the iteration count, and the stall/fallback
+//! behaviour coincide.
+//!
 //! ### Termination
 //!
 //! With [`TieBreak::SmallestId`] / [`TieBreak::LargestId`] at least one
@@ -37,7 +66,10 @@
 //! message-passing engines make identical random decisions given the same
 //! seed.
 
-use crate::config::{Config, Criterion, RegionStats, TieBreak};
+use crate::config::{
+    mean_satisfies, mean_weight_fp16, range_satisfies, range_weight_fp16, Config, Criterion,
+    MergeBackend, RegionStats, TieBreak,
+};
 use crate::graph::Rag;
 use crate::hierarchy::{MergeEvent, MergeTrace};
 use rayon::prelude::*;
@@ -78,6 +110,35 @@ pub fn tie_key(policy: TieBreak, iteration: u32, chooser_id: u64, candidate_id: 
     }
 }
 
+/// The full candidate ranking key `(weight, tie0, tie1, candidate)`: a
+/// chooser picks the candidate minimising this tuple. The trailing dense
+/// candidate index makes the order strict, so the argmin is invariant
+/// under any scan order — the property every backend's segmented-min
+/// relies on.
+pub type CandKey = (u64, u64, u64, u32);
+
+/// Identity element of the [`CandKey`] min-fold ("no candidate seen").
+const KEY_SENTINEL: CandKey = (u64::MAX, u64::MAX, u64::MAX, u32::MAX);
+
+/// Builds the full [`CandKey`] for one directed candidate. Shared by the
+/// in-core backends and the message-passing engine so every implementation
+/// ranks candidates identically.
+#[inline]
+pub fn choice_key(
+    policy: TieBreak,
+    iteration: u32,
+    chooser_id: u64,
+    candidate_id: u64,
+    weight: u64,
+    candidate: u32,
+) -> CandKey {
+    let (k0, k1) = tie_key(policy, iteration, chooser_id, candidate_id);
+    (weight, k0, k1, candidate)
+}
+
+/// Edge count above which the rayon paths kick in.
+const PAR_EDGES: usize = 4096;
+
 /// What one call to [`Merger::step`] did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StepReport {
@@ -85,6 +146,14 @@ pub struct StepReport {
     pub merges: u32,
     /// `true` when the stall guard forced a smallest-ID iteration.
     pub used_fallback: bool,
+    /// Active undirected edges remaining *after* this iteration. The CSR
+    /// backend counts parallel duplicate edges retained between
+    /// compactions, so this may exceed the reference backend's
+    /// deduplicated count on the same input.
+    pub active_edges: u64,
+    /// `true` when the CSR backend compacted its slot array this
+    /// iteration.
+    pub compacted: bool,
 }
 
 /// Summary of a completed merge stage.
@@ -97,6 +166,661 @@ pub struct MergeSummary {
     pub merges_per_iteration: Vec<u32>,
     /// Regions remaining at termination.
     pub num_regions: usize,
+}
+
+/// Region statistics in structure-of-arrays layout: `min`/`max`/`sum`/
+/// `count` as separate slices so the hot weight/criterion kernels touch
+/// only the fields the active criterion needs (and autovectorise).
+#[derive(Debug)]
+struct SoaStats<P: Intensity> {
+    min: Vec<P>,
+    max: Vec<P>,
+    sum: Vec<u64>,
+    cnt: Vec<u64>,
+}
+
+impl<P: Intensity> SoaStats<P> {
+    fn from_stats(stats: &[RegionStats<P>]) -> Self {
+        Self {
+            min: stats.iter().map(|s| s.min).collect(),
+            max: stats.iter().map(|s| s.max).collect(),
+            sum: stats.iter().map(|s| s.sum).collect(),
+            cnt: stats.iter().map(|s| s.count).collect(),
+        }
+    }
+
+    /// 16.16 fixed-point merge weight of regions `a` and `b`.
+    #[inline]
+    fn weight(&self, crit: Criterion, a: usize, b: usize) -> u64 {
+        match crit {
+            Criterion::PixelRange => range_weight_fp16(
+                self.min[a].min(self.min[b]).to_u32(),
+                self.max[a].max(self.max[b]).to_u32(),
+            ),
+            Criterion::MeanDifference => {
+                mean_weight_fp16(self.sum[a], self.cnt[a], self.sum[b], self.cnt[b])
+            }
+        }
+    }
+
+    /// `true` iff merging `a` and `b` satisfies the criterion at `t`.
+    #[inline]
+    fn satisfies(&self, crit: Criterion, t: u32, a: usize, b: usize) -> bool {
+        match crit {
+            Criterion::PixelRange => range_satisfies(
+                self.min[a].min(self.min[b]).to_u32(),
+                self.max[a].max(self.max[b]).to_u32(),
+                t,
+            ),
+            Criterion::MeanDifference => {
+                mean_satisfies(self.sum[a], self.cnt[a], self.sum[b], self.cnt[b], t)
+            }
+        }
+    }
+
+    /// Folds `loser`'s statistics into `winner` (region union).
+    #[inline]
+    fn fold(&mut self, winner: usize, loser: usize) {
+        self.min[winner] = self.min[winner].min(self.min[loser]);
+        self.max[winner] = self.max[winner].max(self.max[loser]);
+        self.sum[winner] += self.sum[loser];
+        self.cnt[winner] += self.cnt[loser];
+    }
+
+    /// Reassembles the AoS view of vertex `i`.
+    #[inline]
+    fn get(&self, i: usize) -> RegionStats<P> {
+        RegionStats {
+            min: self.min[i],
+            max: self.max[i],
+            sum: self.sum[i],
+            count: self.cnt[i],
+        }
+    }
+}
+
+/// Hot per-vertex record for the CSR kernels: the pixel-range extrema and
+/// the canonical tie-break ID packed into one 16-byte slot, so ranking a
+/// candidate costs a single gather instead of three (min, max, id from
+/// separate arrays). Updated alongside [`SoaStats`] on every merge.
+#[derive(Debug, Clone, Copy)]
+struct HotVertex {
+    /// Current region minimum, widened to `u32`.
+    min: u32,
+    /// Current region maximum, widened to `u32`.
+    max: u32,
+    /// Canonical region ID (see [`crate::split::Square::id`]).
+    id: u64,
+}
+
+/// "No row" marker for the owner→rows linked lists.
+const NO_ROW: u32 = u32::MAX;
+
+/// The CSR adjacency state plus all persistent scratch, so steady-state
+/// iterations perform no heap allocation.
+#[derive(Debug)]
+struct Csr {
+    /// Static row extents, one row per *original* vertex (`len = n + 1`).
+    /// Never rewritten: row `r`'s slots live in
+    /// `col[row_ptr[r] .. row_ptr[r] + row_len[r]]`.
+    row_ptr: Vec<u32>,
+    /// Live slots of each row. Survivors are squeezed to the row start by
+    /// every pass, so the dead tail of an extent is never rescanned (no
+    /// tombstones).
+    row_len: Vec<u32>,
+    /// Directed neighbour slots. Every slot holds the *current
+    /// representative* of the neighbouring region.
+    col: Vec<u32>,
+    /// Current representative of the region that owns row `r`.
+    row_owner: Vec<u32>,
+    /// Number of live directed slots (`== row_len` sum). Not necessarily
+    /// even: the two directions of a duplicated edge may deduplicate at
+    /// different times.
+    live: usize,
+    /// Head of each vertex's list of owned rows (`NO_ROW` = owns none).
+    /// Loser lists are spliced into the winner's on every merge under
+    /// deterministic tie policies, so the incremental pass can enumerate a
+    /// dirty region's rows — and, via their slots, its neighbours —
+    /// without any global scan. Emptied rows are unlinked lazily.
+    row_head: Vec<u32>,
+    /// Tail of each vertex's row list (for O(1) splicing).
+    row_tail: Vec<u32>,
+    /// Next row in the owning vertex's list.
+    row_next: Vec<u32>,
+    /// Epoch marks backing the incremental pass's dirty set.
+    dirty_epoch: Vec<u32>,
+    /// Scratch: dirty vertices of the current incremental pass.
+    dirty: Vec<u32>,
+    /// Per-neighbour stamp for per-owner duplicate detection; a fresh
+    /// token per (owner, pass) makes the check exact with no clearing.
+    stamp: Vec<u64>,
+    /// Next stamp token block (monotonically increasing, starts at 1
+    /// because `stamp` is zero-initialised).
+    next_token: u64,
+    /// Scratch: per-row minima for the parallel choice pass.
+    row_best: Vec<CandKey>,
+    /// Owners whose `best`/`choice` entries were written by the last fused
+    /// pass — the only entries that need resetting before the next one
+    /// (an O(live owners) sweep instead of an O(vertices) refill).
+    touched: Vec<u32>,
+    /// `false` until the first fused pass: the iteration-0 choice pass
+    /// writes `best`/`choice` densely, so the first reset must be full.
+    touched_valid: bool,
+    /// `true` when the fused end-of-step pass has already folded the next
+    /// iteration's per-owner minima into the `Merger`'s `best` array, so
+    /// the next choice pass is a table read instead of a sweep.
+    precomputed: bool,
+    /// The (policy, iteration) the precomputed minima were folded under —
+    /// cross-checked against the choice pass in debug builds.
+    precomputed_for: (TieBreak, u32),
+}
+
+impl Csr {
+    /// Builds the CSR over `n` vertices from a canonical (`u < v`, unique)
+    /// edge list, materialising both directions.
+    fn new(n: usize, edges: &[(u32, u32)]) -> Self {
+        let slots = edges.len() * 2;
+        assert!(slots < u32::MAX as usize, "CSR slot count exceeds u32");
+        let mut row_ptr = vec![0u32; n + 1];
+        for &(u, v) in edges {
+            row_ptr[u as usize + 1] += 1;
+            row_ptr[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut cursor: Vec<u32> = row_ptr[..n].to_vec();
+        let mut col = vec![0u32; slots];
+        for &(u, v) in edges {
+            col[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            col[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        let row_len: Vec<u32> = (0..n).map(|r| row_ptr[r + 1] - row_ptr[r]).collect();
+        Self {
+            row_ptr,
+            row_len,
+            col,
+            row_owner: (0..n as u32).collect(),
+            live: slots,
+            row_head: (0..n as u32).collect(),
+            row_tail: (0..n as u32).collect(),
+            row_next: vec![NO_ROW; n],
+            dirty_epoch: vec![0; n],
+            dirty: Vec::new(),
+            stamp: vec![0; n],
+            next_token: 1,
+            row_best: vec![KEY_SENTINEL; n],
+            touched: Vec::with_capacity(n),
+            touched_valid: false,
+            precomputed: false,
+            precomputed_for: (TieBreak::SmallestId, u32::MAX),
+        }
+    }
+
+    /// Appends loser `v`'s row list to winner `u`'s (O(1)). The rows'
+    /// `row_owner` fields are rewritten lazily by the next pass that walks
+    /// them.
+    fn splice(&mut self, u: usize, v: usize) {
+        let vh = self.row_head[v];
+        if vh == NO_ROW {
+            return;
+        }
+        let vt = self.row_tail[v];
+        if self.row_head[u] == NO_ROW {
+            self.row_head[u] = vh;
+        } else {
+            self.row_next[self.row_tail[u] as usize] = vh;
+        }
+        self.row_tail[u] = vt;
+        self.row_head[v] = NO_ROW;
+        self.row_tail[v] = NO_ROW;
+    }
+
+    /// Parallel half of the choice pass: the minimum [`CandKey`] of every
+    /// row into `row_best` (rows are independent, so the writes are too).
+    /// The caller folds rows into per-representative minima sequentially —
+    /// the argmin is order-invariant, so the split is free of races *and*
+    /// of nondeterminism.
+    fn row_minima_par<P: Intensity>(
+        &mut self,
+        stats: &SoaStats<P>,
+        crit: Criterion,
+        ids: &[u64],
+        policy: TieBreak,
+        iteration: u32,
+    ) {
+        const CHUNK: usize = 256;
+        let Csr {
+            row_ptr,
+            row_len,
+            col,
+            row_owner,
+            row_best,
+            ..
+        } = self;
+        let (row_ptr, row_len, col, row_owner) = (&*row_ptr, &*row_len, &*col, &*row_owner);
+        row_best
+            .par_chunks_mut(CHUNK)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let base = ci * CHUNK;
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    let r = base + j;
+                    let s = row_ptr[r] as usize;
+                    let e = s + row_len[r] as usize;
+                    let mut b = KEY_SENTINEL;
+                    if s < e {
+                        let o = row_owner[r] as usize;
+                        let chooser = ids[o];
+                        for &c in &col[s..e] {
+                            let w = stats.weight(crit, o, c as usize);
+                            let (k0, k1) = tie_key(policy, iteration, chooser, ids[c as usize]);
+                            let k = (w, k0, k1, c);
+                            if k < b {
+                                b = k;
+                            }
+                        }
+                    }
+                    *slot = b;
+                }
+            });
+    }
+
+    /// The fused end-of-step sweep: in **one** pass over the live slots it
+    ///
+    /// 1. redirects row owners and candidate slots through the one-level
+    ///    `redirect` (exact, because an iteration's mutual pairs form a
+    ///    matching: a representative never loses in the iteration it wins);
+    /// 2. drops self-loops, per-owner duplicate neighbours, and slots whose
+    ///    merged endpoints no longer satisfy the criterion (`filter` mode,
+    ///    after a productive iteration);
+    /// 3. squeezes the surviving slots to the front of `col` and the
+    ///    surviving rows to the front of the row list (both write cursors
+    ///    never pass their read cursors, so the moves are in place, and
+    ///    afterwards no dead slot or empty row exists to be rescanned —
+    ///    compaction happens *every* productive pass for free, because the
+    ///    pass touches every live slot anyway);
+    /// 4. folds every survivor into `best` under the *next* iteration's
+    ///    tie policy and derives `choice` for exactly the owners that have
+    ///    one, so the next choice pass is a no-op. Only the `best`/`choice`
+    ///    entries the previous pass wrote are reset (`touched`), keeping
+    ///    the pass free of O(vertices) refills.
+    ///
+    /// When `filter` is false (a stall iteration: no merge happened, no
+    /// statistic changed) steps 1–3 are vacuous and the pass degenerates to
+    /// the pure argmin rescan that re-randomised tie keys require.
+    ///
+    /// Dropping a duplicate slot is free of semantic effect: the argmin is
+    /// invariant under duplicates, the criterion filter would kill every
+    /// copy together, and at least one copy per direction always survives.
+    ///
+    /// Returns `(ops, reclaimed)`: live slots touched in filter mode (the
+    /// relabel-work counter) and dead slots squeezed out.
+    #[allow(clippy::too_many_arguments)]
+    fn fused_pass<P: Intensity>(
+        &mut self,
+        stats: &SoaStats<P>,
+        hot: &[HotVertex],
+        crit: Criterion,
+        t: u32,
+        redirect: &[u32],
+        filter: bool,
+        policy: TieBreak,
+        iteration: u32,
+        best: &mut [CandKey],
+        choice: &mut [u32],
+    ) -> (u64, usize) {
+        match crit {
+            Criterion::PixelRange => {
+                // `range_weight_fp16` is exactly the union range in 16.16,
+                // so the criterion test is a comparison of the weight the
+                // ranking needs anyway against `threshold << 16` — one
+                // extrema gather serves both filter and argmin.
+                let cut = u64::from(t) << 16;
+                self.fused_pass_impl(
+                    hot,
+                    redirect,
+                    filter,
+                    policy,
+                    iteration,
+                    best,
+                    choice,
+                    |o, c| {
+                        let (a, b) = (hot[o], hot[c]);
+                        range_weight_fp16(a.min.min(b.min), a.max.max(b.max))
+                    },
+                    |_, _, wk| wk <= cut,
+                )
+            }
+            Criterion::MeanDifference => self.fused_pass_impl(
+                hot,
+                redirect,
+                filter,
+                policy,
+                iteration,
+                best,
+                choice,
+                |o, c| mean_weight_fp16(stats.sum[o], stats.cnt[o], stats.sum[c], stats.cnt[c]),
+                // Floor division makes the 16.16 mean distance an inexact
+                // proxy for the criterion; keep the exact integer predicate.
+                |o, c, _| mean_satisfies(stats.sum[o], stats.cnt[o], stats.sum[c], stats.cnt[c], t),
+            ),
+        }
+    }
+
+    /// Criterion-monomorphised body of [`Csr::fused_pass`]: `weight(o, c)`
+    /// ranks a candidate, `keeps(o, c, weight)` is the de-activation
+    /// predicate (both are loop-invariant closures, so the inner loop
+    /// specialises per criterion with no per-slot dispatch).
+    #[allow(clippy::too_many_arguments)]
+    fn fused_pass_impl<W, K>(
+        &mut self,
+        hot: &[HotVertex],
+        redirect: &[u32],
+        filter: bool,
+        policy: TieBreak,
+        iteration: u32,
+        best: &mut [CandKey],
+        choice: &mut [u32],
+        weight: W,
+        keeps: K,
+    ) -> (u64, usize)
+    where
+        W: Fn(usize, usize) -> u64,
+        K: Fn(usize, usize, u64) -> bool,
+    {
+        let n = self.row_owner.len();
+        let mut ops = 0u64;
+        // Token `base + o` is unique to (pass, owner `o`), so every row
+        // owned by `o` shares one token and `stamp[c] == token` dedups the
+        // owner's duplicate neighbours *across rows* — the same
+        // per-iteration dedup schedule as the reference backend's rebuild,
+        // at O(live) cost.
+        let base = self.next_token;
+        self.next_token += self.stamp.len() as u64;
+        // Reset exactly the entries the previous pass wrote.
+        if self.touched_valid {
+            for &o in &self.touched {
+                best[o as usize] = KEY_SENTINEL;
+                choice[o as usize] = u32::MAX;
+            }
+        } else {
+            best.fill(KEY_SENTINEL);
+            choice.fill(u32::MAX);
+            self.touched_valid = true;
+        }
+        self.touched.clear();
+        let mut live = 0usize;
+        let mut reclaimed = 0usize;
+        for r in 0..n {
+            let s = self.row_ptr[r] as usize;
+            let len = self.row_len[r] as usize;
+            if len == 0 {
+                continue;
+            }
+            let o = if filter {
+                let o = redirect[self.row_owner[r] as usize];
+                self.row_owner[r] = o;
+                o
+            } else {
+                self.row_owner[r]
+            } as usize;
+            let token = base + o as u64;
+            let chooser = hot[o].id;
+            let mut b = best[o];
+            if b == KEY_SENTINEL {
+                self.touched.push(o as u32);
+            }
+            let mut w = s; // in-row write cursor; never passes the read one
+            for j in s..s + len {
+                let c = self.col[j];
+                let (c2, wk) = if filter {
+                    ops += 1;
+                    let c2 = redirect[c as usize] as usize;
+                    if c2 == o || self.stamp[c2] == token {
+                        continue;
+                    }
+                    let wk = weight(o, c2);
+                    if !keeps(o, c2, wk) {
+                        continue;
+                    }
+                    self.stamp[c2] = token;
+                    (c2 as u32, wk)
+                } else {
+                    (c, weight(o, c as usize))
+                };
+                self.col[w] = c2;
+                w += 1;
+                let (k0, k1) = tie_key(policy, iteration, chooser, hot[c2 as usize].id);
+                let k = (wk, k0, k1, c2);
+                if k < b {
+                    b = k;
+                }
+            }
+            let kept = w - s;
+            reclaimed += len - kept;
+            live += kept;
+            self.row_len[r] = kept as u32;
+            best[o] = b;
+        }
+        self.live = live;
+        // Next iteration's choices, for exactly the owners that have one.
+        for &o in &self.touched {
+            choice[o as usize] = best[o as usize].3;
+        }
+        self.precomputed = true;
+        self.precomputed_for = (policy, iteration);
+        (ops, reclaimed)
+    }
+
+    /// The incremental end-of-step pass for deterministic tie policies
+    /// ([`TieBreak::SmallestId`] / [`TieBreak::LargestId`]): instead of
+    /// rescanning every live slot, it rescans only the *dirty
+    /// neighbourhood* of this iteration's merges.
+    ///
+    /// Validity: deterministic tie keys do not depend on the iteration, a
+    /// region's statistics change only when it merges, and a slot's
+    /// endpoints change only when one of them merges. Hence a row whose
+    /// owner did not merge and whose slots name no merged region has an
+    /// unchanged candidate list, unchanged weights, and unchanged ranking
+    /// — its `best`/`choice` from the previous iteration stay exact. The
+    /// dirty set is therefore `winners ∪ losers ∪ their neighbours`; the
+    /// owner→rows lists enumerate it in O(dirty slots), and every dirty
+    /// owner's rows are redirected / filtered / deduped / squeezed and
+    /// re-ranked exactly as the full pass would.
+    ///
+    /// A new mutual pair must involve a vertex whose choice changed (two
+    /// unchanged mutual choices would have merged an iteration earlier),
+    /// so handing `dirty` to the next [`Merger::apply_mutual_merges`] as
+    /// its candidate list keeps the apply step O(dirty) too. (Random
+    /// tie-breaking re-randomises every ranking each iteration, which
+    /// forces the full rescan — the same global work the reference
+    /// backend's choice pass does — so it stays on [`Csr::fused_pass`].)
+    #[allow(clippy::too_many_arguments)]
+    fn fast_pass<P: Intensity>(
+        &mut self,
+        stats: &SoaStats<P>,
+        hot: &[HotVertex],
+        crit: Criterion,
+        t: u32,
+        redirect: &[u32],
+        losers: &[u32],
+        policy: TieBreak,
+        iteration: u32,
+        best: &mut [CandKey],
+        choice: &mut [u32],
+    ) -> (u64, usize) {
+        match crit {
+            Criterion::PixelRange => {
+                let cut = u64::from(t) << 16;
+                self.fast_pass_impl(
+                    hot,
+                    redirect,
+                    losers,
+                    policy,
+                    iteration,
+                    best,
+                    choice,
+                    |o, c| {
+                        let (a, b) = (hot[o], hot[c]);
+                        range_weight_fp16(a.min.min(b.min), a.max.max(b.max))
+                    },
+                    |_, _, wk| wk <= cut,
+                )
+            }
+            Criterion::MeanDifference => self.fast_pass_impl(
+                hot,
+                redirect,
+                losers,
+                policy,
+                iteration,
+                best,
+                choice,
+                |o, c| mean_weight_fp16(stats.sum[o], stats.cnt[o], stats.sum[c], stats.cnt[c]),
+                |o, c, _| mean_satisfies(stats.sum[o], stats.cnt[o], stats.sum[c], stats.cnt[c], t),
+            ),
+        }
+    }
+
+    /// Criterion-monomorphised body of [`Csr::fast_pass`].
+    #[allow(clippy::too_many_arguments)]
+    fn fast_pass_impl<W, K>(
+        &mut self,
+        hot: &[HotVertex],
+        redirect: &[u32],
+        losers: &[u32],
+        policy: TieBreak,
+        iteration: u32,
+        best: &mut [CandKey],
+        choice: &mut [u32],
+        weight: W,
+        keeps: K,
+    ) -> (u64, usize)
+    where
+        W: Fn(usize, usize) -> u64,
+        K: Fn(usize, usize, u64) -> bool,
+    {
+        // `iteration` is the next step's index — strictly increasing, so
+        // `iteration + 1` is a unique epoch (and clears the zero init).
+        let epoch = iteration + 1;
+        self.dirty.clear();
+        let mark = |dirty: &mut Vec<u32>, epochs: &mut [u32], x: u32| {
+            if epochs[x as usize] != epoch {
+                epochs[x as usize] = epoch;
+                dirty.push(x);
+            }
+        };
+        // Seed with this iteration's winners and losers, then mark their
+        // neighbours by walking the winners' row lists (loser rows were
+        // spliced in before this pass, so one walk covers the pair).
+        for &v in losers {
+            mark(&mut self.dirty, &mut self.dirty_epoch, v);
+            mark(&mut self.dirty, &mut self.dirty_epoch, redirect[v as usize]);
+        }
+        let seeds = self.dirty.len();
+        for i in 0..seeds {
+            let d = self.dirty[i] as usize;
+            let mut r = self.row_head[d];
+            while r != NO_ROW {
+                let ri = r as usize;
+                let s = self.row_ptr[ri] as usize;
+                for j in s..s + self.row_len[ri] as usize {
+                    mark(
+                        &mut self.dirty,
+                        &mut self.dirty_epoch,
+                        redirect[self.col[j] as usize],
+                    );
+                }
+                r = self.row_next[ri];
+            }
+        }
+        // Recompute the dirty owners from scratch; everyone else keeps
+        // last iteration's `best`/`choice` (still exact — see above).
+        for &d in &self.dirty {
+            best[d as usize] = KEY_SENTINEL;
+            choice[d as usize] = u32::MAX;
+        }
+        let base = self.next_token;
+        self.next_token += self.stamp.len() as u64;
+        let mut ops = 0u64;
+        let mut reclaimed = 0usize;
+        for i in 0..self.dirty.len() {
+            let d = self.dirty[i] as usize;
+            let token = base + d as u64;
+            let chooser = hot[d].id;
+            let mut b = KEY_SENTINEL;
+            let mut r = self.row_head[d];
+            let mut prev = NO_ROW;
+            while r != NO_ROW {
+                let ri = r as usize;
+                let next = self.row_next[ri];
+                let s = self.row_ptr[ri] as usize;
+                let len = self.row_len[ri] as usize;
+                self.row_owner[ri] = d as u32;
+                let mut w = s;
+                for j in s..s + len {
+                    ops += 1;
+                    let c2 = redirect[self.col[j] as usize] as usize;
+                    if c2 == d || self.stamp[c2] == token {
+                        continue;
+                    }
+                    let wk = weight(d, c2);
+                    if !keeps(d, c2, wk) {
+                        continue;
+                    }
+                    self.stamp[c2] = token;
+                    self.col[w] = c2 as u32;
+                    w += 1;
+                    let (k0, k1) = tie_key(policy, iteration, chooser, hot[c2].id);
+                    let k = (wk, k0, k1, c2 as u32);
+                    if k < b {
+                        b = k;
+                    }
+                }
+                let kept = w - s;
+                reclaimed += len - kept;
+                self.live -= len - kept;
+                self.row_len[ri] = kept as u32;
+                if kept == 0 {
+                    // Unlink the emptied row so no future walk revisits it.
+                    if prev == NO_ROW {
+                        self.row_head[d] = next;
+                    } else {
+                        self.row_next[prev as usize] = next;
+                    }
+                    if next == NO_ROW {
+                        self.row_tail[d] = prev;
+                    }
+                } else {
+                    prev = r;
+                }
+                r = next;
+            }
+            best[d] = b;
+            choice[d] = b.3; // `u32::MAX` when no candidate survived
+        }
+        // Hand the dirty list to the next apply step as its candidates.
+        std::mem::swap(&mut self.touched, &mut self.dirty);
+        self.precomputed = true;
+        self.precomputed_for = (policy, iteration);
+        (ops, reclaimed)
+    }
+}
+
+/// The backend-specific adjacency state.
+///
+/// Exactly one `BackendState` exists per [`Merger`], so the size gap
+/// between the thin reference variant and the many-vector CSR variant
+/// costs nothing — boxing would only add a pointer chase to every pass.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum BackendState {
+    /// Canonical sorted-unique edge list, rebuilt every iteration.
+    Reference { edges: Vec<(u32, u32)> },
+    /// Incremental CSR, squeezed in place by the fused end-of-step pass.
+    Csr(Csr),
 }
 
 /// The stepping merge engine over a RAG.
@@ -115,24 +839,38 @@ pub struct Merger<P: Intensity> {
     /// Canonical region ID per dense vertex (order-isomorphic to the dense
     /// index; used for tie-break hashing only).
     ids: Vec<u64>,
-    /// Region statistics, current at representative indices.
-    stats: Vec<RegionStats<P>>,
-    /// Active edges between current representatives (`u < v`, sorted,
-    /// unique, criterion-satisfying).
-    edges: Vec<(u32, u32)>,
+    /// Region statistics in SoA layout, current at representative indices.
+    stats: SoaStats<P>,
+    /// Packed (min, max, id) per vertex for the CSR kernels; the extrema
+    /// are folded alongside `stats` on every merge.
+    hot: Vec<HotVertex>,
+    /// Backend adjacency state.
+    backend: BackendState,
     /// Full merge history (original vertex → representative).
     history: DisjointSets,
-    /// Scratch: one-iteration redirect table (identity outside merged
-    /// losers).
+    /// One-iteration redirect table (identity outside merged losers).
     redirect: Vec<u32>,
     /// Losers of the current iteration, pending redirect reset.
     pending_losers: Vec<u32>,
+
+    /// Persistent scratch: per-representative best candidate key.
+    best: Vec<CandKey>,
+    /// Persistent scratch: per-representative chosen neighbour.
+    choice: Vec<u32>,
 
     iterations: u32,
     merges_per_iteration: Vec<u32>,
     num_regions: usize,
     stalls: u32,
     trace: Option<MergeTrace>,
+
+    /// Total endpoint relabels / slot moves performed (the counter the CI
+    /// perf-smoke guard compares across backends).
+    relabel_ops: u64,
+    /// Maximum of [`Merger::active_edges`] observed over the run.
+    peak_active_edges: u64,
+    /// Number of CSR compaction passes performed.
+    compactions: u64,
 }
 
 impl<P: Intensity> Merger<P> {
@@ -140,16 +878,30 @@ impl<P: Intensity> Merger<P> {
     /// `v`; IDs must be strictly increasing (raster order of the regions).
     ///
     /// Edges of `rag` that do not satisfy the criterion are de-activated
-    /// immediately (the paper's step 2).
-    pub fn new(rag: Rag<P>, ids: Vec<u64>, config: &Config, parallel: bool) -> Self {
+    /// immediately (the paper's step 2). The backend is chosen by
+    /// [`Config::merge_backend`].
+    pub fn new(rag: Rag<'_, P>, ids: Vec<u64>, config: &Config, parallel: bool) -> Self {
         assert_eq!(ids.len(), rag.num_vertices(), "ids length mismatch");
         debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must increase");
         let n = rag.num_vertices();
-        let stats = rag.stats;
+        let Rag { stats, edges } = rag;
+        let stats = SoaStats::from_stats(&stats);
         let t = config.threshold;
         let crit = config.criterion;
-        let mut edges = rag.edges;
-        edges.retain(|&(u, v)| crit.satisfies(&stats[u as usize], &stats[v as usize], t));
+        let mut edges = edges;
+        edges.retain(|&(u, v)| stats.satisfies(crit, t, u as usize, v as usize));
+        let initial_edges = edges.len();
+        let hot: Vec<HotVertex> = (0..n)
+            .map(|i| HotVertex {
+                min: stats.min[i].to_u32(),
+                max: stats.max[i].to_u32(),
+                id: ids[i],
+            })
+            .collect();
+        let backend = match config.merge_backend {
+            MergeBackend::Csr => BackendState::Csr(Csr::new(n, &edges)),
+            MergeBackend::Reference => BackendState::Reference { edges },
+        };
         Self {
             threshold: t,
             criterion: crit,
@@ -158,22 +910,28 @@ impl<P: Intensity> Merger<P> {
             parallel,
             ids,
             stats,
-            edges,
+            hot,
+            backend,
             history: DisjointSets::new(n),
             redirect: (0..n as u32).collect(),
             pending_losers: Vec::new(),
+            best: vec![KEY_SENTINEL; n],
+            choice: vec![u32::MAX; n],
             iterations: 0,
             merges_per_iteration: Vec::new(),
             num_regions: n,
             stalls: 0,
             trace: None,
+            relabel_ops: 0,
+            peak_active_edges: initial_edges as u64,
+            compactions: 0,
         }
     }
 
     /// Starts recording a [`MergeTrace`] (call before the first step).
     pub fn enable_trace(&mut self) {
         if self.trace.is_none() {
-            self.trace = Some(MergeTrace::new(self.stats.len()));
+            self.trace = Some(MergeTrace::new(self.ids.len()));
         }
     }
 
@@ -184,12 +942,51 @@ impl<P: Intensity> Merger<P> {
 
     /// `true` when no active edges remain.
     pub fn is_done(&self) -> bool {
-        self.edges.is_empty()
+        match &self.backend {
+            BackendState::Reference { edges } => edges.is_empty(),
+            BackendState::Csr(csr) => csr.live == 0,
+        }
     }
 
-    /// Active edge count.
+    /// Active undirected edge count (for the CSR backend: half the live
+    /// directed slot count; the fused pass dedups per owner every
+    /// productive iteration, mirroring the reference backend's rebuild).
     pub fn active_edges(&self) -> usize {
-        self.edges.len()
+        match &self.backend {
+            BackendState::Reference { edges } => edges.len(),
+            BackendState::Csr(csr) => csr.live / 2,
+        }
+    }
+
+    /// Which backend this engine runs.
+    pub fn backend(&self) -> MergeBackend {
+        match self.backend {
+            BackendState::Reference { .. } => MergeBackend::Reference,
+            BackendState::Csr(_) => MergeBackend::Csr,
+        }
+    }
+
+    /// Total edge-relabel data movement performed so far — the counter the
+    /// CI perf-smoke guard compares across backends. For the CSR backend:
+    /// one op per live slot touched by the fused relabel/filter/squeeze
+    /// pass of each productive iteration. For the reference backend: two
+    /// endpoint maps per edge plus the per-iteration canonicalising sort
+    /// (`E·⌈log₂E⌉` element moves) and dedup scan it performs to rebuild
+    /// the edge list.
+    pub fn relabel_work(&self) -> u64 {
+        self.relabel_ops
+    }
+
+    /// Maximum active-edge count observed over the run.
+    pub fn peak_active_edges(&self) -> u64 {
+        self.peak_active_edges
+    }
+
+    /// CSR passes that reclaimed dead slots (0 under the reference
+    /// backend). With the fused squeeze this counts the productive
+    /// iterations whose slot array actually shrank.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// Iterations executed so far.
@@ -209,14 +1006,18 @@ impl<P: Intensity> Merger<P> {
 
     /// Statistics of the region represented by dense vertex `rep`.
     pub fn stats_of(&self, rep: u32) -> RegionStats<P> {
-        self.stats[rep as usize]
+        self.stats.get(rep as usize)
     }
 
-    /// Representative (dense index) of each original vertex.
-    pub fn labels_by_vertex(&mut self) -> Vec<u32> {
-        (0..self.history.len() as u32)
-            .map(|v| self.history.find(v))
-            .collect()
+    /// Representative (dense index) of each original vertex, resolved with
+    /// one batched pointer-jumping pass over the whole history forest
+    /// instead of per-vertex `find` calls.
+    pub fn labels_by_vertex(&self) -> Vec<u32> {
+        if self.parallel {
+            self.history.resolve_all_par()
+        } else {
+            self.history.resolve_all()
+        }
     }
 
     /// Executes one merge iteration; no-op when already done.
@@ -225,6 +1026,8 @@ impl<P: Intensity> Merger<P> {
             return StepReport {
                 merges: 0,
                 used_fallback: false,
+                active_edges: 0,
+                compacted: false,
             };
         }
         let used_fallback =
@@ -235,10 +1038,13 @@ impl<P: Intensity> Merger<P> {
             self.tie
         };
 
-        let choice = self.compute_choices(policy);
-        let merges = self.apply_mutual_merges(&choice);
-        self.relabel_and_filter_edges();
-
+        self.compute_choices(policy);
+        let mut choice = std::mem::take(&mut self.choice);
+        let merges = self.apply_mutual_merges(&mut choice);
+        self.choice = choice;
+        // Advance the iteration/stall counters *before* the end-of-step
+        // pass: the CSR backend folds the next iteration's choice minima in
+        // the same sweep, and needs the next step's policy and index.
         self.iterations += 1;
         self.merges_per_iteration.push(merges);
         if merges == 0 {
@@ -246,9 +1052,14 @@ impl<P: Intensity> Merger<P> {
         } else {
             self.stalls = 0;
         }
+        let compacted = self.end_of_step(merges);
+        let active_edges = self.active_edges() as u64;
+        self.peak_active_edges = self.peak_active_edges.max(active_edges);
         StepReport {
             merges,
             used_fallback,
+            active_edges,
+            compacted,
         }
     }
 
@@ -264,131 +1075,328 @@ impl<P: Intensity> Merger<P> {
         }
     }
 
-    /// For every vertex incident to an active edge, its chosen neighbour
-    /// (`u32::MAX` = no choice). The choice minimises
-    /// `(weight, tie_key, neighbour)`.
-    fn compute_choices(&self, policy: TieBreak) -> Vec<u32> {
-        let n = self.stats.len();
-        let iter = self.iterations;
-        let cand_key = |chooser: u32, nb: u32| -> (u64, u64, u64, u32) {
-            let w = self
-                .criterion
-                .weight(&self.stats[chooser as usize], &self.stats[nb as usize]);
-            let (k0, k1) = tie_key(
-                policy,
-                iter,
-                self.ids[chooser as usize],
-                self.ids[nb as usize],
-            );
-            (w, k0, k1, nb)
-        };
-
-        let mut choice = vec![u32::MAX; n];
-        if self.parallel && self.edges.len() >= 4096 {
-            // CM-style: build the directed candidate list, sort by
-            // (vertex, rank), take the head of each segment.
-            let mut directed: Vec<(u32, (u64, u64, u64, u32))> = self
-                .edges
-                .par_iter()
-                .flat_map_iter(|&(u, v)| [(u, cand_key(u, v)), (v, cand_key(v, u))].into_iter())
-                .collect();
-            directed.par_sort_unstable();
-            let mut prev = u32::MAX;
-            for (vtx, key) in directed {
-                if vtx != prev {
-                    choice[vtx as usize] = key.3;
-                    prev = vtx;
+    /// Fills `self.choice`: for every vertex incident to an active edge,
+    /// its chosen neighbour (`u32::MAX` = no choice). The choice minimises
+    /// the [`CandKey`] `(weight, tie_key, neighbour)`.
+    fn compute_choices(&mut self, policy: TieBreak) {
+        let iteration = self.iterations;
+        let crit = self.criterion;
+        let Self {
+            parallel,
+            ids,
+            stats,
+            backend,
+            best,
+            choice,
+            ..
+        } = self;
+        match backend {
+            BackendState::Reference { edges } => {
+                let cand = |chooser: u32, nb: u32| -> CandKey {
+                    let w = stats.weight(crit, chooser as usize, nb as usize);
+                    let (k0, k1) =
+                        tie_key(policy, iteration, ids[chooser as usize], ids[nb as usize]);
+                    (w, k0, k1, nb)
+                };
+                if *parallel && edges.len() >= PAR_EDGES {
+                    // CM-style: build the directed candidate list, sort by
+                    // (vertex, rank), take the head of each segment.
+                    choice.fill(u32::MAX);
+                    let mut directed: Vec<(u32, CandKey)> = edges
+                        .par_iter()
+                        .flat_map_iter(|&(u, v)| [(u, cand(u, v)), (v, cand(v, u))].into_iter())
+                        .collect();
+                    directed.par_sort_unstable();
+                    let mut prev = u32::MAX;
+                    for (vtx, key) in directed {
+                        if vtx != prev {
+                            choice[vtx as usize] = key.3;
+                            prev = vtx;
+                        }
+                    }
+                    return;
+                }
+                best.fill(KEY_SENTINEL);
+                for &(u, v) in edges.iter() {
+                    let ku = cand(u, v);
+                    if ku < best[u as usize] {
+                        best[u as usize] = ku;
+                    }
+                    let kv = cand(v, u);
+                    if kv < best[v as usize] {
+                        best[v as usize] = kv;
+                    }
                 }
             }
-        } else {
-            let mut best: Vec<(u64, u64, u64, u32)> =
-                vec![(u64::MAX, u64::MAX, u64::MAX, u32::MAX); n];
-            for &(u, v) in &self.edges {
-                let ku = cand_key(u, v);
-                if ku < best[u as usize] {
-                    best[u as usize] = ku;
+            BackendState::Csr(csr) => {
+                if csr.precomputed {
+                    // `best` *and* `choice` were produced by the previous
+                    // step's fused pass under exactly this (policy,
+                    // iteration): the steady-state choice pass is a no-op.
+                    debug_assert_eq!(
+                        csr.precomputed_for,
+                        (policy, iteration),
+                        "stale precomputed choice minima"
+                    );
+                    return;
+                } else if *parallel && csr.live >= 2 * PAR_EDGES {
+                    best.fill(KEY_SENTINEL);
+                    csr.row_minima_par(stats, crit, ids, policy, iteration);
+                    for (r, &k) in csr.row_best.iter().enumerate() {
+                        if k == KEY_SENTINEL {
+                            continue;
+                        }
+                        let o = csr.row_owner[r] as usize;
+                        if k < best[o] {
+                            best[o] = k;
+                        }
+                    }
+                } else {
+                    // Segmented-min sweep: one pass over the slot array,
+                    // folding each row's candidates into its owner's best.
+                    best.fill(KEY_SENTINEL);
+                    for r in 0..csr.row_owner.len() {
+                        let s = csr.row_ptr[r] as usize;
+                        let e = s + csr.row_len[r] as usize;
+                        if s == e {
+                            continue;
+                        }
+                        let o = csr.row_owner[r] as usize;
+                        let chooser = ids[o];
+                        let mut b = best[o];
+                        for &c in &csr.col[s..e] {
+                            let w = stats.weight(crit, o, c as usize);
+                            let (k0, k1) = tie_key(policy, iteration, chooser, ids[c as usize]);
+                            let k = (w, k0, k1, c);
+                            if k < b {
+                                b = k;
+                            }
+                        }
+                        best[o] = b;
+                    }
                 }
-                let kv = cand_key(v, u);
-                if kv < best[v as usize] {
-                    best[v as usize] = kv;
-                }
-            }
-            for (c, b) in choice.iter_mut().zip(&best) {
-                *c = b.3;
             }
         }
-        choice
+        for (c, b) in choice.iter_mut().zip(best.iter()) {
+            *c = b.3;
+        }
     }
 
     /// Merges every mutual pair; returns the number of merges.
-    fn apply_mutual_merges(&mut self, choice: &[u32]) -> u32 {
+    ///
+    /// In the CSR steady state only the fused pass's `touched` owners can
+    /// hold a choice (everyone else is `u32::MAX`), so the scan visits
+    /// exactly those vertices — no O(vertices) sweep. The full scan
+    /// remains for the reference backend, the first iteration, and when
+    /// tracing (trace events are emitted in ascending-winner order, which
+    /// the `touched` list does not guarantee; the merges themselves are a
+    /// matching, so application order is otherwise irrelevant).
+    fn apply_mutual_merges(&mut self, choice: &mut [u32]) -> u32 {
+        let touched = match &mut self.backend {
+            BackendState::Csr(csr) if csr.touched_valid && self.trace.is_none() => {
+                Some(std::mem::take(&mut csr.touched))
+            }
+            _ => None,
+        };
         let mut merges = 0u32;
-        let mut losers: Vec<u32> = Vec::new();
-        for u in 0..choice.len() as u32 {
-            let v = choice[u as usize];
-            if v != u32::MAX && u < v && choice[v as usize] == u {
-                if let Some(trace) = &mut self.trace {
-                    trace.events.push(MergeEvent {
-                        iteration: self.iterations,
-                        winner: u,
-                        loser: v,
-                        weight_fp16: self
-                            .criterion
-                            .weight(&self.stats[u as usize], &self.stats[v as usize]),
-                    });
+        match &touched {
+            Some(list) => {
+                for &u in list {
+                    merges += u32::from(self.try_merge(u, choice));
                 }
-                // Representative = smaller dense index = smaller ID.
-                self.stats[u as usize] = self.stats[u as usize].fold(self.stats[v as usize]);
-                self.redirect[v as usize] = u;
-                losers.push(v);
-                self.history.union_min_rep(u, v);
-                self.num_regions -= 1;
-                merges += 1;
+            }
+            None => {
+                for u in 0..choice.len() as u32 {
+                    merges += u32::from(self.try_merge(u, choice));
+                }
             }
         }
-        // losers kept in redirect until edges are relabelled; the caller
-        // resets them afterwards via relabel_and_filter_edges.
-        self.pending_losers = losers;
+        if let (Some(list), BackendState::Csr(csr)) = (touched, &mut self.backend) {
+            csr.touched = list;
+        }
         merges
     }
 
-    /// Relabels edge endpoints through this iteration's redirects, drops
-    /// self-loops and criterion-violating edges, and restores the canonical
-    /// sorted-unique form.
-    fn relabel_and_filter_edges(&mut self) {
-        let redirect = &self.redirect;
-        let stats = &self.stats;
-        let t = self.threshold;
-        let crit = self.criterion;
-        let map = |&(u, v): &(u32, u32)| -> Option<(u32, u32)> {
-            let (mut a, mut b) = (redirect[u as usize], redirect[v as usize]);
-            if a == b {
-                return None;
-            }
-            if a > b {
-                std::mem::swap(&mut a, &mut b);
-            }
-            if crit.satisfies(&stats[a as usize], &stats[b as usize], t) {
-                Some((a, b))
-            } else {
-                None
-            }
-        };
-        let mut next: Vec<(u32, u32)> = if self.parallel && self.edges.len() >= 4096 {
-            let mut v: Vec<_> = self.edges.par_iter().filter_map(map).collect();
-            v.par_sort_unstable();
-            v
-        } else {
-            let mut v: Vec<_> = self.edges.iter().filter_map(map).collect();
-            v.sort_unstable();
-            v
-        };
-        next.dedup();
-        self.edges = next;
-        // Reset redirects for the merged losers.
-        for l in self.pending_losers.drain(..) {
-            self.redirect[l as usize] = l;
+    /// Merges `x` with its choice if the choice is mutual; disarms
+    /// `choice[winner]` afterwards so the pair cannot re-apply when the
+    /// scan (or a duplicate `touched` entry) reaches the other endpoint.
+    ///
+    /// The check is bidirectional — either endpoint of a mutual pair
+    /// triggers the merge — because the incremental fast pass only
+    /// guarantees that at least one endpoint of any *new* mutual pair is
+    /// in the dirty list, not which one. In full-scan (ascending) order
+    /// the smaller endpoint is always reached first, so trace-event order
+    /// is unchanged.
+    #[inline]
+    fn try_merge(&mut self, x: u32, choice: &mut [u32]) -> bool {
+        let y = choice[x as usize];
+        if y == u32::MAX || choice[y as usize] != x {
+            return false;
         }
+        let (u, v) = (x.min(y), x.max(y));
+        if let Some(trace) = &mut self.trace {
+            trace.events.push(MergeEvent {
+                iteration: self.iterations,
+                winner: u,
+                loser: v,
+                weight_fp16: self.stats.weight(self.criterion, u as usize, v as usize),
+            });
+        }
+        // Representative = smaller dense index = smaller ID.
+        self.stats.fold(u as usize, v as usize);
+        let l = self.hot[v as usize];
+        let hw = &mut self.hot[u as usize];
+        hw.min = hw.min.min(l.min);
+        hw.max = hw.max.max(l.max);
+        self.redirect[v as usize] = u;
+        self.pending_losers.push(v);
+        self.history.union_min_rep(u, v);
+        self.num_regions -= 1;
+        choice[u as usize] = u32::MAX;
+        true
+    }
+
+    /// Backend-specific step 4 (plus the CSR backend's choice prefetch).
+    ///
+    /// Reference: relabel endpoints through this iteration's redirects,
+    /// drop self-loops and criterion-violating edges, re-sort and dedup —
+    /// skipped on stall iterations (`merges == 0`), which change no
+    /// statistic and no representative, so every edge survives unchanged.
+    ///
+    /// CSR: one [`Csr::fused_pass`] that performs the same relabel /
+    /// filter / squeeze *and* folds the next iteration's choice minima
+    /// into `best` under the policy the next step's prologue will select
+    /// (the stall counter is already updated and `self.iterations` is the
+    /// next step's index). On stall iterations the pass runs in
+    /// choice-only mode: the re-randomised tie keys still demand a rescan,
+    /// but no filtering work is counted — the reference backend does that
+    /// same rescan inside its own choice pass.
+    ///
+    /// Returns `true` if the CSR backend reclaimed dead slots.
+    fn end_of_step(&mut self, merges: u32) -> bool {
+        let crit = self.criterion;
+        let t = self.threshold;
+        let mut compacted = false;
+        let Self {
+            backend,
+            stats,
+            hot,
+            redirect,
+            best,
+            choice,
+            tie,
+            max_stall,
+            stalls,
+            iterations,
+            parallel,
+            pending_losers,
+            relabel_ops,
+            compactions,
+            ..
+        } = self;
+        match backend {
+            BackendState::Reference { edges } => {
+                if merges > 0 {
+                    let stats = &*stats;
+                    let redirect = &*redirect;
+                    let map = |&(u, v): &(u32, u32)| -> Option<(u32, u32)> {
+                        let (mut a, mut b) = (redirect[u as usize], redirect[v as usize]);
+                        if a == b {
+                            return None;
+                        }
+                        if a > b {
+                            std::mem::swap(&mut a, &mut b);
+                        }
+                        if stats.satisfies(crit, t, a as usize, b as usize) {
+                            Some((a, b))
+                        } else {
+                            None
+                        }
+                    };
+                    // Two endpoint maps per edge …
+                    *relabel_ops += 2 * edges.len() as u64;
+                    let mut next: Vec<(u32, u32)> = if *parallel && edges.len() >= PAR_EDGES {
+                        let mut v: Vec<_> = edges.par_iter().filter_map(map).collect();
+                        v.par_sort_unstable();
+                        v
+                    } else {
+                        let mut v: Vec<_> = edges.iter().filter_map(map).collect();
+                        v.sort_unstable();
+                        v
+                    };
+                    // … plus the canonicalising sort (⌈log₂ E⌉ element
+                    // moves per edge) and the dedup scan (one more) — the
+                    // O(E log E) term the CSR backend exists to eliminate.
+                    let e = next.len() as u64;
+                    if e > 0 {
+                        *relabel_ops += e * u64::from(e.ilog2() + 1) + e;
+                    }
+                    next.dedup();
+                    *edges = next;
+                }
+            }
+            BackendState::Csr(csr) => {
+                let next_fallback =
+                    matches!(*tie, TieBreak::Random { .. }) && *stalls >= *max_stall;
+                let next_policy = if next_fallback {
+                    TieBreak::SmallestId
+                } else {
+                    *tie
+                };
+                // Deterministic policies have iteration-independent tie
+                // keys, so only the merged pairs' neighbourhoods can change
+                // their choice: splice each loser's rows onto its winner
+                // and run the incremental pass over the dirty set. Random
+                // re-randomises every key each iteration — the full sweep
+                // is mandatory (the reference backend pays the same sweep
+                // inside its choice pass).
+                let deterministic = !matches!(*tie, TieBreak::Random { .. });
+                if deterministic {
+                    for &v in pending_losers.iter() {
+                        csr.splice(redirect[v as usize] as usize, v as usize);
+                    }
+                }
+                let (ops, reclaimed) = if deterministic && csr.touched_valid {
+                    csr.fast_pass(
+                        stats,
+                        hot,
+                        crit,
+                        t,
+                        redirect,
+                        pending_losers,
+                        next_policy,
+                        *iterations,
+                        best,
+                        choice,
+                    )
+                } else {
+                    csr.fused_pass(
+                        stats,
+                        hot,
+                        crit,
+                        t,
+                        redirect,
+                        merges > 0,
+                        next_policy,
+                        *iterations,
+                        best,
+                        choice,
+                    )
+                };
+                if merges > 0 {
+                    *relabel_ops += ops;
+                    if reclaimed > 0 {
+                        *compactions += 1;
+                        compacted = true;
+                    }
+                }
+            }
+        }
+        // Reset redirects for the merged losers.
+        for l in pending_losers.drain(..) {
+            redirect[l as usize] = l;
+        }
+        compacted
     }
 }
 
@@ -399,21 +1407,22 @@ mod tests {
     use crate::split::split;
     use rg_imaging::synth;
 
-    fn make_merger(t: u32, tie: TieBreak, parallel: bool) -> Merger<u8> {
+    fn make_merger_on(t: u32, tie: TieBreak, parallel: bool, backend: MergeBackend) -> Merger<u8> {
         let img = synth::figure1_image();
-        let cfg = Config::with_threshold(t).tie_break(tie);
+        let cfg = Config::with_threshold(t)
+            .tie_break(tie)
+            .merge_backend(backend);
         let s = split(&img, &cfg);
         let rag = Rag::from_split(&s, Connectivity::Four);
         let ids: Vec<u64> = s.squares.iter().map(|sq| sq.id(4) as u64).collect();
         Merger::new(rag, ids, &cfg, parallel)
     }
 
-    #[test]
-    fn figure2_walkthrough_smallest_id() {
-        // Hand-verified against the paper's Figure 2 (see DESIGN.md):
-        // start: 7 regions; iter 1 merges {0,5} and {2,4}; iter 2 merges
-        // {3,6}; iter 3 merges {0,3} and {1,2}; done with 2 regions.
-        let mut m = make_merger(3, TieBreak::SmallestId, false);
+    fn make_merger(t: u32, tie: TieBreak, parallel: bool) -> Merger<u8> {
+        make_merger_on(t, tie, parallel, MergeBackend::Csr)
+    }
+
+    fn figure2_walkthrough(mut m: Merger<u8>) {
         assert_eq!(m.num_regions(), 7);
 
         let r1 = m.step();
@@ -432,6 +1441,7 @@ mod tests {
         assert_eq!(r3.merges, 2);
         assert_eq!(m.num_regions(), 2);
         assert!(m.is_done());
+        assert_eq!(r3.active_edges, 0);
         assert_eq!(m.iterations(), 3);
 
         let labels = m.labels_by_vertex();
@@ -444,19 +1454,120 @@ mod tests {
     }
 
     #[test]
-    fn parallel_step_identical() {
-        for tie in [
+    fn figure2_walkthrough_smallest_id() {
+        // Hand-verified against the paper's Figure 2 (see DESIGN.md):
+        // start: 7 regions; iter 1 merges {0,5} and {2,4}; iter 2 merges
+        // {3,6}; iter 3 merges {0,3} and {1,2}; done with 2 regions.
+        figure2_walkthrough(make_merger(3, TieBreak::SmallestId, false));
+    }
+
+    #[test]
+    fn figure2_walkthrough_reference_backend() {
+        figure2_walkthrough(make_merger_on(
+            3,
             TieBreak::SmallestId,
-            TieBreak::LargestId,
-            TieBreak::Random { seed: 7 },
-        ] {
-            let mut a = make_merger(3, tie, false);
-            let mut b = make_merger(3, tie, true);
-            let sa = a.run();
-            let sb = b.run();
-            assert_eq!(sa, sb, "{tie:?}");
-            assert_eq!(a.labels_by_vertex(), b.labels_by_vertex());
+            false,
+            MergeBackend::Reference,
+        ));
+    }
+
+    #[test]
+    fn parallel_step_identical() {
+        for backend in [MergeBackend::Csr, MergeBackend::Reference] {
+            for tie in [
+                TieBreak::SmallestId,
+                TieBreak::LargestId,
+                TieBreak::Random { seed: 7 },
+            ] {
+                let mut a = make_merger_on(3, tie, false, backend);
+                let mut b = make_merger_on(3, tie, true, backend);
+                let sa = a.run();
+                let sb = b.run();
+                assert_eq!(sa, sb, "{backend:?} {tie:?}");
+                assert_eq!(a.labels_by_vertex(), b.labels_by_vertex());
+            }
         }
+    }
+
+    #[test]
+    fn csr_matches_reference_on_synthetic_images() {
+        for (name, img) in [
+            ("circles", synth::circle_collection(48)),
+            ("rects", synth::random_rects(64, 40, 11, 5)),
+            ("nested", synth::nested_rects(32)),
+        ] {
+            for tie in [
+                TieBreak::SmallestId,
+                TieBreak::LargestId,
+                TieBreak::Random { seed: 17 },
+            ] {
+                let run = |backend: MergeBackend| {
+                    let cfg = Config::with_threshold(12)
+                        .tie_break(tie)
+                        .merge_backend(backend);
+                    let s = split(&img, &cfg);
+                    let rag = Rag::from_split(&s, Connectivity::Four);
+                    let stride = s.width as u32;
+                    let ids: Vec<u64> = s.squares.iter().map(|sq| sq.id(stride) as u64).collect();
+                    let mut m = Merger::new(rag, ids, &cfg, false);
+                    m.enable_trace();
+                    let summary = m.run();
+                    let trace = m.take_trace().unwrap();
+                    (summary, trace, m.labels_by_vertex())
+                };
+                let csr = run(MergeBackend::Csr);
+                let reference = run(MergeBackend::Reference);
+                assert_eq!(csr, reference, "{name} {tie:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_triggers_and_preserves_parity() {
+        // Merge-only on a uniform image: singleton squares collapse to one
+        // region over many iterations, shedding edges fast enough to force
+        // several compaction passes.
+        let img: rg_imaging::Image<u8> = rg_imaging::Image::new(32, 32, 50);
+        let run = |backend: MergeBackend| {
+            let cfg = Config::with_threshold(0)
+                .tie_break(TieBreak::SmallestId)
+                .max_square_log2(Some(0))
+                .merge_backend(backend);
+            let s = split(&img, &cfg);
+            let rag = Rag::from_split(&s, Connectivity::Four);
+            let ids: Vec<u64> = s.squares.iter().map(|sq| sq.id(32) as u64).collect();
+            let mut m = Merger::new(rag, ids, &cfg, false);
+            let summary = m.run();
+            (
+                summary,
+                m.labels_by_vertex(),
+                m.compactions(),
+                m.relabel_work(),
+            )
+        };
+        let (s_csr, l_csr, compactions, work_csr) = run(MergeBackend::Csr);
+        let (s_ref, l_ref, _, work_ref) = run(MergeBackend::Reference);
+        assert_eq!(s_csr, s_ref);
+        assert_eq!(l_csr, l_ref);
+        assert!(compactions > 0, "expected at least one compaction pass");
+        assert!(
+            work_csr <= work_ref,
+            "CSR relabel work {work_csr} exceeds reference {work_ref}"
+        );
+    }
+
+    #[test]
+    fn step_reports_active_edges_monotone_under_smallest_id() {
+        let mut m = make_merger(3, TieBreak::SmallestId, false);
+        let mut prev = m.active_edges() as u64;
+        let peak0 = m.peak_active_edges();
+        assert_eq!(peak0, prev);
+        while !m.is_done() {
+            let r = m.step();
+            assert!(r.active_edges <= prev, "active edges must not grow");
+            prev = r.active_edges;
+        }
+        assert_eq!(m.peak_active_edges(), peak0);
     }
 
     #[test]
@@ -539,6 +1650,13 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_ne!(a, d);
+    }
+
+    #[test]
+    fn choice_key_matches_tie_key() {
+        let k = choice_key(TieBreak::Random { seed: 5 }, 2, 10, 20, 7, 3);
+        let (k0, k1) = tie_key(TieBreak::Random { seed: 5 }, 2, 10, 20);
+        assert_eq!(k, (7, k0, k1, 3));
     }
 
     #[test]

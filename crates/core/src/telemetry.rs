@@ -36,7 +36,8 @@
 //!    count;
 //! 3. one [`MergeIterationRecord`] per merge iteration (merges performed,
 //!    whether the iteration was a stall, whether the stall guard forced a
-//!    smallest-ID fallback);
+//!    smallest-ID fallback, and — for host engines — the backend's
+//!    remaining active-edge count and whether the CSR backend compacted);
 //! 4. [`Telemetry::merge_done`] with the final region count;
 //! 5. optionally a [`CommRecord`] (message-passing engine) and any number
 //!    of named [`Telemetry::counter`]s (e.g. the data-parallel engine's
@@ -104,6 +105,15 @@ pub struct MergeIterationRecord {
     /// `true` when the stall guard forced a smallest-ID iteration
     /// (only possible under [`TieBreak::Random`]).
     pub used_fallback: bool,
+    /// Active edges remaining after the iteration. Host engines report it
+    /// from the merge backend; the simulated engines report `None`. The
+    /// CSR backend's count may include parallel duplicate edges retained
+    /// between compactions, so this field is informational and excluded
+    /// from cross-engine conformance comparisons.
+    pub active_edges: Option<u64>,
+    /// Whether the CSR backend compacted its slot array this iteration
+    /// (`None` when the engine does not run an in-core backend).
+    pub compacted: Option<bool>,
 }
 
 /// Aggregate communication counters for a message-passing run.
@@ -349,34 +359,62 @@ impl TelemetryReport {
                 ("num_squares", self.num_squares.into()),
             ]),
         ));
-        pairs.push((
-            "merge",
-            Json::obj(vec![
-                ("iterations", (self.merge_iterations.len() as u64).into()),
-                (
-                    "merges_per_iteration",
-                    Json::Arr(
-                        self.merge_iterations
-                            .iter()
-                            .map(|r| Json::from(r.merges))
-                            .collect(),
-                    ),
+        let mut merge_fields: Vec<(&str, Json)> = vec![
+            ("iterations", (self.merge_iterations.len() as u64).into()),
+            (
+                "merges_per_iteration",
+                Json::Arr(
+                    self.merge_iterations
+                        .iter()
+                        .map(|r| Json::from(r.merges))
+                        .collect(),
                 ),
-                (
-                    "fallback_iterations_at",
-                    Json::Arr(
-                        self.merge_iterations
-                            .iter()
-                            .filter(|r| r.used_fallback)
-                            .map(|r| Json::from(r.iteration))
-                            .collect(),
-                    ),
+            ),
+            (
+                "fallback_iterations_at",
+                Json::Arr(
+                    self.merge_iterations
+                        .iter()
+                        .filter(|r| r.used_fallback)
+                        .map(|r| Json::from(r.iteration))
+                        .collect(),
                 ),
-                ("stall_iterations", self.stall_iterations.into()),
-                ("fallback_iterations", self.fallback_iterations.into()),
-                ("num_regions", self.num_regions.into()),
-            ]),
-        ));
+            ),
+        ];
+        // Backend counters are emitted only when the engine reported them
+        // (the host engines do, the simulated engines don't) — absent
+        // fields parse back to `None`, keeping pre-existing golden
+        // snapshots byte-stable.
+        let has_backend_counters = !self.merge_iterations.is_empty()
+            && self
+                .merge_iterations
+                .iter()
+                .all(|r| r.active_edges.is_some());
+        if has_backend_counters {
+            merge_fields.push((
+                "active_edges_per_iteration",
+                Json::Arr(
+                    self.merge_iterations
+                        .iter()
+                        .map(|r| Json::from(r.active_edges.unwrap_or(0)))
+                        .collect(),
+                ),
+            ));
+            merge_fields.push((
+                "compacted_at",
+                Json::Arr(
+                    self.merge_iterations
+                        .iter()
+                        .filter(|r| r.compacted == Some(true))
+                        .map(|r| Json::from(r.iteration))
+                        .collect(),
+                ),
+            ));
+        }
+        merge_fields.push(("stall_iterations", self.stall_iterations.into()));
+        merge_fields.push(("fallback_iterations", self.fallback_iterations.into()));
+        merge_fields.push(("num_regions", self.num_regions.into()));
+        pairs.push(("merge", Json::obj(merge_fields)));
         if let Some(c) = &self.comm {
             pairs.push((
                 "comm",
@@ -510,6 +548,18 @@ impl TelemetryReport {
             .iter()
             .filter_map(|m| m.as_u64().map(|x| x as u32))
             .collect();
+        // Optional backend counters (present only for host-engine reports).
+        let active_per_iter: Option<Vec<u64>> = merge
+            .get("active_edges_per_iteration")
+            .and_then(Json::as_arr)
+            .map(|arr| arr.iter().filter_map(Json::as_u64).collect());
+        let compacted_at: Vec<u32> = merge
+            .get("compacted_at")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|m| m.as_u64().map(|x| x as u32))
+            .collect();
         let merge_iterations = merges
             .iter()
             .enumerate()
@@ -517,6 +567,10 @@ impl TelemetryReport {
                 iteration: i as u32,
                 merges: m,
                 used_fallback: fallback_at.contains(&(i as u32)),
+                active_edges: active_per_iter.as_ref().and_then(|a| a.get(i).copied()),
+                compacted: active_per_iter
+                    .as_ref()
+                    .map(|_| compacted_at.contains(&(i as u32))),
             })
             .collect();
         let stall_iterations = merge
@@ -705,6 +759,10 @@ pub fn derive_merge_iterations(
                 iteration: i as u32,
                 merges,
                 used_fallback,
+                // The simulated engines replay device-side merge counts
+                // only; backend edge counters are host-engine data.
+                active_edges: None,
+                compacted: None,
             }
         })
         .collect()
@@ -741,6 +799,8 @@ mod tests {
                 iteration: i as u32,
                 merges: m,
                 used_fallback: i == 3,
+                active_edges: None,
+                compacted: None,
             });
         }
         rec.merge_done(2);
@@ -783,6 +843,54 @@ mod tests {
         // Compact form round-trips too.
         let back2 = TelemetryReport::parse(&r.to_json().to_compact()).unwrap();
         assert_eq!(back2, r);
+    }
+
+    #[test]
+    fn backend_counters_round_trip() {
+        // Host-engine style report: every iteration carries backend
+        // counters; they must survive the JSON round trip exactly.
+        let mut rec = Recorder::new();
+        let cfg = Config::with_threshold(5);
+        rec.run_start("seq", 8, 8, &cfg);
+        rec.stage(StageSpan {
+            stage: Stage::Merge,
+            wall_seconds: 0.1,
+            sim_seconds: None,
+        });
+        for (i, (m, act, comp)) in [(4u32, 30u64, false), (2, 12, true), (1, 0, false)]
+            .into_iter()
+            .enumerate()
+        {
+            rec.merge_iteration(MergeIterationRecord {
+                iteration: i as u32,
+                merges: m,
+                used_fallback: false,
+                active_edges: Some(act),
+                compacted: Some(comp),
+            });
+        }
+        rec.merge_done(3);
+        rec.run_end();
+        let r = rec.into_report();
+        let text = r.to_json_pretty();
+        assert!(text.contains("active_edges_per_iteration"), "{text}");
+        assert!(text.contains("compacted_at"), "{text}");
+        let back = TelemetryReport::parse(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.merge_iterations[1].active_edges, Some(12));
+        assert_eq!(back.merge_iterations[1].compacted, Some(true));
+        assert_eq!(back.merge_iterations[2].compacted, Some(false));
+        // A report without the counters omits the fields entirely (golden
+        // snapshots for the simulated engines stay byte-stable).
+        let simulated = sample_report();
+        assert!(!simulated
+            .to_json_pretty()
+            .contains("active_edges_per_iteration"));
+        let back = TelemetryReport::parse(&simulated.to_json_pretty()).unwrap();
+        assert!(back
+            .merge_iterations
+            .iter()
+            .all(|m| m.active_edges.is_none()));
     }
 
     #[test]

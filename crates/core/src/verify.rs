@@ -16,6 +16,7 @@
 use crate::config::{Config, Connectivity, Criterion, RegionStats};
 use crate::engine::Segmentation;
 use crate::graph::adjacent_label_pairs;
+use rg_dsu::DisjointSets;
 use rg_imaging::{Image, Intensity};
 
 /// A violated invariant.
@@ -153,6 +154,12 @@ pub fn verify_segmentation<P: Intensity>(
 }
 
 /// Number of connected components of each label value.
+///
+/// Implemented as a union–find pass rather than a per-component flood fill:
+/// same-label neighbouring pixels are unioned, then a single batched
+/// [`DisjointSets::resolve_all`] sweep resolves every pixel to its root in
+/// one cache-friendly pass (no recursion, no visit stack). Components per
+/// label are then counted by tallying distinct roots.
 fn count_components(
     labels: &[u32],
     w: usize,
@@ -160,52 +167,36 @@ fn count_components(
     connectivity: Connectivity,
     num_regions: usize,
 ) -> Vec<usize> {
-    let mut counts = vec![0usize; num_regions];
-    let mut seen = vec![false; labels.len()];
-    let mut stack = Vec::new();
-    for start in 0..labels.len() {
-        if seen[start] {
-            continue;
-        }
-        let l = labels[start];
-        counts[l as usize] += 1;
-        seen[start] = true;
-        stack.push(start);
-        while let Some(i) = stack.pop() {
-            let (x, y) = (i % w, i / w);
-            let visit = |nx: usize, ny: usize, seen: &mut Vec<bool>, stack: &mut Vec<usize>| {
-                let j = ny * w + nx;
-                if !seen[j] && labels[j] == l {
-                    seen[j] = true;
-                    stack.push(j);
-                }
-            };
-            if x > 0 {
-                visit(x - 1, y, &mut seen, &mut stack);
-            }
-            if x + 1 < w {
-                visit(x + 1, y, &mut seen, &mut stack);
-            }
-            if y > 0 {
-                visit(x, y - 1, &mut seen, &mut stack);
+    let mut dsu = DisjointSets::new(labels.len());
+    for y in 0..h {
+        for x in 0..w {
+            let i = y * w + x;
+            let l = labels[i];
+            // Forward-only scan: each 4/8-neighbour pair is visited once.
+            if x + 1 < w && labels[i + 1] == l {
+                dsu.union_min_rep(i as u32, (i + 1) as u32);
             }
             if y + 1 < h {
-                visit(x, y + 1, &mut seen, &mut stack);
-            }
-            if connectivity == Connectivity::Eight {
-                if x > 0 && y > 0 {
-                    visit(x - 1, y - 1, &mut seen, &mut stack);
+                let below = i + w;
+                if labels[below] == l {
+                    dsu.union_min_rep(i as u32, below as u32);
                 }
-                if x + 1 < w && y > 0 {
-                    visit(x + 1, y - 1, &mut seen, &mut stack);
-                }
-                if x > 0 && y + 1 < h {
-                    visit(x - 1, y + 1, &mut seen, &mut stack);
-                }
-                if x + 1 < w && y + 1 < h {
-                    visit(x + 1, y + 1, &mut seen, &mut stack);
+                if connectivity == Connectivity::Eight {
+                    if x > 0 && labels[below - 1] == l {
+                        dsu.union_min_rep(i as u32, (below - 1) as u32);
+                    }
+                    if x + 1 < w && labels[below + 1] == l {
+                        dsu.union_min_rep(i as u32, (below + 1) as u32);
+                    }
                 }
             }
+        }
+    }
+    let roots = dsu.resolve_all();
+    let mut counts = vec![0usize; num_regions];
+    for (i, (&root, &l)) in roots.iter().zip(labels).enumerate() {
+        if root as usize == i {
+            counts[l as usize] += 1;
         }
     }
     counts

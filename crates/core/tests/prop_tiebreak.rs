@@ -20,7 +20,8 @@ use proptest::prelude::*;
 use rg_core::graph::Rag;
 use rg_core::merge::{tie_key, tie_priority, Merger};
 use rg_core::telemetry::derive_merge_iterations;
-use rg_core::{Config, RegionStats, TieBreak};
+use rg_core::{segment, segment_par, Config, Connectivity, MergeBackend, RegionStats, TieBreak};
+use rg_imaging::synth;
 
 /// Deterministically shuffles `v` with a splitmix-style keyed sort.
 fn shuffle<T: Copy>(v: &[T], key: u64) -> Vec<T> {
@@ -48,7 +49,7 @@ fn pick(policy: TieBreak, iteration: u32, chooser: u64, candidates: &[u64]) -> u
 
 /// An equal-intensity ring of `n` regions with `chords` extra edges: every
 /// edge weight is 0, so every neighbour choice is a pure tie.
-fn adversarial_ring(n: usize, chords: &[(usize, usize)]) -> (Rag<u8>, Vec<u64>) {
+fn adversarial_ring(n: usize, chords: &[(usize, usize)]) -> (Rag<'static, u8>, Vec<u64>) {
     let stats = vec![RegionStats::of_pixel(128u8); n];
     let mut edges: Vec<(u32, u32)> = (0..n)
         .map(|i| {
@@ -66,7 +67,7 @@ fn adversarial_ring(n: usize, chords: &[(usize, usize)]) -> (Rag<u8>, Vec<u64>) 
     edges.dedup();
     // Canonical IDs must be strictly increasing but need not be dense.
     let ids: Vec<u64> = (0..n as u64).map(|i| i * 5 + 2).collect();
-    (Rag { stats, edges }, ids)
+    (Rag::from_parts(stats, edges), ids)
 }
 
 prop_compose! {
@@ -224,5 +225,49 @@ proptest! {
             prop_assert_eq!(rec.merges, m);
             prop_assert_eq!(rec.used_fallback, f, "iteration {}", i);
         }
+    }
+
+    /// **Differential backend equivalence.** The incremental CSR merge
+    /// engine and the reference edge-list engine are different data
+    /// structures implementing one algorithm: for any image, threshold,
+    /// connectivity, tie policy, and engine (sequential or rayon), they must
+    /// produce the *identical* [`rg_core::Segmentation`] — same final
+    /// labels, same region count, and the same merge history iteration by
+    /// iteration (the merges-per-iteration trajectory, which pins down
+    /// every intermediate RAG state, not just the fixed point).
+    #[test]
+    fn csr_backend_matches_reference_backend(
+        w in 8usize..48,
+        h in 8usize..48,
+        rects in 0usize..9,
+        img_seed in 0u64..1_000,
+        threshold in 0u32..48,
+        eight in any::<bool>(),
+        policy in 0usize..3,
+        seed in 0u64..1_000,
+        parallel in any::<bool>(),
+    ) {
+        let img = synth::random_rects(w, h, rects, img_seed);
+        let tie = [
+            TieBreak::SmallestId,
+            TieBreak::LargestId,
+            TieBreak::Random { seed },
+        ][policy];
+        let conn = if eight { Connectivity::Eight } else { Connectivity::Four };
+        let base = Config::with_threshold(threshold)
+            .tie_break(tie)
+            .connectivity(conn);
+        let csr = Config { merge_backend: MergeBackend::Csr, ..base };
+        let reference = Config { merge_backend: MergeBackend::Reference, ..base };
+        let (a, b) = if parallel {
+            (segment_par(&img, &csr), segment_par(&img, &reference))
+        } else {
+            (segment(&img, &csr), segment(&img, &reference))
+        };
+        prop_assert_eq!(
+            a, b,
+            "backends diverged: {:?} conn={:?} t={} parallel={}",
+            tie, conn, threshold, parallel
+        );
     }
 }

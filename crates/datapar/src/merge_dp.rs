@@ -27,6 +27,7 @@
 use crate::fields::NONE;
 use crate::graph_dp::DpGraph;
 use cm_sim::{Field, Machine, Shape};
+use rg_core::config::{mean_satisfies, mean_weight_fp16, range_satisfies, range_weight_fp16};
 use rg_core::merge::tie_key;
 use rg_core::{Config, Criterion, MergeSummary, TieBreak};
 
@@ -118,15 +119,13 @@ pub fn merge_dp(m: &Machine, g: &DpGraph, config: &Config) -> DpMerge {
             Criterion::PixelRange => {
                 let lo = m.zip(&min_u, &min_v, |a, b| a.min(b));
                 let hi = m.zip(&max_u, &max_v, |a, b| a.max(b));
-                m.zip(&lo, &hi, |l, h| ((h - l) as u64) << 16)
+                m.zip(&lo, &hi, range_weight_fp16)
             }
             Criterion::MeanDifference => {
                 let a = m.zip(&sum_u, &cnt_u, |s, c| (s, c));
                 let b = m.zip(&sum_v, &cnt_v, |s, c| (s, c));
                 m.zip(&a, &b, |(su, cu), (sv, cv)| {
-                    let num = (su as u128 * cv as u128).abs_diff(sv as u128 * cu as u128);
-                    let den = (cu as u128 * cv as u128).max(1);
-                    (((num) << 16) / den) as u64
+                    mean_weight_fp16(su, cu, sv, cv)
                 })
             }
         };
@@ -277,7 +276,7 @@ fn refresh_active(
             let (max_u, max_v) = (m.get(v_max, e_u, None, 0), m.get(v_max, e_v, None, 0));
             let lo = m.zip(&min_u, &min_v, |a, b| a.min(b));
             let hi = m.zip(&max_u, &max_v, |a, b| a.max(b));
-            m.zip(&lo, &hi, move |l, h| h - l <= t)
+            m.zip(&lo, &hi, move |l, h| range_satisfies(l, h, t))
         }
         Criterion::MeanDifference => {
             let a = m.zip(
@@ -291,11 +290,7 @@ fn refresh_active(
                 |s, c| (s, c),
             );
             m.zip(&a, &b, move |(su, cu), (sv, cv)| {
-                if cu == 0 || cv == 0 {
-                    return false;
-                }
-                let num = (su as u128 * cv as u128).abs_diff(sv as u128 * cu as u128);
-                num <= t as u128 * cu as u128 * cv as u128
+                mean_satisfies(su, cu, sv, cv, t)
             })
         }
     };

@@ -108,6 +108,59 @@ impl DisjointSets {
         self.find(a) == self.find(b)
     }
 
+    /// Resolves **every** element to its root in one batched pass, without
+    /// mutating the forest (no per-element [`DisjointSets::find`] calls).
+    ///
+    /// The first sweep resolves all *monotone* links (`parent[v] ≤ v`) in
+    /// strictly increasing index order — for forests built exclusively with
+    /// [`DisjointSets::union_min_rep`] (the merge engine's convention) this
+    /// single O(n) pass is already complete. Any remaining non-monotone
+    /// links (possible under rank-based [`DisjointSets::union`]) are
+    /// finished by pointer jumping (`out ← out[out]`), which halves every
+    /// path per round and therefore terminates in O(log n) rounds.
+    pub fn resolve_all(&self) -> Vec<u32> {
+        let n = self.parent.len();
+        let mut out: Vec<u32> = Vec::with_capacity(n);
+        for v in 0..n {
+            let p = self.parent[v];
+            out.push(if (p as usize) < v { out[p as usize] } else { p });
+        }
+        // Pointer jumping finishes non-monotone forests; for min-rep
+        // forests the first verification round finds a fixpoint.
+        loop {
+            let mut changed = false;
+            for v in 0..n {
+                let hop = out[out[v] as usize];
+                if hop != out[v] {
+                    out[v] = hop;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return out;
+            }
+        }
+    }
+
+    /// Rayon-parallel [`DisjointSets::resolve_all`]: classic synchronous
+    /// pointer jumping (`out ← out[out]` until fixpoint). Deterministic —
+    /// every round reads a snapshot and writes a fresh buffer — and
+    /// identical output to the sequential variant.
+    pub fn resolve_all_par(&self) -> Vec<u32> {
+        use rayon::prelude::*;
+        let mut cur = self.parent.clone();
+        loop {
+            // One synchronous jump round: every element reads the previous
+            // round's snapshot, so the rounds are race-free by construction.
+            let next: Vec<u32> = cur.par_iter().map(|&p| cur[p as usize]).collect();
+            let changed = next.iter().zip(&cur).any(|(a, b)| a != b);
+            cur = next;
+            if !changed {
+                return cur;
+            }
+        }
+    }
+
     /// Compresses every path and returns the dense relabelling
     /// `element → compact set index` in `0..num_sets`, assigning compact
     /// indices in order of first appearance of each root.
@@ -194,6 +247,45 @@ mod tests {
         // First-appearance order: element 0's set gets label 0.
         assert_eq!(labels[0], 0);
         assert_eq!(labels[1], 1);
+    }
+
+    #[test]
+    fn resolve_all_matches_find_on_min_rep_forest() {
+        let mut d = DisjointSets::new(64);
+        // Arbitrary min-rep unions, including chains.
+        for (a, b) in [(3, 7), (7, 12), (0, 3), (20, 21), (21, 40), (63, 20)] {
+            d.union_min_rep(a, b);
+        }
+        let resolved = d.resolve_all();
+        let resolved_par = d.resolve_all_par();
+        for v in 0..64u32 {
+            assert_eq!(resolved[v as usize], d.find_immutable(v), "v={v}");
+        }
+        assert_eq!(resolved, resolved_par);
+    }
+
+    #[test]
+    fn resolve_all_matches_find_on_rank_forest() {
+        // Rank unions can produce non-monotone parent links; the pointer
+        // jumping fallback must still resolve everything.
+        let mut d = DisjointSets::new(50);
+        for i in 0..49u32 {
+            d.union(48 - i, 49 - i);
+        }
+        let resolved = d.resolve_all();
+        let resolved_par = d.resolve_all_par();
+        for v in 0..50u32 {
+            assert_eq!(resolved[v as usize], d.find_immutable(v), "v={v}");
+        }
+        assert_eq!(resolved, resolved_par);
+    }
+
+    #[test]
+    fn resolve_all_on_singletons_is_identity() {
+        let d = DisjointSets::new(5);
+        assert_eq!(d.resolve_all(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(d.resolve_all_par(), vec![0, 1, 2, 3, 4]);
+        assert!(DisjointSets::new(0).resolve_all().is_empty());
     }
 
     #[test]

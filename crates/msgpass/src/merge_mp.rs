@@ -33,7 +33,7 @@ use crate::boundary::LocalRag;
 use crate::decomp::Decomposition;
 use cmmd_sim::channel::{decode_u32s, encode_u32s};
 use cmmd_sim::{all_to_many, CommScheme, Node};
-use rg_core::merge::tie_key;
+use rg_core::merge::{choice_key, CandKey};
 use rg_core::{Config, RegionStats, TieBreak};
 use std::collections::{BTreeMap, HashMap};
 
@@ -171,23 +171,21 @@ pub fn merge_mp(
         {
             let store = &rag.store;
             let ghosts = &rag.ghosts;
-            let mut best: Option<(u64, u64, u64, u32)> = None;
+            let mut best: Option<CandKey> = None;
             let mut cur: Option<u32> = None;
-            let flush = |src: Option<u32>,
-                         best: &mut Option<(u64, u64, u64, u32)>,
-                         choice: &mut BTreeMap<u32, u32>| {
-                if let (Some(s), Some(b)) = (src, best.take()) {
-                    choice.insert(s, b.3);
-                }
-            };
+            let flush =
+                |src: Option<u32>, best: &mut Option<CandKey>, choice: &mut BTreeMap<u32, u32>| {
+                    if let (Some(s), Some(b)) = (src, best.take()) {
+                        choice.insert(s, b.3);
+                    }
+                };
             for &(s, d) in rag.half_edges.iter() {
                 if cur != Some(s) {
                     flush(cur, &mut best, &mut choice);
                     cur = Some(s);
                 }
                 let w = crit.weight(&store[&s], &stats_of(d, store, ghosts));
-                let (k0, k1) = tie_key(policy, iterations, s as u64, d as u64);
-                let key = (w, k0, k1, d);
+                let key = choice_key(policy, iterations, s as u64, d as u64, w, d);
                 if best.is_none_or(|b| key < b) {
                     best = Some(key);
                 }

@@ -187,8 +187,19 @@ fn telemetry_reports_agree_across_engines() {
             "merge history diverged on {}",
             r.engine
         );
+        // Compare the *observable* history — (merges, used_fallback) per
+        // iteration. The host engines additionally report backend-internal
+        // counters (`active_edges`, `compacted`) that the simulated engines
+        // derive as `None`; those are deliberately excluded from conformance.
+        let obs = |rep: &TelemetryReport| -> Vec<(u32, bool)> {
+            rep.merge_iterations
+                .iter()
+                .map(|m| (m.merges, m.used_fallback))
+                .collect()
+        };
         assert_eq!(
-            r.merge_iterations, base.merge_iterations,
+            obs(r),
+            obs(base),
             "fallback/stall annotations diverged on {}",
             r.engine
         );
