@@ -1,0 +1,42 @@
+//! Telemetry overhead benchmark: the disabled path (`NullTelemetry`) must
+//! cost the same as the plain entry point — the `enabled()` short-circuit
+//! is checked once per stage, so a disabled sink adds no per-iteration
+//! work — while the in-memory streaming sink quantifies the full price of
+//! recording every span and event.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rg_core::{segment, segment_with_telemetry, Config, EventLog, NullTelemetry, Recorder};
+use rg_imaging::synth;
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let img = synth::circle_collection(128);
+    let cfg = Config::with_threshold(10);
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(20);
+
+    g.bench_function(BenchmarkId::from_parameter("plain"), |b| {
+        b.iter(|| segment(&img, &cfg))
+    });
+    g.bench_function(BenchmarkId::from_parameter("null_sink"), |b| {
+        b.iter(|| {
+            let mut null = NullTelemetry;
+            segment_with_telemetry(&img, &cfg, &mut null)
+        })
+    });
+    g.bench_function(BenchmarkId::from_parameter("recorder"), |b| {
+        b.iter(|| {
+            let mut rec = Recorder::new();
+            segment_with_telemetry(&img, &cfg, &mut rec)
+        })
+    });
+    g.bench_function(BenchmarkId::from_parameter("event_log"), |b| {
+        b.iter(|| {
+            let mut log = EventLog::in_memory();
+            segment_with_telemetry(&img, &cfg, &mut log)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -10,6 +10,11 @@
 //! cargo run --release -p rg-bench --bin bench_record -- --quick      # 256x256 (CI smoke)
 //! cargo run --release -p rg-bench --bin bench_record -- --check     # exit 1 if CSR does more relabel work
 //! cargo run --release -p rg-bench --bin bench_record -- --out /tmp/b.json
+//!
+//! # perf-regression diff (see rg_bench::diff). Exit 1 on regression.
+//! bench_record diff old.json new.json                 # two recorded files
+//! bench_record diff --baseline BENCH_merge.json       # fresh run vs baseline
+//! bench_record diff new.json --baseline old.json --tolerance 0.15 --strict-wall
 //! ```
 //!
 //! `edges_per_sec` is `initial_edges x iterations / wall_seconds`: the rate
@@ -20,6 +25,7 @@
 
 use std::time::Instant;
 
+use rg_bench::diff::{diff_docs, DiffOptions};
 use rg_core::graph::Rag;
 use rg_core::json::Json;
 use rg_core::{split, Config, MergeBackend, Merger, TieBreak};
@@ -107,34 +113,9 @@ fn row_json(r: &Row) -> Json {
     ])
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let check = args.iter().any(|a| a == "--check");
-    let mut out = "BENCH_merge.json".to_string();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--quick" | "--check" => {}
-            "--out" => {
-                i += 1;
-                match args.get(i) {
-                    Some(p) => out = p.clone(),
-                    None => {
-                        eprintln!("--out requires a path");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            bad => {
-                eprintln!("unknown flag {bad:?}; use --quick, --check, --out <path>");
-                std::process::exit(2);
-            }
-        }
-        i += 1;
-    }
-
-    let n = if quick { 256 } else { 512 };
+/// Runs the full scene × tie × backend suite at image size `n` and builds
+/// the `bench-merge-v1` document plus any relabel-work guard failures.
+fn build_doc(n: usize) -> (Json, Vec<String>) {
     // Three merge-heavy scenes. `noise` keeps every edge an exact tie for
     // long stretches (the reference backend's worst case: full re-sorts on a
     // barely-shrinking edge list); `rects` and `circles` mirror the paper's
@@ -223,6 +204,38 @@ fn main() {
             }),
         ),
     ]);
+    (doc, guard_failures)
+}
+
+/// `bench_record [--quick] [--check] [--out PATH]` — record a document.
+fn record_main(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let mut out = "BENCH_merge.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" | "--check" => {}
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = p.clone(),
+                    None => {
+                        eprintln!("--out requires a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            bad => {
+                eprintln!("unknown flag {bad:?}; use --quick, --check, --out <path>, or the diff subcommand");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let n = if quick { 256 } else { 512 };
+    let (doc, guard_failures) = build_doc(n);
     std::fs::write(&out, doc.to_pretty() + "\n").unwrap_or_else(|e| {
         eprintln!("cannot write {out}: {e}");
         std::process::exit(1);
@@ -237,5 +250,104 @@ fn main() {
     }
     if check {
         eprintln!("perf guard OK: CSR relabel work <= reference on every scene");
+    }
+}
+
+fn load_doc(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: not valid JSON: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// `bench_record diff [current.json] [baseline.json] [--baseline PATH]
+/// [--tolerance F] [--strict-wall]` — compare two recorded documents, or a
+/// fresh run against a committed baseline when only `--baseline` is given.
+/// Exits 1 on regression, 0 otherwise (the CI perf-smoke contract).
+fn diff_main(args: &[String]) {
+    let mut baseline: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                baseline = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--baseline requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--tolerance" => {
+                i += 1;
+                opts.tolerance = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--tolerance requires a number (e.g. 0.15)");
+                    std::process::exit(2);
+                });
+            }
+            "--strict-wall" => opts.strict_wall = true,
+            bad if bad.starts_with('-') => {
+                eprintln!(
+                    "unknown flag {bad:?}; usage: bench_record diff [baseline.json current.json] \
+                     [--baseline PATH] [--tolerance F] [--strict-wall]"
+                );
+                std::process::exit(2);
+            }
+            p => positional.push(p.to_string()),
+        }
+        i += 1;
+    }
+
+    // Resolve (baseline, current): explicit --baseline beats positionals;
+    // with no current document we run the suite fresh at the baseline's
+    // recorded image size.
+    let (base_doc, base_name, cur_doc, cur_name) = match (baseline, positional.as_slice()) {
+        (Some(b), [cur]) => (load_doc(&b), b, load_doc(cur), cur.clone()),
+        (Some(b), []) => {
+            let base = load_doc(&b);
+            let n = base.get("image_size").and_then(Json::as_u64).unwrap_or(256) as usize;
+            eprintln!("running fresh {n}x{n} suite against baseline {b}...");
+            let (doc, _) = build_doc(n);
+            (base, b, doc, "<fresh run>".to_string())
+        }
+        (None, [b, cur]) => (load_doc(b), b.clone(), load_doc(cur), cur.clone()),
+        _ => {
+            eprintln!(
+                "usage: bench_record diff <baseline.json> <current.json>\n\
+                 \x20      bench_record diff [current.json] --baseline <baseline.json>\n\
+                 \x20      [--tolerance F] [--strict-wall]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let report = diff_docs(&base_doc, &cur_doc, &opts).unwrap_or_else(|e| {
+        eprintln!("diff failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "diff: {base_name} (baseline) vs {cur_name} (tolerance {:.0}%{})",
+        opts.tolerance * 100.0,
+        if opts.strict_wall {
+            ", strict wall"
+        } else {
+            ""
+        }
+    );
+    print!("{}", report.render());
+    if !report.ok() {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("diff") => diff_main(&args[1..]),
+        _ => record_main(&args),
     }
 }

@@ -13,4 +13,5 @@
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod diff;
 pub mod tables;

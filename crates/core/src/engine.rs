@@ -6,7 +6,10 @@ use crate::hierarchy::MergeTrace;
 use crate::labels::compact_first_appearance;
 use crate::merge::{MergeSummary, Merger};
 use crate::split::{split, split_par, SplitResult};
-use crate::telemetry::{MergeIterationRecord, NullTelemetry, Stage, StageSpan, Telemetry};
+use crate::telemetry::{
+    Histogram, MergeIterationRecord, NullTelemetry, SpanGuard, SpanKind, Stage, StageSpan,
+    Telemetry,
+};
 use rayon::prelude::*;
 use rg_imaging::{Image, Intensity};
 use std::time::Instant;
@@ -154,29 +157,56 @@ fn run_pipeline<P: Intensity>(
     }
     let mut watch = Stopwatch::start(enabled);
 
-    let split_result = if parallel {
-        split_par(img, config)
-    } else {
-        split(img, config)
+    let (summary, labels, num_regions, split_result) = {
+        // Everything between run_start and run_end lives inside the `run`
+        // span; the guard closes it even on unwind.
+        let mut run_span = SpanGuard::enter(&mut *tel, SpanKind::Run);
+        let tel = run_span.tel();
+
+        let split_result = {
+            let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Split));
+            if parallel {
+                split_par(img, config)
+            } else {
+                split(img, config)
+            }
+        };
+        if enabled {
+            tel.stage(StageSpan {
+                stage: Stage::Split,
+                wall_seconds: watch.lap(),
+                sim_seconds: None,
+            });
+            tel.split_done(split_result.iterations, split_result.num_squares());
+        }
+
+        let (summary, labels) =
+            merge_from_split_with(&split_result, config, parallel, tel, &mut watch);
+
+        let (labels, num_regions) = {
+            let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Label));
+            compact_first_appearance(&labels)
+        };
+        if enabled {
+            tel.stage(StageSpan {
+                stage: Stage::Label,
+                wall_seconds: watch.lap(),
+                sim_seconds: None,
+            });
+            // Region-size distribution at convergence (pixels per region).
+            let mut sizes = vec![0u64; num_regions];
+            for &l in &labels {
+                sizes[l as usize] += 1;
+            }
+            let mut h = Histogram::new();
+            for s in sizes {
+                h.record(s);
+            }
+            tel.histogram("region_size_px", &h);
+        }
+        (summary, labels, num_regions, split_result)
     };
     if enabled {
-        tel.stage(StageSpan {
-            stage: Stage::Split,
-            wall_seconds: watch.lap(),
-            sim_seconds: None,
-        });
-        tel.split_done(split_result.iterations, split_result.num_squares());
-    }
-
-    let (summary, labels) = merge_from_split_with(&split_result, config, parallel, tel, &mut watch);
-
-    let (labels, num_regions) = compact_first_appearance(&labels);
-    if enabled {
-        tel.stage(StageSpan {
-            stage: Stage::Label,
-            wall_seconds: watch.lap(),
-            sim_seconds: None,
-        });
         tel.run_end();
     }
     Segmentation {
@@ -218,18 +248,21 @@ fn merge_from_split_with<P: Intensity>(
     watch: &mut Stopwatch,
 ) -> (MergeSummary, Vec<u32>) {
     let enabled = tel.enabled();
-    let rag = if parallel {
-        Rag::from_split_par(split_result, config.connectivity)
-    } else {
-        Rag::from_split(split_result, config.connectivity)
+    let mut merger = {
+        let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Graph));
+        let rag = if parallel {
+            Rag::from_split_par(split_result, config.connectivity)
+        } else {
+            Rag::from_split(split_result, config.connectivity)
+        };
+        let stride = split_result.width as u32;
+        let ids: Vec<u64> = split_result
+            .squares
+            .iter()
+            .map(|s| s.id(stride) as u64)
+            .collect();
+        Merger::new(rag, ids, config, parallel)
     };
-    let stride = split_result.width as u32;
-    let ids: Vec<u64> = split_result
-        .squares
-        .iter()
-        .map(|s| s.id(stride) as u64)
-        .collect();
-    let mut merger = Merger::new(rag, ids, config, parallel);
     if enabled {
         tel.stage(StageSpan {
             stage: Stage::Graph,
@@ -239,17 +272,31 @@ fn merge_from_split_with<P: Intensity>(
     }
 
     let summary = if enabled {
-        while !merger.is_done() {
-            let iteration = merger.iterations();
-            let report = merger.step();
-            tel.merge_iteration(MergeIterationRecord {
-                iteration,
-                merges: report.merges,
-                used_fallback: report.used_fallback,
-                active_edges: Some(report.active_edges),
-                compacted: Some(report.compacted),
-            });
+        let mut iter_wall = Histogram::new();
+        let mut merges_hist = Histogram::new();
+        {
+            let mut merge_span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Merge));
+            let tel = merge_span.tel();
+            while !merger.is_done() {
+                let iteration = merger.iterations();
+                let t0 = Instant::now();
+                let mut iter_span =
+                    SpanGuard::enter(&mut *tel, SpanKind::MergeIteration(iteration));
+                let report = merger.step_traced(iter_span.tel());
+                iter_span.tel().merge_iteration(MergeIterationRecord {
+                    iteration,
+                    merges: report.merges,
+                    used_fallback: report.used_fallback,
+                    active_edges: Some(report.active_edges),
+                    compacted: Some(report.compacted),
+                });
+                drop(iter_span);
+                iter_wall.record(t0.elapsed().as_micros() as u64);
+                merges_hist.record(u64::from(report.merges));
+            }
         }
+        tel.histogram("merge.iter_wall_us", &iter_wall);
+        tel.histogram("merge.merges_per_iteration", &merges_hist);
         MergeSummary {
             iterations: merger.iterations(),
             merges_per_iteration: merger.merges_per_iteration().to_vec(),

@@ -1,0 +1,1061 @@
+//! Streaming JSONL event journal: the durable, mid-flight-observable form
+//! of a telemetry stream.
+//!
+//! The in-memory [`Recorder`](crate::telemetry::Recorder) only materialises
+//! a report after `run_end` — a hung merge loop or a panic leaves nothing
+//! behind. This module streams every [`Telemetry`] callback as one JSON
+//! object per line (JSONL) the moment it happens:
+//!
+//! * [`Event`] / [`EventKind`] — the canonical event model. Each event is
+//!   timestamped (`t_us`, microseconds since `run_start`) by the sink *on
+//!   receipt*, so engines never touch a clock for the journal's sake.
+//! * [`Streaming`] — adapts any [`EmitEvent`] byte/event consumer into a
+//!   full [`Telemetry`] sink (this is the single trait-call → [`Event`]
+//!   conversion site).
+//! * [`JsonlWriter`] / [`JsonlSink`] — writes events as JSONL with bounded
+//!   buffering and a drop counter: when the underlying writer fails the
+//!   journal degrades (events are counted, not lost silently, and the run
+//!   is never aborted). The final `run_end` line carries the drop count.
+//! * [`parse_journal`] — crash-tolerant reader: any *prefix* of a journal
+//!   (e.g. after `kill -9`) parses event-by-event; a damaged tail line is
+//!   reported, not fatal. [`parse_journal_strict`] is the schema-validation
+//!   mode used by CI (unknown event kinds are errors).
+//! * [`replay`] — folds a (possibly partial) event stream back into a
+//!   [`TelemetryReport`], so post-mortem journals feed the same tooling as
+//!   live reports.
+//! * [`validate_journal`] — enforces the span schema: every `span_begin`
+//!   nests per [`SpanKind::may_nest_in`], every `span_end` matches the
+//!   innermost open span, and a complete journal closes every span.
+//!
+//! ## Line schema
+//!
+//! Every line is a JSON object with an `"ev"` tag and a `"t_us"`
+//! timestamp. The tags are:
+//!
+//! | `ev`          | payload                                              |
+//! |---------------|------------------------------------------------------|
+//! | `run_start`   | `engine`, `width`, `height`, `config` object         |
+//! | `b` / `e`     | `span` label (see [`SpanKind::label`])               |
+//! | `stage`       | `stage`, `wall_seconds`, optional `sim_seconds`      |
+//! | `split_done`  | `iterations`, `num_squares`                          |
+//! | `merge_iter`  | `iter`, `merges`, `fallback`, opt. `active_edges`, `compacted` |
+//! | `merge_done`  | `num_regions`                                        |
+//! | `comm`        | `scheme`, `nodes`, `rounds`, `messages`, `bytes`     |
+//! | `counter`     | `name`, `value`                                      |
+//! | `hist`        | `name`, `hist` object (see [`Histogram::to_json`])   |
+//! | `run_end`     | `dropped` (events lost to sink back-pressure)        |
+
+use std::io::{self, Write};
+use std::time::Instant;
+
+use crate::config::Config;
+use crate::json::{Json, JsonError};
+use crate::telemetry::{
+    CommRecord, ConfigRecord, Histogram, MergeIterationRecord, SpanKind, Stage, StageSpan,
+    Telemetry, TelemetryReport,
+};
+
+/// What happened (the payload of one journal line).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A run began.
+    RunStart {
+        /// Engine label (see [`Telemetry::run_start`]).
+        engine: String,
+        /// Image width.
+        width: usize,
+        /// Image height.
+        height: usize,
+        /// Configuration snapshot.
+        config: ConfigRecord,
+    },
+    /// A hierarchical span opened.
+    SpanBegin {
+        /// Which span.
+        span: SpanKind,
+    },
+    /// The innermost open span closed.
+    SpanEnd {
+        /// Which span.
+        span: SpanKind,
+    },
+    /// A pipeline stage completed (aggregate timing).
+    Stage {
+        /// The stage span.
+        span: StageSpan,
+    },
+    /// The split stage's outcome.
+    SplitDone {
+        /// Productive split iterations.
+        iterations: u32,
+        /// Squares at the end of the split stage.
+        num_squares: usize,
+    },
+    /// One merge iteration's counters.
+    MergeIteration {
+        /// The record.
+        rec: MergeIterationRecord,
+    },
+    /// The merge stage's outcome.
+    MergeDone {
+        /// Final region count.
+        num_regions: usize,
+    },
+    /// Aggregate communication counters.
+    Comm {
+        /// The record.
+        rec: CommRecord,
+    },
+    /// A named scalar counter.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Counter value.
+        value: f64,
+    },
+    /// A named histogram.
+    Histogram {
+        /// Histogram name.
+        name: String,
+        /// The histogram (boxed: it is ~0.5 KiB, far larger than any
+        /// other variant, and events are stored by the `Vec`-load in
+        /// every sink).
+        hist: Box<Histogram>,
+    },
+    /// The run completed. `dropped` is the number of events the sink had
+    /// to discard (writer failure); 0 on a healthy run.
+    RunEnd {
+        /// Events dropped by the sink.
+        dropped: u64,
+    },
+}
+
+impl EventKind {
+    /// The stable `"ev"` tag of this kind.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::RunStart { .. } => "run_start",
+            EventKind::SpanBegin { .. } => "b",
+            EventKind::SpanEnd { .. } => "e",
+            EventKind::Stage { .. } => "stage",
+            EventKind::SplitDone { .. } => "split_done",
+            EventKind::MergeIteration { .. } => "merge_iter",
+            EventKind::MergeDone { .. } => "merge_done",
+            EventKind::Comm { .. } => "comm",
+            EventKind::Counter { .. } => "counter",
+            EventKind::Histogram { .. } => "hist",
+            EventKind::RunEnd { .. } => "run_end",
+        }
+    }
+}
+
+/// One timestamped journal event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Microseconds since the sink observed `run_start` (0 for the
+    /// `run_start` event itself).
+    pub t_us: u64,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Serializes to a single-line JSON object (no trailing newline).
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(&str, Json)> =
+            vec![("ev", self.kind.tag().into()), ("t_us", self.t_us.into())];
+        match &self.kind {
+            EventKind::RunStart {
+                engine,
+                width,
+                height,
+                config,
+            } => {
+                pairs.push(("engine", engine.as_str().into()));
+                pairs.push(("width", (*width).into()));
+                pairs.push(("height", (*height).into()));
+                pairs.push(("config", config.to_json()));
+            }
+            EventKind::SpanBegin { span } | EventKind::SpanEnd { span } => {
+                pairs.push(("span", span.label().into()));
+            }
+            EventKind::Stage { span } => {
+                pairs.push(("stage", span.stage.name().into()));
+                pairs.push(("wall_seconds", span.wall_seconds.into()));
+                if let Some(sim) = span.sim_seconds {
+                    pairs.push(("sim_seconds", sim.into()));
+                }
+            }
+            EventKind::SplitDone {
+                iterations,
+                num_squares,
+            } => {
+                pairs.push(("iterations", (*iterations).into()));
+                pairs.push(("num_squares", (*num_squares).into()));
+            }
+            EventKind::MergeIteration { rec } => {
+                pairs.push(("iter", rec.iteration.into()));
+                pairs.push(("merges", rec.merges.into()));
+                pairs.push(("fallback", rec.used_fallback.into()));
+                if let Some(a) = rec.active_edges {
+                    pairs.push(("active_edges", a.into()));
+                }
+                if let Some(c) = rec.compacted {
+                    pairs.push(("compacted", c.into()));
+                }
+            }
+            EventKind::MergeDone { num_regions } => {
+                pairs.push(("num_regions", (*num_regions).into()));
+            }
+            EventKind::Comm { rec } => {
+                pairs.push(("scheme", rec.scheme.as_str().into()));
+                pairs.push(("nodes", rec.nodes.into()));
+                pairs.push(("rounds", rec.rounds.into()));
+                pairs.push(("messages", rec.messages.into()));
+                pairs.push(("bytes", rec.bytes.into()));
+            }
+            EventKind::Counter { name, value } => {
+                pairs.push(("name", name.as_str().into()));
+                pairs.push(("value", (*value).into()));
+            }
+            EventKind::Histogram { name, hist } => {
+                pairs.push(("name", name.as_str().into()));
+                pairs.push(("hist", hist.to_json()));
+            }
+            EventKind::RunEnd { dropped } => {
+                pairs.push(("dropped", (*dropped).into()));
+            }
+        }
+        Json::obj(pairs)
+    }
+
+    /// One JSONL line, newline included.
+    pub fn to_line(&self) -> String {
+        let mut s = self.to_json().to_compact();
+        s.push('\n');
+        s
+    }
+
+    /// Parses an event from a JSON value produced by [`Event::to_json`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let bad = |what: &str| JsonError {
+            message: format!("journal event: bad or missing {what}"),
+            offset: 0,
+        };
+        let tag = v
+            .get("ev")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("ev"))?;
+        let t_us = v
+            .get("t_us")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("t_us"))?;
+        let span_of = |v: &Json| -> Result<SpanKind, JsonError> {
+            let label = v
+                .get("span")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("span"))?;
+            SpanKind::parse(label).ok_or_else(|| JsonError {
+                message: format!("journal event: unknown span label {label:?}"),
+                offset: 0,
+            })
+        };
+        let kind = match tag {
+            "run_start" => EventKind::RunStart {
+                engine: v
+                    .get("engine")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("engine"))?
+                    .to_string(),
+                width: v
+                    .get("width")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("width"))? as usize,
+                height: v
+                    .get("height")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("height"))? as usize,
+                config: ConfigRecord::from_json(v.get("config").ok_or_else(|| bad("config"))?)?,
+            },
+            "b" => EventKind::SpanBegin { span: span_of(v)? },
+            "e" => EventKind::SpanEnd { span: span_of(v)? },
+            "stage" => {
+                let name = v
+                    .get("stage")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("stage"))?;
+                EventKind::Stage {
+                    span: StageSpan {
+                        stage: Stage::from_name(name).ok_or_else(|| JsonError {
+                            message: format!("journal event: unknown stage {name:?}"),
+                            offset: 0,
+                        })?,
+                        wall_seconds: v
+                            .get("wall_seconds")
+                            .and_then(Json::as_f64)
+                            .ok_or_else(|| bad("wall_seconds"))?,
+                        sim_seconds: v.get("sim_seconds").and_then(Json::as_f64),
+                    },
+                }
+            }
+            "split_done" => EventKind::SplitDone {
+                iterations: v
+                    .get("iterations")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("iterations"))? as u32,
+                num_squares: v
+                    .get("num_squares")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("num_squares"))? as usize,
+            },
+            "merge_iter" => EventKind::MergeIteration {
+                rec: MergeIterationRecord {
+                    iteration: v
+                        .get("iter")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("iter"))? as u32,
+                    merges: v
+                        .get("merges")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("merges"))? as u32,
+                    used_fallback: v
+                        .get("fallback")
+                        .and_then(Json::as_bool)
+                        .ok_or_else(|| bad("fallback"))?,
+                    active_edges: v.get("active_edges").and_then(Json::as_u64),
+                    compacted: v.get("compacted").and_then(Json::as_bool),
+                },
+            },
+            "merge_done" => EventKind::MergeDone {
+                num_regions: v
+                    .get("num_regions")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("num_regions"))? as usize,
+            },
+            "comm" => EventKind::Comm {
+                rec: CommRecord {
+                    scheme: v
+                        .get("scheme")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| bad("scheme"))?
+                        .to_string(),
+                    nodes: v
+                        .get("nodes")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("nodes"))? as usize,
+                    rounds: v
+                        .get("rounds")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("rounds"))?,
+                    messages: v
+                        .get("messages")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("messages"))?,
+                    bytes: v
+                        .get("bytes")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("bytes"))?,
+                },
+            },
+            "counter" => EventKind::Counter {
+                name: v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("name"))?
+                    .to_string(),
+                value: v
+                    .get("value")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| bad("value"))?,
+            },
+            "hist" => EventKind::Histogram {
+                name: v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("name"))?
+                    .to_string(),
+                hist: Box::new(Histogram::from_json(
+                    v.get("hist").ok_or_else(|| bad("hist"))?,
+                )?),
+            },
+            "run_end" => EventKind::RunEnd {
+                dropped: v
+                    .get("dropped")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("dropped"))?,
+            },
+            other => {
+                return Err(JsonError {
+                    message: format!("journal event: unknown event kind {other:?}"),
+                    offset: 0,
+                })
+            }
+        };
+        Ok(Event { t_us, kind })
+    }
+
+    /// Parses one JSONL line.
+    pub fn parse_line(line: &str) -> Result<Self, JsonError> {
+        Self::from_json(&Json::parse(line)?)
+    }
+}
+
+/// A consumer of journal [`Event`]s. Implementors must never panic or
+/// block the run on failure: count drops instead.
+pub trait EmitEvent {
+    /// Consumes one event.
+    fn emit(&mut self, ev: Event);
+    /// Events discarded so far (writer failure / back-pressure).
+    fn dropped(&self) -> u64 {
+        0
+    }
+    /// Flushes any internal buffering (called at `run_end`).
+    fn flush_events(&mut self) {}
+}
+
+/// Adapts an [`EmitEvent`] consumer into a [`Telemetry`] sink, stamping
+/// each event with microseconds since `run_start` on receipt.
+pub struct Streaming<S: EmitEvent> {
+    sink: S,
+    clock: Instant,
+}
+
+impl<S: EmitEvent> Streaming<S> {
+    /// Wraps `sink`.
+    pub fn new(sink: S) -> Self {
+        Self {
+            sink,
+            clock: Instant::now(),
+        }
+    }
+
+    /// The wrapped consumer.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// The wrapped consumer, mutably.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Unwraps the consumer.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    fn now_us(&self) -> u64 {
+        self.clock.elapsed().as_micros() as u64
+    }
+
+    fn push(&mut self, kind: EventKind) {
+        let t_us = self.now_us();
+        self.sink.emit(Event { t_us, kind });
+    }
+}
+
+impl<S: EmitEvent> Telemetry for Streaming<S> {
+    fn run_start(&mut self, engine: &str, width: usize, height: usize, config: &Config) {
+        self.clock = Instant::now();
+        self.push(EventKind::RunStart {
+            engine: engine.to_string(),
+            width,
+            height,
+            config: ConfigRecord::of(config),
+        });
+    }
+
+    fn span_begin(&mut self, kind: SpanKind) {
+        self.push(EventKind::SpanBegin { span: kind });
+    }
+
+    fn span_end(&mut self, kind: SpanKind) {
+        self.push(EventKind::SpanEnd { span: kind });
+    }
+
+    fn stage(&mut self, span: StageSpan) {
+        self.push(EventKind::Stage { span });
+    }
+
+    fn split_done(&mut self, iterations: u32, num_squares: usize) {
+        self.push(EventKind::SplitDone {
+            iterations,
+            num_squares,
+        });
+    }
+
+    fn merge_iteration(&mut self, rec: MergeIterationRecord) {
+        self.push(EventKind::MergeIteration { rec });
+    }
+
+    fn merge_done(&mut self, num_regions: usize) {
+        self.push(EventKind::MergeDone { num_regions });
+    }
+
+    fn comm(&mut self, rec: CommRecord) {
+        self.push(EventKind::Comm { rec });
+    }
+
+    fn counter(&mut self, name: &str, value: f64) {
+        self.push(EventKind::Counter {
+            name: name.to_string(),
+            value,
+        });
+    }
+
+    fn histogram(&mut self, name: &str, hist: &Histogram) {
+        self.push(EventKind::Histogram {
+            name: name.to_string(),
+            hist: Box::new(hist.clone()),
+        });
+    }
+
+    fn run_end(&mut self) {
+        let dropped = self.sink.dropped();
+        self.push(EventKind::RunEnd { dropped });
+        self.sink.flush_events();
+    }
+}
+
+/// Writes events as JSONL with bounded buffering.
+///
+/// Lines accumulate in an internal buffer of at most `buffer_cap` bytes
+/// and are written out whenever the next line would overflow it (so memory
+/// stays bounded on arbitrarily long runs). `buffer_cap == 0` writes and
+/// flushes every line immediately — the mid-flight-observable mode used
+/// for `--trace-out -`. The buffer is also flushed at `run_end` and on
+/// [`Drop`], so a panicking run still leaves a readable journal prefix
+/// behind (drop runs during unwind).
+///
+/// When the underlying writer errors, the writer is marked broken and
+/// every subsequent event increments [`JsonlWriter::dropped`] instead of
+/// aborting the run; the drop count is reported on the final `run_end`
+/// line (and by the CLI).
+pub struct JsonlWriter<W: Write> {
+    out: W,
+    buf: Vec<u8>,
+    buffer_cap: usize,
+    dropped: u64,
+    broken: bool,
+}
+
+/// Default buffer bound: 64 KiB.
+pub const DEFAULT_BUFFER_CAP: usize = 64 * 1024;
+
+impl<W: Write> JsonlWriter<W> {
+    /// A writer with the default 64 KiB buffer bound.
+    pub fn new(out: W) -> Self {
+        Self::with_buffer_cap(out, DEFAULT_BUFFER_CAP)
+    }
+
+    /// A writer with an explicit buffer bound (0 = flush every line).
+    pub fn with_buffer_cap(out: W, buffer_cap: usize) -> Self {
+        Self {
+            out,
+            buf: Vec::new(),
+            buffer_cap,
+            dropped: 0,
+            broken: false,
+        }
+    }
+
+    fn write_out(&mut self) {
+        if self.broken || self.buf.is_empty() {
+            return;
+        }
+        if self.out.write_all(&self.buf).is_err() || self.out.flush().is_err() {
+            self.broken = true;
+            // The buffered lines are lost; count them.
+            self.dropped += self.buf.iter().filter(|&&b| b == b'\n').count() as u64;
+        }
+        self.buf.clear();
+    }
+}
+
+impl<W: Write> EmitEvent for JsonlWriter<W> {
+    fn emit(&mut self, ev: Event) {
+        if self.broken {
+            self.dropped += 1;
+            return;
+        }
+        let line = ev.to_line();
+        if !self.buf.is_empty() && self.buf.len() + line.len() > self.buffer_cap {
+            self.write_out();
+            if self.broken {
+                self.dropped += 1;
+                return;
+            }
+        }
+        self.buf.extend_from_slice(line.as_bytes());
+        if self.buf.len() > self.buffer_cap {
+            self.write_out();
+        }
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn flush_events(&mut self) {
+        self.write_out();
+    }
+}
+
+impl<W: Write> Drop for JsonlWriter<W> {
+    fn drop(&mut self) {
+        self.write_out();
+    }
+}
+
+/// A streaming JSONL [`Telemetry`] sink (see [`JsonlWriter`]).
+pub type JsonlSink<W> = Streaming<JsonlWriter<W>>;
+
+/// Opens a JSONL sink for a `--trace-out` style path: `"-"` streams to
+/// stderr line-by-line (unbuffered); anything else creates/truncates a
+/// file with the default buffer bound.
+pub fn jsonl_sink_for_path(path: &str) -> io::Result<JsonlSink<Box<dyn Write>>> {
+    let writer: JsonlWriter<Box<dyn Write>> = if path == "-" {
+        JsonlWriter::with_buffer_cap(Box::new(io::stderr()), 0)
+    } else {
+        JsonlWriter::new(Box::new(std::fs::File::create(path)?))
+    };
+    Ok(Streaming::new(writer))
+}
+
+/// An in-memory event consumer (testing and trace export).
+#[derive(Debug, Clone, Default)]
+pub struct EventVec {
+    /// The events, in emission order.
+    pub events: Vec<Event>,
+}
+
+impl EmitEvent for EventVec {
+    fn emit(&mut self, ev: Event) {
+        self.events.push(ev);
+    }
+}
+
+/// An in-memory streaming [`Telemetry`] sink capturing the event stream.
+pub type EventLog = Streaming<EventVec>;
+
+impl EventLog {
+    /// A fresh in-memory event log.
+    pub fn in_memory() -> Self {
+        Streaming::new(EventVec::default())
+    }
+
+    /// The captured events.
+    pub fn events(&self) -> &[Event] {
+        &self.sink().events
+    }
+
+    /// Consumes the log, returning the events.
+    pub fn into_events(self) -> Vec<Event> {
+        self.into_sink().events
+    }
+}
+
+/// Summary of a tolerant [`parse_journal`] pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JournalStats {
+    /// Non-empty lines seen.
+    pub lines: usize,
+    /// Events successfully parsed.
+    pub events: usize,
+    /// `true` when parsing stopped at a damaged line (crash-truncated
+    /// tail); the message describes the first failure.
+    pub truncated: bool,
+    /// Parse error at the truncation point, if any.
+    pub error: Option<String>,
+}
+
+/// Crash-tolerant journal reader: parses events line-by-line and stops at
+/// the first damaged line (the model is a process killed mid-write — only
+/// the final line can be torn). Every prefix of a valid journal parses
+/// without error.
+pub fn parse_journal(text: &str) -> (Vec<Event>, JournalStats) {
+    let mut events = Vec::new();
+    let mut stats = JournalStats::default();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        stats.lines += 1;
+        match Event::parse_line(line) {
+            Ok(ev) => {
+                events.push(ev);
+                stats.events += 1;
+            }
+            Err(e) => {
+                stats.truncated = true;
+                stats.error = Some(e.message);
+                break;
+            }
+        }
+    }
+    (events, stats)
+}
+
+/// Strict journal reader: any malformed line or unknown event kind is an
+/// error (`Err((line_number, message))`, 1-based). This is the
+/// schema-validation mode CI runs on freshly emitted journals.
+pub fn parse_journal_strict(text: &str) -> Result<Vec<Event>, (usize, String)> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Event::parse_line(line) {
+            Ok(ev) => events.push(ev),
+            Err(e) => return Err((i + 1, e.message)),
+        }
+    }
+    Ok(events)
+}
+
+/// Folds a (possibly truncated) event stream into a [`TelemetryReport`].
+///
+/// This mirrors what [`Recorder`](crate::telemetry::Recorder) accumulates
+/// live, so a post-mortem journal prefix feeds the same reporting and
+/// diffing tools as a completed run. Missing trailing events simply leave
+/// the corresponding fields at their defaults.
+pub fn replay(events: &[Event]) -> TelemetryReport {
+    let mut r = TelemetryReport::default();
+    for ev in events {
+        match &ev.kind {
+            EventKind::RunStart {
+                engine,
+                width,
+                height,
+                config,
+            } => {
+                r = TelemetryReport {
+                    engine: engine.clone(),
+                    width: *width,
+                    height: *height,
+                    config: Some(config.clone()),
+                    ..TelemetryReport::default()
+                };
+            }
+            EventKind::SpanBegin { .. } | EventKind::SpanEnd { .. } => {}
+            EventKind::Stage { span } => r.stages.push(*span),
+            EventKind::SplitDone {
+                iterations,
+                num_squares,
+            } => {
+                r.split_iterations = *iterations;
+                r.num_squares = *num_squares;
+            }
+            EventKind::MergeIteration { rec } => {
+                if rec.merges == 0 {
+                    r.stall_iterations += 1;
+                }
+                if rec.used_fallback {
+                    r.fallback_iterations += 1;
+                }
+                r.merge_iterations.push(*rec);
+            }
+            EventKind::MergeDone { num_regions } => r.num_regions = *num_regions,
+            EventKind::Comm { rec } => r.comm = Some(rec.clone()),
+            EventKind::Counter { name, value } => r.counters.push((name.clone(), *value)),
+            EventKind::Histogram { name, hist } => {
+                r.histograms.push((name.clone(), (**hist).clone()))
+            }
+            EventKind::RunEnd { .. } => {}
+        }
+    }
+    r
+}
+
+/// A span-schema violation found by [`validate_journal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalInvalid {
+    /// 0-based index of the offending event.
+    pub event_index: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for JournalInvalid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "event {}: {}", self.event_index, self.message)
+    }
+}
+
+/// Validates span discipline over a complete journal: begins nest per
+/// [`SpanKind::may_nest_in`], every end matches the innermost open span,
+/// timestamps are monotonic, and no span is left open at the end.
+///
+/// Truncated journals fail the final balance check by design — use
+/// [`replay`] (which ignores spans) for post-mortem analysis, and this
+/// function to certify a journal a run claims to have completed.
+pub fn validate_journal(events: &[Event]) -> Result<(), JournalInvalid> {
+    let mut stack: Vec<SpanKind> = Vec::new();
+    let mut last_t = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        if ev.t_us < last_t {
+            return Err(JournalInvalid {
+                event_index: i,
+                message: format!("timestamp regressed: {} after {}", ev.t_us, last_t),
+            });
+        }
+        last_t = ev.t_us;
+        match &ev.kind {
+            EventKind::SpanBegin { span } => {
+                if !span.may_nest_in(stack.last().copied()) {
+                    return Err(JournalInvalid {
+                        event_index: i,
+                        message: format!(
+                            "span {:?} may not open inside {:?}",
+                            span.label(),
+                            stack.last().map(|s| s.label()),
+                        ),
+                    });
+                }
+                stack.push(*span);
+            }
+            EventKind::SpanEnd { span } => match stack.pop() {
+                Some(top) if top == *span => {}
+                Some(top) => {
+                    return Err(JournalInvalid {
+                        event_index: i,
+                        message: format!(
+                            "span end {:?} does not match open span {:?}",
+                            span.label(),
+                            top.label()
+                        ),
+                    })
+                }
+                None => {
+                    return Err(JournalInvalid {
+                        event_index: i,
+                        message: format!("span end {:?} with no span open", span.label()),
+                    })
+                }
+            },
+            _ => {}
+        }
+    }
+    if let Some(open) = stack.last() {
+        return Err(JournalInvalid {
+            event_index: events.len(),
+            message: format!(
+                "journal ended with {} span(s) open (innermost {:?})",
+                stack.len(),
+                open.label()
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TieBreak;
+
+    fn sample_events() -> Vec<Event> {
+        let cfg = Config::with_threshold(10).tie_break(TieBreak::Random { seed: 7 });
+        let mut log = EventLog::in_memory();
+        let tel: &mut dyn Telemetry = &mut log;
+        tel.run_start("seq", 64, 64, &cfg);
+        tel.span_begin(SpanKind::Run);
+        tel.span_begin(SpanKind::Stage(Stage::Split));
+        tel.split_done(3, 40);
+        tel.span_end(SpanKind::Stage(Stage::Split));
+        tel.stage(StageSpan {
+            stage: Stage::Split,
+            wall_seconds: 0.01,
+            sim_seconds: None,
+        });
+        tel.span_begin(SpanKind::Stage(Stage::Merge));
+        tel.span_begin(SpanKind::MergeIteration(0));
+        tel.span_begin(SpanKind::Choice);
+        tel.span_end(SpanKind::Choice);
+        tel.span_begin(SpanKind::Apply);
+        tel.span_end(SpanKind::Apply);
+        tel.span_begin(SpanKind::Compact);
+        tel.span_end(SpanKind::Compact);
+        tel.merge_iteration(MergeIterationRecord {
+            iteration: 0,
+            merges: 12,
+            used_fallback: false,
+            active_edges: Some(88),
+            compacted: Some(false),
+        });
+        tel.span_end(SpanKind::MergeIteration(0));
+        tel.span_end(SpanKind::Stage(Stage::Merge));
+        tel.merge_done(5);
+        let mut h = Histogram::new();
+        h.record(12);
+        tel.histogram("merge.merges_per_iteration", &h);
+        tel.counter("merge.compactions", 0.0);
+        tel.span_end(SpanKind::Run);
+        tel.run_end();
+        log.into_events()
+    }
+
+    #[test]
+    fn events_round_trip_through_jsonl() {
+        let events = sample_events();
+        let text: String = events.iter().map(Event::to_line).collect();
+        let parsed = parse_journal_strict(&text).unwrap();
+        assert_eq!(parsed, events);
+        let (tolerant, stats) = parse_journal(&text);
+        assert_eq!(tolerant, events);
+        assert!(!stats.truncated);
+        assert_eq!(stats.events, events.len());
+    }
+
+    #[test]
+    fn journal_validates_and_replays() {
+        let events = sample_events();
+        validate_journal(&events).unwrap();
+        let report = replay(&events);
+        assert_eq!(report.engine, "seq");
+        assert_eq!(report.split_iterations, 3);
+        assert_eq!(report.num_squares, 40);
+        assert_eq!(report.merges_per_iteration(), vec![12]);
+        assert_eq!(report.num_regions, 5);
+        assert_eq!(
+            report
+                .histogram("merge.merges_per_iteration")
+                .unwrap()
+                .count(),
+            1
+        );
+        assert_eq!(report.counter("merge.compactions"), Some(0.0));
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated() {
+        let events = sample_events();
+        let text: String = events.iter().map(Event::to_line).collect();
+        // Cut mid-way through the final line.
+        let cut = text.len() - 7;
+        let (parsed, stats) = parse_journal(&text[..cut]);
+        assert!(stats.truncated);
+        assert_eq!(parsed.len(), events.len() - 1);
+        // Replay of the prefix still yields a coherent partial report.
+        let report = replay(&parsed);
+        assert_eq!(report.num_regions, 5);
+        // Strict mode rejects the damage, naming the line.
+        let err = parse_journal_strict(&text[..cut]).unwrap_err();
+        assert_eq!(err.0, events.len());
+    }
+
+    #[test]
+    fn unknown_event_kind_is_rejected() {
+        let line = r#"{"ev":"mystery","t_us":0}"#;
+        let err = Event::parse_line(line).unwrap_err();
+        assert!(
+            err.message.contains("unknown event kind"),
+            "{}",
+            err.message
+        );
+        // Tolerant mode stops there; strict mode errors.
+        let (evs, stats) = parse_journal(line);
+        assert!(evs.is_empty() && stats.truncated);
+        assert!(parse_journal_strict(line).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_and_misnested_spans() {
+        let mk = |kind: EventKind| Event { t_us: 0, kind };
+        // Unclosed span.
+        let open = vec![mk(EventKind::SpanBegin {
+            span: SpanKind::Run,
+        })];
+        assert!(validate_journal(&open).is_err());
+        // End without begin.
+        let stray = vec![mk(EventKind::SpanEnd {
+            span: SpanKind::Run,
+        })];
+        assert!(validate_journal(&stray).is_err());
+        // Mis-nesting: iter outside stage:merge.
+        let misnested = vec![
+            mk(EventKind::SpanBegin {
+                span: SpanKind::Run,
+            }),
+            mk(EventKind::SpanBegin {
+                span: SpanKind::MergeIteration(0),
+            }),
+        ];
+        let err = validate_journal(&misnested).unwrap_err();
+        assert_eq!(err.event_index, 1);
+        // Crossed end.
+        let crossed = vec![
+            mk(EventKind::SpanBegin {
+                span: SpanKind::Run,
+            }),
+            mk(EventKind::SpanBegin {
+                span: SpanKind::Stage(Stage::Merge),
+            }),
+            mk(EventKind::SpanEnd {
+                span: SpanKind::Run,
+            }),
+        ];
+        assert!(validate_journal(&crossed).is_err());
+        // Timestamp regression.
+        let backwards = vec![
+            Event {
+                t_us: 5,
+                kind: EventKind::SpanBegin {
+                    span: SpanKind::Run,
+                },
+            },
+            Event {
+                t_us: 4,
+                kind: EventKind::SpanEnd {
+                    span: SpanKind::Run,
+                },
+            },
+        ];
+        assert!(validate_journal(&backwards).is_err());
+    }
+
+    #[test]
+    fn jsonl_writer_bounded_buffer_and_drop_counter() {
+        // A writer that fails after `ok_bytes` bytes.
+        struct Flaky {
+            written: Vec<u8>,
+            ok_bytes: usize,
+        }
+        impl Write for Flaky {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.written.len() + buf.len() > self.ok_bytes {
+                    return Err(io::Error::other("disk full"));
+                }
+                self.written.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        // Healthy path: per-line flushing (cap 0) writes every event.
+        let mut w = JsonlWriter::with_buffer_cap(Vec::new(), 0);
+        for ev in sample_events() {
+            w.emit(ev);
+        }
+        assert_eq!(w.dropped(), 0);
+        w.flush_events();
+        let text = String::from_utf8(std::mem::take(&mut w.out)).unwrap();
+        assert!(parse_journal_strict(&text).is_ok());
+        drop(w);
+
+        // Failing path: events are counted as dropped, never panicking.
+        let flaky = Flaky {
+            written: Vec::new(),
+            ok_bytes: 0,
+        };
+        let mut w = JsonlWriter::with_buffer_cap(flaky, 0);
+        let events = sample_events();
+        let n = events.len() as u64;
+        for ev in events {
+            w.emit(ev);
+        }
+        assert_eq!(w.dropped(), n);
+    }
+}

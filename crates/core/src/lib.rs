@@ -40,10 +40,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chrome;
 pub mod config;
 pub mod engine;
 pub mod graph;
 pub mod hierarchy;
+pub mod journal;
 pub mod json;
 pub mod labels;
 pub mod merge;
@@ -53,16 +55,22 @@ pub mod split;
 pub mod telemetry;
 pub mod verify;
 
+pub use chrome::{chrome_trace, chrome_trace_multi, split_runs, validate_chrome_trace};
 pub use config::{Config, Connectivity, Criterion, MergeBackend, RegionStats, TieBreak};
 pub use engine::{
     segment, segment_par, segment_par_with_telemetry, segment_with_telemetry, segment_with_trace,
     Segmentation,
 };
 pub use hierarchy::{MergeEvent, MergeTrace};
+pub use journal::{
+    jsonl_sink_for_path, parse_journal, parse_journal_strict, replay, validate_journal, EmitEvent,
+    Event, EventKind, EventLog, EventVec, JournalInvalid, JournalStats, JsonlSink, JsonlWriter,
+    Streaming,
+};
 pub use merge::{choice_key, CandKey, MergeSummary, Merger, StepReport};
 pub use split::{split, split_par, SplitResult, Square};
 pub use telemetry::{
-    CommRecord, MergeIterationRecord, NullTelemetry, Recorder, Stage, StageSpan, Telemetry,
-    TelemetryReport,
+    CommRecord, ConfigRecord, ConformanceView, Fanout, Histogram, MergeIterationRecord,
+    NullTelemetry, Recorder, SpanGuard, SpanKind, Stage, StageSpan, Telemetry, TelemetryReport,
 };
 pub use verify::{verify_segmentation, Violation};

@@ -72,6 +72,7 @@ use crate::config::{
 };
 use crate::graph::Rag;
 use crate::hierarchy::{MergeEvent, MergeTrace};
+use crate::telemetry::{NullTelemetry, SpanGuard, SpanKind, Telemetry};
 use rayon::prelude::*;
 use rg_dsu::DisjointSets;
 use rg_imaging::Intensity;
@@ -1022,6 +1023,20 @@ impl<P: Intensity> Merger<P> {
 
     /// Executes one merge iteration; no-op when already done.
     pub fn step(&mut self) -> StepReport {
+        self.step_traced(&mut NullTelemetry)
+    }
+
+    /// Like [`Merger::step`], bracketing the three phases of the iteration
+    /// — candidate selection, mutual-merge apply, end-of-step
+    /// relabel/filter/squeeze — in [`SpanKind::Choice`] /
+    /// [`SpanKind::Apply`] / [`SpanKind::Compact`] spans on `tel`. On a
+    /// disabled sink (the default [`NullTelemetry`] path through
+    /// [`Merger::step`]) the guards emit nothing.
+    ///
+    /// The caller is expected to hold the enclosing
+    /// [`SpanKind::MergeIteration`] span open around this call (see
+    /// `engine::merge_from_split_with`).
+    pub fn step_traced(&mut self, tel: &mut dyn Telemetry) -> StepReport {
         if self.is_done() {
             return StepReport {
                 merges: 0,
@@ -1038,10 +1053,17 @@ impl<P: Intensity> Merger<P> {
             self.tie
         };
 
-        self.compute_choices(policy);
-        let mut choice = std::mem::take(&mut self.choice);
-        let merges = self.apply_mutual_merges(&mut choice);
-        self.choice = choice;
+        {
+            let _span = SpanGuard::enter(&mut *tel, SpanKind::Choice);
+            self.compute_choices(policy);
+        }
+        let merges = {
+            let _span = SpanGuard::enter(&mut *tel, SpanKind::Apply);
+            let mut choice = std::mem::take(&mut self.choice);
+            let merges = self.apply_mutual_merges(&mut choice);
+            self.choice = choice;
+            merges
+        };
         // Advance the iteration/stall counters *before* the end-of-step
         // pass: the CSR backend folds the next iteration's choice minima in
         // the same sweep, and needs the next step's policy and index.
@@ -1052,7 +1074,10 @@ impl<P: Intensity> Merger<P> {
         } else {
             self.stalls = 0;
         }
-        let compacted = self.end_of_step(merges);
+        let compacted = {
+            let _span = SpanGuard::enter(&mut *tel, SpanKind::Compact);
+            self.end_of_step(merges)
+        };
         let active_edges = self.active_edges() as u64;
         self.peak_active_edges = self.peak_active_edges.max(active_edges);
         StepReport {

@@ -42,6 +42,35 @@
 //! 5. optionally a [`CommRecord`] (message-passing engine) and any number
 //!    of named [`Telemetry::counter`]s (e.g. the data-parallel engine's
 //!    per-primitive operation counts).
+//!
+//! ## Hierarchical spans
+//!
+//! On top of the flat aggregate events, engines emit *hierarchical* span
+//! begin/end events ([`Telemetry::span_begin`] / [`Telemetry::span_end`])
+//! forming the tree
+//!
+//! ```text
+//! run
+//! └─ stage:{split,graph,merge,label}
+//!    └─ iter:<n>                  (inside stage:merge)
+//!       ├─ choice                 (host engines: candidate selection)
+//!       ├─ apply                  (host engines: mutual-merge apply)
+//!       ├─ compact                (host engines: relabel/filter/squeeze)
+//!       └─ comm_round:<k>         (message-passing engine: one exchange)
+//! ```
+//!
+//! Streaming sinks ([`crate::journal::JsonlSink`]) timestamp these events
+//! on receipt, so a hung merge loop is visible mid-flight; the
+//! [`SpanGuard`] RAII helper closes spans on scope exit so engines cannot
+//! leak one open even on early return or panic unwind.
+//!
+//! ## Histogram metrics
+//!
+//! [`Histogram`] is a fixed-bucket log₂ histogram (65 buckets covering the
+//! full `u64` range) that engines fill locally and flush once via
+//! [`Telemetry::histogram`]: per-iteration wall time, merges per
+//! iteration, region-size distribution at convergence, and per-round
+//! message sizes. Histograms serialize into the JSON report.
 
 use crate::config::{Config, Connectivity, Criterion, TieBreak};
 use crate::json::{Json, JsonError};
@@ -80,6 +109,324 @@ impl Stage {
             "label" => Some(Stage::Label),
             _ => None,
         }
+    }
+}
+
+/// A node in the hierarchical span tree (see the module docs for the
+/// hierarchy). Spans are emitted as begin/end event pairs; streaming sinks
+/// timestamp them on receipt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// The whole run (outermost span).
+    Run,
+    /// One pipeline stage.
+    Stage(Stage),
+    /// One merge iteration (0-based), nested in [`Stage::Merge`].
+    MergeIteration(u32),
+    /// Candidate-selection phase of a merge iteration (host engines).
+    Choice,
+    /// Mutual-merge apply phase of a merge iteration (host engines).
+    Apply,
+    /// End-of-step relabel/filter/squeeze phase of a merge iteration
+    /// (host engines).
+    Compact,
+    /// One communication exchange of a merge iteration (message-passing
+    /// engine; the index is the exchange ordinal within the iteration).
+    CommRound(u32),
+}
+
+impl SpanKind {
+    /// Stable label used in JSONL journals and trace exports, e.g.
+    /// `"run"`, `"stage:merge"`, `"iter:3"`, `"comm_round:1"`.
+    pub fn label(self) -> String {
+        match self {
+            SpanKind::Run => "run".to_string(),
+            SpanKind::Stage(s) => format!("stage:{}", s.name()),
+            SpanKind::MergeIteration(i) => format!("iter:{i}"),
+            SpanKind::Choice => "choice".to_string(),
+            SpanKind::Apply => "apply".to_string(),
+            SpanKind::Compact => "compact".to_string(),
+            SpanKind::CommRound(k) => format!("comm_round:{k}"),
+        }
+    }
+
+    /// Inverse of [`SpanKind::label`].
+    pub fn parse(label: &str) -> Option<SpanKind> {
+        match label {
+            "run" => return Some(SpanKind::Run),
+            "choice" => return Some(SpanKind::Choice),
+            "apply" => return Some(SpanKind::Apply),
+            "compact" => return Some(SpanKind::Compact),
+            _ => {}
+        }
+        if let Some(name) = label.strip_prefix("stage:") {
+            return Stage::from_name(name).map(SpanKind::Stage);
+        }
+        if let Some(n) = label.strip_prefix("iter:") {
+            return n.parse().ok().map(SpanKind::MergeIteration);
+        }
+        if let Some(n) = label.strip_prefix("comm_round:") {
+            return n.parse().ok().map(SpanKind::CommRound);
+        }
+        None
+    }
+
+    /// Whether `self` may open directly inside `parent` (`None` = top
+    /// level). This is the strict-nesting schema journal validation
+    /// enforces.
+    pub fn may_nest_in(self, parent: Option<SpanKind>) -> bool {
+        match self {
+            SpanKind::Run => parent.is_none(),
+            SpanKind::Stage(_) => parent == Some(SpanKind::Run),
+            SpanKind::MergeIteration(_) => parent == Some(SpanKind::Stage(Stage::Merge)),
+            SpanKind::Choice | SpanKind::Apply | SpanKind::Compact | SpanKind::CommRound(_) => {
+                matches!(parent, Some(SpanKind::MergeIteration(_)))
+            }
+        }
+    }
+}
+
+/// RAII helper bracketing a hierarchical span: emits
+/// [`Telemetry::span_begin`] on construction and the matching
+/// [`Telemetry::span_end`] on drop, so a span cannot be leaked open by an
+/// early return, `?`, or panic unwind. When the sink reports
+/// `enabled() == false` neither event is emitted.
+///
+/// The guard exclusively borrows the sink; use [`SpanGuard::tel`] to emit
+/// events *inside* the span (including opening nested guards).
+pub struct SpanGuard<'a> {
+    tel: &'a mut dyn Telemetry,
+    kind: SpanKind,
+    enabled: bool,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Opens the span (no-op on a disabled sink).
+    pub fn enter(tel: &'a mut dyn Telemetry, kind: SpanKind) -> Self {
+        let enabled = tel.enabled();
+        if enabled {
+            tel.span_begin(kind);
+        }
+        Self { tel, kind, enabled }
+    }
+
+    /// The underlying sink, for emitting events inside the span.
+    pub fn tel(&mut self) -> &mut dyn Telemetry {
+        self.tel
+    }
+
+    /// Which span this guard brackets.
+    pub fn kind(&self) -> SpanKind {
+        self.kind
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if self.enabled {
+            self.tel.span_end(self.kind);
+        }
+    }
+}
+
+/// Number of buckets in a [`Histogram`]: bucket 0 holds zeros, bucket
+/// `i ≥ 1` holds values in `[2^(i−1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-bucket log₂ histogram over `u64` values.
+///
+/// Recording is allocation-free and O(1) (a `leading_zeros` and two adds),
+/// cheap enough to stay always-on in engine hot loops once telemetry is
+/// enabled. Merging two histograms is exact (bucket-wise addition), which
+/// lets the message-passing driver fold per-node histograms into one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index of a value: 0 for 0, else `64 − leading_zeros(v)`.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    pub fn bucket_lo(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds `other` into `self` (exact).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded values (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)` pairs.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (a cheap
+    /// order-of-magnitude percentile; `q` in `[0, 1]`).
+    pub fn quantile_bucket_hi(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(if i >= 64 { u64::MAX } else { (1u64 << i) - 1 });
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Serializes to a JSON object (sparse bucket list).
+    ///
+    /// The in-tree JSON layer is `f64`-backed, so `sum`/`min`/`max` are
+    /// clamped to 2⁵³ (the largest exactly-representable integer); bucket
+    /// indices and counts are always exact.
+    pub fn to_json(&self) -> Json {
+        // Largest u64 that survives an f64 round trip.
+        fn j64(v: u64) -> Json {
+            v.min(1u64 << 53).into()
+        }
+        let mut pairs: Vec<(&str, Json)> =
+            vec![("count", self.count.into()), ("sum", j64(self.sum))];
+        if self.count > 0 {
+            pairs.push(("min", j64(self.min)));
+            pairs.push(("max", j64(self.max)));
+        }
+        pairs.push((
+            "buckets",
+            Json::Arr(
+                self.nonzero_buckets()
+                    .map(|(i, c)| Json::Arr(vec![(i as u64).into(), c.into()]))
+                    .collect(),
+            ),
+        ));
+        Json::obj(pairs)
+    }
+
+    /// Parses a histogram from [`Histogram::to_json`] output.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let bad = |what: &str| JsonError {
+            message: format!("histogram: bad or missing {what}"),
+            offset: 0,
+        };
+        let mut h = Histogram::new();
+        h.count = v
+            .get("count")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("count"))?;
+        h.sum = v
+            .get("sum")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("sum"))?;
+        if h.count > 0 {
+            h.min = v
+                .get("min")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("min"))?;
+            h.max = v
+                .get("max")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("max"))?;
+        }
+        for pair in v
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("buckets"))?
+        {
+            let items = pair.as_arr().ok_or_else(|| bad("bucket pair"))?;
+            let (i, c) = match items {
+                [i, c] => (
+                    i.as_u64().ok_or_else(|| bad("bucket index"))?,
+                    c.as_u64().ok_or_else(|| bad("bucket count"))?,
+                ),
+                _ => return Err(bad("bucket pair arity")),
+            };
+            if i as usize >= HISTOGRAM_BUCKETS {
+                return Err(bad("bucket index range"));
+            }
+            h.counts[i as usize] = c;
+        }
+        Ok(h)
     }
 }
 
@@ -148,6 +495,16 @@ pub trait Telemetry {
     /// `"rayon"`, `"datapar:CM-2 (8K procs)"`, or `"msgpass:Async:32"`.
     fn run_start(&mut self, _engine: &str, _width: usize, _height: usize, _config: &Config) {}
 
+    /// A hierarchical span opens (see [`SpanKind`]). Streaming sinks
+    /// timestamp the event on receipt; prefer [`SpanGuard`] over calling
+    /// this directly so the matching [`Telemetry::span_end`] cannot be
+    /// forgotten.
+    fn span_begin(&mut self, _kind: SpanKind) {}
+
+    /// The innermost open span closes. `kind` must match the most recent
+    /// unclosed [`Telemetry::span_begin`] (spans are strictly nested).
+    fn span_end(&mut self, _kind: SpanKind) {}
+
     /// A pipeline stage completed.
     fn stage(&mut self, _span: StageSpan) {}
 
@@ -166,6 +523,10 @@ pub trait Telemetry {
     /// A named scalar counter (e.g. `"merge.send.ops"` from the
     /// data-parallel cost ledger).
     fn counter(&mut self, _name: &str, _value: f64) {}
+
+    /// A named histogram, emitted once per run (e.g.
+    /// `"merge.iter_wall_us"`, `"region_size_px"`).
+    fn histogram(&mut self, _name: &str, _hist: &Histogram) {}
 
     /// The run is complete.
     fn run_end(&mut self) {}
@@ -226,6 +587,61 @@ impl ConfigRecord {
             max_stall: config.max_stall,
         }
     }
+
+    /// Serializes to a JSON object (shared by the report and the journal).
+    pub fn to_json(&self) -> Json {
+        let mut c: Vec<(&str, Json)> = vec![
+            ("threshold", self.threshold.into()),
+            ("tie_break", self.tie_break.as_str().into()),
+        ];
+        if let Some(seed) = self.seed {
+            c.push(("seed", seed.into()));
+        }
+        c.push(("connectivity", u64::from(self.connectivity).into()));
+        c.push(("criterion", self.criterion.as_str().into()));
+        if let Some(cap) = self.max_square_log2 {
+            c.push(("max_square_log2", u64::from(cap).into()));
+        }
+        c.push(("max_stall", self.max_stall.into()));
+        Json::obj(c)
+    }
+
+    /// Parses a [`ConfigRecord`] from [`ConfigRecord::to_json`] output.
+    pub fn from_json(c: &Json) -> Result<Self, JsonError> {
+        let missing = |what: &str| JsonError {
+            message: format!("config record missing {what}"),
+            offset: 0,
+        };
+        Ok(ConfigRecord {
+            threshold: c
+                .get("threshold")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| missing("threshold"))? as u32,
+            tie_break: c
+                .get("tie_break")
+                .and_then(Json::as_str)
+                .ok_or_else(|| missing("tie_break"))?
+                .to_string(),
+            seed: c.get("seed").and_then(Json::as_u64),
+            connectivity: c
+                .get("connectivity")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| missing("connectivity"))? as u8,
+            criterion: c
+                .get("criterion")
+                .and_then(Json::as_str)
+                .ok_or_else(|| missing("criterion"))?
+                .to_string(),
+            max_square_log2: c
+                .get("max_square_log2")
+                .and_then(Json::as_u64)
+                .map(|x| x as u8),
+            max_stall: c
+                .get("max_stall")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| missing("max_stall"))? as u32,
+        })
+    }
 }
 
 /// A completed run's telemetry, ready for serialization or comparison.
@@ -257,6 +673,42 @@ pub struct TelemetryReport {
     pub comm: Option<CommRecord>,
     /// Named scalar counters in emission order.
     pub counters: Vec<(String, f64)>,
+    /// Named histograms in emission order (see [`Histogram`]).
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+/// The cross-engine-comparable subset of a [`TelemetryReport`]: the
+/// observable segmentation history, normalised by dropping everything that
+/// legitimately varies between engines — timings, comm counters, engine
+/// labels, named counters/histograms, and the host-engine backend
+/// internals ([`MergeIterationRecord::active_edges`] /
+/// [`MergeIterationRecord::compacted`], which the simulated engines derive
+/// as `None`).
+///
+/// Two engines conform iff their `conformance_view()`s are equal; the
+/// cross-engine tests assert exactly that instead of hand-rolling the
+/// exclusions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConformanceView {
+    /// Configuration snapshot.
+    pub config: Option<ConfigRecord>,
+    /// Image width.
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+    /// Productive split iterations.
+    pub split_iterations: u32,
+    /// Squares at the end of the split stage.
+    pub num_squares: usize,
+    /// Per-iteration merge records with backend-internal fields
+    /// (`active_edges`, `compacted`) normalised to `None`.
+    pub merge_iterations: Vec<MergeIterationRecord>,
+    /// Zero-merge iterations.
+    pub stall_iterations: u32,
+    /// Stall-guard fallback iterations.
+    pub fallback_iterations: u32,
+    /// Regions at the end of the merge stage.
+    pub num_regions: usize,
 }
 
 impl TelemetryReport {
@@ -300,14 +752,48 @@ impl TelemetryReport {
             .map(|(_, v)| *v)
     }
 
+    /// A named histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// The engine-invariant view used by cross-engine conformance tests
+    /// (see [`ConformanceView`] for what is normalised away).
+    pub fn conformance_view(&self) -> ConformanceView {
+        ConformanceView {
+            config: self.config.clone(),
+            width: self.width,
+            height: self.height,
+            split_iterations: self.split_iterations,
+            num_squares: self.num_squares,
+            merge_iterations: self
+                .merge_iterations
+                .iter()
+                .map(|r| MergeIterationRecord {
+                    active_edges: None,
+                    compacted: None,
+                    ..*r
+                })
+                .collect(),
+            stall_iterations: self.stall_iterations,
+            fallback_iterations: self.fallback_iterations,
+            num_regions: self.num_regions,
+        }
+    }
+
     /// A copy with every wall-clock time zeroed — the canonical form used
     /// by golden-file snapshots (wall times vary run to run; simulated
-    /// times and all counters are deterministic).
+    /// times and all counters are deterministic). Wall-clock histograms
+    /// (names ending in `_wall_us`) are dropped for the same reason.
     pub fn without_wall_times(&self) -> Self {
         let mut r = self.clone();
         for s in &mut r.stages {
             s.wall_seconds = 0.0;
         }
+        r.histograms.retain(|(name, _)| !name.ends_with("_wall_us"));
         r
     }
 
@@ -319,20 +805,7 @@ impl TelemetryReport {
             ("height", self.height.into()),
         ];
         if let Some(cfg) = &self.config {
-            let mut c: Vec<(&str, Json)> = vec![
-                ("threshold", cfg.threshold.into()),
-                ("tie_break", cfg.tie_break.as_str().into()),
-            ];
-            if let Some(seed) = cfg.seed {
-                c.push(("seed", seed.into()));
-            }
-            c.push(("connectivity", u64::from(cfg.connectivity).into()));
-            c.push(("criterion", cfg.criterion.as_str().into()));
-            if let Some(cap) = cfg.max_square_log2 {
-                c.push(("max_square_log2", u64::from(cap).into()));
-            }
-            c.push(("max_stall", cfg.max_stall.into()));
-            pairs.push(("config", Json::obj(c)));
+            pairs.push(("config", cfg.to_json()));
         }
         pairs.push((
             "stages",
@@ -436,6 +909,20 @@ impl TelemetryReport {
                     .collect(),
             ),
         ));
+        // Histograms are emitted only when present, keeping reports from
+        // engines that record none byte-identical to the pre-histogram
+        // schema.
+        if !self.histograms.is_empty() {
+            pairs.push((
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ));
+        }
         Json::obj(pairs)
     }
 
@@ -467,36 +954,7 @@ impl TelemetryReport {
 
         let config = match v.get("config") {
             None => None,
-            Some(c) => Some(ConfigRecord {
-                threshold: c
-                    .get("threshold")
-                    .and_then(Json::as_u64)
-                    .ok_or_else(|| missing("config.threshold"))? as u32,
-                tie_break: c
-                    .get("tie_break")
-                    .and_then(Json::as_str)
-                    .ok_or_else(|| missing("config.tie_break"))?
-                    .to_string(),
-                seed: c.get("seed").and_then(Json::as_u64),
-                connectivity: c
-                    .get("connectivity")
-                    .and_then(Json::as_u64)
-                    .ok_or_else(|| missing("config.connectivity"))?
-                    as u8,
-                criterion: c
-                    .get("criterion")
-                    .and_then(Json::as_str)
-                    .ok_or_else(|| missing("config.criterion"))?
-                    .to_string(),
-                max_square_log2: c
-                    .get("max_square_log2")
-                    .and_then(Json::as_u64)
-                    .map(|x| x as u8),
-                max_stall: c
-                    .get("max_stall")
-                    .and_then(Json::as_u64)
-                    .ok_or_else(|| missing("config.max_stall"))? as u32,
-            }),
+            Some(c) => Some(ConfigRecord::from_json(c)?),
         };
 
         let mut stages = Vec::new();
@@ -627,6 +1085,14 @@ impl TelemetryReport {
             _ => Vec::new(),
         };
 
+        let histograms = match v.get("histograms") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, val)| Histogram::from_json(val).map(|h| (k.clone(), h)))
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => Vec::new(),
+        };
+
         Ok(Self {
             engine,
             width,
@@ -641,6 +1107,7 @@ impl TelemetryReport {
             num_regions,
             comm,
             counters,
+            histograms,
         })
     }
 
@@ -651,10 +1118,18 @@ impl TelemetryReport {
 }
 
 /// An in-memory [`Telemetry`] sink that builds a [`TelemetryReport`].
+///
+/// The recorder also tracks span begin/end balance: [`Recorder::open_spans`]
+/// is the current open-span stack and [`Recorder::span_mismatches`] counts
+/// `span_end` events that did not match the innermost open span (always 0
+/// for well-behaved engines — the engine tests assert so).
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
     report: TelemetryReport,
     finished: bool,
+    open_spans: Vec<SpanKind>,
+    span_mismatches: u32,
+    spans_seen: u64,
 }
 
 impl Recorder {
@@ -678,6 +1153,21 @@ impl Recorder {
     pub fn is_finished(&self) -> bool {
         self.finished
     }
+
+    /// The currently open span stack (outermost first).
+    pub fn open_spans(&self) -> &[SpanKind] {
+        &self.open_spans
+    }
+
+    /// `span_end` events that did not match the innermost open span.
+    pub fn span_mismatches(&self) -> u32 {
+        self.span_mismatches
+    }
+
+    /// Total `span_begin` events observed.
+    pub fn spans_seen(&self) -> u64 {
+        self.spans_seen
+    }
 }
 
 impl Telemetry for Recorder {
@@ -690,6 +1180,22 @@ impl Telemetry for Recorder {
             ..TelemetryReport::default()
         };
         self.finished = false;
+        self.open_spans.clear();
+        self.span_mismatches = 0;
+        self.spans_seen = 0;
+    }
+
+    fn span_begin(&mut self, kind: SpanKind) {
+        self.open_spans.push(kind);
+        self.spans_seen += 1;
+    }
+
+    fn span_end(&mut self, kind: SpanKind) {
+        if self.open_spans.last() == Some(&kind) {
+            self.open_spans.pop();
+        } else {
+            self.span_mismatches += 1;
+        }
     }
 
     fn stage(&mut self, span: StageSpan) {
@@ -720,11 +1226,111 @@ impl Telemetry for Recorder {
     }
 
     fn counter(&mut self, name: &str, value: f64) {
-        self.report.counters.push((name.to_string(), value));
+        // Counters are a *current value* track: re-emitting a name (the
+        // message-passing engine updates cumulative `comm.*` counters per
+        // iteration) overwrites in place, so the report holds the final
+        // value once per name and its JSON object keys stay unique.
+        // Streaming sinks see every intermediate emission.
+        match self.report.counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => self.report.counters.push((name.to_string(), value)),
+        }
+    }
+
+    fn histogram(&mut self, name: &str, hist: &Histogram) {
+        self.report
+            .histograms
+            .push((name.to_string(), hist.clone()));
     }
 
     fn run_end(&mut self) {
         self.finished = true;
+    }
+}
+
+/// A [`Telemetry`] sink that forwards every event to each wrapped sink —
+/// the way the CLI records a report, streams a JSONL journal, and captures
+/// an in-memory event log from a single run.
+pub struct Fanout<'a> {
+    sinks: Vec<&'a mut dyn Telemetry>,
+}
+
+impl<'a> Fanout<'a> {
+    /// Wraps the given sinks.
+    pub fn new(sinks: Vec<&'a mut dyn Telemetry>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl Telemetry for Fanout<'_> {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn run_start(&mut self, engine: &str, width: usize, height: usize, config: &Config) {
+        for s in &mut self.sinks {
+            s.run_start(engine, width, height, config);
+        }
+    }
+
+    fn span_begin(&mut self, kind: SpanKind) {
+        for s in &mut self.sinks {
+            s.span_begin(kind);
+        }
+    }
+
+    fn span_end(&mut self, kind: SpanKind) {
+        for s in &mut self.sinks {
+            s.span_end(kind);
+        }
+    }
+
+    fn stage(&mut self, span: StageSpan) {
+        for s in &mut self.sinks {
+            s.stage(span);
+        }
+    }
+
+    fn split_done(&mut self, iterations: u32, num_squares: usize) {
+        for s in &mut self.sinks {
+            s.split_done(iterations, num_squares);
+        }
+    }
+
+    fn merge_iteration(&mut self, rec: MergeIterationRecord) {
+        for s in &mut self.sinks {
+            s.merge_iteration(rec);
+        }
+    }
+
+    fn merge_done(&mut self, num_regions: usize) {
+        for s in &mut self.sinks {
+            s.merge_done(num_regions);
+        }
+    }
+
+    fn comm(&mut self, rec: CommRecord) {
+        for s in &mut self.sinks {
+            s.comm(rec.clone());
+        }
+    }
+
+    fn counter(&mut self, name: &str, value: f64) {
+        for s in &mut self.sinks {
+            s.counter(name, value);
+        }
+    }
+
+    fn histogram(&mut self, name: &str, hist: &Histogram) {
+        for s in &mut self.sinks {
+            s.histogram(name, hist);
+        }
+    }
+
+    fn run_end(&mut self) {
+        for s in &mut self.sinks {
+            s.run_end();
+        }
     }
 }
 
@@ -944,5 +1550,244 @@ mod tests {
             assert_eq!(Stage::from_name(s.name()), Some(s));
         }
         assert_eq!(Stage::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn span_kind_labels_round_trip() {
+        let kinds = [
+            SpanKind::Run,
+            SpanKind::Stage(Stage::Split),
+            SpanKind::Stage(Stage::Merge),
+            SpanKind::MergeIteration(0),
+            SpanKind::MergeIteration(4321),
+            SpanKind::Choice,
+            SpanKind::Apply,
+            SpanKind::Compact,
+            SpanKind::CommRound(7),
+        ];
+        for k in kinds {
+            assert_eq!(SpanKind::parse(&k.label()), Some(k), "{}", k.label());
+        }
+        assert_eq!(SpanKind::parse("bogus"), None);
+        assert_eq!(SpanKind::parse("stage:bogus"), None);
+        assert_eq!(SpanKind::parse("iter:x"), None);
+    }
+
+    #[test]
+    fn span_nesting_rules() {
+        use SpanKind::*;
+        assert!(Run.may_nest_in(None));
+        assert!(!Run.may_nest_in(Some(Run)));
+        assert!(Stage(super::Stage::Merge).may_nest_in(Some(Run)));
+        assert!(!Stage(super::Stage::Merge).may_nest_in(None));
+        assert!(MergeIteration(3).may_nest_in(Some(Stage(super::Stage::Merge))));
+        assert!(!MergeIteration(3).may_nest_in(Some(Stage(super::Stage::Split))));
+        for k in [Choice, Apply, Compact, CommRound(0)] {
+            assert!(k.may_nest_in(Some(MergeIteration(9))));
+            assert!(!k.may_nest_in(Some(Run)));
+        }
+    }
+
+    #[test]
+    fn span_guard_balances_even_on_early_exit() {
+        let mut rec = Recorder::new();
+        rec.run_start("seq", 4, 4, &Config::with_threshold(1));
+        let run_early = |tel: &mut dyn Telemetry, bail: bool| {
+            let mut g = SpanGuard::enter(tel, SpanKind::Run);
+            {
+                let mut s = SpanGuard::enter(g.tel(), SpanKind::Stage(Stage::Merge));
+                if bail {
+                    return; // guards drop in order: stage, then run
+                }
+                s.tel().merge_done(1);
+            }
+        };
+        run_early(&mut rec, true);
+        assert!(rec.open_spans().is_empty(), "{:?}", rec.open_spans());
+        assert_eq!(rec.span_mismatches(), 0);
+        run_early(&mut rec, false);
+        assert!(rec.open_spans().is_empty());
+        assert_eq!(rec.span_mismatches(), 0);
+        assert_eq!(rec.spans_seen(), 4);
+        // A guard on a disabled sink emits nothing.
+        let mut null = NullTelemetry;
+        let g = SpanGuard::enter(&mut null, SpanKind::Run);
+        assert_eq!(g.kind(), SpanKind::Run);
+        drop(g);
+    }
+
+    #[test]
+    fn recorder_counts_span_mismatches() {
+        let mut rec = Recorder::new();
+        rec.span_begin(SpanKind::Run);
+        rec.span_end(SpanKind::Choice); // mismatch
+        rec.span_end(SpanKind::Run);
+        assert_eq!(rec.span_mismatches(), 1);
+        assert!(rec.open_spans().is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), None);
+        for v in [0u64, 1, 1, 2, 3, 4, 7, 8, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_lo(0), 0);
+        assert_eq!(Histogram::bucket_lo(1), 1);
+        assert_eq!(Histogram::bucket_lo(11), 1024);
+        let buckets: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(
+            buckets,
+            vec![(0, 1), (1, 2), (2, 2), (3, 2), (4, 1), (11, 1), (64, 1)]
+        );
+        // Median of 10 values: the 5th smallest (3) lives in bucket 2.
+        assert_eq!(h.quantile_bucket_hi(0.5), Some(3));
+        assert_eq!(h.quantile_bucket_hi(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [5u64, 9, 100] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [0u64, 2, 65_536] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn histogram_json_round_trip() {
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 3, 17, 4096, 1u64 << 40] {
+            h.record(v);
+        }
+        let back = Histogram::from_json(&h.to_json()).unwrap();
+        assert_eq!(back, h);
+        // Empty histograms round-trip too (no min/max fields).
+        let e = Histogram::new();
+        assert_eq!(Histogram::from_json(&e.to_json()).unwrap(), e);
+        assert!(Histogram::from_json(&Json::Null).is_err());
+        // Stats beyond 2^53 (f64-exact range) clamp but still parse; the
+        // bucket data stays exact.
+        let mut big = Histogram::new();
+        big.record(u64::MAX);
+        let parsed = Histogram::from_json(&big.to_json()).unwrap();
+        assert_eq!(parsed.count(), 1);
+        assert_eq!(parsed.max(), Some(1u64 << 53));
+        assert_eq!(parsed.nonzero_buckets().collect::<Vec<_>>(), vec![(64, 1)]);
+    }
+
+    #[test]
+    fn report_histograms_round_trip_and_canonicalise() {
+        let mut rec = Recorder::new();
+        rec.run_start("seq", 8, 8, &Config::with_threshold(5));
+        rec.stage(StageSpan {
+            stage: Stage::Merge,
+            wall_seconds: 0.1,
+            sim_seconds: None,
+        });
+        rec.merge_done(3);
+        let mut sizes = Histogram::new();
+        sizes.record(12);
+        sizes.record(52);
+        let mut wall = Histogram::new();
+        wall.record(900);
+        rec.histogram("region_size_px", &sizes);
+        rec.histogram("merge.iter_wall_us", &wall);
+        rec.run_end();
+        let r = rec.into_report();
+        let text = r.to_json_pretty();
+        assert!(text.contains("histograms"), "{text}");
+        let back = TelemetryReport::parse(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.histogram("region_size_px"), Some(&sizes));
+        // Canonical form drops wall-clock histograms but keeps the rest.
+        let canon = r.without_wall_times();
+        assert!(canon.histogram("merge.iter_wall_us").is_none());
+        assert_eq!(canon.histogram("region_size_px"), Some(&sizes));
+        // Reports without histograms keep the pre-histogram schema.
+        assert!(!sample_report().to_json_pretty().contains("histograms"));
+    }
+
+    #[test]
+    fn conformance_view_normalises_backend_fields() {
+        let mut a = sample_report();
+        let mut b = sample_report();
+        // Perturb everything conformance should ignore.
+        b.engine = "rayon".into();
+        b.stages[0].wall_seconds = 99.0;
+        b.comm = None;
+        b.counters.clear();
+        b.histograms.push(("x".into(), Histogram::new()));
+        for m in &mut b.merge_iterations {
+            m.active_edges = Some(123);
+            m.compacted = Some(true);
+        }
+        assert_eq!(a.conformance_view(), b.conformance_view());
+        // But it must catch an observable divergence.
+        a.merge_iterations[1].merges += 1;
+        assert_ne!(a.conformance_view(), b.conformance_view());
+    }
+
+    #[test]
+    fn fanout_forwards_to_every_sink() {
+        let mut r1 = Recorder::new();
+        let mut r2 = Recorder::new();
+        {
+            let mut fan = Fanout::new(vec![&mut r1, &mut r2]);
+            assert!(fan.enabled());
+            let cfg = Config::with_threshold(5);
+            fan.run_start("seq", 8, 8, &cfg);
+            fan.span_begin(SpanKind::Run);
+            fan.split_done(1, 4);
+            fan.merge_iteration(MergeIterationRecord {
+                iteration: 0,
+                merges: 2,
+                used_fallback: false,
+                active_edges: Some(3),
+                compacted: Some(false),
+            });
+            fan.merge_done(2);
+            fan.counter("x", 1.0);
+            let mut h = Histogram::new();
+            h.record(7);
+            fan.histogram("h", &h);
+            fan.comm(CommRecord {
+                scheme: "LP".into(),
+                nodes: 2,
+                rounds: 1,
+                messages: 1,
+                bytes: 8,
+            });
+            fan.span_end(SpanKind::Run);
+            fan.run_end();
+        }
+        assert_eq!(r1.report(), r2.report());
+        assert!(r1.is_finished() && r2.is_finished());
+        assert_eq!(r1.report().num_regions, 2);
+        assert_eq!(r1.spans_seen(), 1);
+        // A fanout over only disabled sinks is disabled.
+        let mut n1 = NullTelemetry;
+        let mut n2 = NullTelemetry;
+        assert!(!Fanout::new(vec![&mut n1, &mut n2]).enabled());
     }
 }

@@ -5,7 +5,10 @@ use crate::merge_dp::merge_dp;
 use crate::split_dp::split_dp;
 use cm_sim::{CostModel, Machine, ALL_PRIMS};
 use rg_core::labels::compact_first_appearance;
-use rg_core::telemetry::{derive_merge_iterations, NullTelemetry, Stage, StageSpan, Telemetry};
+use rg_core::telemetry::{
+    derive_merge_iterations, Histogram, NullTelemetry, SpanGuard, SpanKind, Stage, StageSpan,
+    Telemetry,
+};
 use rg_core::{Config, Segmentation};
 use rg_imaging::{Image, Intensity};
 use std::time::Instant;
@@ -83,79 +86,147 @@ pub fn segment_datapar_with_telemetry<P: Intensity>(
         }
     };
 
-    // Step 1: split.
-    let split = split_dp(&m, img, config);
-    let split_ledger = m.ledger_snapshot();
-    let split_seconds = split_ledger.seconds();
-    m.reset_ledger();
-    if enabled {
-        tel.stage(StageSpan {
-            stage: Stage::Split,
-            wall_seconds: lap(),
-            sim_seconds: Some(split_seconds),
-        });
-    }
+    // The whole program runs inside the `run` span; the guard closes it
+    // even on unwind. The simulated engine derives its per-iteration
+    // records after the fact, so the `iter:<n>` spans it emits are
+    // zero-duration markers — still balanced and strictly nested inside
+    // `stage:merge`, as journal validation requires.
+    let (
+        split,
+        split_ledger,
+        split_seconds,
+        graph,
+        graph_ledger,
+        graph_seconds,
+        merged,
+        merge_ledger,
+        merge_seconds,
+        labels,
+        num_regions,
+    ) = {
+        let mut run_span = SpanGuard::enter(&mut *tel, SpanKind::Run);
+        let tel = run_span.tel();
 
-    // Step 2: vertices and edges.
-    let graph = build_graph(&m, &split, config.connectivity);
-    let graph_ledger = m.ledger_snapshot();
-    let graph_seconds = graph_ledger.seconds();
-    m.reset_ledger();
-    if enabled {
-        tel.stage(StageSpan {
-            stage: Stage::Graph,
-            wall_seconds: lap(),
-            sim_seconds: Some(graph_seconds),
-        });
-        tel.split_done(split.iterations, graph.num_vertices as usize);
-    }
-
-    // Steps 3–5: merge loop.
-    let merged = merge_dp(&m, &graph, config);
-    let merge_ledger = m.ledger_snapshot();
-    let merge_seconds = merge_ledger.seconds();
-    if enabled {
-        tel.stage(StageSpan {
-            stage: Stage::Merge,
-            wall_seconds: lap(),
-            sim_seconds: Some(merge_seconds),
-        });
-        for rec in derive_merge_iterations(
-            &merged.summary.merges_per_iteration,
-            config.tie_break,
-            config.max_stall,
-        ) {
-            tel.merge_iteration(rec);
+        // Step 1: split.
+        let split = {
+            let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Split));
+            split_dp(&m, img, config)
+        };
+        let split_ledger = m.ledger_snapshot();
+        let split_seconds = split_ledger.seconds();
+        m.reset_ledger();
+        if enabled {
+            tel.stage(StageSpan {
+                stage: Stage::Split,
+                wall_seconds: lap(),
+                sim_seconds: Some(split_seconds),
+            });
         }
-        tel.merge_done(merged.summary.num_regions);
-    }
 
-    // Host-side label compaction (front-end work, uncharged — the CM host
-    // also post-processed results).
-    let (labels, num_regions) = compact_first_appearance(merged.pixel_rep.as_slice());
-    debug_assert_eq!(num_regions, merged.summary.num_regions);
-    if enabled {
-        tel.stage(StageSpan {
-            stage: Stage::Label,
-            wall_seconds: lap(),
-            sim_seconds: None,
-        });
-        // Per-primitive breakdown: the empirical counterpart of the
-        // paper's complexity analysis, one counter pair per primitive.
-        for (stage, ledger) in [
-            ("split", &split_ledger),
-            ("graph", &graph_ledger),
-            ("merge", &merge_ledger),
-        ] {
-            for prim in ALL_PRIMS {
-                let ops = ledger.count(prim);
-                if ops > 0 {
-                    let name = format!("{prim:?}").to_lowercase();
-                    tel.counter(&format!("{stage}.{name}.ops"), ops as f64);
-                    tel.counter(&format!("{stage}.{name}.seconds"), ledger.seconds_of(prim));
+        // Step 2: vertices and edges.
+        let graph = {
+            let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Graph));
+            build_graph(&m, &split, config.connectivity)
+        };
+        let graph_ledger = m.ledger_snapshot();
+        let graph_seconds = graph_ledger.seconds();
+        m.reset_ledger();
+        if enabled {
+            tel.stage(StageSpan {
+                stage: Stage::Graph,
+                wall_seconds: lap(),
+                sim_seconds: Some(graph_seconds),
+            });
+            tel.split_done(split.iterations, graph.num_vertices as usize);
+        }
+
+        // Steps 3–5: merge loop.
+        let merged = {
+            let mut merge_span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Merge));
+            let tel = merge_span.tel();
+            let merged = merge_dp(&m, &graph, config);
+            if enabled {
+                let mut merges_hist = Histogram::new();
+                for rec in derive_merge_iterations(
+                    &merged.summary.merges_per_iteration,
+                    config.tie_break,
+                    config.max_stall,
+                ) {
+                    merges_hist.record(u64::from(rec.merges));
+                    let mut iter_span =
+                        SpanGuard::enter(&mut *tel, SpanKind::MergeIteration(rec.iteration));
+                    iter_span.tel().merge_iteration(rec);
+                }
+                tel.histogram("merge.merges_per_iteration", &merges_hist);
+            }
+            merged
+        };
+        let merge_ledger = m.ledger_snapshot();
+        let merge_seconds = merge_ledger.seconds();
+        if enabled {
+            tel.stage(StageSpan {
+                stage: Stage::Merge,
+                wall_seconds: lap(),
+                sim_seconds: Some(merge_seconds),
+            });
+            tel.merge_done(merged.summary.num_regions);
+        }
+
+        // Host-side label compaction (front-end work, uncharged — the CM
+        // host also post-processed results).
+        let (labels, num_regions) = {
+            let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Label));
+            compact_first_appearance(merged.pixel_rep.as_slice())
+        };
+        debug_assert_eq!(num_regions, merged.summary.num_regions);
+        if enabled {
+            tel.stage(StageSpan {
+                stage: Stage::Label,
+                wall_seconds: lap(),
+                sim_seconds: None,
+            });
+            // Region-size distribution at convergence.
+            let mut sizes = vec![0u64; num_regions];
+            for &l in &labels {
+                sizes[l as usize] += 1;
+            }
+            let mut region_hist = Histogram::new();
+            for s in sizes {
+                region_hist.record(s);
+            }
+            tel.histogram("region_size_px", &region_hist);
+            // Per-primitive breakdown: the empirical counterpart of the
+            // paper's complexity analysis, one counter pair per primitive.
+            for (stage, ledger) in [
+                ("split", &split_ledger),
+                ("graph", &graph_ledger),
+                ("merge", &merge_ledger),
+            ] {
+                for prim in ALL_PRIMS {
+                    let ops = ledger.count(prim);
+                    if ops > 0 {
+                        let name = format!("{prim:?}").to_lowercase();
+                        tel.counter(&format!("{stage}.{name}.ops"), ops as f64);
+                        tel.counter(&format!("{stage}.{name}.seconds"), ledger.seconds_of(prim));
+                    }
                 }
             }
         }
+        (
+            split,
+            split_ledger,
+            split_seconds,
+            graph,
+            graph_ledger,
+            graph_seconds,
+            merged,
+            merge_ledger,
+            merge_seconds,
+            labels,
+            num_regions,
+        )
+    };
+    if enabled {
         tel.run_end();
     }
 

@@ -2,11 +2,14 @@
 
 use crate::boundary::build_local_rag;
 use crate::decomp::Decomposition;
-use crate::merge_mp::{merge_mp, MpMergeOutcome};
+use crate::merge_mp::{merge_mp, ExchangeComm, MpMergeOutcome, EXCHANGES_PER_ITERATION};
 use cmmd_sim::channel::{decode_u32s, encode_u32s};
 use cmmd_sim::{run_spmd, CommScheme, TimeParams};
 use rg_core::labels::compact_first_appearance;
-use rg_core::telemetry::{derive_merge_iterations, CommRecord, Stage, StageSpan, Telemetry};
+use rg_core::telemetry::{
+    derive_merge_iterations, CommRecord, Histogram, SpanGuard, SpanKind, Stage, StageSpan,
+    Telemetry,
+};
 use rg_core::{Config, Segmentation};
 use rg_imaging::{Image, Intensity};
 use std::collections::HashMap;
@@ -43,6 +46,13 @@ pub struct MsgPassOutcome {
     /// exchange — the structural difference the paper's comparison hinges
     /// on).
     pub total_comm_rounds: u64,
+    /// Per-merge-iteration, per-exchange communication totals summed
+    /// across all nodes (exchange order per [`EXCHANGES_PER_ITERATION`]:
+    /// stats, choice, redirect, transfer).
+    pub merge_comm_per_iteration: Vec<[ExchangeComm; EXCHANGES_PER_ITERATION]>,
+    /// Distribution of point-to-point payload sizes (bytes) during the
+    /// merge stage, merged across all nodes.
+    pub merge_msg_bytes: Histogram,
 }
 
 impl MsgPassOutcome {
@@ -107,42 +117,106 @@ pub fn segment_msgpass_with_telemetry<P: Intensity>(
             img.height(),
             config,
         );
-        for (stage, sim) in [
-            (Stage::Split, out.split_seconds),
-            (Stage::Graph, out.graph_seconds),
-            (Stage::Merge, out.merge_seconds),
-        ] {
+        {
+            // The simulated engine replays its history post-hoc, so every
+            // span below is a zero-duration marker — still balanced and
+            // strictly nested (run ▸ stage ▸ iter ▸ comm_round), as
+            // journal validation requires.
+            let mut run_span = SpanGuard::enter(&mut *tel, SpanKind::Run);
+            let tel = run_span.tel();
+
+            for (stage, sim) in [
+                (Stage::Split, out.split_seconds),
+                (Stage::Graph, out.graph_seconds),
+            ] {
+                {
+                    let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(stage));
+                }
+                tel.stage(StageSpan {
+                    stage,
+                    wall_seconds: wall_total * (sim / sim_total),
+                    sim_seconds: Some(sim),
+                });
+            }
+            tel.split_done(out.seg.split_iterations, out.seg.num_squares);
+
+            {
+                let mut merge_span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Merge));
+                let tel = merge_span.tel();
+                let mut merges_hist = Histogram::new();
+                let (mut cum_rounds, mut cum_msgs, mut cum_bytes) = (0u64, 0u64, 0u64);
+                for rec in derive_merge_iterations(
+                    &out.seg.merges_per_iteration,
+                    config.tie_break,
+                    config.max_stall,
+                ) {
+                    merges_hist.record(u64::from(rec.merges));
+                    let mut iter_span =
+                        SpanGuard::enter(&mut *tel, SpanKind::MergeIteration(rec.iteration));
+                    let tel = iter_span.tel();
+                    if let Some(exchanges) =
+                        out.merge_comm_per_iteration.get(rec.iteration as usize)
+                    {
+                        for (k, ex) in exchanges.iter().enumerate() {
+                            {
+                                let _span =
+                                    SpanGuard::enter(&mut *tel, SpanKind::CommRound(k as u32));
+                            }
+                            cum_rounds += ex.rounds;
+                            cum_msgs += ex.messages;
+                            cum_bytes += ex.bytes;
+                        }
+                        // Cumulative counter tracks, one sample per
+                        // iteration (Chrome/Perfetto renders them as the
+                        // merge stage's communication ramps; the report
+                        // keeps the final value).
+                        tel.counter("comm.rounds", cum_rounds as f64);
+                        tel.counter("comm.messages", cum_msgs as f64);
+                        tel.counter("comm.bytes", cum_bytes as f64);
+                    }
+                    tel.merge_iteration(rec);
+                }
+                tel.histogram("merge.merges_per_iteration", &merges_hist);
+                tel.histogram("comm.msg_bytes", &out.merge_msg_bytes);
+            }
             tel.stage(StageSpan {
-                stage,
-                wall_seconds: wall_total * (sim / sim_total),
-                sim_seconds: Some(sim),
+                stage: Stage::Merge,
+                wall_seconds: wall_total * (out.merge_seconds / sim_total),
+                sim_seconds: Some(out.merge_seconds),
             });
+            tel.merge_done(out.seg.num_regions);
+
+            // Host-side label compaction happens inside the SPMD run's
+            // harness; its wall time is folded into the proportional
+            // attribution above, so the Label span itself carries none.
+            {
+                let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Label));
+            }
+            tel.stage(StageSpan {
+                stage: Stage::Label,
+                wall_seconds: 0.0,
+                sim_seconds: None,
+            });
+            // Region-size distribution at convergence.
+            let mut sizes = vec![0u64; out.seg.num_regions];
+            for &l in &out.seg.labels {
+                sizes[l as usize] += 1;
+            }
+            let mut region_hist = Histogram::new();
+            for s in sizes {
+                region_hist.record(s);
+            }
+            tel.histogram("region_size_px", &region_hist);
+
+            tel.comm(CommRecord {
+                scheme: out.scheme.label().to_string(),
+                nodes: out.nodes,
+                rounds: out.total_comm_rounds,
+                messages: out.total_messages,
+                bytes: out.total_bytes,
+            });
+            tel.counter("cap_used_log2", out.cap_used as f64);
         }
-        // Host-side label compaction happens inside the SPMD run's harness;
-        // its wall time is folded into the proportional attribution above,
-        // so the Label span itself carries none.
-        tel.stage(StageSpan {
-            stage: Stage::Label,
-            wall_seconds: 0.0,
-            sim_seconds: None,
-        });
-        tel.split_done(out.seg.split_iterations, out.seg.num_squares);
-        for rec in derive_merge_iterations(
-            &out.seg.merges_per_iteration,
-            config.tie_break,
-            config.max_stall,
-        ) {
-            tel.merge_iteration(rec);
-        }
-        tel.merge_done(out.seg.num_regions);
-        tel.comm(CommRecord {
-            scheme: out.scheme.label().to_string(),
-            nodes: out.nodes,
-            rounds: out.total_comm_rounds,
-            messages: out.total_messages,
-            bytes: out.total_bytes,
-        });
-        tel.counter("cap_used_log2", out.cap_used as f64);
         tel.run_end();
     }
     out
@@ -252,6 +326,28 @@ pub fn segment_msgpass_with<P: Intensity>(
     let total_bytes: u64 = res.results.iter().map(|o| o.bytes_sent).sum();
     let total_comm_rounds: u64 = res.results.iter().map(|o| o.comm_rounds).sum();
 
+    // Fold the per-node merge communication telemetry: exchange deltas sum
+    // across nodes (the loop is collective, so every node records the same
+    // iteration count) and payload-size histograms merge exactly.
+    let mut merge_comm_per_iteration =
+        vec![[ExchangeComm::default(); EXCHANGES_PER_ITERATION]; merge0.iterations as usize];
+    let mut merge_msg_bytes = Histogram::new();
+    for out in &res.results {
+        debug_assert_eq!(
+            out.merge.comm_per_iteration.len(),
+            merge0.iterations as usize
+        );
+        for (acc, node_iter) in merge_comm_per_iteration
+            .iter_mut()
+            .zip(out.merge.comm_per_iteration.iter())
+        {
+            for (a, b) in acc.iter_mut().zip(node_iter.iter()) {
+                a.fold(b);
+            }
+        }
+        merge_msg_bytes.merge(&out.merge.msg_bytes_hist);
+    }
+
     MsgPassOutcome {
         seg: Segmentation {
             labels,
@@ -272,6 +368,8 @@ pub fn segment_msgpass_with<P: Intensity>(
         total_messages,
         total_bytes,
         total_comm_rounds,
+        merge_comm_per_iteration,
+        merge_msg_bytes,
     }
 }
 

@@ -41,3 +41,4 @@ pub use decomp::Decomposition;
 pub use driver::{
     segment_msgpass, segment_msgpass_with, segment_msgpass_with_telemetry, MsgPassOutcome,
 };
+pub use merge_mp::{ExchangeComm, EXCHANGES_PER_ITERATION};

@@ -31,9 +31,11 @@
 
 use crate::boundary::LocalRag;
 use crate::decomp::Decomposition;
+use bytes::Bytes;
 use cmmd_sim::channel::{decode_u32s, encode_u32s};
 use cmmd_sim::{all_to_many, CommScheme, Node};
 use rg_core::merge::{choice_key, CandKey};
+use rg_core::telemetry::Histogram;
 use rg_core::{Config, RegionStats, TieBreak};
 use std::collections::{BTreeMap, HashMap};
 
@@ -46,6 +48,30 @@ pub const MERGE_UNITS_PER_EDGE: u64 = 12;
 /// Work units per owned region per iteration.
 pub const MERGE_UNITS_PER_REGION: u64 = 6;
 
+/// Number of all-to-many exchanges one merge iteration executes, in
+/// order: stats, choice, redirect, half-edge transfer.
+pub const EXCHANGES_PER_ITERATION: usize = 4;
+
+/// This node's communication deltas for one all-to-many exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExchangeComm {
+    /// Communication rounds executed (LP: `Q−1` per exchange; Async: 1).
+    pub rounds: u64,
+    /// Point-to-point messages this node sent.
+    pub messages: u64,
+    /// Payload bytes this node sent.
+    pub bytes: u64,
+}
+
+impl ExchangeComm {
+    /// Folds `other` into `self` (the driver sums across nodes).
+    pub fn fold(&mut self, other: &ExchangeComm) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+    }
+}
+
 /// Outcome of the distributed merge on one node.
 #[derive(Debug, Clone)]
 pub struct MpMergeOutcome {
@@ -57,6 +83,38 @@ pub struct MpMergeOutcome {
     pub redirects: Vec<(u32, u32)>,
     /// Regions this node still owns at termination.
     pub num_regions_local: usize,
+    /// This node's per-iteration, per-exchange communication deltas
+    /// (one `[ExchangeComm; 4]` per completed iteration, exchange order
+    /// per [`EXCHANGES_PER_ITERATION`]). The terminating pass — a stats
+    /// exchange followed by the global OR that ends the loop — is not an
+    /// iteration and is counted only in the node totals.
+    pub comm_per_iteration: Vec<[ExchangeComm; EXCHANGES_PER_ITERATION]>,
+    /// Sizes (bytes) of every point-to-point payload this node sent
+    /// during the merge, as a log₂ histogram (the per-round message-size
+    /// distribution the paper's LP-vs-Async comparison turns on).
+    pub msg_bytes_hist: Histogram,
+}
+
+/// Runs one all-to-many exchange, recording outgoing payload sizes into
+/// `hist` and returning the received messages plus this node's
+/// communication deltas for the exchange.
+fn traced_exchange(
+    node: &mut Node,
+    outgoing: Vec<(usize, Bytes)>,
+    scheme: CommScheme,
+    hist: &mut Histogram,
+) -> (Vec<(usize, Bytes)>, ExchangeComm) {
+    for (_, payload) in &outgoing {
+        hist.record(payload.len() as u64);
+    }
+    let (r0, m0, b0) = (node.comm_rounds(), node.msgs_sent(), node.bytes_sent());
+    let received = all_to_many(node, outgoing, scheme);
+    let comm = ExchangeComm {
+        rounds: node.comm_rounds() - r0,
+        messages: node.msgs_sent() - m0,
+        bytes: node.bytes_sent() - b0,
+    };
+    (received, comm)
 }
 
 fn stats_words(id: u32, s: &RegionStats<u32>) -> [u32; 7] {
@@ -89,8 +147,11 @@ pub fn merge_mp(
     let mut merges_per_iteration: Vec<u32> = Vec::new();
     let mut stalls = 0u32;
     let mut redirect_history: Vec<(u32, u32)> = Vec::new();
+    let mut comm_per_iteration: Vec<[ExchangeComm; EXCHANGES_PER_ITERATION]> = Vec::new();
+    let mut msg_bytes_hist = Histogram::new();
 
     loop {
+        let mut iter_comm = [ExchangeComm::default(); EXCHANGES_PER_ITERATION];
         // ---- 1. stats exchange -------------------------------------------
         // Send each owned region's stats once per remote owner that holds a
         // mirror half-edge to it.
@@ -113,7 +174,9 @@ pub fn merge_mp(
             .map(|(dst, words)| (dst, encode_u32s(&words)))
             .collect();
         rag.ghosts.clear();
-        for (_, payload) in all_to_many(node, outgoing, scheme) {
+        let (received, comm) = traced_exchange(node, outgoing, scheme, &mut msg_bytes_hist);
+        iter_comm[0] = comm;
+        for (_, payload) in received {
             let words = decode_u32s(payload);
             for c in words.chunks_exact(7) {
                 rag.ghosts.insert(
@@ -210,7 +273,9 @@ pub fn merge_mp(
             .collect();
         // Remote claims (u chose v) targeting my regions v.
         let mut remote_claims: Vec<(u32, u32)> = Vec::new();
-        for (_, payload) in all_to_many(node, outgoing, scheme) {
+        let (received, comm) = traced_exchange(node, outgoing, scheme, &mut msg_bytes_hist);
+        iter_comm[1] = comm;
+        for (_, payload) in received {
             let words = decode_u32s(payload);
             for c in words.chunks_exact(2) {
                 remote_claims.push((c[0], c[1]));
@@ -274,7 +339,9 @@ pub fn merge_mp(
             .map(|(dst, words)| (dst, encode_u32s(&words)))
             .collect();
         let mut redir: HashMap<u32, u32> = newly_dead.iter().copied().collect();
-        for (_, payload) in all_to_many(node, outgoing, scheme) {
+        let (received, comm) = traced_exchange(node, outgoing, scheme, &mut msg_bytes_hist);
+        iter_comm[2] = comm;
+        for (_, payload) in received {
             let words = decode_u32s(payload);
             for c in words.chunks_exact(2) {
                 redir.insert(c[0], c[1]);
@@ -304,7 +371,9 @@ pub fn merge_mp(
             .into_iter()
             .map(|(dst, words)| (dst, encode_u32s(&words)))
             .collect();
-        for (_, payload) in all_to_many(node, outgoing, scheme) {
+        let (received, comm) = traced_exchange(node, outgoing, scheme, &mut msg_bytes_hist);
+        iter_comm[3] = comm;
+        for (_, payload) in received {
             let words = decode_u32s(payload);
             for c in words.chunks_exact(2) {
                 keep.push((c[0], c[1]));
@@ -319,6 +388,7 @@ pub fn merge_mp(
         let global_merges = node.allreduce_u64(my_merges, |a, b| a + b) as u32;
         iterations += 1;
         merges_per_iteration.push(global_merges);
+        comm_per_iteration.push(iter_comm);
         if global_merges == 0 {
             stalls += 1;
         } else {
@@ -331,5 +401,7 @@ pub fn merge_mp(
         merges_per_iteration,
         redirects: redirect_history,
         num_regions_local: rag.store.len(),
+        comm_per_iteration,
+        msg_bytes_hist,
     }
 }

@@ -16,7 +16,13 @@
 //!   --demo NAME            use a built-in scene instead of an input file
 //!                          (image1..image6, circles, rects, nested, tool)
 //!   --telemetry PATH       write a JSON telemetry report (stage timings,
-//!                          per-iteration merge counts, comm counters)
+//!                          per-iteration merge counts, comm counters,
+//!                          histograms); PATH of `-` writes to stdout
+//!   --trace-out PATH       stream a JSONL event journal (hierarchical spans,
+//!                          counters, histograms) while the run executes;
+//!                          PATH of `-` streams to stderr, unbuffered
+//!   --chrome-trace PATH    write a Chrome trace_event JSON file viewable in
+//!                          chrome://tracing or Perfetto
 //!   --verify               check connectivity/homogeneity/maximality
 //!   --quiet                suppress the summary
 //! ```
@@ -24,9 +30,9 @@
 use cm_sim::CostModel;
 use cmmd_sim::CommScheme;
 use rg_core::{
-    labels::labels_to_image, segment_par_with_telemetry, segment_with_telemetry,
-    verify_segmentation, Config, Connectivity, Criterion, NullTelemetry, Recorder, Segmentation,
-    Telemetry, TieBreak,
+    chrome_trace, jsonl_sink_for_path, labels::labels_to_image, segment_par_with_telemetry,
+    segment_with_telemetry, verify_segmentation, Config, Connectivity, Criterion, EmitEvent,
+    EventLog, Fanout, NullTelemetry, Recorder, Segmentation, Telemetry, TieBreak,
 };
 use rg_imaging::{pgm, synth, GrayImage};
 use std::process::exit;
@@ -43,16 +49,26 @@ struct Options {
     engine: String,
     nodes: usize,
     telemetry: Option<String>,
+    trace_out: Option<String>,
+    chrome_trace: Option<String>,
     verify: bool,
     quiet: bool,
 }
+
+/// Valid values for `--engine`, in the order shown in error messages.
+const ENGINES: &[&str] = &[
+    "seq", "par", "cm2-8k", "cm2-16k", "cm5-dp", "mp-lp", "mp-async",
+];
+/// Valid values for `--tie`.
+const TIES: &[&str] = &["random", "smallest", "largest"];
 
 fn usage() -> ! {
     eprintln!(
         "usage: rgrow <input.pgm> [output.pgm] [--threshold N] [--tie random|smallest|largest]\n\
          \x20            [--seed N] [--connectivity 4|8] [--criterion range|mean] [--cap N]\n\
          \x20            [--engine seq|par|cm2-8k|cm2-16k|cm5-dp|mp-lp|mp-async] [--nodes N]\n\
-         \x20            [--demo image1..image6|circles|rects|nested|tool] [--telemetry out.json]\n\
+         \x20            [--demo image1..image6|circles|rects|nested|tool] [--telemetry out.json|-]\n\
+         \x20            [--trace-out out.jsonl|-] [--chrome-trace out.trace.json]\n\
          \x20            [--verify] [--quiet]"
     );
     exit(2)
@@ -71,6 +87,8 @@ fn parse_args() -> Options {
         engine: "par".to_string(),
         nodes: 32,
         telemetry: None,
+        trace_out: None,
+        chrome_trace: None,
         verify: false,
         quiet: false,
     };
@@ -126,6 +144,8 @@ fn parse_args() -> Options {
             }
             "--demo" => o.demo = Some(need_value(&mut args, &a)),
             "--telemetry" => o.telemetry = Some(need_value(&mut args, &a)),
+            "--trace-out" => o.trace_out = Some(need_value(&mut args, &a)),
+            "--chrome-trace" => o.chrome_trace = Some(need_value(&mut args, &a)),
             "--verify" => o.verify = true,
             "--quiet" | "-q" => o.quiet = true,
             "--help" | "-h" => usage(),
@@ -142,8 +162,22 @@ fn parse_args() -> Options {
         "random" => TieBreak::Random { seed },
         "smallest" => TieBreak::SmallestId,
         "largest" => TieBreak::LargestId,
-        _ => usage(),
+        other => {
+            eprintln!(
+                "unknown tie-break policy {other:?}; valid choices are: {}",
+                TIES.join(", ")
+            );
+            usage()
+        }
     };
+    if !ENGINES.contains(&o.engine.as_str()) {
+        eprintln!(
+            "unknown engine {:?}; valid choices are: {}",
+            o.engine,
+            ENGINES.join(", ")
+        );
+        usage()
+    }
     o
 }
 
@@ -212,7 +246,10 @@ fn run_engine(
             (out.seg, Some(note))
         }
         other => {
-            eprintln!("unknown engine {other:?}");
+            eprintln!(
+                "unknown engine {other:?}; valid choices are: {}",
+                ENGINES.join(", ")
+            );
             usage()
         }
     }
@@ -233,15 +270,45 @@ fn main() {
         ..Config::default()
     };
     let mut recorder = Recorder::new();
+    let mut jsonl = o.trace_out.as_deref().map(|path| {
+        jsonl_sink_for_path(path).unwrap_or_else(|e| {
+            eprintln!("cannot open trace output {path}: {e}");
+            exit(1)
+        })
+    });
+    let mut chrome_log = o.chrome_trace.as_ref().map(|_| EventLog::in_memory());
+
+    let mut sinks: Vec<&mut dyn Telemetry> = Vec::new();
+    if o.telemetry.is_some() {
+        sinks.push(&mut recorder);
+    }
+    if let Some(j) = jsonl.as_mut() {
+        sinks.push(j);
+    }
+    if let Some(c) = chrome_log.as_mut() {
+        sinks.push(c);
+    }
     let mut null = NullTelemetry;
-    let tel: &mut dyn Telemetry = if o.telemetry.is_some() {
-        &mut recorder
-    } else {
+    let mut fan;
+    let tel: &mut dyn Telemetry = if sinks.is_empty() {
         &mut null
+    } else {
+        fan = Fanout::new(sinks);
+        &mut fan
     };
     let t0 = std::time::Instant::now();
     let (seg, note) = run_engine(&o, &img, &cfg, tel);
     let wall = t0.elapsed();
+    // Close the streaming journal (flushes buffered lines, reports drops).
+    if let Some(j) = jsonl.take() {
+        let writer = j.into_sink();
+        if writer.dropped() > 0 {
+            eprintln!(
+                "warning: {} journal event(s) dropped (write failures)",
+                writer.dropped()
+            );
+        }
+    }
 
     if !o.quiet {
         println!(
@@ -273,12 +340,32 @@ fn main() {
     }
     if let Some(path) = &o.telemetry {
         let report = recorder.report();
-        std::fs::write(path, report.to_json_pretty()).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            exit(1)
-        });
-        if !o.quiet {
-            println!("wrote telemetry to {path}");
+        if path == "-" {
+            println!("{}", report.to_json_pretty());
+        } else {
+            std::fs::write(path, report.to_json_pretty()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1)
+            });
+            if !o.quiet {
+                println!("wrote telemetry to {path}");
+            }
+        }
+    }
+    if let Some(path) = &o.chrome_trace {
+        let log = chrome_log.take().expect("chrome log allocated above");
+        let doc = chrome_trace(log.events());
+        let body = doc.to_compact();
+        if path == "-" {
+            println!("{body}");
+        } else {
+            std::fs::write(path, body).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1)
+            });
+            if !o.quiet {
+                println!("wrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
+            }
         }
     }
     if let Some(out) = &o.output {

@@ -1,0 +1,141 @@
+//! `trace_convert` — turn a JSONL event journal (written by
+//! `rgrow --trace-out`) into a Chrome `trace_event` JSON file, or validate
+//! a journal post-mortem.
+//!
+//! ```text
+//! trace_convert <journal.jsonl|-> [-o out.trace.json] [--validate] [--strict]
+//!
+//!   <journal.jsonl|->   input journal; `-` reads from stdin
+//!   -o PATH             output path for the Chrome trace (default: stdout)
+//!   --validate          do not convert; check the journal instead:
+//!                       every line parses (unless truncated at the tail),
+//!                       spans are balanced and strictly nested, and
+//!                       timestamps are monotonic. Exit 1 on violation.
+//!   --strict            fail on the first malformed line instead of
+//!                       tolerating a truncated tail (useful in CI)
+//! ```
+//!
+//! A journal may contain several concatenated runs (one `run_start` each);
+//! the converter assigns each run its own Chrome process lane.
+
+use rg_core::{
+    chrome_trace_multi, parse_journal, parse_journal_strict, split_runs, validate_chrome_trace,
+    validate_journal, Event,
+};
+use std::io::Read;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: trace_convert <journal.jsonl|-> [-o out.trace.json] [--validate] [--strict]");
+    exit(2)
+}
+
+fn main() {
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut validate = false;
+    let mut strict = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-o" | "--out" => {
+                output = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {a}");
+                    usage()
+                }))
+            }
+            "--validate" => validate = true,
+            "--strict" => strict = true,
+            "--help" | "-h" => usage(),
+            "-" => input = Some(a),
+            _ if a.starts_with('-') => {
+                eprintln!("unknown flag {a}");
+                usage()
+            }
+            _ if input.is_none() => input = Some(a),
+            _ => usage(),
+        }
+    }
+    let path = input.unwrap_or_else(|| usage());
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot read stdin: {e}");
+                exit(1)
+            });
+        buf
+    } else {
+        std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1)
+        })
+    };
+
+    let events: Vec<Event> = if strict {
+        match parse_journal_strict(&text) {
+            Ok(ev) => ev,
+            Err((line, msg)) => {
+                eprintln!("{path}:{line}: malformed journal line: {msg}");
+                exit(1)
+            }
+        }
+    } else {
+        let (events, stats) = parse_journal(&text);
+        if stats.truncated {
+            eprintln!(
+                "note: journal truncated after {} event(s) (line {}): {}",
+                stats.events,
+                stats.events + 1,
+                stats.error.as_deref().unwrap_or("unparseable line")
+            );
+        }
+        events
+    };
+
+    let runs = split_runs(&events);
+    if validate {
+        let mut bad = 0usize;
+        for (i, run) in runs.iter().enumerate() {
+            match validate_journal(run) {
+                Ok(()) => {}
+                Err(v) => {
+                    eprintln!(
+                        "run {}: invalid journal at event {}: {}",
+                        i + 1,
+                        v.event_index,
+                        v.message
+                    );
+                    bad += 1;
+                }
+            }
+        }
+        println!(
+            "{}: {} event(s), {} run(s), {} invalid",
+            path,
+            events.len(),
+            runs.len(),
+            bad
+        );
+        exit(if bad > 0 { 1 } else { 0 });
+    }
+
+    let doc = chrome_trace_multi(&runs);
+    debug_assert!(validate_chrome_trace(&doc).is_ok());
+    let body = doc.to_compact();
+    match output {
+        Some(out) => {
+            std::fs::write(&out, body).unwrap_or_else(|e| {
+                eprintln!("cannot write {out}: {e}");
+                exit(1)
+            });
+            eprintln!(
+                "wrote {} trace event(s) across {} run lane(s) to {out}",
+                events.len(),
+                runs.len()
+            );
+        }
+        None => println!("{body}"),
+    }
+}

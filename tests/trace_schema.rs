@@ -1,0 +1,248 @@
+//! End-to-end trace schema acceptance: every engine, run with a streaming
+//! JSONL sink, must produce a journal whose spans are balanced and
+//! strictly nested, whose event kinds are all known, and whose Chrome
+//! export passes the format validator — and the disabled
+//! [`NullTelemetry`]-style path must stay event-free (zero-cost).
+
+use cm_sim::CostModel;
+use cmmd_sim::CommScheme;
+use rg_core::{
+    chrome_trace, chrome_trace_multi, parse_journal, replay, split_runs, validate_chrome_trace,
+    validate_journal, Config, Event, EventKind, EventLog, SpanKind, Telemetry, TieBreak,
+};
+use rg_imaging::synth;
+
+/// Runs one engine with an in-memory event log and returns the stream.
+fn traced(engine: &str, img: &rg_imaging::GrayImage, cfg: &Config) -> Vec<Event> {
+    let mut log = EventLog::in_memory();
+    let tel: &mut dyn Telemetry = &mut log;
+    match engine {
+        "seq" => {
+            rg_core::segment_with_telemetry(img, cfg, tel);
+        }
+        "par" => {
+            rg_core::segment_par_with_telemetry(img, cfg, tel);
+        }
+        "cm2-8k" => {
+            rg_datapar::segment_datapar_with_telemetry(img, cfg, CostModel::cm2_8k(), tel);
+        }
+        "mp-lp" => {
+            rg_msgpass::segment_msgpass_with_telemetry(
+                img,
+                cfg,
+                8,
+                CommScheme::LinearPermutation,
+                tel,
+            );
+        }
+        "mp-async" => {
+            rg_msgpass::segment_msgpass_with_telemetry(img, cfg, 8, CommScheme::Async, tel);
+        }
+        other => panic!("unknown engine {other}"),
+    }
+    log.into_events()
+}
+
+const ALL_ENGINES: &[&str] = &["seq", "par", "cm2-8k", "mp-lp", "mp-async"];
+
+fn scene() -> (rg_imaging::GrayImage, Config) {
+    (
+        synth::circle_collection(64),
+        Config::with_threshold(10).tie_break(TieBreak::Random { seed: 0x5EED }),
+    )
+}
+
+/// The acceptance criterion: the JSONL journal of a traced run is
+/// balanced, strictly nested, monotonic, and round-trips through text.
+#[test]
+fn every_engine_journal_is_balanced_and_strictly_nested() {
+    let (img, cfg) = scene();
+    for engine in ALL_ENGINES {
+        let events = traced(engine, &img, &cfg);
+        assert!(
+            events.len() > 10,
+            "{engine}: suspiciously small journal ({} events)",
+            events.len()
+        );
+        validate_journal(&events).unwrap_or_else(|e| panic!("{engine}: invalid journal: {e:?}"));
+
+        // Round-trip through JSONL text, as `--trace-out` would write it.
+        let text: String = events.iter().map(Event::to_line).collect();
+        let (parsed, stats) = parse_journal(&text);
+        assert!(!stats.truncated, "{engine}");
+        assert_eq!(parsed, events, "{engine}: JSONL round trip lost events");
+
+        // A replayed journal reproduces the recorded report semantics.
+        let report = replay(&events);
+        assert!(report.num_regions > 0, "{engine}");
+        assert!(
+            !report.engine.is_empty(),
+            "{engine}: replay lost the engine label"
+        );
+    }
+}
+
+/// Every event kind an engine can emit is in the known tag set — CI fails
+/// here first when someone adds a kind without extending the schema.
+#[test]
+fn every_emitted_event_kind_is_known() {
+    const KNOWN: &[&str] = &[
+        "run_start",
+        "b",
+        "e",
+        "stage",
+        "split_done",
+        "merge_iter",
+        "merge_done",
+        "comm",
+        "counter",
+        "hist",
+        "run_end",
+    ];
+    let (img, cfg) = scene();
+    for engine in ALL_ENGINES {
+        for ev in traced(engine, &img, &cfg) {
+            assert!(
+                KNOWN.contains(&ev.kind.tag()),
+                "{engine}: unknown event kind {:?}",
+                ev.kind.tag()
+            );
+        }
+    }
+}
+
+/// The message-passing engines nest comm rounds inside merge iterations
+/// and emit the comm counter tracks; the Chrome export validates.
+#[test]
+fn msgpass_journal_has_comm_rounds_and_counters() {
+    let (img, cfg) = scene();
+    let events = traced("mp-lp", &img, &cfg);
+    let mut saw_comm_round_inside_iter = false;
+    let mut depth_iter = 0i32;
+    let mut counters = std::collections::BTreeSet::new();
+    for ev in &events {
+        match &ev.kind {
+            EventKind::SpanBegin { span } => match span {
+                SpanKind::MergeIteration(_) => depth_iter += 1,
+                SpanKind::CommRound(_) => {
+                    assert!(depth_iter > 0, "comm round outside a merge iteration");
+                    saw_comm_round_inside_iter = true;
+                }
+                _ => {}
+            },
+            EventKind::SpanEnd { span } => {
+                if matches!(span, SpanKind::MergeIteration(_)) {
+                    depth_iter -= 1;
+                }
+            }
+            EventKind::Counter { name, .. } => {
+                counters.insert(name.clone());
+            }
+            _ => {}
+        }
+    }
+    assert!(saw_comm_round_inside_iter);
+    for want in ["comm.rounds", "comm.messages", "comm.bytes"] {
+        assert!(counters.contains(want), "missing counter track {want}");
+    }
+
+    let doc = chrome_trace(&events);
+    validate_chrome_trace(&doc).expect("chrome export of mp-lp journal");
+}
+
+/// Chrome export of all engines at once: one process lane per engine.
+#[test]
+fn chrome_export_gives_each_engine_a_process_lane() {
+    let (img, cfg) = scene();
+    let streams: Vec<Vec<Event>> = ALL_ENGINES.iter().map(|e| traced(e, &img, &cfg)).collect();
+    let mut concat: Vec<Event> = Vec::new();
+    for s in &streams {
+        concat.extend(s.iter().cloned());
+    }
+    assert_eq!(split_runs(&concat).len(), ALL_ENGINES.len());
+    let refs: Vec<&[Event]> = streams.iter().map(Vec::as_slice).collect();
+    let doc = chrome_trace_multi(&refs);
+    validate_chrome_trace(&doc).unwrap();
+    let arr = doc
+        .get("traceEvents")
+        .and_then(rg_core::json::Json::as_arr)
+        .unwrap();
+    let pids: std::collections::BTreeSet<u64> = arr
+        .iter()
+        .filter_map(|e| e.get("pid").and_then(rg_core::json::Json::as_u64))
+        .collect();
+    assert_eq!(pids.len(), ALL_ENGINES.len());
+    // Histogram instants made it into the export for every engine.
+    let hist_instants = arr
+        .iter()
+        .filter_map(|e| e.get("name").and_then(rg_core::json::Json::as_str))
+        .filter(|n| n.starts_with("hist:region_size_px"))
+        .count();
+    assert_eq!(hist_instants, ALL_ENGINES.len());
+}
+
+/// A disabled sink must see *no* per-event traffic: the engines check
+/// `enabled()` once and skip every span, record, counter, and histogram.
+/// This is the zero-cost guarantee that keeps `NullTelemetry` free.
+struct DisabledPanicSink;
+
+impl Telemetry for DisabledPanicSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn span_begin(&mut self, kind: SpanKind) {
+        panic!("span_begin({kind:?}) reached a disabled sink");
+    }
+    fn span_end(&mut self, kind: SpanKind) {
+        panic!("span_end({kind:?}) reached a disabled sink");
+    }
+    fn merge_iteration(&mut self, rec: rg_core::MergeIterationRecord) {
+        panic!("merge_iteration({rec:?}) reached a disabled sink");
+    }
+    fn counter(&mut self, name: &str, _value: f64) {
+        panic!("counter({name}) reached a disabled sink");
+    }
+    fn histogram(&mut self, name: &str, _hist: &rg_core::Histogram) {
+        panic!("histogram({name}) reached a disabled sink");
+    }
+    fn stage(&mut self, span: rg_core::StageSpan) {
+        panic!("stage({:?}) reached a disabled sink", span.stage);
+    }
+    fn split_done(&mut self, _iterations: u32, _num_squares: usize) {
+        panic!("split_done reached a disabled sink");
+    }
+    fn merge_done(&mut self, _num_regions: usize) {
+        panic!("merge_done reached a disabled sink");
+    }
+    fn comm(&mut self, rec: rg_core::CommRecord) {
+        panic!("comm({rec:?}) reached a disabled sink");
+    }
+}
+
+#[test]
+fn disabled_sink_sees_no_events_on_any_engine() {
+    let (img, cfg) = scene();
+    let mut sink = DisabledPanicSink;
+    rg_core::segment_with_telemetry(&img, &cfg, &mut sink);
+    rg_core::segment_par_with_telemetry(&img, &cfg, &mut sink);
+    rg_datapar::segment_datapar_with_telemetry(&img, &cfg, CostModel::cm2_8k(), &mut sink);
+    rg_msgpass::segment_msgpass_with_telemetry(
+        &img,
+        &cfg,
+        8,
+        CommScheme::LinearPermutation,
+        &mut sink,
+    );
+    // Reaching here without a panic proves no event call escaped the
+    // enabled() gate.
+}
+
+/// The traced and untraced runs produce bit-identical segmentations.
+#[test]
+fn tracing_does_not_change_the_segmentation() {
+    let (img, cfg) = scene();
+    let plain = rg_core::segment(&img, &cfg);
+    let mut log = EventLog::in_memory();
+    let traced_seg = rg_core::segment_with_telemetry(&img, &cfg, &mut log);
+    assert_eq!(plain, traced_seg);
+}
