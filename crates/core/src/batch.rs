@@ -1,0 +1,283 @@
+//! Batch runtime: stream many images through pooled pipeline workspaces.
+//!
+//! The one-shot entry points pay plan + arena setup per image; the batch
+//! runtime amortizes it. Each worker owns one reusable
+//! [`Pipeline`](crate::pipeline::Pipeline) (plan + workspace) and one
+//! recyclable [`Segmentation`] buffer, so a same-shape image stream runs
+//! **allocation-free in steady state** on the host engines.
+//!
+//! ## Telemetry
+//!
+//! With an enabled sink the batch emits the span hierarchy
+//! `batch > image:<i> > run > ...` — each image's full run tree nests in
+//! its [`SpanKind::BatchImage`] span. Telemetry-enabled batches always run
+//! on **one** worker regardless of [`BatchOptions::jobs`], keeping the
+//! journal's strict span nesting valid (a multi-worker batch would
+//! interleave image subtrees). Throughput runs use a disabled sink
+//! ([`NullTelemetry`]) and honour `jobs`.
+//!
+//! ## Ordering
+//!
+//! Images are dispatched in index order. With `jobs > 1` the per-image
+//! callback may observe completions out of order (the image index is
+//! passed alongside each result); the results themselves are bit-identical
+//! to a sequential run — every engine is deterministic per image.
+
+use crate::engine::Segmentation;
+use crate::pipeline::Pipeline;
+use crate::telemetry::{NullTelemetry, SpanGuard, SpanKind, Telemetry};
+use rg_imaging::Image;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The shared per-image callback slot of a multi-worker batch.
+type SharedSink<'a> = Mutex<&'a mut (dyn FnMut(usize, &Segmentation) + Send)>;
+
+/// Options for [`run_batch`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOptions {
+    /// Worker count (each worker owns one pipeline + workspace). Clamped
+    /// to at least 1; forced to 1 when telemetry is enabled (see module
+    /// docs).
+    pub jobs: usize,
+}
+
+impl BatchOptions {
+    /// Default options: one worker.
+    pub fn new() -> Self {
+        Self { jobs: 1 }
+    }
+
+    /// Sets the worker count.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Aggregate outcome of a batch run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchSummary {
+    /// Number of images processed.
+    pub images: usize,
+    /// Sum of per-image region counts.
+    pub total_regions: u64,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+}
+
+impl BatchSummary {
+    /// Batch throughput in images per second (0 for an instant batch).
+    pub fn images_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.images as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Streams `images` through pooled pipelines, invoking `each(index, seg)`
+/// once per image with the index-tagged result (borrowed from the worker's
+/// recycled buffer — clone it to keep it).
+///
+/// `make_pipeline` is called once per worker; the pipelines it returns
+/// define the engine. See the module docs for telemetry and ordering
+/// semantics.
+pub fn run_batch<M, F>(
+    images: &[Image<u8>],
+    opts: &BatchOptions,
+    make_pipeline: M,
+    tel: &mut dyn Telemetry,
+    mut each: F,
+) -> BatchSummary
+where
+    M: Fn() -> Box<dyn Pipeline + Send> + Sync,
+    F: FnMut(usize, &Segmentation) + Send,
+{
+    let t0 = Instant::now();
+    let enabled = tel.enabled();
+    let jobs = if enabled { 1 } else { opts.jobs.max(1) };
+    let mut total_regions = 0u64;
+
+    if jobs <= 1 {
+        let mut pipe = make_pipeline();
+        let mut out = Segmentation::default();
+        if enabled {
+            let mut batch_span = SpanGuard::enter(&mut *tel, SpanKind::Batch);
+            let tel = batch_span.tel();
+            for (i, img) in images.iter().enumerate() {
+                let mut img_span = SpanGuard::enter(&mut *tel, SpanKind::BatchImage(i as u32));
+                pipe.run_into(img, img_span.tel(), &mut out);
+                drop(img_span);
+                total_regions += out.num_regions as u64;
+                each(i, &out);
+            }
+        } else {
+            for (i, img) in images.iter().enumerate() {
+                pipe.run_into(img, &mut NullTelemetry, &mut out);
+                total_regions += out.num_regions as u64;
+                each(i, &out);
+            }
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let regions = AtomicU64::new(0);
+        let sink: SharedSink = Mutex::new(&mut each);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(images.len()) {
+                scope.spawn(|| {
+                    let mut pipe = make_pipeline();
+                    let mut out = Segmentation::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= images.len() {
+                            break;
+                        }
+                        pipe.run_into(&images[i], &mut NullTelemetry, &mut out);
+                        regions.fetch_add(out.num_regions as u64, Ordering::Relaxed);
+                        (sink.lock().expect("batch callback poisoned"))(i, &out);
+                    }
+                });
+            }
+        });
+        total_regions = regions.load(Ordering::Relaxed);
+    }
+
+    BatchSummary {
+        images: images.len(),
+        total_regions,
+        wall_seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// [`run_batch`] collecting every result: returns the segmentations in
+/// image order plus the summary.
+pub fn run_batch_collect<M>(
+    images: &[Image<u8>],
+    opts: &BatchOptions,
+    make_pipeline: M,
+    tel: &mut dyn Telemetry,
+) -> (Vec<Segmentation>, BatchSummary)
+where
+    M: Fn() -> Box<dyn Pipeline + Send> + Sync,
+{
+    let mut results: Vec<Segmentation> = vec![Segmentation::default(); images.len()];
+    let summary = {
+        // `slots` borrows `results`; the block ends the borrow before the
+        // vector is moved out.
+        let slots = Mutex::new(&mut results);
+        run_batch(images, opts, make_pipeline, tel, |i, seg| {
+            slots.lock().expect("batch results poisoned")[i] = seg.clone();
+        })
+    };
+    (results, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::engine::segment;
+    use crate::pipeline::HostPipeline;
+    use crate::telemetry::Recorder;
+    use rg_imaging::synth;
+
+    fn demo_images(n: usize) -> Vec<Image<u8>> {
+        (0..n)
+            .map(|i| synth::random_rects(64, 64, 6, i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_per_image_segment() {
+        let images = demo_images(5);
+        let cfg = Config::with_threshold(10);
+        for jobs in [1, 3] {
+            let (results, summary) = run_batch_collect(
+                &images,
+                &BatchOptions::new().jobs(jobs),
+                || Box::new(HostPipeline::<u8>::new(cfg, false)),
+                &mut NullTelemetry,
+            );
+            assert_eq!(summary.images, images.len());
+            let mut expect_regions = 0u64;
+            for (img, got) in images.iter().zip(&results) {
+                let want = segment(img, &cfg);
+                assert_eq!(&want, got, "jobs={jobs}");
+                expect_regions += want.num_regions as u64;
+            }
+            assert_eq!(summary.total_regions, expect_regions);
+        }
+    }
+
+    #[test]
+    fn enabled_telemetry_forces_single_worker_and_nests_spans() {
+        use crate::journal::{validate_journal, EventLog};
+        let images = demo_images(3);
+        let cfg = Config::with_threshold(10);
+        let mut log = EventLog::in_memory();
+        let summary = run_batch(
+            &images,
+            &BatchOptions::new().jobs(4),
+            || Box::new(HostPipeline::<u8>::new(cfg, false)),
+            &mut log,
+            |_i, _seg| {},
+        );
+        assert_eq!(summary.images, 3);
+        // The journal nests batch > image:<i> > run and validates strictly.
+        validate_journal(log.events()).expect("batch journal must validate");
+        let labels: Vec<String> = log
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                crate::journal::EventKind::SpanBegin { span } => Some(span.label()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(labels[0], "batch");
+        assert_eq!(labels[1], "image:0");
+        assert_eq!(labels[2], "run");
+        assert!(labels.contains(&"image:2".to_string()));
+    }
+
+    #[test]
+    fn recorder_sees_every_image_run(/* last-run semantics documented */) {
+        let images = demo_images(2);
+        let cfg = Config::with_threshold(10);
+        let mut rec = Recorder::new();
+        run_batch(
+            &images,
+            &BatchOptions::new(),
+            || Box::new(HostPipeline::<u8>::new(cfg, false)),
+            &mut rec,
+            |_, _| {},
+        );
+        // A Recorder resets per run_start: after the batch it holds the
+        // final image's report.
+        let want = segment(&images[1], &cfg);
+        assert_eq!(rec.report().num_regions, want.num_regions);
+        assert!(rec.is_finished());
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let cfg = Config::with_threshold(10);
+        let summary = run_batch(
+            &[],
+            &BatchOptions::new().jobs(8),
+            || Box::new(HostPipeline::<u8>::new(cfg, false)),
+            &mut NullTelemetry,
+            |_, _| panic!("no images, no callbacks"),
+        );
+        assert_eq!(summary.images, 0);
+        assert_eq!(summary.total_regions, 0);
+    }
+}

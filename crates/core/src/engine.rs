@@ -5,7 +5,7 @@ use crate::graph::Rag;
 use crate::hierarchy::MergeTrace;
 use crate::labels::compact_first_appearance;
 use crate::merge::{MergeSummary, Merger};
-use crate::split::{split, split_par, SplitResult};
+use crate::split::{split, SplitResult};
 use crate::telemetry::{
     Histogram, MergeIterationRecord, NullTelemetry, SpanGuard, SpanKind, Stage, StageSpan,
     Telemetry,
@@ -15,12 +15,12 @@ use rg_imaging::{Image, Intensity};
 use std::time::Instant;
 
 /// A wall-clock stopwatch that avoids the syscall when telemetry is off.
-struct Stopwatch {
+pub(crate) struct Stopwatch {
     start: Option<Instant>,
 }
 
 impl Stopwatch {
-    fn start(enabled: bool) -> Self {
+    pub(crate) fn start(enabled: bool) -> Self {
         Self {
             start: enabled.then(Instant::now),
         }
@@ -28,7 +28,7 @@ impl Stopwatch {
 
     /// Seconds since construction (0.0 when disabled), restarting the
     /// stopwatch for the next stage.
-    fn lap(&mut self) -> f64 {
+    pub(crate) fn lap(&mut self) -> f64 {
         match &mut self.start {
             Some(t) => {
                 let dt = t.elapsed().as_secs_f64();
@@ -41,7 +41,10 @@ impl Stopwatch {
 }
 
 /// A completed segmentation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Default` yields an empty (zero-size) segmentation — the recyclable
+/// output buffer for [`crate::pipeline::Pipeline::run_into`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Segmentation {
     /// Per-pixel compact region label in `0..num_regions`, numbered by
     /// first appearance in raster order (canonical across engines).
@@ -67,6 +70,31 @@ impl Segmentation {
     #[inline]
     pub fn label(&self, x: usize, y: usize) -> u32 {
         self.labels[y * self.width + x]
+    }
+
+    /// `true` for a degenerate (zero-pixel) segmentation — e.g. a freshly
+    /// `Default`-constructed recyclable buffer that has not been run yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Largest compact label, or `None` for a degenerate (empty)
+    /// segmentation.
+    ///
+    /// Prefer this over `labels.iter().max().unwrap()`, which panics on
+    /// empty label buffers; a degenerate segmentation simply has 0 regions.
+    #[inline]
+    pub fn max_label(&self) -> Option<u32> {
+        self.labels.iter().copied().max()
+    }
+
+    /// Number of regions derived from the label buffer itself (`max + 1`,
+    /// or 0 when degenerate). Equals [`Segmentation::num_regions`] for any
+    /// well-formed segmentation; never panics.
+    #[inline]
+    pub fn derived_num_regions(&self) -> usize {
+        self.max_label().map_or(0, |m| m as usize + 1)
     }
 }
 
@@ -140,85 +168,21 @@ pub fn segment_par<P: Intensity>(img: &Image<P>, config: &Config) -> Segmentatio
     run_pipeline(img, config, true, &mut NullTelemetry)
 }
 
+/// One-shot pipeline body: delegates to the plan/workspace layer
+/// ([`crate::pipeline::run_host_into`]) with a throwaway workspace, so the
+/// one-shot entry points and the reusable [`crate::pipeline::HostPipeline`]
+/// share a single implementation (identical output and telemetry by
+/// construction).
 fn run_pipeline<P: Intensity>(
     img: &Image<P>,
     config: &Config,
     parallel: bool,
     tel: &mut dyn Telemetry,
 ) -> Segmentation {
-    let enabled = tel.enabled();
-    if enabled {
-        tel.run_start(
-            if parallel { "rayon" } else { "seq" },
-            img.width(),
-            img.height(),
-            config,
-        );
-    }
-    let mut watch = Stopwatch::start(enabled);
-
-    let (summary, labels, num_regions, split_result) = {
-        // Everything between run_start and run_end lives inside the `run`
-        // span; the guard closes it even on unwind.
-        let mut run_span = SpanGuard::enter(&mut *tel, SpanKind::Run);
-        let tel = run_span.tel();
-
-        let split_result = {
-            let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Split));
-            if parallel {
-                split_par(img, config)
-            } else {
-                split(img, config)
-            }
-        };
-        if enabled {
-            tel.stage(StageSpan {
-                stage: Stage::Split,
-                wall_seconds: watch.lap(),
-                sim_seconds: None,
-            });
-            tel.split_done(split_result.iterations, split_result.num_squares());
-        }
-
-        let (summary, labels) =
-            merge_from_split_with(&split_result, config, parallel, tel, &mut watch);
-
-        let (labels, num_regions) = {
-            let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Label));
-            compact_first_appearance(&labels)
-        };
-        if enabled {
-            tel.stage(StageSpan {
-                stage: Stage::Label,
-                wall_seconds: watch.lap(),
-                sim_seconds: None,
-            });
-            // Region-size distribution at convergence (pixels per region).
-            let mut sizes = vec![0u64; num_regions];
-            for &l in &labels {
-                sizes[l as usize] += 1;
-            }
-            let mut h = Histogram::new();
-            for s in sizes {
-                h.record(s);
-            }
-            tel.histogram("region_size_px", &h);
-        }
-        (summary, labels, num_regions, split_result)
-    };
-    if enabled {
-        tel.run_end();
-    }
-    Segmentation {
-        labels,
-        num_regions,
-        num_squares: split_result.num_squares(),
-        split_iterations: split_result.iterations,
-        merge_iterations: summary.iterations,
-        merges_per_iteration: summary.merges_per_iteration,
-        width: img.width(),
-        height: img.height(),
-    }
+    let mut ws = crate::pipeline::Workspace::new();
+    let mut out = Segmentation::default();
+    crate::pipeline::run_host_into(img, config, parallel, tel, &mut ws, &mut out);
+    out
 }
 
 /// Runs the merge stage over an existing split result, returning the merge
@@ -441,8 +405,34 @@ mod tests {
         let img = synth::circle_collection(128);
         let seg = segment(&img, &Config::with_threshold(10));
         assert_eq!(seg.labels.len(), 128 * 128);
-        let max = *seg.labels.iter().max().unwrap();
-        assert_eq!(max as usize + 1, seg.num_regions);
+        // `derived_num_regions` is the panic-free form of the old
+        // `labels.iter().max().unwrap() + 1` pattern.
+        assert_eq!(seg.derived_num_regions(), seg.num_regions);
         assert_eq!(seg.num_regions, 11);
+    }
+
+    #[test]
+    fn degenerate_segmentation_reports_zero_regions() {
+        // A Default segmentation (the recyclable `run_into` buffer before
+        // any run) is degenerate: the old `labels.iter().max().unwrap()`
+        // pattern panicked on it; the accessors return 0 regions instead.
+        let seg = Segmentation::default();
+        assert!(seg.is_empty());
+        assert_eq!(seg.max_label(), None);
+        assert_eq!(seg.derived_num_regions(), 0);
+        assert_eq!(seg.num_regions, 0);
+
+        // Minimal legal images stay well-formed end to end on both host
+        // engines (single pixel, single row, single column).
+        for (w, h) in [(1usize, 1usize), (7, 1), (1, 7)] {
+            let img = rg_imaging::Image::new(w, h, 42u8);
+            let cfg = Config::with_threshold(10);
+            for seg in [segment(&img, &cfg), segment_par(&img, &cfg)] {
+                assert_eq!(seg.labels.len(), w * h, "{w}x{h}");
+                assert_eq!(seg.num_regions, 1, "{w}x{h}");
+                assert_eq!(seg.derived_num_regions(), 1, "{w}x{h}");
+                assert!(!seg.is_empty());
+            }
+        }
     }
 }

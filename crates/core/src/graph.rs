@@ -99,6 +99,11 @@ pub fn adjacent_label_pairs(
     parallel: bool,
 ) -> Vec<(u32, u32)> {
     assert_eq!(labels.len(), width * height, "label buffer size mismatch");
+    if !parallel {
+        let mut out = Vec::new();
+        adjacent_label_pairs_into(labels, width, height, connectivity, &mut out);
+        return out;
+    }
     let row_pairs = |y: usize, out: &mut Vec<(u32, u32)>| {
         let row = &labels[y * width..(y + 1) * width];
         let below = if y + 1 < height {
@@ -128,32 +133,65 @@ pub fn adjacent_label_pairs(
         }
     };
 
-    let mut pairs: Vec<(u32, u32)> = if parallel {
-        (0..height)
-            .into_par_iter()
-            .fold(Vec::new, |mut acc, y| {
-                row_pairs(y, &mut acc);
-                acc
-            })
-            .reduce(Vec::new, |mut a, mut b| {
-                a.append(&mut b);
-                a
-            })
-    } else {
-        let mut acc = Vec::new();
-        for y in 0..height {
+    let mut pairs: Vec<(u32, u32)> = (0..height)
+        .into_par_iter()
+        .fold(Vec::new, |mut acc, y| {
             row_pairs(y, &mut acc);
-        }
-        acc
-    };
+            acc
+        })
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        });
 
-    if parallel {
-        pairs.par_sort_unstable();
-    } else {
-        pairs.sort_unstable();
-    }
+    pairs.par_sort_unstable();
     pairs.dedup();
     pairs
+}
+
+/// [`adjacent_label_pairs`] writing into a caller-owned buffer (cleared
+/// first). Output is identical to the sequential path of
+/// [`adjacent_label_pairs`]; no heap allocation once `out` has reached its
+/// high-water capacity.
+pub fn adjacent_label_pairs_into(
+    labels: &[u32],
+    width: usize,
+    height: usize,
+    connectivity: Connectivity,
+    out: &mut Vec<(u32, u32)>,
+) {
+    assert_eq!(labels.len(), width * height, "label buffer size mismatch");
+    out.clear();
+    for y in 0..height {
+        let row = &labels[y * width..(y + 1) * width];
+        let below = if y + 1 < height {
+            Some(&labels[(y + 1) * width..(y + 2) * width])
+        } else {
+            None
+        };
+        for x in 0..width {
+            let a = row[x];
+            // Right neighbour.
+            if x + 1 < width {
+                push_pair(out, a, row[x + 1]);
+            }
+            if let Some(below) = below {
+                // Down neighbour.
+                push_pair(out, a, below[x]);
+                if connectivity == Connectivity::Eight {
+                    // Down-right and down-left diagonals.
+                    if x + 1 < width {
+                        push_pair(out, a, below[x + 1]);
+                    }
+                    if x > 0 {
+                        push_pair(out, a, below[x - 1]);
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
 }
 
 #[inline]
@@ -232,6 +270,20 @@ mod tests {
             .edges
             .iter()
             .all(|&(u, v)| (v as usize) < rag.num_vertices() && (u as usize) < rag.num_vertices()));
+    }
+
+    #[test]
+    fn into_variant_matches_with_reused_buffer() {
+        let mut buf = vec![(7u32, 9u32)]; // stale content must be cleared
+        for seed in 0..3 {
+            let img = synth::random_rects(40, 24, 6, seed);
+            let s = split(&img, &Config::with_threshold(12));
+            for conn in [Connectivity::Four, Connectivity::Eight] {
+                let fresh = adjacent_label_pairs(&s.square_of, 40, 24, conn, false);
+                adjacent_label_pairs_into(&s.square_of, 40, 24, conn, &mut buf);
+                assert_eq!(fresh, buf);
+            }
+        }
     }
 
     #[test]

@@ -414,10 +414,19 @@ pub trait EmitEvent {
 }
 
 /// Adapts an [`EmitEvent`] consumer into a [`Telemetry`] sink, stamping
-/// each event with microseconds since `run_start` on receipt.
+/// each event with microseconds since the current time origin on receipt.
+///
+/// The origin is reset by each **top-level** `run_start` (so a standalone
+/// run's timestamps are microseconds since `run_start`, and back-to-back
+/// runs each restart at ~0, which [`crate::chrome::split_runs`] relies
+/// on). A `run_start` arriving while a span is already open — the nested
+/// `batch > image:<i> > run` shape emitted by [`crate::batch::run_batch`]
+/// — does **not** reset the clock, keeping the whole batch journal on one
+/// monotonic timeline so [`validate_journal`] accepts it.
 pub struct Streaming<S: EmitEvent> {
     sink: S,
     clock: Instant,
+    open_spans: usize,
 }
 
 impl<S: EmitEvent> Streaming<S> {
@@ -426,6 +435,7 @@ impl<S: EmitEvent> Streaming<S> {
         Self {
             sink,
             clock: Instant::now(),
+            open_spans: 0,
         }
     }
 
@@ -456,7 +466,9 @@ impl<S: EmitEvent> Streaming<S> {
 
 impl<S: EmitEvent> Telemetry for Streaming<S> {
     fn run_start(&mut self, engine: &str, width: usize, height: usize, config: &Config) {
-        self.clock = Instant::now();
+        if self.open_spans == 0 {
+            self.clock = Instant::now();
+        }
         self.push(EventKind::RunStart {
             engine: engine.to_string(),
             width,
@@ -466,10 +478,12 @@ impl<S: EmitEvent> Telemetry for Streaming<S> {
     }
 
     fn span_begin(&mut self, kind: SpanKind) {
+        self.open_spans += 1;
         self.push(EventKind::SpanBegin { span: kind });
     }
 
     fn span_end(&mut self, kind: SpanKind) {
+        self.open_spans = self.open_spans.saturating_sub(1);
         self.push(EventKind::SpanEnd { span: kind });
     }
 

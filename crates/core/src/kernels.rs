@@ -1,0 +1,150 @@
+//! Shared scalar kernels for the accelerator engines' choice/weight glue.
+//!
+//! The data-parallel (`rg-datapar`) and message-passing (`rg-msgpass`)
+//! engines both lower the merge criterion onto their machine primitives —
+//! elementwise zips over gathered endpoint fields on the CM-2, and a
+//! fixed-width wire codec for ghost-region stats on the CM-5. Before this
+//! module each crate carried its own copy of the scalar glue (pooled
+//! extrema, mean-pair weights, the 7-word stats codec); both now call the
+//! named kernels below, so the two lowerings cannot drift apart.
+//!
+//! Everything here is a **pure scalar function**: the engines keep their
+//! own zip/gather shapes (machine op counts are part of the simulated cost
+//! model and must not change), only the closure bodies are shared.
+
+use crate::config::{
+    mean_satisfies, mean_weight_fp16, range_satisfies, range_weight_fp16, RegionStats,
+};
+
+/// Pooled minimum of two region minima (the union's `lo`).
+#[inline]
+pub fn union_lo(a: u32, b: u32) -> u32 {
+    a.min(b)
+}
+
+/// Pooled maximum of two region maxima (the union's `hi`).
+#[inline]
+pub fn union_hi(a: u32, b: u32) -> u32 {
+    a.max(b)
+}
+
+/// Pixel-range merge weight of a pooled `(lo, hi)` pair (16.16 fixed
+/// point) — the elementwise kernel of the CM-2 weight zip.
+#[inline]
+pub fn range_pair_weight(lo: u32, hi: u32) -> u64 {
+    range_weight_fp16(lo, hi)
+}
+
+/// Pixel-range criterion test of a pooled `(lo, hi)` pair at threshold
+/// `t`.
+#[inline]
+pub fn range_pair_satisfies(lo: u32, hi: u32, t: u32) -> bool {
+    range_satisfies(lo, hi, t)
+}
+
+/// Mean-difference merge weight of two `(sum, count)` accumulators (16.16
+/// fixed point).
+#[inline]
+pub fn mean_pair_weight(a: (u64, u64), b: (u64, u64)) -> u64 {
+    mean_weight_fp16(a.0, a.1, b.0, b.1)
+}
+
+/// Mean-difference criterion test of two `(sum, count)` accumulators at
+/// threshold `t`.
+#[inline]
+pub fn mean_pair_satisfies(a: (u64, u64), b: (u64, u64), t: u32) -> bool {
+    mean_satisfies(a.0, a.1, b.0, b.1, t)
+}
+
+/// Width of the region-stats wire record in `u32` words:
+/// `id, min, max, sum_lo, sum_hi, count_lo, count_hi`.
+pub const STATS_WIRE_WORDS: usize = 7;
+
+/// Encodes a region's `(id, stats)` into the canonical
+/// [`STATS_WIRE_WORDS`]-word wire record the message-passing engine ships
+/// between nodes.
+#[inline]
+pub fn stats_to_words(id: u32, s: &RegionStats<u32>) -> [u32; STATS_WIRE_WORDS] {
+    [
+        id,
+        s.min,
+        s.max,
+        s.sum as u32,
+        (s.sum >> 32) as u32,
+        s.count as u32,
+        (s.count >> 32) as u32,
+    ]
+}
+
+/// Decodes one wire record (inverse of [`stats_to_words`]).
+///
+/// # Panics
+/// Panics if `words` is shorter than [`STATS_WIRE_WORDS`].
+#[inline]
+pub fn stats_from_words(words: &[u32]) -> (u32, RegionStats<u32>) {
+    (
+        words[0],
+        RegionStats {
+            min: words[1],
+            max: words[2],
+            sum: words[3] as u64 | ((words[4] as u64) << 32),
+            count: words[5] as u64 | ((words[6] as u64) << 32),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Criterion;
+
+    #[test]
+    fn pooled_kernels_match_criterion_methods() {
+        let a = RegionStats::<u32> {
+            min: 3,
+            max: 9,
+            sum: 120,
+            count: 16,
+        };
+        let b = RegionStats::<u32> {
+            min: 5,
+            max: 14,
+            sum: 77,
+            count: 7,
+        };
+        let (lo, hi) = (union_lo(a.min, b.min), union_hi(a.max, b.max));
+        assert_eq!(
+            range_pair_weight(lo, hi),
+            Criterion::PixelRange.weight(&a, &b)
+        );
+        assert_eq!(
+            mean_pair_weight((a.sum, a.count), (b.sum, b.count)),
+            Criterion::MeanDifference.weight(&a, &b)
+        );
+        for t in [0, 5, 11, 100] {
+            assert_eq!(
+                range_pair_satisfies(lo, hi, t),
+                Criterion::PixelRange.satisfies(&a, &b, t)
+            );
+            assert_eq!(
+                mean_pair_satisfies((a.sum, a.count), (b.sum, b.count), t),
+                Criterion::MeanDifference.satisfies(&a, &b, t)
+            );
+        }
+    }
+
+    #[test]
+    fn stats_wire_codec_round_trips() {
+        let s = RegionStats::<u32> {
+            min: 2,
+            max: 250,
+            sum: (7u64 << 33) | 12345,
+            count: (1u64 << 32) | 42,
+        };
+        let words = stats_to_words(77, &s);
+        assert_eq!(words.len(), STATS_WIRE_WORDS);
+        let (id, back) = stats_from_words(&words);
+        assert_eq!(id, 77);
+        assert_eq!(back, s);
+    }
+}

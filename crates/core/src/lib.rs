@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod chrome;
 pub mod config;
 pub mod engine;
@@ -47,14 +48,17 @@ pub mod graph;
 pub mod hierarchy;
 pub mod journal;
 pub mod json;
+pub mod kernels;
 pub mod labels;
 pub mod merge;
 pub mod metrics;
+pub mod pipeline;
 pub mod regions;
 pub mod split;
 pub mod telemetry;
 pub mod verify;
 
+pub use batch::{run_batch, run_batch_collect, BatchOptions, BatchSummary};
 pub use chrome::{chrome_trace, chrome_trace_multi, split_runs, validate_chrome_trace};
 pub use config::{Config, Connectivity, Criterion, MergeBackend, RegionStats, TieBreak};
 pub use engine::{
@@ -68,7 +72,8 @@ pub use journal::{
     Streaming,
 };
 pub use merge::{choice_key, CandKey, MergeSummary, Merger, StepReport};
-pub use split::{split, split_par, SplitResult, Square};
+pub use pipeline::{ExecutionPlan, HostPipeline, Pipeline, Workspace};
+pub use split::{split, split_into, split_par, SplitResult, SplitScratch, Square};
 pub use telemetry::{
     CommRecord, ConfigRecord, ConformanceView, Fanout, Histogram, MergeIterationRecord,
     NullTelemetry, Recorder, SpanGuard, SpanKind, Stage, StageSpan, Telemetry, TelemetryReport,

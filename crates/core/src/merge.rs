@@ -181,13 +181,26 @@ struct SoaStats<P: Intensity> {
 }
 
 impl<P: Intensity> SoaStats<P> {
-    fn from_stats(stats: &[RegionStats<P>]) -> Self {
+    /// An empty SoA (no allocation until [`SoaStats::refill`]).
+    fn empty() -> Self {
         Self {
-            min: stats.iter().map(|s| s.min).collect(),
-            max: stats.iter().map(|s| s.max).collect(),
-            sum: stats.iter().map(|s| s.sum).collect(),
-            cnt: stats.iter().map(|s| s.count).collect(),
+            min: Vec::new(),
+            max: Vec::new(),
+            sum: Vec::new(),
+            cnt: Vec::new(),
         }
+    }
+
+    /// Re-fills the SoA from an AoS slice in place, reusing capacity.
+    fn refill(&mut self, stats: &[RegionStats<P>]) {
+        self.min.clear();
+        self.min.extend(stats.iter().map(|s| s.min));
+        self.max.clear();
+        self.max.extend(stats.iter().map(|s| s.max));
+        self.sum.clear();
+        self.sum.extend(stats.iter().map(|s| s.sum));
+        self.cnt.clear();
+        self.cnt.extend(stats.iter().map(|s| s.count));
     }
 
     /// 16.16 fixed-point merge weight of regions `a` and `b`.
@@ -320,44 +333,87 @@ impl Csr {
     /// Builds the CSR over `n` vertices from a canonical (`u < v`, unique)
     /// edge list, materialising both directions.
     fn new(n: usize, edges: &[(u32, u32)]) -> Self {
-        let slots = edges.len() * 2;
-        assert!(slots < u32::MAX as usize, "CSR slot count exceeds u32");
-        let mut row_ptr = vec![0u32; n + 1];
-        for &(u, v) in edges {
-            row_ptr[u as usize + 1] += 1;
-            row_ptr[v as usize + 1] += 1;
-        }
-        for i in 0..n {
-            row_ptr[i + 1] += row_ptr[i];
-        }
-        let mut cursor: Vec<u32> = row_ptr[..n].to_vec();
-        let mut col = vec![0u32; slots];
-        for &(u, v) in edges {
-            col[cursor[u as usize] as usize] = v;
-            cursor[u as usize] += 1;
-            col[cursor[v as usize] as usize] = u;
-            cursor[v as usize] += 1;
-        }
-        let row_len: Vec<u32> = (0..n).map(|r| row_ptr[r + 1] - row_ptr[r]).collect();
+        let mut csr = Self::empty();
+        csr.rebuild(n, edges);
+        csr
+    }
+
+    /// An empty CSR (no allocation until [`Csr::rebuild`]).
+    fn empty() -> Self {
         Self {
-            row_ptr,
-            row_len,
-            col,
-            row_owner: (0..n as u32).collect(),
-            live: slots,
-            row_head: (0..n as u32).collect(),
-            row_tail: (0..n as u32).collect(),
-            row_next: vec![NO_ROW; n],
-            dirty_epoch: vec![0; n],
+            row_ptr: Vec::new(),
+            row_len: Vec::new(),
+            col: Vec::new(),
+            row_owner: Vec::new(),
+            live: 0,
+            row_head: Vec::new(),
+            row_tail: Vec::new(),
+            row_next: Vec::new(),
+            dirty_epoch: Vec::new(),
             dirty: Vec::new(),
-            stamp: vec![0; n],
+            stamp: Vec::new(),
             next_token: 1,
-            row_best: vec![KEY_SENTINEL; n],
-            touched: Vec::with_capacity(n),
+            row_best: Vec::new(),
+            touched: Vec::new(),
             touched_valid: false,
             precomputed: false,
             precomputed_for: (TieBreak::SmallestId, u32::MAX),
         }
+    }
+
+    /// Re-initialises the CSR over `n` vertices from a canonical edge list
+    /// **in place**, reusing every array's capacity (`row_len` doubles as
+    /// the fill cursor, so no temporary is needed). Equivalent to
+    /// `*self = Csr::new(n, edges)` but allocation-free in steady state.
+    fn rebuild(&mut self, n: usize, edges: &[(u32, u32)]) {
+        let slots = edges.len() * 2;
+        assert!(slots < u32::MAX as usize, "CSR slot count exceeds u32");
+        self.row_ptr.clear();
+        self.row_ptr.resize(n + 1, 0);
+        for &(u, v) in edges {
+            self.row_ptr[u as usize + 1] += 1;
+            self.row_ptr[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            self.row_ptr[i + 1] += self.row_ptr[i];
+        }
+        // `row_len` serves as the per-row fill cursor during scatter...
+        self.row_len.clear();
+        self.row_len.extend_from_slice(&self.row_ptr[..n]);
+        self.col.clear();
+        self.col.resize(slots, 0);
+        for &(u, v) in edges {
+            self.col[self.row_len[u as usize] as usize] = v;
+            self.row_len[u as usize] += 1;
+            self.col[self.row_len[v as usize] as usize] = u;
+            self.row_len[v as usize] += 1;
+        }
+        // ...then becomes the live slot count of each row.
+        for r in 0..n {
+            self.row_len[r] = self.row_ptr[r + 1] - self.row_ptr[r];
+        }
+        self.row_owner.clear();
+        self.row_owner.extend(0..n as u32);
+        self.live = slots;
+        self.row_head.clear();
+        self.row_head.extend(0..n as u32);
+        self.row_tail.clear();
+        self.row_tail.extend(0..n as u32);
+        self.row_next.clear();
+        self.row_next.resize(n, NO_ROW);
+        self.dirty_epoch.clear();
+        self.dirty_epoch.resize(n, 0);
+        self.dirty.clear();
+        self.stamp.clear();
+        self.stamp.resize(n, 0);
+        self.next_token = 1;
+        self.row_best.clear();
+        self.row_best.resize(n, KEY_SENTINEL);
+        self.touched.clear();
+        self.touched.reserve(n);
+        self.touched_valid = false;
+        self.precomputed = false;
+        self.precomputed_for = (TieBreak::SmallestId, u32::MAX);
     }
 
     /// Appends loser `v`'s row list to winner `u`'s (O(1)). The rows'
@@ -858,6 +914,9 @@ pub struct Merger<P: Intensity> {
     best: Vec<CandKey>,
     /// Persistent scratch: per-representative chosen neighbour.
     choice: Vec<u32>,
+    /// Persistent scratch: criterion-filtered edge list used to (re)build
+    /// the backend (kept so [`Merger::reset_from`] allocates nothing).
+    edges_scratch: Vec<(u32, u32)>,
 
     iterations: u32,
     merges_per_iteration: Vec<u32>,
@@ -882,51 +941,134 @@ impl<P: Intensity> Merger<P> {
     /// immediately (the paper's step 2). The backend is chosen by
     /// [`Config::merge_backend`].
     pub fn new(rag: Rag<'_, P>, ids: Vec<u64>, config: &Config, parallel: bool) -> Self {
-        assert_eq!(ids.len(), rag.num_vertices(), "ids length mismatch");
-        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must increase");
-        let n = rag.num_vertices();
-        let Rag { stats, edges } = rag;
-        let stats = SoaStats::from_stats(&stats);
-        let t = config.threshold;
-        let crit = config.criterion;
-        let mut edges = edges;
-        edges.retain(|&(u, v)| stats.satisfies(crit, t, u as usize, v as usize));
-        let initial_edges = edges.len();
-        let hot: Vec<HotVertex> = (0..n)
-            .map(|i| HotVertex {
-                min: stats.min[i].to_u32(),
-                max: stats.max[i].to_u32(),
-                id: ids[i],
-            })
-            .collect();
-        let backend = match config.merge_backend {
-            MergeBackend::Csr => BackendState::Csr(Csr::new(n, &edges)),
-            MergeBackend::Reference => BackendState::Reference { edges },
-        };
+        let mut m = Self::hollow(config);
+        m.reset_from(&rag.stats, &rag.edges, &ids, config, parallel);
+        m
+    }
+
+    /// A merger with every buffer empty; must be initialised by
+    /// [`Merger::reset_from`] before stepping.
+    pub(crate) fn hollow(config: &Config) -> Self {
         Self {
-            threshold: t,
-            criterion: crit,
+            threshold: config.threshold,
+            criterion: config.criterion,
             tie: config.tie_break,
             max_stall: config.max_stall,
-            parallel,
-            ids,
-            stats,
-            hot,
-            backend,
-            history: DisjointSets::new(n),
-            redirect: (0..n as u32).collect(),
+            parallel: false,
+            ids: Vec::new(),
+            stats: SoaStats::empty(),
+            hot: Vec::new(),
+            backend: match config.merge_backend {
+                MergeBackend::Csr => BackendState::Csr(Csr::empty()),
+                MergeBackend::Reference => BackendState::Reference { edges: Vec::new() },
+            },
+            history: DisjointSets::new(0),
+            redirect: Vec::new(),
             pending_losers: Vec::new(),
-            best: vec![KEY_SENTINEL; n],
-            choice: vec![u32::MAX; n],
+            best: Vec::new(),
+            choice: Vec::new(),
+            edges_scratch: Vec::new(),
             iterations: 0,
             merges_per_iteration: Vec::new(),
-            num_regions: n,
+            num_regions: 0,
             stalls: 0,
             trace: None,
             relabel_ops: 0,
-            peak_active_edges: initial_edges as u64,
+            peak_active_edges: 0,
             compactions: 0,
         }
+    }
+
+    /// Re-initialises the engine **in place** for a new graph, reusing
+    /// every internal buffer's capacity: in steady state (same-shape
+    /// graphs through one merger) this performs **zero** heap allocations.
+    ///
+    /// Semantically equivalent to `*self = Merger::new(rag, ids, config,
+    /// parallel)` — edges that do not satisfy the criterion are
+    /// de-activated immediately (the paper's step 2), the backend is
+    /// rebuilt per [`Config::merge_backend`] (switching variants
+    /// reallocates once), and any enabled trace is dropped.
+    pub fn reset_from(
+        &mut self,
+        stats: &[RegionStats<P>],
+        edges: &[(u32, u32)],
+        ids: &[u64],
+        config: &Config,
+        parallel: bool,
+    ) {
+        assert_eq!(ids.len(), stats.len(), "ids length mismatch");
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must increase");
+        let n = stats.len();
+        let t = config.threshold;
+        let crit = config.criterion;
+        self.threshold = t;
+        self.criterion = crit;
+        self.tie = config.tie_break;
+        self.max_stall = config.max_stall;
+        self.parallel = parallel;
+        self.ids.clear();
+        self.ids.extend_from_slice(ids);
+        self.stats.refill(stats);
+        {
+            // Criterion filter (the paper's step 2), written into the
+            // persistent scratch so backend (re)builds read a slice.
+            let Self {
+                stats,
+                edges_scratch,
+                ..
+            } = self;
+            edges_scratch.clear();
+            edges_scratch.extend(
+                edges
+                    .iter()
+                    .copied()
+                    .filter(|&(u, v)| stats.satisfies(crit, t, u as usize, v as usize)),
+            );
+        }
+        let initial_edges = self.edges_scratch.len();
+        {
+            let Self {
+                stats, ids, hot, ..
+            } = self;
+            hot.clear();
+            hot.extend((0..n).map(|i| HotVertex {
+                min: stats.min[i].to_u32(),
+                max: stats.max[i].to_u32(),
+                id: ids[i],
+            }));
+        }
+        match (&mut self.backend, config.merge_backend) {
+            (BackendState::Csr(csr), MergeBackend::Csr) => csr.rebuild(n, &self.edges_scratch),
+            (BackendState::Reference { edges }, MergeBackend::Reference) => {
+                edges.clear();
+                edges.extend_from_slice(&self.edges_scratch);
+            }
+            // Backend switch: a one-off reallocation is acceptable.
+            (slot, MergeBackend::Csr) => {
+                *slot = BackendState::Csr(Csr::new(n, &self.edges_scratch));
+            }
+            (slot, MergeBackend::Reference) => {
+                *slot = BackendState::Reference {
+                    edges: self.edges_scratch.clone(),
+                };
+            }
+        }
+        self.history.reset(n);
+        self.redirect.clear();
+        self.redirect.extend(0..n as u32);
+        self.pending_losers.clear();
+        self.best.clear();
+        self.best.resize(n, KEY_SENTINEL);
+        self.choice.clear();
+        self.choice.resize(n, u32::MAX);
+        self.iterations = 0;
+        self.merges_per_iteration.clear();
+        self.num_regions = n;
+        self.stalls = 0;
+        self.trace = None;
+        self.relabel_ops = 0;
+        self.peak_active_edges = initial_edges as u64;
+        self.compactions = 0;
     }
 
     /// Starts recording a [`MergeTrace`] (call before the first step).
@@ -1019,6 +1161,14 @@ impl<P: Intensity> Merger<P> {
         } else {
             self.history.resolve_all()
         }
+    }
+
+    /// [`Merger::labels_by_vertex`] into a caller-owned buffer (cleared
+    /// first). Always uses the sequential batched resolve — its output is
+    /// bit-identical to the parallel variant (see `rg_dsu` tests) — and
+    /// performs no allocation once `out` has warmed up.
+    pub fn labels_by_vertex_into(&self, out: &mut Vec<u32>) {
+        self.history.resolve_all_into(out);
     }
 
     /// Executes one merge iteration; no-op when already done.

@@ -1,0 +1,675 @@
+//! Plan/workspace pipeline layer: allocation-free engine reuse.
+//!
+//! The paper's design premise is *flat arrays only, no dynamic structures* —
+//! yet a one-shot [`crate::engine::segment`] call allocates a fresh set of
+//! split buffers, RAG arrays and label scratch for every image. This module
+//! splits that cost the way a production service wants it split:
+//!
+//! * an [`ExecutionPlan`] is built **once per image shape + config** and
+//!   records the derived geometry (padded quadtree side, level count,
+//!   vertex/edge capacity bounds) plus the canonical stage ordering;
+//! * a [`Workspace`] owns **all mutable scratch** — split level buffers,
+//!   RAG/CSR arrays, the merge history DSU, stamp tokens, label compaction
+//!   tables — in reusable arenas with *high-water-mark* reuse: buffers grow
+//!   to the largest image seen and [`Workspace::reset`] never frees.
+//!
+//! Running the same-shape image stream through one [`HostPipeline`]
+//! therefore performs **zero heap allocations per image after the warm-up
+//! image** (asserted by the `alloc_steady_state` integration test), while
+//! producing bit-identical [`Segmentation`]s and the exact telemetry
+//! span/record sequence of the one-shot entry points.
+//!
+//! The [`Pipeline`] trait is the engine-agnostic face of this layer: the
+//! host engines implement it with true buffer reuse, and the `rg-datapar` /
+//! `rg-msgpass` crates wrap their simulated machines behind the same
+//! interface so the batch runtime ([`crate::batch`]) can stream images
+//! through any of the four engines.
+
+use crate::config::Config;
+use crate::engine::{Segmentation, Stopwatch};
+use crate::graph::adjacent_label_pairs_into;
+use crate::merge::Merger;
+use crate::split::{split_into, SplitResult, SplitScratch};
+use crate::telemetry::{
+    Histogram, MergeIterationRecord, NullTelemetry, SpanGuard, SpanKind, Stage, StageSpan,
+    Telemetry,
+};
+use rg_imaging::{Image, Intensity};
+use std::time::Instant;
+
+/// Immutable per-(shape, config) execution geometry, computed once and
+/// consulted by every run: the padded quadtree side, the number of split
+/// levels, capacity bounds used to pre-size workspace arenas, and the
+/// canonical stage ordering shared by all engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionPlan {
+    width: usize,
+    height: usize,
+    config: Config,
+    side: usize,
+    levels: usize,
+    max_vertices: usize,
+    edge_pairs_bound: usize,
+}
+
+impl ExecutionPlan {
+    /// Builds the plan for images of `width`×`height` under `config`.
+    pub fn for_shape(width: usize, height: usize, config: &Config) -> Self {
+        let side = width.max(height).next_power_of_two();
+        let top_possible = side.trailing_zeros() as usize;
+        let cap = config
+            .max_square_log2
+            .map(|m| m as usize)
+            .unwrap_or(top_possible)
+            .min(top_possible);
+        let diag = if width > 0 && height > 0 {
+            2 * (width - 1) * (height - 1)
+        } else {
+            0
+        };
+        let four = width * height.saturating_sub(1) + width.saturating_sub(1) * height;
+        let edge_pairs_bound = match config.connectivity {
+            crate::config::Connectivity::Four => four,
+            crate::config::Connectivity::Eight => four + diag,
+        };
+        Self {
+            width,
+            height,
+            config: *config,
+            side,
+            levels: cap + 1,
+            max_vertices: width * height,
+            edge_pairs_bound,
+        }
+    }
+
+    /// `true` iff this plan is valid for `width`×`height` under `config`.
+    pub fn matches(&self, width: usize, height: usize, config: &Config) -> bool {
+        self.width == width && self.height == height && self.config == *config
+    }
+
+    /// Planned image width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Planned image height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The configuration the plan was built for.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Side of the enclosing power-of-two square the quadtree is taken
+    /// over.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Number of quadtree levels the split stage walks (level-map
+    /// geometry), including level 0.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Upper bound on RAG vertices (every pixel its own square — the
+    /// checkerboard worst case).
+    pub fn max_vertices(&self) -> usize {
+        self.max_vertices
+    }
+
+    /// Upper bound on undirected RAG edges under the planned connectivity
+    /// (the pixel-adjacency count; square coalescing only shrinks it).
+    /// Used as the CSR capacity estimate for arena pre-sizing.
+    pub fn edge_pairs_bound(&self) -> usize {
+        self.edge_pairs_bound
+    }
+
+    /// The canonical stage ordering every engine executes.
+    pub fn stage_order(&self) -> [Stage; 4] {
+        [Stage::Split, Stage::Graph, Stage::Merge, Stage::Label]
+    }
+}
+
+/// All mutable scratch of a host-engine run, held in reusable arenas.
+///
+/// Every buffer follows the *high-water-mark* rule: it grows (once) to the
+/// largest size demanded so far and is re-filled in place thereafter —
+/// [`Workspace::reset`] clears logical contents but **never frees**.
+#[derive(Debug)]
+pub struct Workspace<P: Intensity> {
+    /// Split-stage level pyramids, bitmaps and extraction stack.
+    split_scratch: SplitScratch<P>,
+    /// The current split result (squares / stats / square-of map), refilled
+    /// in place by `split_into`.
+    split: SplitResult<P>,
+    /// Canonical RAG edge list, refilled by `adjacent_label_pairs_into`.
+    edges: Vec<(u32, u32)>,
+    /// Canonical region IDs, parallel to the split squares.
+    ids: Vec<u64>,
+    /// The merge engine with all its CSR/DSU/stamp-token state; reused via
+    /// [`Merger::reset_from`].
+    merger: Option<Merger<P>>,
+    /// Original vertex → representative, batch-resolved after the merge.
+    by_vertex: Vec<u32>,
+    /// Dense compaction table: representative vertex → compact label...
+    map_val: Vec<u32>,
+    /// ...valid only where `map_stamp[v] == epoch` (epoch stamping makes
+    /// per-image invalidation O(1) with no clearing pass).
+    map_stamp: Vec<u32>,
+    /// Current compaction epoch.
+    epoch: u32,
+    /// Region-size accumulator for the `region_size_px` histogram
+    /// (telemetry-enabled runs only).
+    sizes: Vec<u64>,
+}
+
+impl<P: Intensity> Workspace<P> {
+    /// Creates an empty workspace (no allocation until first use).
+    pub fn new() -> Self {
+        Self {
+            split_scratch: SplitScratch::new(),
+            split: SplitResult::default(),
+            edges: Vec::new(),
+            ids: Vec::new(),
+            merger: None,
+            by_vertex: Vec::new(),
+            map_val: Vec::new(),
+            map_stamp: Vec::new(),
+            epoch: 0,
+            sizes: Vec::new(),
+        }
+    }
+
+    /// Clears logical contents while keeping every arena's capacity (the
+    /// reuse invariant: `reset` **never frees**). A reset workspace behaves
+    /// exactly like a fresh one on the next run.
+    pub fn reset(&mut self) {
+        self.split.squares.clear();
+        self.split.stats.clear();
+        self.split.square_of.clear();
+        self.split.iterations = 0;
+        self.edges.clear();
+        self.ids.clear();
+        self.by_vertex.clear();
+        self.sizes.clear();
+        // Keep the merger (its buffers are the most expensive to warm) and
+        // the stamped compaction tables: epochs make stale entries inert.
+    }
+
+    /// Pre-sizes the pixel-indexed arenas from the plan's exact bounds, so
+    /// the warm-up image takes fewer growth reallocations. Vertex/edge
+    /// arenas are left to the warm-up run (their true sizes are typically
+    /// far below the worst-case bound).
+    pub fn prepare(&mut self, plan: &ExecutionPlan) {
+        let px = plan.max_vertices();
+        if self.split.square_of.capacity() < px {
+            self.split
+                .square_of
+                .reserve(px - self.split.square_of.len());
+        }
+    }
+}
+
+impl<P: Intensity> Default for Workspace<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An engine-agnostic, reusable segmentation pipeline.
+///
+/// Implementations keep their plan and scratch between calls, so streaming
+/// many images through one pipeline amortizes all setup. The host engines
+/// ([`HostPipeline`]) guarantee zero steady-state allocation; the simulated
+/// machines (`rg-datapar` / `rg-msgpass` wrappers) implement the same
+/// interface without that guarantee.
+pub trait Pipeline {
+    /// Engine label, e.g. `"seq"`, `"rayon"`, `"datapar:cm2-8k"`.
+    fn engine(&self) -> &str;
+
+    /// The current execution plan (`None` before the first run).
+    fn plan(&self) -> Option<&ExecutionPlan>;
+
+    /// Segment `img`, writing the result into the recyclable `out` buffer
+    /// (cleared/refilled in place). Telemetry, when enabled, receives the
+    /// same span/record sequence as the engine's one-shot entry point.
+    fn run_into(&mut self, img: &Image<u8>, tel: &mut dyn Telemetry, out: &mut Segmentation);
+
+    /// Convenience: segment `img` into a fresh [`Segmentation`].
+    fn run(&mut self, img: &Image<u8>, tel: &mut dyn Telemetry) -> Segmentation {
+        let mut out = Segmentation::default();
+        self.run_into(img, tel, &mut out);
+        out
+    }
+}
+
+/// The host-engine pipeline (sequential or rayon-parallel), built on an
+/// [`ExecutionPlan`] + [`Workspace`] pair.
+///
+/// Produces bit-identical output to [`crate::engine::segment`] /
+/// [`crate::engine::segment_par`] and the identical telemetry sequence,
+/// with **zero heap allocations per image** once warmed up on a shape.
+/// Images of a new shape (or a config change via
+/// [`HostPipeline::set_config`]) re-plan automatically; arenas keep their
+/// high-water capacity across re-plans.
+#[derive(Debug)]
+pub struct HostPipeline<P: Intensity = u8> {
+    config: Config,
+    parallel: bool,
+    plan: Option<ExecutionPlan>,
+    ws: Workspace<P>,
+}
+
+impl<P: Intensity> HostPipeline<P> {
+    /// Creates a pipeline; `parallel` selects the rayon engine.
+    pub fn new(config: Config, parallel: bool) -> Self {
+        Self {
+            config,
+            parallel,
+            plan: None,
+            ws: Workspace::new(),
+        }
+    }
+
+    /// The pipeline's configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Replaces the configuration; the next run re-plans.
+    pub fn set_config(&mut self, config: Config) {
+        self.config = config;
+        self.plan = None;
+    }
+
+    /// The workspace (for inspection in tests).
+    pub fn workspace(&self) -> &Workspace<P> {
+        &self.ws
+    }
+
+    /// Segment `img` into the recyclable `out` buffer (see
+    /// [`Pipeline::run_into`]); generic over the intensity type.
+    pub fn run_image_into(
+        &mut self,
+        img: &Image<P>,
+        tel: &mut dyn Telemetry,
+        out: &mut Segmentation,
+    ) {
+        let (w, h) = (img.width(), img.height());
+        let stale = match &self.plan {
+            Some(p) => !p.matches(w, h, &self.config),
+            None => true,
+        };
+        if stale {
+            let plan = ExecutionPlan::for_shape(w, h, &self.config);
+            self.ws.prepare(&plan);
+            self.plan = Some(plan);
+        }
+        run_host_into(img, &self.config, self.parallel, tel, &mut self.ws, out);
+    }
+
+    /// Convenience: segment `img` into a fresh [`Segmentation`] with no
+    /// telemetry.
+    pub fn run_image(&mut self, img: &Image<P>) -> Segmentation {
+        let mut out = Segmentation::default();
+        self.run_image_into(img, &mut NullTelemetry, &mut out);
+        out
+    }
+}
+
+impl Pipeline for HostPipeline<u8> {
+    fn engine(&self) -> &str {
+        if self.parallel {
+            "rayon"
+        } else {
+            "seq"
+        }
+    }
+
+    fn plan(&self) -> Option<&ExecutionPlan> {
+        self.plan.as_ref()
+    }
+
+    fn run_into(&mut self, img: &Image<u8>, tel: &mut dyn Telemetry, out: &mut Segmentation) {
+        self.run_image_into(img, tel, out);
+    }
+}
+
+/// The host pipeline body: split → RAG → merge → labels over workspace
+/// arenas, reproducing the exact telemetry span/record sequence of
+/// `engine::run_pipeline` (golden-snapshot and trace-schema tested).
+pub(crate) fn run_host_into<P: Intensity>(
+    img: &Image<P>,
+    config: &Config,
+    parallel: bool,
+    tel: &mut dyn Telemetry,
+    ws: &mut Workspace<P>,
+    out: &mut Segmentation,
+) {
+    let enabled = tel.enabled();
+    let (w, h) = (img.width(), img.height());
+    if enabled {
+        tel.run_start(if parallel { "rayon" } else { "seq" }, w, h, config);
+    }
+    let mut watch = Stopwatch::start(enabled);
+
+    let num_regions = {
+        // Everything between run_start and run_end lives inside the `run`
+        // span; the guard closes it even on unwind.
+        let mut run_span = SpanGuard::enter(&mut *tel, SpanKind::Run);
+        let tel = run_span.tel();
+
+        {
+            let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Split));
+            split_into(img, config, parallel, &mut ws.split_scratch, &mut ws.split);
+        }
+        if enabled {
+            tel.stage(StageSpan {
+                stage: Stage::Split,
+                wall_seconds: watch.lap(),
+                sim_seconds: None,
+            });
+            tel.split_done(ws.split.iterations, ws.split.num_squares());
+        }
+
+        {
+            let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Graph));
+            adjacent_label_pairs_into(
+                &ws.split.square_of,
+                w,
+                h,
+                config.connectivity,
+                &mut ws.edges,
+            );
+            let stride = ws.split.width as u32;
+            ws.ids.clear();
+            ws.ids
+                .extend(ws.split.squares.iter().map(|s| s.id(stride) as u64));
+            match &mut ws.merger {
+                Some(m) => m.reset_from(&ws.split.stats, &ws.edges, &ws.ids, config, parallel),
+                slot @ None => {
+                    let mut m = Merger::hollow(config);
+                    m.reset_from(&ws.split.stats, &ws.edges, &ws.ids, config, parallel);
+                    *slot = Some(m);
+                }
+            }
+        }
+        if enabled {
+            tel.stage(StageSpan {
+                stage: Stage::Graph,
+                wall_seconds: watch.lap(),
+                sim_seconds: None,
+            });
+        }
+
+        let merger = ws.merger.as_mut().expect("merger initialised above");
+        if enabled {
+            let mut iter_wall = Histogram::new();
+            let mut merges_hist = Histogram::new();
+            {
+                let mut merge_span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Merge));
+                let tel = merge_span.tel();
+                while !merger.is_done() {
+                    let iteration = merger.iterations();
+                    let t0 = Instant::now();
+                    let mut iter_span =
+                        SpanGuard::enter(&mut *tel, SpanKind::MergeIteration(iteration));
+                    let report = merger.step_traced(iter_span.tel());
+                    iter_span.tel().merge_iteration(MergeIterationRecord {
+                        iteration,
+                        merges: report.merges,
+                        used_fallback: report.used_fallback,
+                        active_edges: Some(report.active_edges),
+                        compacted: Some(report.compacted),
+                    });
+                    drop(iter_span);
+                    iter_wall.record(t0.elapsed().as_micros() as u64);
+                    merges_hist.record(u64::from(report.merges));
+                }
+            }
+            tel.histogram("merge.iter_wall_us", &iter_wall);
+            tel.histogram("merge.merges_per_iteration", &merges_hist);
+            tel.merge_done(merger.num_regions());
+            tel.stage(StageSpan {
+                stage: Stage::Merge,
+                wall_seconds: watch.lap(),
+                sim_seconds: None,
+            });
+        } else {
+            while !merger.is_done() {
+                merger.step();
+            }
+        }
+
+        merger.labels_by_vertex_into(&mut ws.by_vertex);
+        let num_regions = {
+            let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Label));
+            compact_gather(
+                &ws.split.square_of,
+                &ws.by_vertex,
+                &mut ws.map_val,
+                &mut ws.map_stamp,
+                &mut ws.epoch,
+                &mut out.labels,
+            )
+        };
+        if enabled {
+            tel.stage(StageSpan {
+                stage: Stage::Label,
+                wall_seconds: watch.lap(),
+                sim_seconds: None,
+            });
+            // Region-size distribution at convergence (pixels per region).
+            ws.sizes.clear();
+            ws.sizes.resize(num_regions, 0);
+            for &l in &out.labels {
+                ws.sizes[l as usize] += 1;
+            }
+            let mut hist = Histogram::new();
+            for &s in &ws.sizes {
+                hist.record(s);
+            }
+            tel.histogram("region_size_px", &hist);
+        }
+        num_regions
+    };
+    if enabled {
+        tel.run_end();
+    }
+
+    let merger = ws.merger.as_ref().expect("merger initialised above");
+    out.num_regions = num_regions;
+    out.num_squares = ws.split.num_squares();
+    out.split_iterations = ws.split.iterations;
+    out.merge_iterations = merger.iterations();
+    out.merges_per_iteration.clear();
+    out.merges_per_iteration
+        .extend_from_slice(merger.merges_per_iteration());
+    out.width = w;
+    out.height = h;
+}
+
+/// Fused per-pixel label gather + first-appearance compaction, writing
+/// straight into the recycled `labels` buffer.
+///
+/// Raw merge labels are dense vertex indices (`< num_squares`), so instead
+/// of the `HashMap` of [`crate::labels::compact_first_appearance`] an
+/// epoch-stamped dense table maps representative → compact label:
+/// `map_stamp[v] == epoch` marks a valid entry, making per-image table
+/// invalidation O(1) with no clearing pass and no allocation. Output is
+/// bit-identical to gather-then-`compact_first_appearance`.
+fn compact_gather(
+    square_of: &[u32],
+    by_vertex: &[u32],
+    map_val: &mut Vec<u32>,
+    map_stamp: &mut Vec<u32>,
+    epoch: &mut u32,
+    labels: &mut Vec<u32>,
+) -> usize {
+    let n = by_vertex.len();
+    if map_stamp.len() < n {
+        map_stamp.resize(n, 0);
+        map_val.resize(n, 0);
+    }
+    *epoch = match epoch.checked_add(1) {
+        Some(e) => e,
+        None => {
+            // Epoch wrap after 2^32 images: one full clear, then restart.
+            map_stamp.iter_mut().for_each(|s| *s = 0);
+            1
+        }
+    };
+    let epoch = *epoch;
+    let mut next = 0u32;
+    labels.clear();
+    labels.reserve(square_of.len());
+    for &q in square_of {
+        let r = by_vertex[q as usize] as usize;
+        if map_stamp[r] != epoch {
+            map_stamp[r] = epoch;
+            map_val[r] = next;
+            next += 1;
+        }
+        labels.push(map_val[r]);
+    }
+    next as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MergeBackend, TieBreak};
+    use crate::engine::{segment, segment_par};
+    use rg_imaging::synth;
+
+    #[test]
+    fn plan_geometry() {
+        let cfg = Config::with_threshold(10);
+        let p = ExecutionPlan::for_shape(96, 64, &cfg);
+        assert_eq!(p.side(), 128);
+        assert_eq!(p.levels(), 8);
+        assert_eq!(p.max_vertices(), 96 * 64);
+        assert_eq!(p.edge_pairs_bound(), 96 * 63 + 95 * 64);
+        assert!(p.matches(96, 64, &cfg));
+        assert!(!p.matches(64, 96, &cfg));
+        assert!(!p.matches(96, 64, &Config::with_threshold(11)));
+        assert_eq!(
+            p.stage_order(),
+            [Stage::Split, Stage::Graph, Stage::Merge, Stage::Label]
+        );
+        // Capped split depth shortens the level map.
+        let p0 = ExecutionPlan::for_shape(64, 64, &cfg.max_square_log2(Some(2)));
+        assert_eq!(p0.levels(), 3);
+        // Degenerate shapes plan without panicking.
+        let pd = ExecutionPlan::for_shape(0, 0, &cfg);
+        assert_eq!(pd.max_vertices(), 0);
+        assert_eq!(pd.edge_pairs_bound(), 0);
+    }
+
+    #[test]
+    fn reused_pipeline_matches_one_shot_engines() {
+        let images = [
+            synth::circle_collection(64),
+            synth::rect_collection(64),
+            synth::nested_rects(64),
+            synth::random_rects(64, 64, 9, 7),
+        ];
+        for parallel in [false, true] {
+            for tie in [TieBreak::SmallestId, TieBreak::Random { seed: 5 }] {
+                let cfg = Config::with_threshold(10).tie_break(tie);
+                let mut pipe: HostPipeline<u8> = HostPipeline::new(cfg, parallel);
+                let mut out = Segmentation::default();
+                // Two passes: the second exercises fully-warm arenas.
+                for _pass in 0..2 {
+                    for img in &images {
+                        let fresh = if parallel {
+                            segment_par(img, &cfg)
+                        } else {
+                            segment(img, &cfg)
+                        };
+                        pipe.run_image_into(img, &mut NullTelemetry, &mut out);
+                        assert_eq!(fresh, out, "parallel={parallel} tie={tie:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reused_pipeline_matches_under_reference_backend() {
+        let cfg = Config::with_threshold(10).merge_backend(MergeBackend::Reference);
+        let mut pipe: HostPipeline<u8> = HostPipeline::new(cfg, false);
+        for img in [synth::circle_collection(64), synth::nested_rects(64)] {
+            let fresh = segment(&img, &cfg);
+            assert_eq!(fresh, pipe.run_image(&img));
+        }
+    }
+
+    #[test]
+    fn pipeline_replans_on_shape_and_config_change() {
+        let cfg = Config::with_threshold(10);
+        let mut pipe: HostPipeline<u8> = HostPipeline::new(cfg, false);
+        assert!(Pipeline::plan(&pipe).is_none());
+        let a = synth::random_rects(32, 32, 5, 1);
+        pipe.run_image(&a);
+        let plan_a = pipe.plan.clone().unwrap();
+        assert!(plan_a.matches(32, 32, &cfg));
+        // Different shape: re-plan.
+        let b = synth::random_rects(48, 16, 5, 2);
+        let seg_b = pipe.run_image(&b);
+        assert_eq!(seg_b, segment(&b, &cfg));
+        assert!(pipe.plan.clone().unwrap().matches(48, 16, &cfg));
+        // Config change invalidates the plan too.
+        let cfg2 = Config::with_threshold(25);
+        pipe.set_config(cfg2);
+        assert!(pipe.plan.is_none());
+        assert_eq!(pipe.run_image(&b), segment(&b, &cfg2));
+    }
+
+    #[test]
+    fn workspace_reset_preserves_behavior() {
+        let cfg = Config::with_threshold(10);
+        let mut pipe: HostPipeline<u8> = HostPipeline::new(cfg, false);
+        let img = synth::circle_collection(64);
+        let first = pipe.run_image(&img);
+        pipe.ws.reset();
+        assert_eq!(first, pipe.run_image(&img));
+    }
+
+    #[test]
+    fn trait_object_runs_all_host_engines() {
+        let cfg = Config::with_threshold(10);
+        let img = synth::rect_collection(64);
+        let expect = segment(&img, &cfg);
+        for parallel in [false, true] {
+            let mut p: Box<dyn Pipeline> = Box::new(HostPipeline::<u8>::new(cfg, parallel));
+            assert_eq!(p.engine(), if parallel { "rayon" } else { "seq" });
+            let seg = p.run(&img, &mut NullTelemetry);
+            assert_eq!(seg, expect);
+        }
+    }
+
+    #[test]
+    fn telemetry_sequence_matches_one_shot_engine() {
+        use crate::telemetry::Recorder;
+        let img = synth::nested_rects(64);
+        let cfg = Config::with_threshold(10).tie_break(TieBreak::Random { seed: 3 });
+        let mut rec_engine = Recorder::new();
+        let seg = crate::engine::segment_with_telemetry(&img, &cfg, &mut rec_engine);
+        let mut rec_pipe = Recorder::new();
+        let mut pipe: HostPipeline<u8> = HostPipeline::new(cfg, false);
+        // Warm up once so the recorded run is the steady-state code path.
+        pipe.run_image(&img);
+        let mut out = Segmentation::default();
+        pipe.run_image_into(&img, &mut rec_pipe, &mut out);
+        assert_eq!(seg, out);
+        assert_eq!(
+            rec_engine.report().conformance_view(),
+            rec_pipe.report().conformance_view()
+        );
+    }
+}

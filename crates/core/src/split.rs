@@ -77,67 +77,126 @@ impl<P: Intensity> SplitResult<P> {
     }
 }
 
-/// Per-level block grid of optional region stats over the padded square.
-struct Pyramid<P: Intensity> {
-    levels: Vec<Vec<Option<RegionStats<P>>>>,
+impl<P: Intensity> Default for SplitResult<P> {
+    fn default() -> Self {
+        Self {
+            squares: Vec::new(),
+            stats: Vec::new(),
+            square_of: Vec::new(),
+            iterations: 0,
+            width: 0,
+            height: 0,
+        }
+    }
 }
 
-impl<P: Intensity> Pyramid<P> {
-    fn build(img: &Image<P>, max_level: usize, parallel: bool) -> Self {
-        let side = img.width().max(img.height()).next_power_of_two();
-        let top = (side.trailing_zeros() as usize).min(max_level);
-        let mut levels = Vec::with_capacity(top + 1);
+/// Reusable scratch for [`split_into`]: the per-level stats pyramid, the
+/// per-level `is_square` bitmaps, and the maximal-square extraction stack.
+///
+/// All buffers grow to a high-water mark and are never freed, so running
+/// many same-shape images through one scratch performs **zero** heap
+/// allocations after the first (warm-up) image.
+#[derive(Debug)]
+pub struct SplitScratch<P: Intensity> {
+    /// `levels[k]`: block grid of optional region stats at level `k` over
+    /// the padded power-of-two square. Only the first `top+1` entries are
+    /// meaningful for the current run; extra entries from larger past runs
+    /// are retained (never freed) for reuse.
+    levels: Vec<Vec<Option<RegionStats<P>>>>,
+    /// `is_square[k]`: bitmap over the level-`k` block grid.
+    is_square: Vec<Vec<bool>>,
+    /// Explicit DFS stack for top-down maximal-square extraction.
+    stack: Vec<(usize, usize, usize)>,
+}
 
-        let mut base = vec![None; side * side];
+impl<P: Intensity> SplitScratch<P> {
+    /// Creates an empty scratch (no allocation until first use).
+    pub fn new() -> Self {
+        Self {
+            levels: Vec::new(),
+            is_square: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// Ensures at least `n` level buffers exist (allocating only the outer
+    /// `Vec` slots; inner buffers are sized lazily by the fill passes).
+    fn ensure_levels(&mut self, n: usize) {
+        while self.levels.len() < n {
+            self.levels.push(Vec::new());
+        }
+        while self.is_square.len() < n {
+            self.is_square.push(Vec::new());
+        }
+    }
+}
+
+impl<P: Intensity> Default for SplitScratch<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fills `scratch.levels[0..=max_level]` with the stats pyramid.
+fn build_pyramid_into<P: Intensity>(
+    img: &Image<P>,
+    max_level: usize,
+    parallel: bool,
+    levels: &mut [Vec<Option<RegionStats<P>>>],
+) {
+    let side = img.width().max(img.height()).next_power_of_two();
+    let top = (side.trailing_zeros() as usize).min(max_level);
+
+    let base = &mut levels[0];
+    base.clear();
+    base.resize(side * side, None);
+    if parallel {
+        base.par_chunks_mut(side).enumerate().for_each(|(y, row)| {
+            if y < img.height() {
+                for (x, cell) in row.iter_mut().enumerate().take(img.width()) {
+                    *cell = Some(RegionStats::of_pixel(img.get(x, y)));
+                }
+            }
+        });
+    } else {
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                base[y * side + x] = Some(RegionStats::of_pixel(img.get(x, y)));
+            }
+        }
+    }
+
+    for k in 1..=top {
+        let child_side = side >> (k - 1);
+        let this_side = side >> k;
+        let (lo, hi) = levels.split_at_mut(k);
+        let child = &lo[k - 1];
+        let cur = &mut hi[0];
+        cur.clear();
+        cur.resize(this_side * this_side, None);
+        let combine_row = |by: usize, row: &mut [Option<RegionStats<P>>]| {
+            for (bx, cell) in row.iter_mut().enumerate() {
+                let mut acc: Option<RegionStats<P>> = None;
+                for (dy, dx) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)] {
+                    if let Some(c) = child[(2 * by + dy) * child_side + (2 * bx + dx)] {
+                        acc = Some(match acc {
+                            None => c,
+                            Some(a) => a.fold(c),
+                        });
+                    }
+                }
+                *cell = acc;
+            }
+        };
         if parallel {
-            base.par_chunks_mut(side).enumerate().for_each(|(y, row)| {
-                if y < img.height() {
-                    for (x, cell) in row.iter_mut().enumerate().take(img.width()) {
-                        *cell = Some(RegionStats::of_pixel(img.get(x, y)));
-                    }
-                }
-            });
+            cur.par_chunks_mut(this_side)
+                .enumerate()
+                .for_each(|(by, row)| combine_row(by, row));
         } else {
-            for y in 0..img.height() {
-                for x in 0..img.width() {
-                    base[y * side + x] = Some(RegionStats::of_pixel(img.get(x, y)));
-                }
+            for (by, row) in cur.chunks_mut(this_side).enumerate() {
+                combine_row(by, row);
             }
         }
-        levels.push(base);
-
-        for k in 1..=top {
-            let child_side = side >> (k - 1);
-            let this_side = side >> k;
-            let child = &levels[k - 1];
-            let mut cur = vec![None; this_side * this_side];
-            let combine_row = |by: usize, row: &mut [Option<RegionStats<P>>]| {
-                for (bx, cell) in row.iter_mut().enumerate() {
-                    let mut acc: Option<RegionStats<P>> = None;
-                    for (dy, dx) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)] {
-                        if let Some(c) = child[(2 * by + dy) * child_side + (2 * bx + dx)] {
-                            acc = Some(match acc {
-                                None => c,
-                                Some(a) => a.fold(c),
-                            });
-                        }
-                    }
-                    *cell = acc;
-                }
-            };
-            if parallel {
-                cur.par_chunks_mut(this_side)
-                    .enumerate()
-                    .for_each(|(by, row)| combine_row(by, row));
-            } else {
-                for (by, row) in cur.chunks_mut(this_side).enumerate() {
-                    combine_row(by, row);
-                }
-            }
-            levels.push(cur);
-        }
-
-        Self { levels }
     }
 }
 
@@ -153,6 +212,25 @@ pub fn split_par<P: Intensity>(img: &Image<P>, config: &Config) -> SplitResult<P
 }
 
 fn split_impl<P: Intensity>(img: &Image<P>, config: &Config, parallel: bool) -> SplitResult<P> {
+    let mut scratch = SplitScratch::new();
+    let mut out = SplitResult::default();
+    split_into(img, config, parallel, &mut scratch, &mut out);
+    out
+}
+
+/// Runs the split stage into caller-owned buffers: all intermediate state
+/// lives in `scratch` and the result is written into `out` (cleared first).
+///
+/// Produces exactly the same result as [`split`] / [`split_par`] (selected
+/// by `parallel`), but performs **no heap allocation** once `scratch` and
+/// `out` have warmed up to the high-water mark of the image shapes seen.
+pub fn split_into<P: Intensity>(
+    img: &Image<P>,
+    config: &Config,
+    parallel: bool,
+    scratch: &mut SplitScratch<P>,
+    out: &mut SplitResult<P>,
+) {
     let (w, h) = (img.width(), img.height());
     let side = w.max(h).next_power_of_two();
     let top_possible = side.trailing_zeros() as usize;
@@ -162,30 +240,40 @@ fn split_impl<P: Intensity>(img: &Image<P>, config: &Config, parallel: bool) -> 
         .unwrap_or(top_possible)
         .min(top_possible);
 
-    let pyr = Pyramid::build(img, cap, parallel);
+    scratch.ensure_levels(cap + 1);
+    build_pyramid_into(img, cap, parallel, &mut scratch.levels);
 
     // is_square[k] : bitmap over the level-k block grid; level 0 squares are
     // exactly the real pixels.
-    let mut is_square: Vec<Vec<bool>> = Vec::with_capacity(cap + 1);
     {
-        let mut l0 = vec![false; side * side];
+        let l0 = &mut scratch.is_square[0];
+        l0.clear();
+        l0.resize(side * side, false);
         for y in 0..h {
             for cell in &mut l0[y * side..y * side + w] {
                 *cell = true;
             }
         }
-        is_square.push(l0);
     }
 
     let mut iterations = 0u32;
+    // Highest level actually written this run (the first unproductive level
+    // is still written before the loop breaks, matching the paper's "first
+    // unproductive iteration is terminal" probe).
+    let mut top = 0usize;
     for k in 1..=cap {
         let this_side = side >> k;
         let child_side = side >> (k - 1);
-        let child_sq = &is_square[k - 1];
-        let child_stats = &pyr.levels[k - 1];
+        let child_stats = &scratch.levels[k - 1];
         let t = config.threshold;
         let crit = config.criterion;
         let b = 1usize << k;
+
+        let (sq_lo, sq_hi) = scratch.is_square.split_at_mut(k);
+        let child_sq = &sq_lo[k - 1];
+        let cur = &mut sq_hi[0];
+        cur.clear();
+        cur.resize(this_side * this_side, false);
 
         let decide = |bx: usize, by: usize| -> bool {
             // The block must lie wholly inside the image...
@@ -208,7 +296,6 @@ fn split_impl<P: Intensity>(img: &Image<P>, config: &Config, parallel: bool) -> 
             crit.combine_ok(&kids, t)
         };
 
-        let mut cur = vec![false; this_side * this_side];
         if parallel {
             cur.par_chunks_mut(this_side)
                 .enumerate()
@@ -226,7 +313,7 @@ fn split_impl<P: Intensity>(img: &Image<P>, config: &Config, parallel: bool) -> 
         }
 
         let any = cur.iter().any(|&s| s);
-        is_square.push(cur);
+        top = k;
         if any {
             iterations += 1;
         } else {
@@ -236,13 +323,14 @@ fn split_impl<P: Intensity>(img: &Image<P>, config: &Config, parallel: bool) -> 
 
     // Extract maximal squares, top-down (a square is maximal when no
     // ancestor block is itself a square).
-    let top = is_square.len() - 1;
-    let mut squares = Vec::new();
+    let squares = &mut out.squares;
+    squares.clear();
     // Seed the traversal with every block of the top processed level (the
     // top level may be below the pyramid apex when the loop ended early or
     // a cap is set).
     let top_grid = side >> top;
-    let mut stack: Vec<(usize, usize, usize)> = Vec::new();
+    let stack = &mut scratch.stack;
+    stack.clear();
     for by in (0..top_grid).rev() {
         for bx in (0..top_grid).rev() {
             stack.push((top, bx, by));
@@ -255,7 +343,7 @@ fn split_impl<P: Intensity>(img: &Image<P>, config: &Config, parallel: bool) -> 
             continue; // block entirely in the padding
         }
         let this_side = side >> k;
-        if is_square[k][by * this_side + bx] {
+        if scratch.is_square[k][by * this_side + bx] {
             squares.push(Square {
                 x: x0 as u32,
                 y: y0 as u32,
@@ -274,12 +362,16 @@ fn split_impl<P: Intensity>(img: &Image<P>, config: &Config, parallel: bool) -> 
     squares.sort_unstable_by_key(|s| (s.y, s.x));
 
     // Per-square stats and the pixel -> square map.
-    let mut stats = Vec::with_capacity(squares.len());
-    let mut square_of = vec![u32::MAX; w * h];
+    let stats = &mut out.stats;
+    stats.clear();
+    stats.reserve(squares.len());
+    let square_of = &mut out.square_of;
+    square_of.clear();
+    square_of.resize(w * h, u32::MAX);
     for (i, s) in squares.iter().enumerate() {
         let k = s.log2 as usize;
         let this_side = side >> k;
-        let st = pyr.levels[k][(s.y as usize >> k) * this_side + (s.x as usize >> k)]
+        let st = scratch.levels[k][(s.y as usize >> k) * this_side + (s.x as usize >> k)]
             .expect("emitted square has stats");
         stats.push(st);
         for y in s.y as usize..s.y as usize + s.side() as usize {
@@ -292,14 +384,9 @@ fn split_impl<P: Intensity>(img: &Image<P>, config: &Config, parallel: bool) -> 
     }
     debug_assert!(square_of.iter().all(|&q| q != u32::MAX));
 
-    SplitResult {
-        squares,
-        stats,
-        square_of,
-        iterations,
-        width: w,
-        height: h,
-    }
+    out.iterations = iterations;
+    out.width = w;
+    out.height = h;
 }
 
 #[cfg(test)]
@@ -464,6 +551,34 @@ mod tests {
                 assert_eq!(a.stats, b.stats);
                 assert_eq!(a.square_of, b.square_of);
                 assert_eq!(a.iterations, b.iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_across_shapes() {
+        // One scratch + one output buffer, reused across images of varying
+        // shapes and configs, must produce bit-identical results to fresh
+        // calls (including after shrinking from a larger image).
+        let mut scratch = SplitScratch::new();
+        let mut out = SplitResult::default();
+        let images = [
+            synth::random_rects(96, 64, 10, 1),
+            synth::random_rects(32, 32, 6, 2),
+            synth::random_rects(96, 64, 10, 3),
+            synth::random_rects(17, 9, 4, 4),
+        ];
+        for img in &images {
+            for t in [0u32, 8, 40] {
+                for parallel in [false, true] {
+                    let fresh = split_impl(img, &cfg(t), parallel);
+                    split_into(img, &cfg(t), parallel, &mut scratch, &mut out);
+                    assert_eq!(fresh.squares, out.squares);
+                    assert_eq!(fresh.stats, out.stats);
+                    assert_eq!(fresh.square_of, out.square_of);
+                    assert_eq!(fresh.iterations, out.iterations);
+                    assert_eq!((fresh.width, fresh.height), (out.width, out.height));
+                }
             }
         }
     }

@@ -117,7 +117,13 @@ impl Stage {
 /// timestamp them on receipt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpanKind {
-    /// The whole run (outermost span).
+    /// A batch of images streamed through one pipeline (outermost span of
+    /// the batch runtime; see [`crate::batch`]).
+    Batch,
+    /// One image of a batch (0-based index), nested in [`SpanKind::Batch`].
+    BatchImage(u32),
+    /// The whole run (outermost span, or nested in a
+    /// [`SpanKind::BatchImage`] under the batch runtime).
     Run,
     /// One pipeline stage.
     Stage(Stage),
@@ -140,6 +146,8 @@ impl SpanKind {
     /// `"run"`, `"stage:merge"`, `"iter:3"`, `"comm_round:1"`.
     pub fn label(self) -> String {
         match self {
+            SpanKind::Batch => "batch".to_string(),
+            SpanKind::BatchImage(i) => format!("image:{i}"),
             SpanKind::Run => "run".to_string(),
             SpanKind::Stage(s) => format!("stage:{}", s.name()),
             SpanKind::MergeIteration(i) => format!("iter:{i}"),
@@ -153,6 +161,7 @@ impl SpanKind {
     /// Inverse of [`SpanKind::label`].
     pub fn parse(label: &str) -> Option<SpanKind> {
         match label {
+            "batch" => return Some(SpanKind::Batch),
             "run" => return Some(SpanKind::Run),
             "choice" => return Some(SpanKind::Choice),
             "apply" => return Some(SpanKind::Apply),
@@ -161,6 +170,9 @@ impl SpanKind {
         }
         if let Some(name) = label.strip_prefix("stage:") {
             return Stage::from_name(name).map(SpanKind::Stage);
+        }
+        if let Some(n) = label.strip_prefix("image:") {
+            return n.parse().ok().map(SpanKind::BatchImage);
         }
         if let Some(n) = label.strip_prefix("iter:") {
             return n.parse().ok().map(SpanKind::MergeIteration);
@@ -176,7 +188,9 @@ impl SpanKind {
     /// enforces.
     pub fn may_nest_in(self, parent: Option<SpanKind>) -> bool {
         match self {
-            SpanKind::Run => parent.is_none(),
+            SpanKind::Batch => parent.is_none(),
+            SpanKind::BatchImage(_) => parent == Some(SpanKind::Batch),
+            SpanKind::Run => parent.is_none() || matches!(parent, Some(SpanKind::BatchImage(_))),
             SpanKind::Stage(_) => parent == Some(SpanKind::Run),
             SpanKind::MergeIteration(_) => parent == Some(SpanKind::Stage(Stage::Merge)),
             SpanKind::Choice | SpanKind::Apply | SpanKind::Compact | SpanKind::CommRound(_) => {

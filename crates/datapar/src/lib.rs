@@ -31,6 +31,8 @@ pub mod driver;
 pub mod fields;
 pub mod graph_dp;
 pub mod merge_dp;
+pub mod pipeline_dp;
 pub mod split_dp;
 
 pub use driver::{segment_datapar, segment_datapar_with_telemetry, DataParOutcome};
+pub use pipeline_dp::DataParPipeline;

@@ -1,0 +1,105 @@
+//! [`Pipeline`] adapter for the data-parallel engine.
+//!
+//! Wraps [`segment_datapar_with_telemetry`] behind the engine-agnostic
+//! [`rg_core::Pipeline`] interface so the batch runtime
+//! ([`rg_core::batch`]) can stream images through a simulated CM alongside
+//! the host engines. The simulated machine rebuilds its fields per image
+//! (the virtual-processor sets are part of the simulation), so unlike
+//! [`rg_core::HostPipeline`] this adapter does **not** claim zero
+//! steady-state allocation — it reuses the plan and recycles the output
+//! buffer only.
+
+use crate::driver::segment_datapar_with_telemetry;
+use cm_sim::CostModel;
+use rg_core::pipeline::{ExecutionPlan, Pipeline};
+use rg_core::telemetry::Telemetry;
+use rg_core::{Config, Segmentation};
+use rg_imaging::Image;
+
+/// A reusable data-parallel pipeline: one simulated cost model + config,
+/// streamed over many images.
+#[derive(Debug)]
+pub struct DataParPipeline {
+    config: Config,
+    model: CostModel,
+    engine: String,
+    plan: Option<ExecutionPlan>,
+}
+
+impl DataParPipeline {
+    /// Creates a pipeline running on the simulated machine `model`.
+    pub fn new(config: Config, model: CostModel) -> Self {
+        Self {
+            config,
+            model,
+            engine: format!("datapar:{}", model.name),
+            plan: None,
+        }
+    }
+
+    /// The pipeline's configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+}
+
+impl Pipeline for DataParPipeline {
+    fn engine(&self) -> &str {
+        &self.engine
+    }
+
+    fn plan(&self) -> Option<&ExecutionPlan> {
+        self.plan.as_ref()
+    }
+
+    fn run_into(&mut self, img: &Image<u8>, tel: &mut dyn Telemetry, out: &mut Segmentation) {
+        let (w, h) = (img.width(), img.height());
+        let stale = match &self.plan {
+            Some(p) => !p.matches(w, h, &self.config),
+            None => true,
+        };
+        if stale {
+            self.plan = Some(ExecutionPlan::for_shape(w, h, &self.config));
+        }
+        let outcome = segment_datapar_with_telemetry(img, &self.config, self.model, tel);
+        *out = outcome.seg;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rg_core::telemetry::NullTelemetry;
+    use rg_core::{run_batch_collect, segment, BatchOptions};
+    use rg_imaging::synth;
+
+    #[test]
+    fn pipeline_matches_direct_driver_and_host() {
+        let cfg = Config::with_threshold(10);
+        let imgs = [synth::nested_rects(64), synth::rect_collection(64)];
+        let mut pipe = DataParPipeline::new(cfg, CostModel::cm2_8k());
+        assert_eq!(pipe.engine(), "datapar:CM-2 (8K procs)");
+        assert!(pipe.plan().is_none());
+        for img in &imgs {
+            let seg = pipe.run(img, &mut NullTelemetry);
+            assert_eq!(seg, segment(img, &cfg));
+        }
+        assert!(pipe.plan().is_some());
+    }
+
+    #[test]
+    fn batch_streams_through_simulated_machine() {
+        let cfg = Config::with_threshold(10);
+        let imgs: Vec<_> = (0..3).map(|s| synth::random_rects(32, 32, 5, s)).collect();
+        let (results, summary) = run_batch_collect(
+            &imgs,
+            &BatchOptions::new(),
+            || Box::new(DataParPipeline::new(cfg, CostModel::cm2_8k())),
+            &mut NullTelemetry,
+        );
+        assert_eq!(summary.images, 3);
+        for (img, got) in imgs.iter().zip(&results) {
+            assert_eq!(got, &segment(img, &cfg));
+        }
+    }
+}

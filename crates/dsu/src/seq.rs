@@ -24,6 +24,19 @@ impl DisjointSets {
         }
     }
 
+    /// Re-initialises the forest to `len` singleton sets **in place**,
+    /// reusing the existing allocations when `len` fits in the current
+    /// capacity. Equivalent to `*self = DisjointSets::new(len)` but
+    /// allocation-free in steady state.
+    pub fn reset(&mut self, len: usize) {
+        assert!(len <= u32::MAX as usize, "universe too large for u32 ids");
+        self.parent.clear();
+        self.parent.extend(0..len as u32);
+        self.rank.clear();
+        self.rank.resize(len, 0);
+        self.num_sets = len;
+    }
+
     /// Size of the universe.
     pub fn len(&self) -> usize {
         self.parent.len()
@@ -119,8 +132,18 @@ impl DisjointSets {
     /// finished by pointer jumping (`out ← out[out]`), which halves every
     /// path per round and therefore terminates in O(log n) rounds.
     pub fn resolve_all(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.resolve_all_into(&mut out);
+        out
+    }
+
+    /// [`DisjointSets::resolve_all`] writing into a caller-owned buffer
+    /// (cleared first), so steady-state reuse performs no heap allocation
+    /// once the buffer has reached its high-water capacity.
+    pub fn resolve_all_into(&self, out: &mut Vec<u32>) {
         let n = self.parent.len();
-        let mut out: Vec<u32> = Vec::with_capacity(n);
+        out.clear();
+        out.reserve(n);
         for v in 0..n {
             let p = self.parent[v];
             out.push(if (p as usize) < v { out[p as usize] } else { p });
@@ -137,7 +160,7 @@ impl DisjointSets {
                 }
             }
             if !changed {
-                return out;
+                return;
             }
         }
     }
@@ -286,6 +309,39 @@ mod tests {
         assert_eq!(d.resolve_all(), vec![0, 1, 2, 3, 4]);
         assert_eq!(d.resolve_all_par(), vec![0, 1, 2, 3, 4]);
         assert!(DisjointSets::new(0).resolve_all().is_empty());
+    }
+
+    #[test]
+    fn reset_restores_singletons_and_reuses_capacity() {
+        let mut d = DisjointSets::new(16);
+        for i in 1..16u32 {
+            d.union_min_rep(i - 1, i);
+        }
+        assert_eq!(d.num_sets(), 1);
+        d.reset(16);
+        assert_eq!(d.num_sets(), 16);
+        for i in 0..16u32 {
+            assert_eq!(d.find(i), i);
+        }
+        // Shrinking reset also works.
+        d.reset(4);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.num_sets(), 4);
+        // And behaves identically to a fresh forest afterwards.
+        d.union_min_rep(3, 1);
+        assert_eq!(d.find(3), 1);
+    }
+
+    #[test]
+    fn resolve_all_into_matches_resolve_all() {
+        let mut d = DisjointSets::new(32);
+        for (a, b) in [(3, 7), (7, 12), (0, 3), (20, 21), (21, 30)] {
+            d.union_min_rep(a, b);
+        }
+        let fresh = d.resolve_all();
+        let mut reused = vec![9999u32; 5]; // stale garbage must be cleared
+        d.resolve_all_into(&mut reused);
+        assert_eq!(fresh, reused);
     }
 
     #[test]

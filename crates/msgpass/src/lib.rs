@@ -36,9 +36,11 @@ pub mod boundary;
 pub mod decomp;
 pub mod driver;
 pub mod merge_mp;
+pub mod pipeline_mp;
 
 pub use decomp::Decomposition;
 pub use driver::{
     segment_msgpass, segment_msgpass_with, segment_msgpass_with_telemetry, MsgPassOutcome,
 };
 pub use merge_mp::{ExchangeComm, EXCHANGES_PER_ITERATION};
+pub use pipeline_mp::MsgPassPipeline;

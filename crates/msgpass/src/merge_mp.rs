@@ -34,6 +34,7 @@ use crate::decomp::Decomposition;
 use bytes::Bytes;
 use cmmd_sim::channel::{decode_u32s, encode_u32s};
 use cmmd_sim::{all_to_many, CommScheme, Node};
+use rg_core::kernels::{stats_from_words, stats_to_words, STATS_WIRE_WORDS};
 use rg_core::merge::{choice_key, CandKey};
 use rg_core::telemetry::Histogram;
 use rg_core::{Config, RegionStats, TieBreak};
@@ -117,18 +118,6 @@ fn traced_exchange(
     (received, comm)
 }
 
-fn stats_words(id: u32, s: &RegionStats<u32>) -> [u32; 7] {
-    [
-        id,
-        s.min,
-        s.max,
-        s.sum as u32,
-        (s.sum >> 32) as u32,
-        s.count as u32,
-        (s.count >> 32) as u32,
-    ]
-}
-
 /// Runs the distributed merge loop; mutates `rag` in place.
 pub fn merge_mp(
     node: &mut Node,
@@ -165,7 +154,7 @@ pub fn merge_mp(
                     per_dst
                         .entry(owner_d)
                         .or_default()
-                        .extend_from_slice(&stats_words(s, &rag.store[&s]));
+                        .extend_from_slice(&stats_to_words(s, &rag.store[&s]));
                 }
             }
         }
@@ -178,16 +167,9 @@ pub fn merge_mp(
         iter_comm[0] = comm;
         for (_, payload) in received {
             let words = decode_u32s(payload);
-            for c in words.chunks_exact(7) {
-                rag.ghosts.insert(
-                    c[0],
-                    RegionStats {
-                        min: c[1],
-                        max: c[2],
-                        sum: c[3] as u64 | ((c[4] as u64) << 32),
-                        count: c[5] as u64 | ((c[6] as u64) << 32),
-                    },
-                );
+            for c in words.chunks_exact(STATS_WIRE_WORDS) {
+                let (id, stats) = stats_from_words(c);
+                rag.ghosts.insert(id, stats);
             }
         }
 

@@ -1,0 +1,117 @@
+//! [`Pipeline`] adapter for the message-passing engine.
+//!
+//! Wraps [`segment_msgpass_with_telemetry`] behind the engine-agnostic
+//! [`rg_core::Pipeline`] interface so the batch runtime
+//! ([`rg_core::batch`]) can stream images through the simulated CM-5 node
+//! program alongside the host engines. Each image still spins up its own
+//! simulated nodes (they are part of the simulation), so unlike
+//! [`rg_core::HostPipeline`] this adapter does **not** claim zero
+//! steady-state allocation — it reuses the plan and recycles the output
+//! buffer only.
+//!
+//! Note the engine's structural square cap: splits are limited to squares
+//! that fit a node's tile, so cross-engine comparisons must apply the same
+//! `max_square_log2` to the other engines (see [`crate::Decomposition`]).
+
+use crate::driver::segment_msgpass_with_telemetry;
+use cmmd_sim::CommScheme;
+use rg_core::pipeline::{ExecutionPlan, Pipeline};
+use rg_core::telemetry::Telemetry;
+use rg_core::{Config, Segmentation};
+use rg_imaging::Image;
+
+/// A reusable message-passing pipeline: a node count + communication
+/// scheme + config, streamed over many images.
+#[derive(Debug)]
+pub struct MsgPassPipeline {
+    config: Config,
+    nodes: usize,
+    scheme: CommScheme,
+    engine: String,
+    plan: Option<ExecutionPlan>,
+}
+
+impl MsgPassPipeline {
+    /// Creates a pipeline running on `nodes` simulated CM-5 nodes with the
+    /// given communication scheme.
+    pub fn new(config: Config, nodes: usize, scheme: CommScheme) -> Self {
+        Self {
+            config,
+            nodes,
+            scheme,
+            engine: format!("msgpass:{}:{}", scheme.label(), nodes),
+            plan: None,
+        }
+    }
+
+    /// The pipeline's configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+}
+
+impl Pipeline for MsgPassPipeline {
+    fn engine(&self) -> &str {
+        &self.engine
+    }
+
+    fn plan(&self) -> Option<&ExecutionPlan> {
+        self.plan.as_ref()
+    }
+
+    fn run_into(&mut self, img: &Image<u8>, tel: &mut dyn Telemetry, out: &mut Segmentation) {
+        let (w, h) = (img.width(), img.height());
+        let stale = match &self.plan {
+            Some(p) => !p.matches(w, h, &self.config),
+            None => true,
+        };
+        if stale {
+            self.plan = Some(ExecutionPlan::for_shape(w, h, &self.config));
+        }
+        let outcome =
+            segment_msgpass_with_telemetry(img, &self.config, self.nodes, self.scheme, tel);
+        *out = outcome.seg;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Decomposition;
+    use rg_core::telemetry::NullTelemetry;
+    use rg_core::{run_batch_collect, segment, BatchOptions};
+    use rg_imaging::synth;
+
+    #[test]
+    fn pipeline_matches_direct_driver_and_host() {
+        let nodes = 4;
+        let cap = Decomposition::for_nodes(nodes, 64, 64).max_safe_square_log2();
+        let cfg = Config::with_threshold(10).max_square_log2(Some(cap));
+        let imgs = [synth::nested_rects(64), synth::rect_collection(64)];
+        let mut pipe = MsgPassPipeline::new(cfg, nodes, CommScheme::LinearPermutation);
+        assert_eq!(pipe.engine(), "msgpass:LP:4");
+        for img in &imgs {
+            let seg = pipe.run(img, &mut NullTelemetry);
+            assert_eq!(seg, segment(img, &cfg));
+        }
+        assert!(pipe.plan().is_some());
+    }
+
+    #[test]
+    fn batch_streams_through_simulated_nodes() {
+        let nodes = 4;
+        let cap = Decomposition::for_nodes(nodes, 32, 32).max_safe_square_log2();
+        let cfg = Config::with_threshold(10).max_square_log2(Some(cap));
+        let imgs: Vec<_> = (0..2).map(|s| synth::random_rects(32, 32, 5, s)).collect();
+        let (results, summary) = run_batch_collect(
+            &imgs,
+            &BatchOptions::new(),
+            || Box::new(MsgPassPipeline::new(cfg, nodes, CommScheme::Async)),
+            &mut NullTelemetry,
+        );
+        assert_eq!(summary.images, 2);
+        for (img, got) in imgs.iter().zip(&results) {
+            assert_eq!(got, &segment(img, &cfg));
+        }
+    }
+}

@@ -3,8 +3,20 @@
 //! ```text
 //! rgrow <input.pgm> [output.pgm] [options]
 //! rgrow --demo image3 out.pgm --engine mp-async
+//! rgrow --batch 'frames/*.pgm' --jobs 4 --engine par
+//! rgrow --batch demo:random:16 --engine seq --telemetry -
 //!
 //! options:
+//!   --batch SPEC           stream many images through one pooled pipeline
+//!                          (allocation-free in steady state on the host
+//!                          engines). SPEC is a PGM path glob (`*`/`?` in the
+//!                          final component) or a synthetic spec
+//!                          `demo:<scene>:<count>` (scenes as --demo, plus
+//!                          `random` for per-index random 256x256 scenes).
+//!                          [output.pgm] names a directory in batch mode.
+//!   --jobs N               batch worker count; each worker owns one pipeline
+//!                          [1]. Forced to 1 when telemetry/tracing is on so
+//!                          the journal's span nesting stays strict.
 //!   --threshold N          homogeneity threshold T in grey levels [10]
 //!   --tie random|smallest|largest    tie-break policy [random]
 //!   --seed N               seed for random tie-breaking [0x5EED]
@@ -30,9 +42,10 @@
 use cm_sim::CostModel;
 use cmmd_sim::CommScheme;
 use rg_core::{
-    chrome_trace, jsonl_sink_for_path, labels::labels_to_image, segment_par_with_telemetry,
-    segment_with_telemetry, verify_segmentation, Config, Connectivity, Criterion, EmitEvent,
-    EventLog, Fanout, NullTelemetry, Recorder, Segmentation, Telemetry, TieBreak,
+    chrome_trace, jsonl_sink_for_path, labels::labels_to_image, run_batch,
+    segment_par_with_telemetry, segment_with_telemetry, verify_segmentation, BatchOptions, Config,
+    Connectivity, Criterion, EmitEvent, EventLog, Fanout, HostPipeline, NullTelemetry, Pipeline,
+    Recorder, Segmentation, Telemetry, TieBreak,
 };
 use rg_imaging::{pgm, synth, GrayImage};
 use std::process::exit;
@@ -41,6 +54,8 @@ struct Options {
     input: Option<String>,
     output: Option<String>,
     demo: Option<String>,
+    batch: Option<String>,
+    jobs: usize,
     threshold: u32,
     tie: TieBreak,
     connectivity: Connectivity,
@@ -79,6 +94,8 @@ fn parse_args() -> Options {
         input: None,
         output: None,
         demo: None,
+        batch: None,
+        jobs: 1,
         threshold: 10,
         tie: TieBreak::Random { seed: 0x5EED },
         connectivity: Connectivity::Four,
@@ -143,6 +160,12 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|_| usage())
             }
             "--demo" => o.demo = Some(need_value(&mut args, &a)),
+            "--batch" => o.batch = Some(need_value(&mut args, &a)),
+            "--jobs" | "-j" => {
+                o.jobs = need_value(&mut args, &a)
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             "--telemetry" => o.telemetry = Some(need_value(&mut args, &a)),
             "--trace-out" => o.trace_out = Some(need_value(&mut args, &a)),
             "--chrome-trace" => o.chrome_trace = Some(need_value(&mut args, &a)),
@@ -153,7 +176,7 @@ fn parse_args() -> Options {
                 eprintln!("unknown flag {a}");
                 usage()
             }
-            _ if o.input.is_none() && o.demo.is_none() => o.input = Some(a),
+            _ if o.input.is_none() && o.demo.is_none() && o.batch.is_none() => o.input = Some(a),
             _ if o.output.is_none() => o.output = Some(a),
             _ => usage(),
         }
@@ -255,12 +278,212 @@ fn run_engine(
     }
 }
 
+/// Shell-style wildcard match (`*` any run, `?` one char), ASCII-byte-wise.
+fn wildcard_match(pattern: &str, name: &str) -> bool {
+    let (p, s) = (pattern.as_bytes(), name.as_bytes());
+    let (mut pi, mut si) = (0usize, 0usize);
+    let (mut star, mut mark) = (usize::MAX, 0usize);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == b'?' || p[pi] == s[si]) {
+            pi += 1;
+            si += 1;
+        } else if pi < p.len() && p[pi] == b'*' {
+            star = pi;
+            mark = si;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            mark += 1;
+            si = mark;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Expands a `--batch` spec into named images: a `demo:<scene>:<count>`
+/// synthetic stream, a PGM path glob, or a single literal path.
+fn expand_batch(spec: &str) -> Vec<(String, GrayImage)> {
+    if let Some(rest) = spec.strip_prefix("demo:") {
+        let (scene, count) = match rest.rsplit_once(':') {
+            Some((scene, n)) => (
+                scene,
+                n.parse::<usize>().unwrap_or_else(|_| {
+                    eprintln!("bad count in batch spec {spec:?}");
+                    usage()
+                }),
+            ),
+            None => (rest, 1),
+        };
+        return (0..count)
+            .map(|i| {
+                let img = match scene {
+                    "random" => synth::random_rects(256, 256, 12, i as u64),
+                    "image1" => synth::PaperImage::Image1.generate(),
+                    "image2" => synth::PaperImage::Image2.generate(),
+                    "image3" | "circles" => synth::PaperImage::Image3.generate(),
+                    "image4" => synth::PaperImage::Image4.generate(),
+                    "image5" | "rects" => synth::PaperImage::Image5.generate(),
+                    "image6" | "tool" => synth::PaperImage::Image6.generate(),
+                    "nested" => synth::nested_rects(256),
+                    other => {
+                        eprintln!("unknown batch demo scene {other:?}");
+                        usage()
+                    }
+                };
+                (format!("{scene}:{i}"), img)
+            })
+            .collect();
+    }
+    if spec.contains('*') || spec.contains('?') {
+        let (dir, pat) = match spec.rsplit_once('/') {
+            Some((d, p)) => (d.to_string(), p.to_string()),
+            None => (".".to_string(), spec.to_string()),
+        };
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot list {dir}: {e}");
+                exit(1)
+            })
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| wildcard_match(&pat, n))
+            .collect();
+        names.sort();
+        if names.is_empty() {
+            eprintln!("batch glob {spec:?} matched no files");
+            exit(1);
+        }
+        return names
+            .into_iter()
+            .map(|n| {
+                let path = format!("{dir}/{n}");
+                let img = pgm::load(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    exit(1)
+                });
+                (n, img)
+            })
+            .collect();
+    }
+    let img = pgm::load(spec).unwrap_or_else(|e| {
+        eprintln!("cannot read {spec}: {e}");
+        exit(1)
+    });
+    vec![(spec.to_string(), img)]
+}
+
+/// Builds one pooled pipeline for the selected engine (called once per
+/// batch worker).
+fn pipeline_for(engine: &str, cfg: Config, nodes: usize) -> Box<dyn Pipeline + Send> {
+    match engine {
+        "seq" => Box::new(HostPipeline::<u8>::new(cfg, false)),
+        "par" => Box::new(HostPipeline::<u8>::new(cfg, true)),
+        "cm2-8k" => Box::new(rg_datapar::DataParPipeline::new(cfg, CostModel::cm2_8k())),
+        "cm2-16k" => Box::new(rg_datapar::DataParPipeline::new(cfg, CostModel::cm2_16k())),
+        "cm5-dp" => Box::new(rg_datapar::DataParPipeline::new(
+            cfg,
+            CostModel::cm5_dp_32(),
+        )),
+        "mp-lp" => Box::new(rg_msgpass::MsgPassPipeline::new(
+            cfg,
+            nodes,
+            CommScheme::LinearPermutation,
+        )),
+        "mp-async" => Box::new(rg_msgpass::MsgPassPipeline::new(
+            cfg,
+            nodes,
+            CommScheme::Async,
+        )),
+        other => {
+            eprintln!(
+                "unknown engine {other:?}; valid choices are: {}",
+                ENGINES.join(", ")
+            );
+            usage()
+        }
+    }
+}
+
+/// Batch mode: stream every image in the spec through pooled pipelines.
+fn run_batch_mode(o: &Options, cfg: &Config, tel: &mut dyn Telemetry) {
+    let images = expand_batch(o.batch.as_deref().expect("batch spec checked by caller"));
+    if let Some(dir) = &o.output {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("cannot create output directory {dir}: {e}");
+            exit(1)
+        });
+    }
+    let imgs: Vec<GrayImage> = images.iter().map(|(_, img)| img.clone()).collect();
+    let cfg = *cfg;
+    let summary = run_batch(
+        &imgs,
+        &BatchOptions::new().jobs(o.jobs),
+        || pipeline_for(&o.engine, cfg, o.nodes),
+        tel,
+        |i, seg| {
+            if o.verify {
+                if let Err(v) = verify_segmentation(&imgs[i], seg, &cfg) {
+                    eprintln!(
+                        "verify FAILED on {}: {} violations, first: {}",
+                        images[i].0,
+                        v.len(),
+                        v[0]
+                    );
+                    exit(1);
+                }
+            }
+            if let Some(dir) = &o.output {
+                let stem = images[i]
+                    .0
+                    .rsplit('/')
+                    .next()
+                    .unwrap_or(&images[i].0)
+                    .trim_end_matches(".pgm")
+                    .replace(':', "_");
+                let path = format!("{dir}/{stem}.seg.pgm");
+                let rendered = labels_to_image(&seg.labels, seg.width, seg.height);
+                pgm::save(&rendered, &path).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(1)
+                });
+            }
+            if !o.quiet {
+                println!(
+                    "[{i:>4}] {}: {}x{} -> {} regions ({} merge iters)",
+                    images[i].0, seg.width, seg.height, seg.num_regions, seg.merge_iterations
+                );
+            }
+        },
+    );
+    if !o.quiet {
+        println!(
+            "batch: {} images -> {} total regions in {:.1} ms ({:.1} images/s, engine {}, jobs {})",
+            summary.images,
+            summary.total_regions,
+            summary.wall_seconds * 1e3,
+            summary.images_per_sec(),
+            o.engine,
+            if tel.enabled() { 1 } else { o.jobs.max(1) },
+        );
+        if o.verify {
+            println!("verify: ok ({} images)", summary.images);
+        }
+    }
+}
+
 fn main() {
     let o = parse_args();
-    if o.input.is_none() && o.demo.is_none() {
+    if o.input.is_none() && o.demo.is_none() && o.batch.is_none() {
         usage();
     }
-    let img = load_image(&o);
+    // Batch mode has no single input image; everything else shares the
+    // config + telemetry sink setup below.
+    let img = (o.batch.is_none()).then(|| load_image(&o));
     let cfg = Config {
         threshold: o.threshold,
         tie_break: o.tie,
@@ -297,7 +520,13 @@ fn main() {
         &mut fan
     };
     let t0 = std::time::Instant::now();
-    let (seg, note) = run_engine(&o, &img, &cfg, tel);
+    let single = match &img {
+        Some(img) => Some(run_engine(&o, img, &cfg, tel)),
+        None => {
+            run_batch_mode(&o, &cfg, tel);
+            None
+        }
+    };
     let wall = t0.elapsed();
     // Close the streaming journal (flushes buffered lines, reports drops).
     if let Some(j) = jsonl.take() {
@@ -310,31 +539,33 @@ fn main() {
         }
     }
 
-    if !o.quiet {
-        println!(
-            "{}x{} -> {} squares ({} split iters) -> {} regions ({} merge iters) in {:.1} ms",
-            seg.width,
-            seg.height,
-            seg.num_squares,
-            seg.split_iterations,
-            seg.num_regions,
-            seg.merge_iterations,
-            wall.as_secs_f64() * 1e3
-        );
-        if let Some(note) = note {
-            println!("{note}");
-        }
-    }
-    if o.verify {
-        match verify_segmentation(&img, &seg, &cfg) {
-            Ok(()) => {
-                if !o.quiet {
-                    println!("verify: ok");
-                }
+    if let Some((seg, note)) = &single {
+        if !o.quiet {
+            println!(
+                "{}x{} -> {} squares ({} split iters) -> {} regions ({} merge iters) in {:.1} ms",
+                seg.width,
+                seg.height,
+                seg.num_squares,
+                seg.split_iterations,
+                seg.num_regions,
+                seg.merge_iterations,
+                wall.as_secs_f64() * 1e3
+            );
+            if let Some(note) = note {
+                println!("{note}");
             }
-            Err(v) => {
-                eprintln!("verify FAILED: {} violations, first: {}", v.len(), v[0]);
-                exit(1);
+        }
+        if o.verify {
+            match verify_segmentation(img.as_ref().expect("single mode has an image"), seg, &cfg) {
+                Ok(()) => {
+                    if !o.quiet {
+                        println!("verify: ok");
+                    }
+                }
+                Err(v) => {
+                    eprintln!("verify FAILED: {} violations, first: {}", v.len(), v[0]);
+                    exit(1);
+                }
             }
         }
     }
@@ -368,7 +599,8 @@ fn main() {
             }
         }
     }
-    if let Some(out) = &o.output {
+    // Batch mode writes its per-image outputs inside run_batch_mode.
+    if let (Some(out), Some((seg, _))) = (&o.output, &single) {
         let rendered = labels_to_image(&seg.labels, seg.width, seg.height);
         pgm::save(&rendered, out).unwrap_or_else(|e| {
             eprintln!("cannot write {out}: {e}");

@@ -1,0 +1,129 @@
+//! Property tests of workspace reuse: a pooled pipeline streamed over a
+//! random image sequence must be **bit-identical** — segmentation and
+//! telemetry conformance view — to fresh one-shot runs, across all four
+//! engines and both tie-break families.
+//!
+//! This is the safety net under the plan/workspace layer's core claim:
+//! arena reuse (including re-planning on shape changes mid-stream) is
+//! invisible to every observable output.
+
+use cm_sim::CostModel;
+use cmmd_sim::CommScheme;
+use proptest::prelude::*;
+use rg_core::telemetry::Recorder;
+use rg_core::{
+    segment, segment_par_with_telemetry, segment_with_telemetry, Config, HostPipeline,
+    NullTelemetry, Pipeline, Segmentation, TieBreak,
+};
+use rg_datapar::DataParPipeline;
+use rg_imaging::{synth, Image};
+use rg_msgpass::{Decomposition, MsgPassPipeline};
+
+// A short stream of random scenes with *varying shapes* — exercising both
+// same-shape steady state and mid-stream re-planning.
+prop_compose! {
+    fn image_stream()(
+        seeds in proptest::collection::vec(0u64..100_000, 2..4),
+        w in 16usize..48,
+        h in 16usize..48,
+        grow in proptest::bool::ANY,
+    ) -> Vec<Image<u8>> {
+        seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                // Optionally vary the shape per image to force re-plans.
+                let dw = if grow { 4 * i } else { 0 };
+                synth::random_rects(w + dw, h, 6, s)
+            })
+            .collect()
+    }
+}
+
+fn tie_of(random: bool, seed: u64) -> TieBreak {
+    if random {
+        TieBreak::Random { seed }
+    } else {
+        TieBreak::SmallestId
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Host engines: reused workspace vs fresh run, segmentation AND
+    /// telemetry conformance view.
+    #[test]
+    fn host_pipeline_reuse_is_invisible(
+        images in image_stream(),
+        t in 0u32..120,
+        random in proptest::bool::ANY,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = Config::with_threshold(t).tie_break(tie_of(random, seed));
+        for parallel in [false, true] {
+            let mut pipe: HostPipeline<u8> = HostPipeline::new(cfg, parallel);
+            let mut out = Segmentation::default();
+            for img in &images {
+                let mut rec_fresh = Recorder::new();
+                let fresh = if parallel {
+                    segment_par_with_telemetry(img, &cfg, &mut rec_fresh)
+                } else {
+                    segment_with_telemetry(img, &cfg, &mut rec_fresh)
+                };
+                let mut rec_pipe = Recorder::new();
+                pipe.run_image_into(img, &mut rec_pipe, &mut out);
+                prop_assert_eq!(&fresh, &out, "parallel={}", parallel);
+                prop_assert_eq!(
+                    rec_fresh.report().conformance_view(),
+                    rec_pipe.report().conformance_view(),
+                    "parallel={}",
+                    parallel
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    // The simulated machines are slow; fewer, smaller cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Data-parallel engine behind the Pipeline trait: reused adapter vs
+    /// the host reference, across the stream.
+    #[test]
+    fn datapar_pipeline_reuse_matches_host(
+        seeds in proptest::collection::vec(0u64..100_000, 2..4),
+        t in 0u32..120,
+        random in proptest::bool::ANY,
+    ) {
+        let cfg = Config::with_threshold(t).tie_break(tie_of(random, 77));
+        let mut pipe = DataParPipeline::new(cfg, CostModel::cm2_8k());
+        for &s in &seeds {
+            let img = synth::random_rects(32, 32, 5, s);
+            let seg = pipe.run(&img, &mut NullTelemetry);
+            prop_assert_eq!(seg, segment(&img, &cfg));
+        }
+    }
+
+    /// Message-passing engine behind the Pipeline trait: reused adapter vs
+    /// the host reference under the decomposition's square cap.
+    #[test]
+    fn msgpass_pipeline_reuse_matches_host(
+        seeds in proptest::collection::vec(0u64..100_000, 2..3),
+        t in 0u32..120,
+        random in proptest::bool::ANY,
+    ) {
+        let nodes = 4;
+        let cap = Decomposition::for_nodes(nodes, 32, 32).max_safe_square_log2();
+        let cfg = Config::with_threshold(t)
+            .tie_break(tie_of(random, 13))
+            .max_square_log2(Some(cap));
+        let mut pipe = MsgPassPipeline::new(cfg, nodes, CommScheme::Async);
+        for &s in &seeds {
+            let img = synth::random_rects(32, 32, 5, s);
+            let seg = pipe.run(&img, &mut NullTelemetry);
+            prop_assert_eq!(seg, segment(&img, &cfg));
+        }
+    }
+}
