@@ -19,7 +19,8 @@
 //! pairs; results are returned sorted by source so downstream processing is
 //! deterministic regardless of arrival order.
 
-use crate::channel::{decode_u32s, encode_u32s};
+use crate::channel::{encode_u32s, try_decode_u32s};
+use crate::fault::Fault;
 use crate::runtime::Node;
 use bytes::Bytes;
 
@@ -48,11 +49,27 @@ impl CommScheme {
 /// multiple messages from one source).
 ///
 /// Messages to self are delivered locally without network charges.
+///
+/// # Panics
+/// Panics if an armed fault plan makes the exchange fail; chaos-aware
+/// code must use [`try_all_to_many`].
 pub fn all_to_many(
     node: &mut Node,
     outgoing: Vec<(usize, Bytes)>,
     scheme: CommScheme,
 ) -> Vec<(usize, Bytes)> {
+    try_all_to_many(node, outgoing, scheme).expect("all-to-many failed under fault injection")
+}
+
+/// Fallible [`all_to_many`]: sends and receives ride the reliable
+/// transport, so injected faults either heal transparently (costing
+/// virtual retry time) or surface as a [`Fault`] for the caller to abort
+/// on.
+pub fn try_all_to_many(
+    node: &mut Node,
+    outgoing: Vec<(usize, Bytes)>,
+    scheme: CommScheme,
+) -> Result<Vec<(usize, Bytes)>, Fault> {
     let q = node.size();
     let me = node.rank();
 
@@ -65,10 +82,15 @@ pub fn all_to_many(
     // Global concatenation — both schemes need it (LP per the cited
     // algorithm; Async so receivers know how many messages to expect).
     let matrix: Vec<Vec<u32>> = node
-        .concat(encode_u32s(&my_counts))
+        .try_concat(encode_u32s(&my_counts))?
         .into_iter()
-        .map(decode_u32s)
-        .collect();
+        .map(|b| {
+            try_decode_u32s(b).map_err(|_| Fault::Malformed {
+                rank: me,
+                what: "all-to-many count matrix",
+            })
+        })
+        .collect::<Result<_, _>>()?;
     // Small local cost for scanning the matrix.
     node.compute((q * q) as u64 / 8);
 
@@ -93,10 +115,10 @@ pub fn all_to_many(
                 node.note_comm_round();
                 node.charge_ns(node.params().round_overhead_ns);
                 for payload in buckets[dst].drain(..) {
-                    node.send_sync(dst, payload);
+                    node.try_send_sync(dst, payload)?;
                 }
                 for _ in 0..matrix[src][me] {
-                    let payload = node.recv_from(src);
+                    let payload = node.try_recv_from(src)?;
                     received.push((src, payload));
                 }
             }
@@ -111,7 +133,7 @@ pub fn all_to_many(
                     continue;
                 }
                 for payload in bucket.drain(..) {
-                    node.send_async(dst, payload);
+                    node.try_send_async(dst, payload)?;
                 }
             }
             // ...then drain the expected number from each source. Virtual
@@ -122,7 +144,7 @@ pub fn all_to_many(
                     continue;
                 }
                 for _ in 0..row[me] {
-                    let payload = node.recv_from(src);
+                    let payload = node.try_recv_from(src)?;
                     received.push((src, payload));
                 }
             }
@@ -130,7 +152,7 @@ pub fn all_to_many(
     }
 
     received.sort_by_key(|&(src, _)| src);
-    received
+    Ok(received)
 }
 
 #[cfg(test)]
@@ -228,6 +250,37 @@ mod tests {
         for (rank, &(n, src)) in res.results.iter().enumerate() {
             assert_eq!(n, 1);
             assert_eq!(src, rank);
+        }
+    }
+
+    #[test]
+    fn chaos_exchange_matches_fault_free() {
+        use crate::fault::FaultPlan;
+        use crate::runtime::try_run_spmd;
+        let run_with = |plan: Option<FaultPlan>, scheme: CommScheme| {
+            try_run_spmd(6, TimeParams::default(), plan, move |node| {
+                let out = workload(node);
+                let got = try_all_to_many(node, out, scheme)?;
+                Ok(got
+                    .into_iter()
+                    .map(|(src, b)| (src, decode_u32s(b)[0]))
+                    .collect::<Vec<_>>())
+            })
+            .expect("survivable schedule aborted")
+            .results
+        };
+        for scheme in [CommScheme::LinearPermutation, CommScheme::Async] {
+            let clean = run_with(None, scheme);
+            for profile in ["drop", "dup", "corrupt", "delay", "storm"] {
+                for seed in [3u64, 11] {
+                    let plan = FaultPlan::new(seed, profile).unwrap();
+                    assert_eq!(
+                        run_with(Some(plan), scheme),
+                        clean,
+                        "{scheme:?} {profile}/{seed}"
+                    );
+                }
+            }
         }
     }
 

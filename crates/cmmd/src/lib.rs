@@ -34,9 +34,14 @@
 pub mod alltomany;
 pub mod channel;
 pub mod collectives;
+pub mod fault;
 pub mod runtime;
 pub mod time;
 
-pub use alltomany::{all_to_many, CommScheme};
-pub use runtime::{run_spmd, Node, SpmdResult};
+pub use alltomany::{all_to_many, try_all_to_many, CommScheme};
+pub use fault::{
+    Fault, FaultCounters, FaultEvent, FaultKind, FaultPlan, FaultProfile, RetryPolicy,
+    PROFILE_NAMES,
+};
+pub use runtime::{run_spmd, try_run_spmd, Node, SpmdAbort, SpmdResult};
 pub use time::TimeParams;

@@ -5,9 +5,24 @@
 //! endpoints, the shared collective context, and its virtual clock. The
 //! node program is the same closure on every rank — exactly the CMMD
 //! "hostless" execution model the paper's F77 code used.
+//!
+//! [`try_run_spmd`] is the chaos-aware variant: an optional
+//! [`FaultPlan`] arms deterministic fault injection on every
+//! point-to-point link, and the node program returns `Result` so a
+//! [`Fault`] that escapes the built-in retry machinery aborts the run
+//! cleanly (collectives are poisoned, peers cascade out via disconnected
+//! channels) instead of panicking or deadlocking. When a plan is armed,
+//! payloads travel in CRC-framed, sequence-numbered form and the runtime
+//! retransmits on (deterministically simulated) loss or corruption,
+//! charging the retry timeout in virtual time — so surviving runs produce
+//! exactly the fault-free byte stream, just later on the clock.
 
 use crate::channel::Msg;
 use crate::collectives::CollectiveCtx;
+use crate::fault::{
+    decode_frame, encode_frame, Fault, FaultCounters, FaultEvent, FaultKind, FaultPlan,
+    FRAME_HEADER_LEN,
+};
 use crate::time::TimeParams;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -22,6 +37,34 @@ pub struct SpmdResult<R> {
     pub node_seconds: Vec<f64>,
     /// Makespan: the maximum final clock, seconds.
     pub max_seconds: f64,
+    /// Injected-fault and recovery events, concatenated in rank order
+    /// (empty without a fault plan).
+    pub fault_events: Vec<FaultEvent>,
+    /// Aggregate fault counters over all nodes.
+    pub fault_counters: FaultCounters,
+}
+
+/// An SPMD run that aborted: at least one node program returned a
+/// [`Fault`] the retry machinery could not absorb. The whole group winds
+/// down deterministically (no partial results survive).
+#[derive(Debug, Clone)]
+pub struct SpmdAbort {
+    /// The faults that terminated node programs, by rank.
+    pub faults: Vec<(usize, Fault)>,
+    /// Fault/recovery events recorded up to the abort, in rank order.
+    pub fault_events: Vec<FaultEvent>,
+    /// Aggregate fault counters up to the abort.
+    pub fault_counters: FaultCounters,
+}
+
+impl std::fmt::Display for SpmdAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SPMD run aborted:")?;
+        for (rank, fault) in &self.faults {
+            write!(f, " [node {rank}: {fault}]")?;
+        }
+        Ok(())
+    }
 }
 
 /// A node's handle onto the simulated machine.
@@ -38,6 +81,19 @@ pub struct Node {
     /// `from[s]` receives from rank `s`.
     from: Vec<Receiver<Msg>>,
     collectives: Arc<CollectiveCtx>,
+    /// Armed fault schedule; `None` runs the original lossless fabric.
+    plan: Option<Arc<FaultPlan>>,
+    /// Next transport sequence number per destination.
+    next_seq: Vec<u64>,
+    /// Next expected sequence number per source.
+    expect_seq: Vec<u64>,
+    /// Fault/recovery events recorded by this node (sender side).
+    fault_events: Vec<FaultEvent>,
+    fault_counters: FaultCounters,
+    /// Fixed compute-slowdown factor from the plan (1.0 = none).
+    slowdown: f64,
+    /// Communication calls made (drives the stall sampler).
+    comm_ops: u64,
 }
 
 impl Node {
@@ -56,6 +112,11 @@ impl Node {
         &self.params
     }
 
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_deref()
+    }
+
     /// Current virtual time, nanoseconds.
     pub fn clock_ns(&self) -> f64 {
         self.clock_ns
@@ -67,9 +128,10 @@ impl Node {
     }
 
     /// Charges local computation: `work` abstract units (pixel visits,
-    /// element operations) at `t_cpu` each.
+    /// element operations) at `t_cpu` each, scaled by the node's injected
+    /// slowdown factor (1.0 without a fault plan).
     pub fn compute(&mut self, work: u64) {
-        self.clock_ns += work as f64 * self.params.t_cpu_ns;
+        self.clock_ns += work as f64 * self.params.t_cpu_ns * self.slowdown;
     }
 
     /// Charges an explicit number of nanoseconds (for modelled costs that
@@ -85,28 +147,140 @@ impl Node {
         }
     }
 
+    /// Records a fault/recovery event at the current virtual time.
+    fn record(&mut self, kind: FaultKind, dst: usize, seq: u64) {
+        self.fault_events.push(FaultEvent {
+            kind,
+            src: self.rank as u32,
+            dst: dst as u32,
+            seq,
+            ts_ns: self.clock_ns,
+        });
+    }
+
+    /// Samples (and charges) a per-node stall ahead of a communication
+    /// call. No-op without a fault plan.
+    fn apply_stall(&mut self) {
+        let Some(plan) = self.plan.clone() else {
+            return;
+        };
+        self.comm_ops += 1;
+        if let Some(ns) = plan.sample_stall(self.rank, self.comm_ops) {
+            self.clock_ns += ns;
+            self.fault_counters.stalls += 1;
+            let me = self.rank;
+            self.record(FaultKind::Stall, me, 0);
+        }
+    }
+
     /// Blocking (synchronous) send: charges the rendezvous setup plus
     /// bandwidth, then enqueues the message stamped with the post-charge
     /// clock.
+    ///
+    /// # Panics
+    /// Panics if the armed fault plan kills the link; chaos-aware code
+    /// must use [`Node::try_send_sync`].
     pub fn send_sync(&mut self, dst: usize, payload: Bytes) {
-        self.clock_ns +=
-            self.params.alpha_sync_ns + payload.len() as f64 * self.params.beta_ns_per_byte;
-        self.post(dst, payload);
+        self.try_send_sync(dst, payload)
+            .expect("link died under fault injection — use try_send_sync");
     }
 
     /// Asynchronous send: cheaper setup; bandwidth is charged to the
     /// receiver side (the NI drains the buffer while the CPU continues).
+    ///
+    /// # Panics
+    /// Panics if the armed fault plan kills the link; chaos-aware code
+    /// must use [`Node::try_send_async`].
     pub fn send_async(&mut self, dst: usize, payload: Bytes) {
-        self.clock_ns += self.params.alpha_async_ns;
-        self.post(dst, payload);
+        self.try_send_async(dst, payload)
+            .expect("link died under fault injection — use try_send_async");
     }
 
-    /// Point-to-point messages sent so far.
+    /// Fallible synchronous send. Under a fault plan the payload travels
+    /// as a CRC-framed, sequence-numbered frame; simulated drops and
+    /// corruptions charge the retry timeout and retransmit, up to
+    /// [`crate::fault::RetryPolicy::max_retries`] — past that the link is
+    /// declared dead.
+    pub fn try_send_sync(&mut self, dst: usize, payload: Bytes) -> Result<(), Fault> {
+        self.send_impl(dst, payload, true)
+    }
+
+    /// Fallible asynchronous send (see [`Node::try_send_sync`]).
+    pub fn try_send_async(&mut self, dst: usize, payload: Bytes) -> Result<(), Fault> {
+        self.send_impl(dst, payload, false)
+    }
+
+    fn send_impl(&mut self, dst: usize, payload: Bytes, sync: bool) -> Result<(), Fault> {
+        let Some(plan) = self.plan.clone() else {
+            if sync {
+                self.clock_ns +=
+                    self.params.alpha_sync_ns + payload.len() as f64 * self.params.beta_ns_per_byte;
+            } else {
+                self.clock_ns += self.params.alpha_async_ns;
+            }
+            self.post(dst, payload, 0.0);
+            return Ok(());
+        };
+        self.apply_stall();
+        let seq = self.next_seq[dst];
+        self.next_seq[dst] += 1;
+        let frame_bytes = (FRAME_HEADER_LEN + payload.len()) as f64;
+        for attempt in 0..=plan.retry.max_retries {
+            if sync {
+                self.clock_ns +=
+                    self.params.alpha_sync_ns + frame_bytes * self.params.beta_ns_per_byte;
+            } else {
+                self.clock_ns += self.params.alpha_async_ns;
+            }
+            let o = plan.sample_link(self.rank, dst, seq, attempt);
+            if o.drop {
+                self.fault_counters.drops += 1;
+                self.record(FaultKind::Drop, dst, seq);
+                self.clock_ns += plan.retry.timeout_ns;
+                self.fault_counters.retries += 1;
+                self.record(FaultKind::Retry, dst, seq);
+                continue;
+            }
+            if o.delay_ns > 0.0 {
+                self.fault_counters.delays += 1;
+                self.record(FaultKind::Delay, dst, seq);
+            }
+            let frame = encode_frame(seq, &payload, o.corrupt);
+            self.post(dst, frame.clone(), o.delay_ns);
+            if o.corrupt {
+                // The receiver discards the frame on its CRC check; the
+                // sender deterministically knows, charges the timeout,
+                // and retransmits.
+                self.fault_counters.corruptions += 1;
+                self.record(FaultKind::Corrupt, dst, seq);
+                self.clock_ns += plan.retry.timeout_ns;
+                self.fault_counters.retries += 1;
+                self.record(FaultKind::Retry, dst, seq);
+                continue;
+            }
+            if o.dup {
+                self.fault_counters.duplicates += 1;
+                self.record(FaultKind::Duplicate, dst, seq);
+                self.post(dst, frame, o.delay_ns);
+            }
+            return Ok(());
+        }
+        self.fault_counters.links_dead += 1;
+        self.record(FaultKind::LinkDead, dst, seq);
+        Err(Fault::LinkDead {
+            src: self.rank,
+            dst,
+            seq,
+        })
+    }
+
+    /// Point-to-point messages sent so far (physical frames under chaos,
+    /// including retransmissions and duplicates).
     pub fn msgs_sent(&self) -> u64 {
         self.msgs_sent
     }
 
-    /// Point-to-point payload bytes sent so far.
+    /// Point-to-point payload bytes sent so far (frame bytes under chaos).
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent
     }
@@ -123,79 +297,197 @@ impl Node {
         self.comm_rounds
     }
 
-    fn post(&mut self, dst: usize, payload: Bytes) {
+    /// Drains the node's recorded fault/recovery events.
+    pub fn take_fault_events(&mut self) -> Vec<FaultEvent> {
+        std::mem::take(&mut self.fault_events)
+    }
+
+    /// The node's fault counters so far.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.fault_counters
+    }
+
+    /// Poisons the collective context so peers blocked in collectives
+    /// cascade out. Called by the runtime when the node program aborts.
+    pub fn poison_collectives(&self) {
+        self.collectives.poison();
+    }
+
+    fn post(&mut self, dst: usize, payload: Bytes, delay_ns: f64) {
         self.msgs_sent += 1;
         self.bytes_sent += payload.len() as u64;
         let msg = Msg {
             src: self.rank,
-            ts_ns: self.clock_ns,
+            ts_ns: self.clock_ns + delay_ns,
             payload,
         };
-        self.to[dst]
-            .send(msg)
-            .expect("peer node hung up — node program panicked?");
+        if self.plan.is_some() {
+            // Under fault injection a peer may legitimately be gone (it
+            // aborted); the cascade surfaces on this node's next blocking
+            // call, not here.
+            let _ = self.to[dst].send(msg);
+        } else {
+            self.to[dst]
+                .send(msg)
+                .expect("peer node hung up — node program panicked?");
+        }
     }
 
     /// Blocking receive of the next message from `src`. The clock advances
     /// to the message's arrival time (sender timestamp + latency +
     /// bandwidth) if that is later than local time.
+    ///
+    /// # Panics
+    /// Panics if the peer is down; chaos-aware code must use
+    /// [`Node::try_recv_from`].
     pub fn recv_from(&mut self, src: usize) -> Bytes {
-        let msg = self.from[src]
-            .recv()
-            .expect("peer node hung up — node program panicked?");
-        debug_assert_eq!(msg.src, src);
-        let arrival = msg.ts_ns
-            + self.params.net_latency_ns
-            + msg.payload.len() as f64 * self.params.beta_ns_per_byte;
-        self.sync_to(arrival);
-        self.clock_ns += self.params.recv_overhead_ns;
-        msg.payload
+        self.try_recv_from(src)
+            .expect("peer node hung up — node program panicked?")
+    }
+
+    /// Fallible blocking receive. Under a fault plan this runs the
+    /// receiver half of the reliable transport: corrupted frames (CRC
+    /// mismatch) and duplicates (stale sequence numbers) are charged for
+    /// and silently discarded until the expected frame arrives; a
+    /// disconnected peer yields [`Fault::PeerDown`].
+    pub fn try_recv_from(&mut self, src: usize) -> Result<Bytes, Fault> {
+        loop {
+            let msg = self.from[src].recv().map_err(|_| Fault::PeerDown {
+                rank: self.rank,
+                peer: src,
+            })?;
+            debug_assert_eq!(msg.src, src);
+            let arrival = msg.ts_ns
+                + self.params.net_latency_ns
+                + msg.payload.len() as f64 * self.params.beta_ns_per_byte;
+            self.sync_to(arrival);
+            self.clock_ns += self.params.recv_overhead_ns;
+            if self.plan.is_none() {
+                return Ok(msg.payload);
+            }
+            match decode_frame(msg.payload) {
+                // Corrupted frame: discard and wait for the retransmit.
+                Err(_) => continue,
+                Ok((seq, payload)) => {
+                    let expect = self.expect_seq[src];
+                    if seq < expect {
+                        // Duplicate of an already-accepted frame.
+                        continue;
+                    }
+                    debug_assert_eq!(seq, expect, "transport hole on link {src}->{}", self.rank);
+                    self.expect_seq[src] = seq + 1;
+                    return Ok(payload);
+                }
+            }
+        }
     }
 
     /// Barrier across all nodes; clocks synchronise to the latest arrival
     /// plus the control-tree latency.
+    ///
+    /// # Panics
+    /// Panics if the collectives were poisoned; chaos-aware code must use
+    /// [`Node::try_barrier`].
     pub fn barrier(&mut self) {
-        let all = self.collectives.exchange_clock(self.rank, self.clock_ns);
+        self.try_barrier().expect("collective poisoned");
+    }
+
+    /// Fallible barrier (see [`Node::barrier`]).
+    pub fn try_barrier(&mut self) -> Result<(), Fault> {
+        self.apply_stall();
+        let all = self
+            .collectives
+            .try_exchange_clock(self.rank, self.clock_ns)
+            .map_err(|_| Fault::CollectivePoisoned { rank: self.rank })?;
         let max = all.iter().copied().fold(f64::MIN, f64::max);
         self.clock_ns = max + (self.size.max(2) as f64).log2() * self.params.tree_stage_ns;
+        Ok(())
     }
 
     /// Global concatenation: every node contributes a payload; every node
     /// receives all payloads indexed by rank. This is CMMD's
     /// `CMMD_concat_with_nodes`, the primitive the paper's LP scheme uses
     /// to build the communication matrix.
+    ///
+    /// # Panics
+    /// Panics if the collectives were poisoned; chaos-aware code must use
+    /// [`Node::try_concat`].
     pub fn concat(&mut self, payload: Bytes) -> Vec<Bytes> {
+        self.try_concat(payload).expect("collective poisoned")
+    }
+
+    /// Fallible global concatenation (see [`Node::concat`]).
+    pub fn try_concat(&mut self, payload: Bytes) -> Result<Vec<Bytes>, Fault> {
+        self.apply_stall();
         let parts = self
             .collectives
-            .exchange_bytes(self.rank, self.clock_ns, payload);
+            .try_exchange_bytes(self.rank, self.clock_ns, payload)
+            .map_err(|_| Fault::CollectivePoisoned { rank: self.rank })?;
         let max_ts = parts.iter().map(|(t, _)| *t).fold(f64::MIN, f64::max);
         let total: usize = parts.iter().map(|(_, b)| b.len()).sum();
         self.clock_ns = max_ts
             + (self.size.max(2) as f64).log2() * self.params.tree_stage_ns
             + total as f64 * self.params.beta_ns_per_byte;
-        parts.into_iter().map(|(_, b)| b).collect()
+        Ok(parts.into_iter().map(|(_, b)| b).collect())
     }
 
     /// Global reduction of a `u64` with an associative-commutative `op`;
     /// every node receives the result.
+    ///
+    /// # Panics
+    /// Panics if the collectives were poisoned; chaos-aware code must use
+    /// [`Node::try_allreduce_u64`].
     pub fn allreduce_u64(&mut self, v: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
-        let parts = self.collectives.exchange_u64(self.rank, self.clock_ns, v);
+        self.try_allreduce_u64(v, op).expect("collective poisoned")
+    }
+
+    /// Fallible global reduction (see [`Node::allreduce_u64`]).
+    pub fn try_allreduce_u64(
+        &mut self,
+        v: u64,
+        op: impl Fn(u64, u64) -> u64,
+    ) -> Result<u64, Fault> {
+        self.apply_stall();
+        let parts = self
+            .collectives
+            .try_exchange_u64(self.rank, self.clock_ns, v)
+            .map_err(|_| Fault::CollectivePoisoned { rank: self.rank })?;
         let max_ts = parts.iter().map(|(t, _)| *t).fold(f64::MIN, f64::max);
         self.clock_ns = max_ts + (self.size.max(2) as f64).log2() * self.params.tree_stage_ns;
-        parts.into_iter().map(|(_, x)| x).reduce(&op).unwrap()
+        Ok(parts.into_iter().map(|(_, x)| x).reduce(&op).unwrap())
     }
 
     /// Global OR — the merge loop's "does any node still have active
     /// edges?" test.
+    ///
+    /// # Panics
+    /// Panics if the collectives were poisoned; chaos-aware code must use
+    /// [`Node::try_allreduce_or`].
     pub fn allreduce_or(&mut self, v: bool) -> bool {
-        self.allreduce_u64(v as u64, |a, b| a | b) != 0
+        self.try_allreduce_or(v).expect("collective poisoned")
+    }
+
+    /// Fallible global OR (see [`Node::allreduce_or`]).
+    pub fn try_allreduce_or(&mut self, v: bool) -> Result<bool, Fault> {
+        Ok(self.try_allreduce_u64(v as u64, |a, b| a | b)? != 0)
     }
 
     /// Broadcast from `root`: every node receives the root's payload
     /// (CMMD's `CMMD_bc_from_node`). Built on the control-network
     /// exchange; charged one tree traversal plus the payload bandwidth.
+    ///
+    /// # Panics
+    /// Panics if the collectives were poisoned; chaos-aware code must use
+    /// [`Node::try_broadcast`].
     pub fn broadcast(&mut self, root: usize, payload: Bytes) -> Bytes {
+        self.try_broadcast(root, payload)
+            .expect("collective poisoned")
+    }
+
+    /// Fallible broadcast (see [`Node::broadcast`]).
+    pub fn try_broadcast(&mut self, root: usize, payload: Bytes) -> Result<Bytes, Fault> {
         assert!(root < self.size, "broadcast root out of range");
+        self.apply_stall();
         let contribution = if self.rank == root {
             payload
         } else {
@@ -203,43 +495,75 @@ impl Node {
         };
         let parts = self
             .collectives
-            .exchange_bytes(self.rank, self.clock_ns, contribution);
+            .try_exchange_bytes(self.rank, self.clock_ns, contribution)
+            .map_err(|_| Fault::CollectivePoisoned { rank: self.rank })?;
         let max_ts = parts.iter().map(|(t, _)| *t).fold(f64::MIN, f64::max);
         let data = parts[root].1.clone();
         self.clock_ns = max_ts
             + (self.size.max(2) as f64).log2() * self.params.tree_stage_ns
             + data.len() as f64 * self.params.beta_ns_per_byte;
-        data
+        Ok(data)
     }
 
     /// Exclusive prefix over ranks: node `k` receives
     /// `op(v_0, …, v_{k-1})` (`init` for rank 0) — CMMD's scan on the
     /// control network.
+    ///
+    /// # Panics
+    /// Panics if the collectives were poisoned; chaos-aware code must use
+    /// [`Node::try_scan_exclusive_u64`].
     pub fn scan_exclusive_u64(&mut self, v: u64, init: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
-        let parts = self.collectives.exchange_u64(self.rank, self.clock_ns, v);
+        self.try_scan_exclusive_u64(v, init, op)
+            .expect("collective poisoned")
+    }
+
+    /// Fallible exclusive scan (see [`Node::scan_exclusive_u64`]).
+    pub fn try_scan_exclusive_u64(
+        &mut self,
+        v: u64,
+        init: u64,
+        op: impl Fn(u64, u64) -> u64,
+    ) -> Result<u64, Fault> {
+        self.apply_stall();
+        let parts = self
+            .collectives
+            .try_exchange_u64(self.rank, self.clock_ns, v)
+            .map_err(|_| Fault::CollectivePoisoned { rank: self.rank })?;
         let max_ts = parts.iter().map(|(t, _)| *t).fold(f64::MIN, f64::max);
         self.clock_ns = max_ts + (self.size.max(2) as f64).log2() * self.params.tree_stage_ns;
-        parts[..self.rank]
+        Ok(parts[..self.rank]
             .iter()
-            .fold(init, |acc, &(_, x)| op(acc, x))
+            .fold(init, |acc, &(_, x)| op(acc, x)))
     }
 
     /// Gather to `root`: the root receives every node's payload indexed by
     /// rank; other nodes receive an empty vector. Charged like a
     /// concatenation whose bandwidth lands on the root.
+    ///
+    /// # Panics
+    /// Panics if the collectives were poisoned; chaos-aware code must use
+    /// [`Node::try_gather_to`].
     pub fn gather_to(&mut self, root: usize, payload: Bytes) -> Vec<Bytes> {
+        self.try_gather_to(root, payload)
+            .expect("collective poisoned")
+    }
+
+    /// Fallible gather (see [`Node::gather_to`]).
+    pub fn try_gather_to(&mut self, root: usize, payload: Bytes) -> Result<Vec<Bytes>, Fault> {
         assert!(root < self.size, "gather root out of range");
+        self.apply_stall();
         let parts = self
             .collectives
-            .exchange_bytes(self.rank, self.clock_ns, payload);
+            .try_exchange_bytes(self.rank, self.clock_ns, payload)
+            .map_err(|_| Fault::CollectivePoisoned { rank: self.rank })?;
         let max_ts = parts.iter().map(|(t, _)| *t).fold(f64::MIN, f64::max);
         let total: usize = parts.iter().map(|(_, b)| b.len()).sum();
         self.clock_ns = max_ts + (self.size.max(2) as f64).log2() * self.params.tree_stage_ns;
         if self.rank == root {
             self.clock_ns += total as f64 * self.params.beta_ns_per_byte;
-            parts.into_iter().map(|(_, b)| b).collect()
+            Ok(parts.into_iter().map(|(_, b)| b).collect())
         } else {
-            Vec::new()
+            Ok(Vec::new())
         }
     }
 }
@@ -250,6 +574,29 @@ pub fn run_spmd<R, F>(nodes: usize, params: TimeParams, f: F) -> SpmdResult<R>
 where
     R: Send,
     F: Fn(&mut Node) -> R + Sync,
+{
+    try_run_spmd(nodes, params, None, |node| Ok(f(node)))
+        .unwrap_or_else(|abort| panic!("fault-free SPMD run aborted: {abort}"))
+}
+
+/// Runs `f` on `nodes` SPMD nodes under an optional [`FaultPlan`].
+///
+/// A node program that returns `Err` poisons the collectives and drops
+/// its channel endpoints, so every peer blocked on it cascades out with
+/// its own `Err` ([`Fault::CollectivePoisoned`] or [`Fault::PeerDown`])
+/// instead of deadlocking; the run then reports [`SpmdAbort`]. Because a
+/// node's abort point is a pure function of the fault plan and the node
+/// program's data, aborts — like everything else in the simulator — are
+/// deterministic under host scheduling.
+pub fn try_run_spmd<R, F>(
+    nodes: usize,
+    params: TimeParams,
+    plan: Option<FaultPlan>,
+    f: F,
+) -> Result<SpmdResult<R>, SpmdAbort>
+where
+    R: Send,
+    F: Fn(&mut Node) -> Result<R, Fault> + Sync,
 {
     assert!(nodes > 0, "need at least one node");
     // Build the P×P channel matrix: endpoint (s, d).
@@ -267,6 +614,7 @@ where
         }
     }
     let collectives = Arc::new(CollectiveCtx::new(nodes));
+    let plan = plan.map(Arc::new);
 
     let mut handles: Vec<Node> = Vec::with_capacity(nodes);
     for (rank, (snd_row, rcv_row)) in senders.into_iter().zip(receivers).enumerate() {
@@ -281,38 +629,69 @@ where
             to: snd_row.into_iter().map(Option::unwrap).collect(),
             from: rcv_row.into_iter().map(Option::unwrap).collect(),
             collectives: Arc::clone(&collectives),
+            slowdown: plan.as_ref().map_or(1.0, |p| p.node_slowdown(rank)),
+            plan: plan.clone(),
+            next_seq: vec![0; nodes],
+            expect_seq: vec![0; nodes],
+            fault_events: Vec::new(),
+            fault_counters: FaultCounters::default(),
+            comm_ops: 0,
         });
     }
 
+    type NodeExit<R> = (Result<R, Fault>, f64, Vec<FaultEvent>, FaultCounters);
     let f = &f;
-    let mut out: Vec<Option<(R, f64)>> = (0..nodes).map(|_| None).collect();
+    let mut out: Vec<Option<NodeExit<R>>> = (0..nodes).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut joins = Vec::with_capacity(nodes);
         for mut node in handles {
             joins.push(scope.spawn(move || {
                 let r = f(&mut node);
-                (node.rank, r, node.clock_ns)
+                if r.is_err() {
+                    // Wake peers blocked in collectives; peers blocked in
+                    // receives wake when this node's senders drop below.
+                    node.poison_collectives();
+                }
+                let events = node.take_fault_events();
+                (node.rank, r, node.clock_ns, events, node.fault_counters)
             }));
         }
         for j in joins {
-            let (rank, r, clock) = j.join().expect("node program panicked");
-            out[rank] = Some((r, clock));
+            let (rank, r, clock, events, counters) = j.join().expect("node program panicked");
+            out[rank] = Some((r, clock, events, counters));
         }
     });
 
     let mut results = Vec::with_capacity(nodes);
+    let mut faults = Vec::new();
     let mut node_seconds = Vec::with_capacity(nodes);
-    for slot in out {
-        let (r, clock) = slot.expect("missing node result");
-        results.push(r);
+    let mut fault_events = Vec::new();
+    let mut fault_counters = FaultCounters::default();
+    for (rank, slot) in out.into_iter().enumerate() {
+        let (r, clock, events, counters) = slot.expect("missing node result");
         node_seconds.push(clock / 1e9);
+        fault_events.extend(events);
+        fault_counters.merge(&counters);
+        match r {
+            Ok(v) => results.push(v),
+            Err(fault) => faults.push((rank, fault)),
+        }
+    }
+    if !faults.is_empty() {
+        return Err(SpmdAbort {
+            faults,
+            fault_events,
+            fault_counters,
+        });
     }
     let max_seconds = node_seconds.iter().copied().fold(0.0, f64::max);
-    SpmdResult {
+    Ok(SpmdResult {
         results,
         node_seconds,
         max_seconds,
-    }
+        fault_events,
+        fault_counters,
+    })
 }
 
 #[cfg(test)]
@@ -333,6 +712,8 @@ mod tests {
         });
         assert_eq!(res.results, vec![7, 0, 1, 2, 3, 4, 5, 6]);
         assert!(res.max_seconds > 0.0);
+        assert!(res.fault_events.is_empty());
+        assert_eq!(res.fault_counters, FaultCounters::default());
     }
 
     #[test]
@@ -487,5 +868,165 @@ mod collective_tests {
         });
         assert_eq!(res.results[0], (2, 16));
         assert_eq!(res.results[1], (0, 0));
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+    use crate::channel::{decode_u32s, encode_u32s};
+    use crate::fault::FaultPlan;
+
+    /// A ring exchange under the given plan: payloads must survive intact.
+    fn chaos_ring(plan: FaultPlan) -> Result<SpmdResult<Vec<u32>>, SpmdAbort> {
+        try_run_spmd(6, TimeParams::default(), Some(plan), |node| {
+            let right = (node.rank() + 1) % node.size();
+            let left = (node.rank() + node.size() - 1) % node.size();
+            for k in 0..20u32 {
+                node.try_send_sync(right, encode_u32s(&[node.rank() as u32, k]))?;
+            }
+            let mut got = Vec::new();
+            for _ in 0..20 {
+                got.extend(decode_u32s(node.try_recv_from(left)?));
+            }
+            node.try_barrier()?;
+            Ok(got)
+        })
+    }
+
+    #[test]
+    fn survivable_profiles_deliver_identical_payloads() {
+        let baseline = chaos_ring(FaultPlan::new(0, "none").unwrap()).unwrap();
+        for profile in ["drop", "dup", "corrupt", "delay", "slow", "storm"] {
+            for seed in [1u64, 2, 0xC0FFEE] {
+                let res = chaos_ring(FaultPlan::new(seed, profile).unwrap())
+                    .unwrap_or_else(|a| panic!("{profile}/{seed} aborted: {a}"));
+                assert_eq!(res.results, baseline.results, "{profile}/{seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let plan = || FaultPlan::new(77, "storm").unwrap();
+        let a = chaos_ring(plan()).unwrap();
+        let b = chaos_ring(plan()).unwrap();
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.node_seconds, b.node_seconds);
+        assert_eq!(a.fault_events, b.fault_events);
+        assert_eq!(a.fault_counters, b.fault_counters);
+    }
+
+    #[test]
+    fn faults_cost_virtual_time() {
+        let clean = chaos_ring(FaultPlan::new(0, "none").unwrap()).unwrap();
+        let noisy = chaos_ring(FaultPlan::new(5, "storm").unwrap()).unwrap();
+        assert!(noisy.fault_counters.total_faults() > 0);
+        assert!(noisy.fault_counters.retries > 0);
+        assert!(
+            noisy.max_seconds > clean.max_seconds,
+            "retries must show up on the clock: {} vs {}",
+            noisy.max_seconds,
+            clean.max_seconds
+        );
+    }
+
+    #[test]
+    fn blackhole_aborts_without_deadlock() {
+        let abort =
+            chaos_ring(FaultPlan::new(9, "blackhole").unwrap()).expect_err("blackhole must abort");
+        assert!(!abort.faults.is_empty());
+        assert!(abort
+            .faults
+            .iter()
+            .any(|(_, f)| matches!(f, Fault::LinkDead { .. })));
+        assert!(abort.fault_counters.links_dead > 0);
+    }
+
+    #[test]
+    fn single_fault_cascades_to_all_nodes() {
+        // Rank 0 aborts immediately; everyone else is blocked on a
+        // collective and must cascade out rather than deadlock.
+        let abort = try_run_spmd(
+            4,
+            TimeParams::default(),
+            Some(FaultPlan::new(1, "none").unwrap()),
+            |node| {
+                if node.rank() == 0 {
+                    return Err(Fault::LinkDead {
+                        src: 0,
+                        dst: 1,
+                        seq: 0,
+                    });
+                }
+                node.try_barrier()?;
+                Ok(())
+            },
+        )
+        .expect_err("must abort");
+        assert_eq!(abort.faults.len(), 4);
+        for (rank, fault) in &abort.faults[1..] {
+            assert_eq!(
+                fault,
+                &Fault::CollectivePoisoned { rank: *rank },
+                "rank {rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn peer_death_wakes_blocked_receiver() {
+        let abort = try_run_spmd(
+            2,
+            TimeParams::default(),
+            Some(FaultPlan::new(1, "none").unwrap()),
+            |node| {
+                if node.rank() == 0 {
+                    return Err(Fault::LinkDead {
+                        src: 0,
+                        dst: 1,
+                        seq: 0,
+                    });
+                }
+                // Blocks forever unless node 0's death disconnects us.
+                let _ = node.try_recv_from(0)?;
+                Ok(())
+            },
+        )
+        .expect_err("must abort");
+        assert!(abort
+            .faults
+            .iter()
+            .any(|(r, f)| *r == 1 && matches!(f, Fault::PeerDown { peer: 0, .. })));
+    }
+
+    #[test]
+    fn framing_only_applies_under_a_plan() {
+        // The fault-free path must keep raw payloads (and exact byte
+        // counters); the chaos path frames every payload.
+        let plain = run_spmd(2, TimeParams::default(), |node| {
+            if node.rank() == 0 {
+                node.send_sync(1, encode_u32s(&[1, 2, 3]));
+            } else {
+                let _ = node.recv_from(0);
+            }
+            node.bytes_sent()
+        });
+        assert_eq!(plain.results[0], 12);
+        let framed = try_run_spmd(
+            2,
+            TimeParams::default(),
+            Some(FaultPlan::new(0, "none").unwrap()),
+            |node| {
+                if node.rank() == 0 {
+                    node.try_send_sync(1, encode_u32s(&[1, 2, 3]))?;
+                } else {
+                    let _ = node.try_recv_from(0)?;
+                }
+                Ok(node.bytes_sent())
+            },
+        )
+        .unwrap();
+        assert_eq!(framed.results[0], 12 + FRAME_HEADER_LEN as u64);
     }
 }

@@ -34,24 +34,51 @@ use std::time::Instant;
 /// The shared per-image callback slot of a multi-worker batch.
 type SharedSink<'a> = Mutex<&'a mut (dyn FnMut(usize, &Segmentation) + Send)>;
 
+/// A seeded chaos schedule for a batch: which fault-injection plan the
+/// pipelines were built with. Carried on [`BatchOptions`] so the batch
+/// runtime knows the run must stay deterministic — chaos batches are
+/// forced to a single worker exactly like telemetry-enabled ones (the
+/// fault schedule and any host-fallback re-runs must replay identically).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// The fault-plan seed.
+    pub seed: u64,
+    /// Fault profile name (e.g. `"storm"`; see the CMMD fault module).
+    pub profile: String,
+}
+
 /// Options for [`run_batch`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BatchOptions {
     /// Worker count (each worker owns one pipeline + workspace). Clamped
     /// to at least 1; forced to 1 when telemetry is enabled (see module
-    /// docs).
+    /// docs) or when a chaos schedule is armed.
     pub jobs: usize,
+    /// The chaos schedule the pipelines carry, if any (see [`ChaosSpec`]).
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl BatchOptions {
-    /// Default options: one worker.
+    /// Default options: one worker, no chaos.
     pub fn new() -> Self {
-        Self { jobs: 1 }
+        Self {
+            jobs: 1,
+            chaos: None,
+        }
     }
 
     /// Sets the worker count.
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Arms a chaos schedule (forces single-worker execution).
+    pub fn chaos(mut self, seed: u64, profile: &str) -> Self {
+        self.chaos = Some(ChaosSpec {
+            seed,
+            profile: profile.to_string(),
+        });
         self
     }
 }
@@ -104,7 +131,11 @@ where
 {
     let t0 = Instant::now();
     let enabled = tel.enabled();
-    let jobs = if enabled { 1 } else { opts.jobs.max(1) };
+    let jobs = if enabled || opts.chaos.is_some() {
+        1
+    } else {
+        opts.jobs.max(1)
+    };
     let mut total_regions = 0u64;
 
     if jobs <= 1 {

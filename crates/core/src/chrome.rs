@@ -166,6 +166,19 @@ fn push_run(out: &mut Vec<Json>, events: &[Event], pid: u64) {
                     ],
                 ));
             }
+            EventKind::Fault { rec } => {
+                out.push(instant(
+                    &format!("fault:{}", rec.kind),
+                    pid,
+                    ts,
+                    vec![
+                        ("src", rec.src.into()),
+                        ("dst", rec.dst.into()),
+                        ("seq", rec.seq.into()),
+                        ("ts_ns", rec.ts_ns.into()),
+                    ],
+                ));
+            }
             EventKind::Counter { name, value } => {
                 out.push(counter(name, pid, ts, *value));
             }

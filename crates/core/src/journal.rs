@@ -41,6 +41,7 @@
 //! | `merge_iter`  | `iter`, `merges`, `fallback`, opt. `active_edges`, `compacted` |
 //! | `merge_done`  | `num_regions`                                        |
 //! | `comm`        | `scheme`, `nodes`, `rounds`, `messages`, `bytes`     |
+//! | `fault`       | `kind`, `src`, `dst`, `seq`, `ts_ns` (chaos runs)    |
 //! | `counter`     | `name`, `value`                                      |
 //! | `hist`        | `name`, `hist` object (see [`Histogram::to_json`])   |
 //! | `run_end`     | `dropped` (events lost to sink back-pressure)        |
@@ -51,8 +52,8 @@ use std::time::Instant;
 use crate::config::Config;
 use crate::json::{Json, JsonError};
 use crate::telemetry::{
-    CommRecord, ConfigRecord, Histogram, MergeIterationRecord, SpanKind, Stage, StageSpan,
-    Telemetry, TelemetryReport,
+    CommRecord, ConfigRecord, FaultRecord, Histogram, MergeIterationRecord, SpanKind, Stage,
+    StageSpan, Telemetry, TelemetryReport,
 };
 
 /// What happened (the payload of one journal line).
@@ -106,6 +107,11 @@ pub enum EventKind {
         /// The record.
         rec: CommRecord,
     },
+    /// One injected-fault event (chaos runs only).
+    Fault {
+        /// The record.
+        rec: FaultRecord,
+    },
     /// A named scalar counter.
     Counter {
         /// Counter name.
@@ -142,6 +148,7 @@ impl EventKind {
             EventKind::MergeIteration { .. } => "merge_iter",
             EventKind::MergeDone { .. } => "merge_done",
             EventKind::Comm { .. } => "comm",
+            EventKind::Fault { .. } => "fault",
             EventKind::Counter { .. } => "counter",
             EventKind::Histogram { .. } => "hist",
             EventKind::RunEnd { .. } => "run_end",
@@ -213,6 +220,13 @@ impl Event {
                 pairs.push(("rounds", rec.rounds.into()));
                 pairs.push(("messages", rec.messages.into()));
                 pairs.push(("bytes", rec.bytes.into()));
+            }
+            EventKind::Fault { rec } => {
+                pairs.push(("kind", rec.kind.as_str().into()));
+                pairs.push(("src", u64::from(rec.src).into()));
+                pairs.push(("dst", u64::from(rec.dst).into()));
+                pairs.push(("seq", rec.seq.into()));
+                pairs.push(("ts_ns", rec.ts_ns.into()));
             }
             EventKind::Counter { name, value } => {
                 pairs.push(("name", name.as_str().into()));
@@ -357,6 +371,31 @@ impl Event {
                         .ok_or_else(|| bad("bytes"))?,
                 },
             },
+            "fault" => EventKind::Fault {
+                rec: FaultRecord {
+                    kind: v
+                        .get("kind")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| bad("kind"))?
+                        .to_string(),
+                    src: v
+                        .get("src")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("src"))? as u32,
+                    dst: v
+                        .get("dst")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("dst"))? as u32,
+                    seq: v
+                        .get("seq")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("seq"))?,
+                    ts_ns: v
+                        .get("ts_ns")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| bad("ts_ns"))?,
+                },
+            },
             "counter" => EventKind::Counter {
                 name: v
                     .get("name")
@@ -427,6 +466,10 @@ pub struct Streaming<S: EmitEvent> {
     sink: S,
     clock: Instant,
     open_spans: usize,
+    /// `Some(next ordinal)` in logical-clock mode: `t_us` is the event
+    /// ordinal instead of elapsed wall time, so two identical event
+    /// streams serialize to byte-identical journals (chaos determinism).
+    logical: Option<u64>,
 }
 
 impl<S: EmitEvent> Streaming<S> {
@@ -436,7 +479,18 @@ impl<S: EmitEvent> Streaming<S> {
             sink,
             clock: Instant::now(),
             open_spans: 0,
+            logical: None,
         }
+    }
+
+    /// Switches to the logical clock: `t_us` becomes the event ordinal
+    /// (0, 1, 2, ...) instead of wall microseconds. Ordinals are monotonic
+    /// so [`validate_journal`] accepts logical journals unchanged; two
+    /// runs emitting the same events produce byte-identical JSONL — the
+    /// reproducibility contract of `--chaos` traces.
+    pub fn with_logical_clock(mut self) -> Self {
+        self.logical = Some(0);
+        self
     }
 
     /// The wrapped consumer.
@@ -459,7 +513,14 @@ impl<S: EmitEvent> Streaming<S> {
     }
 
     fn push(&mut self, kind: EventKind) {
-        let t_us = self.now_us();
+        let t_us = match &mut self.logical {
+            Some(next) => {
+                let t = *next;
+                *next += 1;
+                t
+            }
+            None => self.now_us(),
+        };
         self.sink.emit(Event { t_us, kind });
     }
 }
@@ -508,6 +569,10 @@ impl<S: EmitEvent> Telemetry for Streaming<S> {
 
     fn comm(&mut self, rec: CommRecord) {
         self.push(EventKind::Comm { rec });
+    }
+
+    fn fault(&mut self, rec: FaultRecord) {
+        self.push(EventKind::Fault { rec });
     }
 
     fn counter(&mut self, name: &str, value: f64) {
@@ -634,6 +699,13 @@ pub fn jsonl_sink_for_path(path: &str) -> io::Result<JsonlSink<Box<dyn Write>>> 
         JsonlWriter::new(Box::new(std::fs::File::create(path)?))
     };
     Ok(Streaming::new(writer))
+}
+
+/// [`jsonl_sink_for_path`] in logical-clock mode (see
+/// [`Streaming::with_logical_clock`]) — the journal flavour `--chaos` uses
+/// so a repeated seeded run writes a byte-identical trace.
+pub fn jsonl_sink_for_path_logical(path: &str) -> io::Result<JsonlSink<Box<dyn Write>>> {
+    Ok(jsonl_sink_for_path(path)?.with_logical_clock())
 }
 
 /// An in-memory event consumer (testing and trace export).
@@ -771,6 +843,12 @@ pub fn replay(events: &[Event]) -> TelemetryReport {
             }
             EventKind::MergeDone { num_regions } => r.num_regions = *num_regions,
             EventKind::Comm { rec } => r.comm = Some(rec.clone()),
+            EventKind::Fault { rec } => {
+                if rec.kind == "degraded" {
+                    r.degraded = true;
+                }
+                r.faults.push(rec.clone());
+            }
             EventKind::Counter { name, value } => r.counters.push((name.clone(), *value)),
             EventKind::Histogram { name, hist } => {
                 r.histograms.push((name.clone(), (**hist).clone()))

@@ -58,7 +58,7 @@ pub mod split;
 pub mod telemetry;
 pub mod verify;
 
-pub use batch::{run_batch, run_batch_collect, BatchOptions, BatchSummary};
+pub use batch::{run_batch, run_batch_collect, BatchOptions, BatchSummary, ChaosSpec};
 pub use chrome::{chrome_trace, chrome_trace_multi, split_runs, validate_chrome_trace};
 pub use config::{Config, Connectivity, Criterion, MergeBackend, RegionStats, TieBreak};
 pub use engine::{
@@ -67,15 +67,16 @@ pub use engine::{
 };
 pub use hierarchy::{MergeEvent, MergeTrace};
 pub use journal::{
-    jsonl_sink_for_path, parse_journal, parse_journal_strict, replay, validate_journal, EmitEvent,
-    Event, EventKind, EventLog, EventVec, JournalInvalid, JournalStats, JsonlSink, JsonlWriter,
-    Streaming,
+    jsonl_sink_for_path, jsonl_sink_for_path_logical, parse_journal, parse_journal_strict, replay,
+    validate_journal, EmitEvent, Event, EventKind, EventLog, EventVec, JournalInvalid,
+    JournalStats, JsonlSink, JsonlWriter, Streaming,
 };
 pub use merge::{choice_key, CandKey, MergeSummary, Merger, StepReport};
 pub use pipeline::{ExecutionPlan, HostPipeline, Pipeline, Workspace};
 pub use split::{split, split_into, split_par, SplitResult, SplitScratch, Square};
 pub use telemetry::{
-    CommRecord, ConfigRecord, ConformanceView, Fanout, Histogram, MergeIterationRecord,
-    NullTelemetry, Recorder, SpanGuard, SpanKind, Stage, StageSpan, Telemetry, TelemetryReport,
+    CommRecord, ConfigRecord, ConformanceView, Fanout, FaultRecord, Histogram,
+    MergeIterationRecord, NullTelemetry, Recorder, SpanGuard, SpanKind, Stage, StageSpan,
+    Telemetry, TelemetryReport,
 };
 pub use verify::{verify_segmentation, Violation};

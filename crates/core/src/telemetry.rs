@@ -494,6 +494,29 @@ pub struct CommRecord {
     pub bytes: u64,
 }
 
+/// One injected-fault (or recovery) event observed during a chaos run.
+///
+/// The message-passing engine forwards these from the CMMD fault-injection
+/// layer: every drop, duplication, corruption, delay, stall, retry, dead
+/// link, and — when the run could not be salvaged — the final `"degraded"`
+/// marker recording the fallback to the host pipeline. Timestamps are
+/// *virtual* nanoseconds on the sending node's clock, so a fault stream is
+/// deterministic for a fixed seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecord {
+    /// Fault kind label: `"drop"`, `"dup"`, `"corrupt"`, `"delay"`,
+    /// `"stall"`, `"retry"`, `"link_dead"`, `"peer_down"`, `"degraded"`.
+    pub kind: String,
+    /// Sending (or affected) node rank.
+    pub src: u32,
+    /// Destination rank (equal to `src` for node-local faults).
+    pub dst: u32,
+    /// Per-link message sequence number (0 for node-local faults).
+    pub seq: u64,
+    /// Virtual time of the fault, nanoseconds.
+    pub ts_ns: f64,
+}
+
 /// The telemetry sink every engine reports into.
 ///
 /// All methods have empty defaults so sinks implement only what they need;
@@ -533,6 +556,10 @@ pub trait Telemetry {
 
     /// Aggregate communication counters (message-passing engine only).
     fn comm(&mut self, _rec: CommRecord) {}
+
+    /// One injected-fault event from a chaos run (message-passing engine
+    /// only; never emitted on fault-free runs).
+    fn fault(&mut self, _rec: FaultRecord) {}
 
     /// A named scalar counter (e.g. `"merge.send.ops"` from the
     /// data-parallel cost ledger).
@@ -689,6 +716,12 @@ pub struct TelemetryReport {
     pub counters: Vec<(String, f64)>,
     /// Named histograms in emission order (see [`Histogram`]).
     pub histograms: Vec<(String, Histogram)>,
+    /// Injected-fault events in emission order (chaos runs only; empty on
+    /// fault-free runs, keeping their serialized reports byte-stable).
+    pub faults: Vec<FaultRecord>,
+    /// `true` when the run could not be completed on the faulted fabric
+    /// and fell back to the host pipeline (unsurvivable chaos schedule).
+    pub degraded: bool,
 }
 
 /// The cross-engine-comparable subset of a [`TelemetryReport`]: the
@@ -937,6 +970,30 @@ impl TelemetryReport {
                 ),
             ));
         }
+        // Fault fields exist only on chaos runs: fault-free reports stay
+        // byte-identical to the pre-chaos schema.
+        if !self.faults.is_empty() {
+            pairs.push((
+                "faults",
+                Json::Arr(
+                    self.faults
+                        .iter()
+                        .map(|f| {
+                            Json::obj(vec![
+                                ("kind", f.kind.as_str().into()),
+                                ("src", u64::from(f.src).into()),
+                                ("dst", u64::from(f.dst).into()),
+                                ("seq", f.seq.into()),
+                                ("ts_ns", f.ts_ns.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        if self.degraded {
+            pairs.push(("degraded", self.degraded.into()));
+        }
         Json::obj(pairs)
     }
 
@@ -1107,6 +1164,41 @@ impl TelemetryReport {
             _ => Vec::new(),
         };
 
+        let faults = match v.get("faults").and_then(Json::as_arr) {
+            None => Vec::new(),
+            Some(arr) => arr
+                .iter()
+                .map(|f| {
+                    Ok(FaultRecord {
+                        kind: f
+                            .get("kind")
+                            .and_then(Json::as_str)
+                            .ok_or_else(|| missing("faults[].kind"))?
+                            .to_string(),
+                        src: f
+                            .get("src")
+                            .and_then(Json::as_u64)
+                            .ok_or_else(|| missing("faults[].src"))?
+                            as u32,
+                        dst: f
+                            .get("dst")
+                            .and_then(Json::as_u64)
+                            .ok_or_else(|| missing("faults[].dst"))?
+                            as u32,
+                        seq: f
+                            .get("seq")
+                            .and_then(Json::as_u64)
+                            .ok_or_else(|| missing("faults[].seq"))?,
+                        ts_ns: f
+                            .get("ts_ns")
+                            .and_then(Json::as_f64)
+                            .ok_or_else(|| missing("faults[].ts_ns"))?,
+                    })
+                })
+                .collect::<Result<Vec<_>, JsonError>>()?,
+        };
+        let degraded = v.get("degraded").and_then(Json::as_bool).unwrap_or(false);
+
         Ok(Self {
             engine,
             width,
@@ -1122,6 +1214,8 @@ impl TelemetryReport {
             comm,
             counters,
             histograms,
+            faults,
+            degraded,
         })
     }
 
@@ -1239,6 +1333,13 @@ impl Telemetry for Recorder {
         self.report.comm = Some(rec);
     }
 
+    fn fault(&mut self, rec: FaultRecord) {
+        if rec.kind == "degraded" {
+            self.report.degraded = true;
+        }
+        self.report.faults.push(rec);
+    }
+
     fn counter(&mut self, name: &str, value: f64) {
         // Counters are a *current value* track: re-emitting a name (the
         // message-passing engine updates cumulative `comm.*` counters per
@@ -1326,6 +1427,12 @@ impl Telemetry for Fanout<'_> {
     fn comm(&mut self, rec: CommRecord) {
         for s in &mut self.sinks {
             s.comm(rec.clone());
+        }
+    }
+
+    fn fault(&mut self, rec: FaultRecord) {
+        for s in &mut self.sinks {
+            s.fault(rec.clone());
         }
     }
 

@@ -13,8 +13,8 @@
 //! route stats, choices, and redirects without extra handshakes.
 
 use crate::decomp::{Decomposition, Tile};
-use cmmd_sim::channel::{decode_u32s, encode_u32s};
-use cmmd_sim::Node;
+use cmmd_sim::channel::{encode_u32s, try_decode_u32s};
+use cmmd_sim::{Fault, Node};
 use rg_core::graph::adjacent_label_pairs;
 use rg_core::{split, Config, Connectivity, RegionStats};
 use rg_imaging::{Image, Intensity};
@@ -63,23 +63,38 @@ fn encode_entries(entries: &[(u32, RegionStats<u32>)]) -> Vec<u32> {
     out
 }
 
+/// Inverse of [`encode_entries`]; `None` for a length that is not a whole
+/// number of entries (a corrupted payload on a chaos run).
+fn try_decode_entries(words: &[u32]) -> Option<Vec<(u32, RegionStats<u32>)>> {
+    if !words.len().is_multiple_of(7) {
+        return None;
+    }
+    Some(
+        words
+            .chunks_exact(7)
+            .map(|c| {
+                (
+                    c[0],
+                    RegionStats {
+                        min: c[1],
+                        max: c[2],
+                        sum: c[3] as u64 | ((c[4] as u64) << 32),
+                        count: c[5] as u64 | ((c[6] as u64) << 32),
+                    },
+                )
+            })
+            .collect(),
+    )
+}
+
 /// Inverse of [`encode_entries`].
+///
+/// # Panics
+/// Panics on a malformed length; use [`try_decode_entries`] on paths that
+/// must survive corruption.
+#[cfg(test)]
 fn decode_entries(words: &[u32]) -> Vec<(u32, RegionStats<u32>)> {
-    assert_eq!(words.len() % 7, 0, "malformed stats payload");
-    words
-        .chunks_exact(7)
-        .map(|c| {
-            (
-                c[0],
-                RegionStats {
-                    min: c[1],
-                    max: c[2],
-                    sum: c[3] as u64 | ((c[4] as u64) << 32),
-                    count: c[5] as u64 | ((c[6] as u64) << 32),
-                },
-            )
-        })
-        .collect()
+    try_decode_entries(words).unwrap_or_else(|| panic!("malformed stats payload"))
 }
 
 /// Splits the node's sub-image and assembles its local share of the graph,
@@ -87,14 +102,20 @@ fn decode_entries(words: &[u32]) -> Vec<(u32, RegionStats<u32>)> {
 ///
 /// `cap` is the square-size cap actually used (already clamped to the
 /// decomposition's safe cap by the driver).
+///
+/// Fallible: under an armed fault plan, an unhealable link or a poisoned
+/// collective surfaces as `Err` so the driver can degrade to the host
+/// pipeline; without a plan the communication never fails.
 pub fn build_local_rag<P: Intensity>(
     node: &mut Node,
     decomp: &Decomposition,
     img: &Image<P>,
     config: &Config,
     cap: u8,
-) -> LocalRag {
-    let tile = decomp.tile(node.rank());
+) -> Result<LocalRag, Fault> {
+    let me = node.rank();
+    let malformed = |what: &'static str| Fault::Malformed { rank: me, what };
+    let tile = decomp.tile(me);
     let sub = img.crop(tile.x0, tile.y0, tile.w, tile.h);
 
     // --- step 1: independent local split --------------------------------
@@ -108,7 +129,7 @@ pub fn build_local_rag<P: Intensity>(
     );
     // The split stage ends with a synchronisation point: the paper times
     // the stages separately.
-    node.barrier();
+    node.try_barrier()?;
     let split_done_seconds = node.clock_seconds();
 
     // Owned regions with global IDs.
@@ -194,11 +215,14 @@ pub fn build_local_rag<P: Intensity>(
         let peer = decomp.rank_of(nx as usize, ny as usize);
         let entries = strip(side);
         node.compute(entries.len() as u64 * STRIP_UNITS_PER_ELEM);
-        node.send_sync(peer, encode_u32s(&encode_entries(&entries)));
+        node.try_send_sync(peer, encode_u32s(&encode_entries(&entries)))?;
         expected.push((peer, side));
     }
     for (peer, my_side) in expected {
-        let theirs = decode_entries(&decode_u32s(node.recv_from(peer)));
+        let words = try_decode_u32s(node.try_recv_from(peer)?)
+            .map_err(|_| malformed("boundary strip payload"))?;
+        let theirs =
+            try_decode_entries(&words).ok_or_else(|| malformed("boundary strip entries"))?;
         node.compute(theirs.len() as u64 * STRIP_UNITS_PER_ELEM);
         // My border pixels facing this neighbour, in strip order.
         let mine: Vec<u32> = match my_side {
@@ -244,12 +268,17 @@ pub fn build_local_rag<P: Intensity>(
             let cx = if dx > 0 { tile.w - 1 } else { 0 };
             let cy = if dy > 0 { tile.h - 1 } else { 0 };
             let gid = pixel_square[cy * tile.w + cx];
-            node.send_sync(peer, encode_u32s(&encode_entries(&[(gid, store[&gid])])));
+            node.try_send_sync(peer, encode_u32s(&encode_entries(&[(gid, store[&gid])])))?;
             expected.push(peer);
         }
         for peer in expected {
-            let theirs = decode_entries(&decode_u32s(node.recv_from(peer)));
-            let (gid, st) = theirs[0];
+            let words = try_decode_u32s(node.try_recv_from(peer)?)
+                .map_err(|_| malformed("corner stats payload"))?;
+            let theirs =
+                try_decode_entries(&words).ok_or_else(|| malformed("corner stats entries"))?;
+            let (gid, st) = *theirs
+                .first()
+                .ok_or_else(|| malformed("empty corner stats"))?;
             ghosts.insert(gid, st);
             // Which of my corners faces this peer?
             let (ptx, pty) = decomp.grid_coords(peer);
@@ -262,14 +291,14 @@ pub fn build_local_rag<P: Intensity>(
     half_edges.sort_unstable();
     half_edges.dedup();
 
-    LocalRag {
+    Ok(LocalRag {
         store,
         half_edges,
         ghosts,
         pixel_square,
         split_iterations: s.iterations,
         split_done_seconds,
-    }
+    })
 }
 
 /// Re-exported for the driver: a tile's pixel rectangle.
@@ -308,5 +337,11 @@ mod tests {
     #[should_panic(expected = "malformed")]
     fn decode_rejects_bad_length() {
         let _ = decode_entries(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn try_decode_surfaces_bad_length_as_none() {
+        assert!(try_decode_entries(&[1, 2, 3]).is_none());
+        assert_eq!(try_decode_entries(&[]), Some(Vec::new()));
     }
 }

@@ -3,12 +3,15 @@
 use crate::boundary::build_local_rag;
 use crate::decomp::Decomposition;
 use crate::merge_mp::{merge_mp, ExchangeComm, MpMergeOutcome, EXCHANGES_PER_ITERATION};
-use cmmd_sim::channel::{decode_u32s, encode_u32s};
-use cmmd_sim::{run_spmd, CommScheme, TimeParams};
+use cmmd_sim::channel::{encode_u32s, try_decode_u32s};
+use cmmd_sim::{
+    try_run_spmd, CommScheme, Fault, FaultCounters, FaultEvent, FaultKind, FaultPlan, SpmdAbort,
+    TimeParams,
+};
 use rg_core::labels::compact_first_appearance;
 use rg_core::telemetry::{
-    derive_merge_iterations, CommRecord, Histogram, SpanGuard, SpanKind, Stage, StageSpan,
-    Telemetry,
+    derive_merge_iterations, CommRecord, FaultRecord, Histogram, SpanGuard, SpanKind, Stage,
+    StageSpan, Telemetry,
 };
 use rg_core::{Config, Segmentation};
 use rg_imaging::{Image, Intensity};
@@ -53,6 +56,15 @@ pub struct MsgPassOutcome {
     /// Distribution of point-to-point payload sizes (bytes) during the
     /// merge stage, merged across all nodes.
     pub merge_msg_bytes: Histogram,
+    /// True when a chaos run aborted and the segmentation was recomputed
+    /// by the sequential host engine (graceful degradation). Simulated
+    /// times and communication totals are zeroed in that case.
+    pub degraded: bool,
+    /// Every injected-fault / recovery event observed during the run, in
+    /// deterministic (rank, sequence) order. Empty for fault-free runs.
+    pub fault_events: Vec<FaultEvent>,
+    /// Aggregate fault counters across all nodes.
+    pub fault_counters: FaultCounters,
 }
 
 impl MsgPassOutcome {
@@ -109,12 +121,51 @@ pub fn segment_msgpass_with_telemetry<P: Intensity>(
         // nodes run concurrently on OS threads), so the whole run's wall
         // time is attributed proportionally to the simulated stage times.
         let wall_total = wall.map(|t| t.elapsed().as_secs_f64()).unwrap_or(0.0);
+        emit_telemetry(&out, img.width(), img.height(), config, tel, wall_total);
+    }
+    out
+}
+
+/// [`segment_msgpass_chaos`] reporting into the given [`Telemetry`] sink.
+///
+/// Chaos runs attribute **zero** wall seconds to every stage so that two
+/// runs with the same `--chaos` seed produce byte-identical journals (the
+/// simulated times, fault events and counters are all deterministic; host
+/// wall time is not). Pair with a logical-clock journal sink
+/// ([`rg_core::jsonl_sink_for_path_logical`]) for full byte stability.
+pub fn segment_msgpass_chaos_with_telemetry<P: Intensity>(
+    img: &Image<P>,
+    config: &Config,
+    nodes: usize,
+    scheme: CommScheme,
+    plan: &FaultPlan,
+    tel: &mut dyn Telemetry,
+) -> MsgPassOutcome {
+    let out = segment_msgpass_chaos(img, config, nodes, scheme, plan);
+    if tel.enabled() {
+        emit_telemetry(&out, img.width(), img.height(), config, tel, 0.0);
+    }
+    out
+}
+
+/// Shared telemetry emission for fault-free and chaos runs: replays the
+/// outcome's history as a balanced span tree plus counters, histograms,
+/// and (when present) fault events.
+fn emit_telemetry(
+    out: &MsgPassOutcome,
+    width: usize,
+    height: usize,
+    config: &Config,
+    tel: &mut dyn Telemetry,
+    wall_total: f64,
+) {
+    {
         let sim_total =
             (out.split_seconds + out.graph_seconds + out.merge_seconds).max(f64::MIN_POSITIVE);
         tel.run_start(
             &format!("msgpass:{}:{}", out.scheme.label(), out.nodes),
-            img.width(),
-            img.height(),
+            width,
+            height,
             config,
         );
         {
@@ -216,13 +267,33 @@ pub fn segment_msgpass_with_telemetry<P: Intensity>(
                 bytes: out.total_bytes,
             });
             tel.counter("cap_used_log2", out.cap_used as f64);
+
+            // Fault / chaos telemetry: each injected fault and recovery
+            // event becomes an instant record; counters summarise the
+            // schedule. Fault-free runs emit none of this, keeping their
+            // journals unchanged.
+            if !out.fault_events.is_empty() {
+                for ev in &out.fault_events {
+                    tel.fault(FaultRecord {
+                        kind: ev.kind.label().to_string(),
+                        src: ev.src,
+                        dst: ev.dst,
+                        seq: ev.seq,
+                        ts_ns: ev.ts_ns,
+                    });
+                }
+                tel.counter("faults.total", out.fault_counters.total_faults() as f64);
+                tel.counter("faults.retries", out.fault_counters.retries as f64);
+            }
         }
         tel.run_end();
     }
-    out
 }
 
 /// [`segment_msgpass`] with explicit time parameters.
+///
+/// Panics if the run aborts — impossible without a fault plan, since every
+/// abort path originates in injected faults.
 pub fn segment_msgpass_with<P: Intensity>(
     img: &Image<P>,
     config: &Config,
@@ -230,6 +301,87 @@ pub fn segment_msgpass_with<P: Intensity>(
     scheme: CommScheme,
     params: TimeParams,
 ) -> MsgPassOutcome {
+    try_segment_msgpass_impl(img, config, nodes, scheme, params, None)
+        .unwrap_or_else(|abort| panic!("fault-free msgpass run aborted: {abort}"))
+}
+
+/// [`segment_msgpass`] under a seeded deterministic fault-injection plan.
+///
+/// Survivable schedules (faults the ack/retry protocol absorbs) produce a
+/// segmentation **bit-identical** to the fault-free run, with the injected
+/// faults reported in [`MsgPassOutcome::fault_events`]. Unsurvivable
+/// schedules (a link declared dead, a peer down) degrade gracefully: the
+/// cluster aborts and the segmentation is recomputed by the sequential
+/// host engine under the same square cap, flagged via
+/// [`MsgPassOutcome::degraded`] and a `degraded` fault event.
+pub fn segment_msgpass_chaos<P: Intensity>(
+    img: &Image<P>,
+    config: &Config,
+    nodes: usize,
+    scheme: CommScheme,
+    plan: &FaultPlan,
+) -> MsgPassOutcome {
+    match try_segment_msgpass_impl(
+        img,
+        config,
+        nodes,
+        scheme,
+        TimeParams::cm5_mp(),
+        Some(plan.clone()),
+    ) {
+        Ok(out) => out,
+        Err(abort) => {
+            let decomp = Decomposition::for_nodes(nodes, img.width(), img.height());
+            let safe_cap = decomp.max_safe_square_log2();
+            let cap_used = config
+                .max_square_log2
+                .map(|c| c.min(safe_cap))
+                .unwrap_or(safe_cap);
+            let host_cfg = Config {
+                max_square_log2: Some(cap_used),
+                ..*config
+            };
+            let seg = rg_core::segment(img, &host_cfg);
+            let mut fault_events = abort.fault_events;
+            fault_events.push(FaultEvent {
+                kind: FaultKind::Degraded,
+                src: 0,
+                dst: 0,
+                seq: 0,
+                ts_ns: 0.0,
+            });
+            MsgPassOutcome {
+                seg,
+                split_seconds: 0.0,
+                graph_seconds: 0.0,
+                merge_seconds: 0.0,
+                scheme,
+                nodes: decomp.nodes(),
+                cap_used,
+                total_messages: 0,
+                total_bytes: 0,
+                total_comm_rounds: 0,
+                merge_comm_per_iteration: Vec::new(),
+                merge_msg_bytes: Histogram::new(),
+                degraded: true,
+                fault_events,
+                fault_counters: abort.fault_counters,
+            }
+        }
+    }
+}
+
+/// The SPMD node program, fallible end to end: any [`Fault`] a node hits
+/// aborts the whole cluster deterministically (see
+/// [`cmmd_sim::try_run_spmd`]).
+fn try_segment_msgpass_impl<P: Intensity>(
+    img: &Image<P>,
+    config: &Config,
+    nodes: usize,
+    scheme: CommScheme,
+    params: TimeParams,
+    plan: Option<FaultPlan>,
+) -> Result<MsgPassOutcome, SpmdAbort> {
     let decomp = Decomposition::for_nodes(nodes, img.width(), img.height());
     let safe_cap = decomp.max_safe_square_log2();
     let cap_used = config
@@ -237,33 +389,34 @@ pub fn segment_msgpass_with<P: Intensity>(
         .map(|c| c.min(safe_cap))
         .unwrap_or(safe_cap);
 
-    let res = run_spmd(decomp.nodes(), params, |node| {
+    let res = try_run_spmd(decomp.nodes(), params, plan, |node| {
         // Steps 0–2: receive the sub-image, split it, build the local
         // graph with boundary exchange (split time captured inside).
-        let mut rag = build_local_rag(node, &decomp, img, config, cap_used);
+        let mut rag = build_local_rag(node, &decomp, img, config, cap_used)?;
         let t_split = rag.split_done_seconds;
-        node.barrier();
+        node.try_barrier()?;
         let t_graph = node.clock_seconds();
 
         // Steps 3–5: cooperative merge.
-        let merge = merge_mp(node, &decomp, &mut rag, config, scheme);
-        node.barrier();
+        let merge = merge_mp(node, &decomp, &mut rag, config, scheme)?;
+        node.try_barrier()?;
         let t_merge = node.clock_seconds();
 
         // Final label resolution: gather the global redirect history and
         // chase each tile pixel's square to its representative.
+        let me = node.rank();
         let mut words = Vec::with_capacity(merge.redirects.len() * 2);
         for &(dead, rep) in &merge.redirects {
             words.push(dead);
             words.push(rep);
         }
-        let all: Vec<Vec<u32>> = node
-            .concat(encode_u32s(&words))
-            .into_iter()
-            .map(decode_u32s)
-            .collect();
+        let all = node.try_concat(encode_u32s(&words))?;
         let mut redirect: HashMap<u32, u32> = HashMap::new();
-        for part in all {
+        for payload in all {
+            let part = try_decode_u32s(payload).map_err(|_| Fault::Malformed {
+                rank: me,
+                what: "redirect history payload",
+            })?;
             for c in part.chunks_exact(2) {
                 redirect.insert(c[0], c[1]);
             }
@@ -277,7 +430,7 @@ pub fn segment_msgpass_with<P: Intensity>(
         let tile_labels: Vec<u32> = rag.pixel_square.iter().map(|&q| resolve(q)).collect();
         node.compute(tile_labels.len() as u64 * LABEL_UNITS_PER_PX);
 
-        NodeOut {
+        Ok(NodeOut {
             tile_labels,
             split_iterations: rag.split_iterations,
             num_squares_local: rag.store.len() + merge.redirects.len(),
@@ -288,8 +441,8 @@ pub fn segment_msgpass_with<P: Intensity>(
             msgs_sent: node.msgs_sent(),
             bytes_sent: node.bytes_sent(),
             comm_rounds: node.comm_rounds(),
-        }
-    });
+        })
+    })?;
 
     // Assemble the global label image.
     let (w, h) = (img.width(), img.height());
@@ -348,7 +501,7 @@ pub fn segment_msgpass_with<P: Intensity>(
         merge_msg_bytes.merge(&out.merge.msg_bytes_hist);
     }
 
-    MsgPassOutcome {
+    Ok(MsgPassOutcome {
         seg: Segmentation {
             labels,
             num_regions,
@@ -370,7 +523,10 @@ pub fn segment_msgpass_with<P: Intensity>(
         total_comm_rounds,
         merge_comm_per_iteration,
         merge_msg_bytes,
-    }
+        degraded: false,
+        fault_events: res.fault_events,
+        fault_counters: res.fault_counters,
+    })
 }
 
 #[cfg(test)]
@@ -452,6 +608,44 @@ mod tests {
     fn single_node_matches_host() {
         let img = synth::rect_collection(32);
         check_matches_host(&img, &Config::with_threshold(10), 1);
+    }
+
+    #[test]
+    fn more_nodes_than_rows_matches_host() {
+        // 8 nodes on a 64x2 image force an 8x1 grid: every tile spans the
+        // full image height and boundary exchange runs only horizontally.
+        let img = synth::uniform_noise(64, 2, 60, 200, 9);
+        check_matches_host(&img, &Config::with_threshold(25), 8);
+    }
+
+    #[test]
+    fn one_pixel_tall_image_matches_host() {
+        // 1xN degenerates to a pure horizontal pipeline of 1-row tiles.
+        let img = synth::uniform_noise(64, 1, 60, 200, 9);
+        check_matches_host(&img, &Config::with_threshold(25), 4);
+    }
+
+    #[test]
+    fn one_pixel_wide_image_matches_host() {
+        // Nx1 is the transpose: a vertical strip of 1-column tiles.
+        let img = synth::uniform_noise(1, 64, 60, 200, 9);
+        check_matches_host(&img, &Config::with_threshold(25), 4);
+    }
+
+    #[test]
+    fn near_pixel_limit_cluster_matches_host() {
+        // 16 nodes on 5x5 pixels: one- and two-pixel tiles, every region
+        // initially a singleton square.
+        let img = synth::uniform_noise(5, 5, 60, 200, 9);
+        check_matches_host(&img, &Config::with_threshold(25), 16);
+    }
+
+    #[test]
+    fn single_node_odd_shape_matches_host() {
+        // A 1x1 grid on a non-square, non-power-of-two image: the merge
+        // loop runs without any remote traffic at all.
+        let img = synth::uniform_noise(40, 3, 60, 200, 9);
+        check_matches_host(&img, &Config::with_threshold(25), 1);
     }
 
     #[test]

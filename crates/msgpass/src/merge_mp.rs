@@ -32,8 +32,8 @@
 use crate::boundary::LocalRag;
 use crate::decomp::Decomposition;
 use bytes::Bytes;
-use cmmd_sim::channel::{decode_u32s, encode_u32s};
-use cmmd_sim::{all_to_many, CommScheme, Node};
+use cmmd_sim::channel::{encode_u32s, try_decode_u32s};
+use cmmd_sim::{try_all_to_many, CommScheme, Fault, Node};
 use rg_core::kernels::{stats_from_words, stats_to_words, STATS_WIRE_WORDS};
 use rg_core::merge::{choice_key, CandKey};
 use rg_core::telemetry::Histogram;
@@ -104,29 +104,34 @@ fn traced_exchange(
     outgoing: Vec<(usize, Bytes)>,
     scheme: CommScheme,
     hist: &mut Histogram,
-) -> (Vec<(usize, Bytes)>, ExchangeComm) {
+) -> Result<(Vec<(usize, Bytes)>, ExchangeComm), Fault> {
     for (_, payload) in &outgoing {
         hist.record(payload.len() as u64);
     }
     let (r0, m0, b0) = (node.comm_rounds(), node.msgs_sent(), node.bytes_sent());
-    let received = all_to_many(node, outgoing, scheme);
+    let received = try_all_to_many(node, outgoing, scheme)?;
     let comm = ExchangeComm {
         rounds: node.comm_rounds() - r0,
         messages: node.msgs_sent() - m0,
         bytes: node.bytes_sent() - b0,
     };
-    (received, comm)
+    Ok((received, comm))
 }
 
 /// Runs the distributed merge loop; mutates `rag` in place.
+///
+/// Fallible: under an armed fault plan an unhealable link or a poisoned
+/// collective surfaces as `Err` (the driver then degrades to the host
+/// pipeline); without a plan the loop never fails.
 pub fn merge_mp(
     node: &mut Node,
     decomp: &Decomposition,
     rag: &mut LocalRag,
     config: &Config,
     scheme: CommScheme,
-) -> MpMergeOutcome {
+) -> Result<MpMergeOutcome, Fault> {
     let me = node.rank();
+    let malformed = |what: &'static str| Fault::Malformed { rank: me, what };
     let tile = decomp.tile(me);
     let tile_px = (tile.w * tile.h) as u64;
     let crit = config.criterion;
@@ -163,10 +168,10 @@ pub fn merge_mp(
             .map(|(dst, words)| (dst, encode_u32s(&words)))
             .collect();
         rag.ghosts.clear();
-        let (received, comm) = traced_exchange(node, outgoing, scheme, &mut msg_bytes_hist);
+        let (received, comm) = traced_exchange(node, outgoing, scheme, &mut msg_bytes_hist)?;
         iter_comm[0] = comm;
         for (_, payload) in received {
-            let words = decode_u32s(payload);
+            let words = try_decode_u32s(payload).map_err(|_| malformed("stats payload"))?;
             for c in words.chunks_exact(STATS_WIRE_WORDS) {
                 let (id, stats) = stats_from_words(c);
                 rag.ghosts.insert(id, stats);
@@ -195,7 +200,7 @@ pub fn merge_mp(
         node.compute(rag.half_edges.len() as u64 * MERGE_UNITS_PER_EDGE);
 
         let active = !rag.half_edges.is_empty();
-        if !node.allreduce_or(active) {
+        if !node.try_allreduce_or(active)? {
             break;
         }
 
@@ -255,10 +260,10 @@ pub fn merge_mp(
             .collect();
         // Remote claims (u chose v) targeting my regions v.
         let mut remote_claims: Vec<(u32, u32)> = Vec::new();
-        let (received, comm) = traced_exchange(node, outgoing, scheme, &mut msg_bytes_hist);
+        let (received, comm) = traced_exchange(node, outgoing, scheme, &mut msg_bytes_hist)?;
         iter_comm[1] = comm;
         for (_, payload) in received {
-            let words = decode_u32s(payload);
+            let words = try_decode_u32s(payload).map_err(|_| malformed("choice payload"))?;
             for c in words.chunks_exact(2) {
                 remote_claims.push((c[0], c[1]));
             }
@@ -321,10 +326,10 @@ pub fn merge_mp(
             .map(|(dst, words)| (dst, encode_u32s(&words)))
             .collect();
         let mut redir: HashMap<u32, u32> = newly_dead.iter().copied().collect();
-        let (received, comm) = traced_exchange(node, outgoing, scheme, &mut msg_bytes_hist);
+        let (received, comm) = traced_exchange(node, outgoing, scheme, &mut msg_bytes_hist)?;
         iter_comm[2] = comm;
         for (_, payload) in received {
-            let words = decode_u32s(payload);
+            let words = try_decode_u32s(payload).map_err(|_| malformed("redirect payload"))?;
             for c in words.chunks_exact(2) {
                 redir.insert(c[0], c[1]);
             }
@@ -353,10 +358,10 @@ pub fn merge_mp(
             .into_iter()
             .map(|(dst, words)| (dst, encode_u32s(&words)))
             .collect();
-        let (received, comm) = traced_exchange(node, outgoing, scheme, &mut msg_bytes_hist);
+        let (received, comm) = traced_exchange(node, outgoing, scheme, &mut msg_bytes_hist)?;
         iter_comm[3] = comm;
         for (_, payload) in received {
-            let words = decode_u32s(payload);
+            let words = try_decode_u32s(payload).map_err(|_| malformed("transfer payload"))?;
             for c in words.chunks_exact(2) {
                 keep.push((c[0], c[1]));
             }
@@ -367,7 +372,7 @@ pub fn merge_mp(
         node.compute(rag.half_edges.len() as u64 * MERGE_UNITS_PER_EDGE);
 
         // ---- bookkeeping ----------------------------------------------------
-        let global_merges = node.allreduce_u64(my_merges, |a, b| a + b) as u32;
+        let global_merges = node.try_allreduce_u64(my_merges, |a, b| a + b)? as u32;
         iterations += 1;
         merges_per_iteration.push(global_merges);
         comm_per_iteration.push(iter_comm);
@@ -378,12 +383,12 @@ pub fn merge_mp(
         }
     }
 
-    MpMergeOutcome {
+    Ok(MpMergeOutcome {
         iterations,
         merges_per_iteration,
         redirects: redirect_history,
         num_regions_local: rag.store.len(),
         comm_per_iteration,
         msg_bytes_hist,
-    }
+    })
 }

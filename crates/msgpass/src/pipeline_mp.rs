@@ -13,8 +13,8 @@
 //! that fit a node's tile, so cross-engine comparisons must apply the same
 //! `max_square_log2` to the other engines (see [`crate::Decomposition`]).
 
-use crate::driver::segment_msgpass_with_telemetry;
-use cmmd_sim::CommScheme;
+use crate::driver::{segment_msgpass_chaos_with_telemetry, segment_msgpass_with_telemetry};
+use cmmd_sim::{CommScheme, FaultPlan};
 use rg_core::pipeline::{ExecutionPlan, Pipeline};
 use rg_core::telemetry::Telemetry;
 use rg_core::{Config, Segmentation};
@@ -29,6 +29,7 @@ pub struct MsgPassPipeline {
     scheme: CommScheme,
     engine: String,
     plan: Option<ExecutionPlan>,
+    chaos: Option<FaultPlan>,
 }
 
 impl MsgPassPipeline {
@@ -41,7 +42,19 @@ impl MsgPassPipeline {
             scheme,
             engine: format!("msgpass:{}:{}", scheme.label(), nodes),
             plan: None,
+            chaos: None,
         }
+    }
+
+    /// Creates a pipeline that runs every image under the given seeded
+    /// fault-injection plan (see
+    /// [`segment_msgpass_chaos_with_telemetry`]). Each image replays the
+    /// same deterministic schedule, so a chaos batch is reproducible
+    /// end to end.
+    pub fn with_chaos(config: Config, nodes: usize, scheme: CommScheme, plan: FaultPlan) -> Self {
+        let mut pipe = Self::new(config, nodes, scheme);
+        pipe.chaos = Some(plan);
+        pipe
     }
 
     /// The pipeline's configuration.
@@ -68,8 +81,17 @@ impl Pipeline for MsgPassPipeline {
         if stale {
             self.plan = Some(ExecutionPlan::for_shape(w, h, &self.config));
         }
-        let outcome =
-            segment_msgpass_with_telemetry(img, &self.config, self.nodes, self.scheme, tel);
+        let outcome = match &self.chaos {
+            Some(plan) => segment_msgpass_chaos_with_telemetry(
+                img,
+                &self.config,
+                self.nodes,
+                self.scheme,
+                plan,
+                tel,
+            ),
+            None => segment_msgpass_with_telemetry(img, &self.config, self.nodes, self.scheme, tel),
+        };
         *out = outcome.seg;
     }
 }

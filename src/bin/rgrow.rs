@@ -25,6 +25,15 @@
 //!   --cap N                max square side 2^N (0 = merge-only) [unbounded]
 //!   --engine seq|par|cm2-8k|cm2-16k|cm5-dp|mp-lp|mp-async   [par]
 //!   --nodes N              node count for mp-* engines [32]
+//!   --chaos SEED[:PROFILE] inject a seeded deterministic fault schedule into
+//!                          the simulated CMMD fabric (mp-* engines only).
+//!                          SEED is decimal or 0x-hex; PROFILE is one of
+//!                          none|drop|dup|corrupt|delay|slow|storm|blackhole
+//!                          [storm]. Survivable schedules reproduce the
+//!                          fault-free labels bit for bit; unsurvivable ones
+//!                          degrade to the sequential host engine. Trace
+//!                          journals switch to the logical clock so the same
+//!                          seed writes a byte-identical journal every run.
 //!   --demo NAME            use a built-in scene instead of an input file
 //!                          (image1..image6, circles, rects, nested, tool)
 //!   --telemetry PATH       write a JSON telemetry report (stage timings,
@@ -40,12 +49,12 @@
 //! ```
 
 use cm_sim::CostModel;
-use cmmd_sim::CommScheme;
+use cmmd_sim::{CommScheme, FaultPlan};
 use rg_core::{
-    chrome_trace, jsonl_sink_for_path, labels::labels_to_image, run_batch,
-    segment_par_with_telemetry, segment_with_telemetry, verify_segmentation, BatchOptions, Config,
-    Connectivity, Criterion, EmitEvent, EventLog, Fanout, HostPipeline, NullTelemetry, Pipeline,
-    Recorder, Segmentation, Telemetry, TieBreak,
+    chrome_trace, jsonl_sink_for_path, jsonl_sink_for_path_logical, labels::labels_to_image,
+    run_batch, segment_par_with_telemetry, segment_with_telemetry, verify_segmentation,
+    BatchOptions, Config, Connectivity, Criterion, EmitEvent, EventLog, Fanout, HostPipeline,
+    NullTelemetry, Pipeline, Recorder, Segmentation, Telemetry, TieBreak,
 };
 use rg_imaging::{pgm, synth, GrayImage};
 use std::process::exit;
@@ -63,6 +72,7 @@ struct Options {
     cap: Option<u8>,
     engine: String,
     nodes: usize,
+    chaos: Option<FaultPlan>,
     telemetry: Option<String>,
     trace_out: Option<String>,
     chrome_trace: Option<String>,
@@ -82,6 +92,7 @@ fn usage() -> ! {
         "usage: rgrow <input.pgm> [output.pgm] [--threshold N] [--tie random|smallest|largest]\n\
          \x20            [--seed N] [--connectivity 4|8] [--criterion range|mean] [--cap N]\n\
          \x20            [--engine seq|par|cm2-8k|cm2-16k|cm5-dp|mp-lp|mp-async] [--nodes N]\n\
+         \x20            [--chaos SEED[:none|drop|dup|corrupt|delay|slow|storm|blackhole]]\n\
          \x20            [--demo image1..image6|circles|rects|nested|tool] [--telemetry out.json|-]\n\
          \x20            [--trace-out out.jsonl|-] [--chrome-trace out.trace.json]\n\
          \x20            [--verify] [--quiet]"
@@ -103,6 +114,7 @@ fn parse_args() -> Options {
         cap: None,
         engine: "par".to_string(),
         nodes: 32,
+        chaos: None,
         telemetry: None,
         trace_out: None,
         chrome_trace: None,
@@ -159,6 +171,13 @@ fn parse_args() -> Options {
                     .parse()
                     .unwrap_or_else(|_| usage())
             }
+            "--chaos" => {
+                let spec = need_value(&mut args, &a);
+                o.chaos = Some(FaultPlan::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("bad --chaos spec {spec:?}: {e}");
+                    usage()
+                }))
+            }
             "--demo" => o.demo = Some(need_value(&mut args, &a)),
             "--batch" => o.batch = Some(need_value(&mut args, &a)),
             "--jobs" | "-j" => {
@@ -198,6 +217,14 @@ fn parse_args() -> Options {
             "unknown engine {:?}; valid choices are: {}",
             o.engine,
             ENGINES.join(", ")
+        );
+        usage()
+    }
+    if o.chaos.is_some() && !o.engine.starts_with("mp-") {
+        eprintln!(
+            "--chaos injects faults into the simulated CMMD fabric and needs an mp-* engine \
+             (got {:?})",
+            o.engine
         );
         usage()
     }
@@ -257,15 +284,39 @@ fn run_engine(
             } else {
                 CommScheme::Async
             };
-            let out = rg_msgpass::segment_msgpass_with_telemetry(img, cfg, o.nodes, scheme, tel);
-            let note = format!(
-                "simulated on CM-5 ({} nodes, {}): split {:.3}s, merge {:.3}s (square cap 2^{})",
-                out.nodes,
-                out.scheme.label(),
-                out.split_seconds,
-                out.merge_seconds_as_reported(),
-                out.cap_used
-            );
+            let out = match &o.chaos {
+                Some(plan) => rg_msgpass::segment_msgpass_chaos_with_telemetry(
+                    img, cfg, o.nodes, scheme, plan, tel,
+                ),
+                None => rg_msgpass::segment_msgpass_with_telemetry(img, cfg, o.nodes, scheme, tel),
+            };
+            let mut note = if out.degraded {
+                format!(
+                    "chaos: cluster lost ({} fault events) -> degraded to host re-run (square cap 2^{})",
+                    out.fault_events.len(),
+                    out.cap_used
+                )
+            } else {
+                format!(
+                    "simulated on CM-5 ({} nodes, {}): split {:.3}s, merge {:.3}s (square cap 2^{})",
+                    out.nodes,
+                    out.scheme.label(),
+                    out.split_seconds,
+                    out.merge_seconds_as_reported(),
+                    out.cap_used
+                )
+            };
+            if let Some(plan) = &o.chaos {
+                if !out.degraded {
+                    note.push_str(&format!(
+                        "\nchaos: survived seed {:#x} profile {} ({} faults injected, {} retries)",
+                        plan.seed,
+                        plan.profile_name,
+                        out.fault_counters.total_faults(),
+                        out.fault_counters.retries
+                    ));
+                }
+            }
             (out.seg, Some(note))
         }
         other => {
@@ -378,8 +429,25 @@ fn expand_batch(spec: &str) -> Vec<(String, GrayImage)> {
 }
 
 /// Builds one pooled pipeline for the selected engine (called once per
-/// batch worker).
-fn pipeline_for(engine: &str, cfg: Config, nodes: usize) -> Box<dyn Pipeline + Send> {
+/// batch worker). A chaos plan only reaches the mp-* engines (enforced at
+/// argument parsing).
+fn pipeline_for(
+    engine: &str,
+    cfg: Config,
+    nodes: usize,
+    chaos: Option<&FaultPlan>,
+) -> Box<dyn Pipeline + Send> {
+    let mp = |scheme: CommScheme| -> Box<dyn Pipeline + Send> {
+        match chaos {
+            Some(plan) => Box::new(rg_msgpass::MsgPassPipeline::with_chaos(
+                cfg,
+                nodes,
+                scheme,
+                plan.clone(),
+            )),
+            None => Box::new(rg_msgpass::MsgPassPipeline::new(cfg, nodes, scheme)),
+        }
+    };
     match engine {
         "seq" => Box::new(HostPipeline::<u8>::new(cfg, false)),
         "par" => Box::new(HostPipeline::<u8>::new(cfg, true)),
@@ -389,16 +457,8 @@ fn pipeline_for(engine: &str, cfg: Config, nodes: usize) -> Box<dyn Pipeline + S
             cfg,
             CostModel::cm5_dp_32(),
         )),
-        "mp-lp" => Box::new(rg_msgpass::MsgPassPipeline::new(
-            cfg,
-            nodes,
-            CommScheme::LinearPermutation,
-        )),
-        "mp-async" => Box::new(rg_msgpass::MsgPassPipeline::new(
-            cfg,
-            nodes,
-            CommScheme::Async,
-        )),
+        "mp-lp" => mp(CommScheme::LinearPermutation),
+        "mp-async" => mp(CommScheme::Async),
         other => {
             eprintln!(
                 "unknown engine {other:?}; valid choices are: {}",
@@ -420,10 +480,14 @@ fn run_batch_mode(o: &Options, cfg: &Config, tel: &mut dyn Telemetry) {
     }
     let imgs: Vec<GrayImage> = images.iter().map(|(_, img)| img.clone()).collect();
     let cfg = *cfg;
+    let mut opts = BatchOptions::new().jobs(o.jobs);
+    if let Some(plan) = &o.chaos {
+        opts = opts.chaos(plan.seed, &plan.profile_name);
+    }
     let summary = run_batch(
         &imgs,
-        &BatchOptions::new().jobs(o.jobs),
-        || pipeline_for(&o.engine, cfg, o.nodes),
+        &opts,
+        || pipeline_for(&o.engine, cfg, o.nodes, o.chaos.as_ref()),
         tel,
         |i, seg| {
             if o.verify {
@@ -468,7 +532,11 @@ fn run_batch_mode(o: &Options, cfg: &Config, tel: &mut dyn Telemetry) {
             summary.wall_seconds * 1e3,
             summary.images_per_sec(),
             o.engine,
-            if tel.enabled() { 1 } else { o.jobs.max(1) },
+            if tel.enabled() || o.chaos.is_some() {
+                1
+            } else {
+                o.jobs.max(1)
+            },
         );
         if o.verify {
             println!("verify: ok ({} images)", summary.images);
@@ -493,13 +561,27 @@ fn main() {
         ..Config::default()
     };
     let mut recorder = Recorder::new();
+    // Chaos runs log with the logical clock so repeated seeded runs write
+    // byte-identical journals and Chrome traces.
+    let logical = o.chaos.is_some();
     let mut jsonl = o.trace_out.as_deref().map(|path| {
-        jsonl_sink_for_path(path).unwrap_or_else(|e| {
+        let open = if logical {
+            jsonl_sink_for_path_logical
+        } else {
+            jsonl_sink_for_path
+        };
+        open(path).unwrap_or_else(|e| {
             eprintln!("cannot open trace output {path}: {e}");
             exit(1)
         })
     });
-    let mut chrome_log = o.chrome_trace.as_ref().map(|_| EventLog::in_memory());
+    let mut chrome_log = o.chrome_trace.as_ref().map(|_| {
+        if logical {
+            EventLog::in_memory().with_logical_clock()
+        } else {
+            EventLog::in_memory()
+        }
+    });
 
     let mut sinks: Vec<&mut dyn Telemetry> = Vec::new();
     if o.telemetry.is_some() {
