@@ -1,0 +1,90 @@
+//! Throughput of the shared word-parallel split kernels in
+//! `rg_core::kernels`: the even-bit gather (inverse Morton compaction),
+//! the pair-AND-compress coalesce step, and the 2×2 gather + lane folds
+//! the packed SoA pyramid is built from. Companion to `simd_prims.rs`
+//! (the cm-sim field primitives) and `telemetry_overhead.rs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rg_core::kernels::{
+    coalesce_pair_words, gather2x2, gather_even_bits, lane_max4, lane_min4, lane_sum4,
+    pair_and_compress,
+};
+
+fn xorshift(mut s: u64) -> impl FnMut() -> u64 {
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    }
+}
+
+fn bench_bit_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels_prims");
+    let n = 1 << 12;
+    let mut rng = xorshift(0x243F_6A88_85A3_08D3);
+    let words: Vec<u64> = (0..n).map(|_| rng()).collect();
+    let pairs: Vec<(u64, u64)> = (0..n).map(|_| (rng(), rng())).collect();
+
+    // Each call tests 64 blocks (one packed word).
+    g.throughput(Throughput::Elements(n as u64 * 64));
+    g.bench_function(BenchmarkId::new("gather_even_bits", n), |b| {
+        b.iter(|| words.iter().fold(0u64, |acc, &w| acc ^ gather_even_bits(w)))
+    });
+    g.bench_function(BenchmarkId::new("pair_and_compress", n), |b| {
+        b.iter(|| {
+            words
+                .iter()
+                .fold(0u64, |acc, &w| acc ^ pair_and_compress(w))
+        })
+    });
+    g.bench_function(BenchmarkId::new("coalesce_pair_words", n), |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .fold(0u64, |acc, &(lo, hi)| acc ^ coalesce_pair_words(lo, hi))
+        })
+    });
+    g.finish();
+}
+
+fn bench_lane_folds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels_lane_folds");
+    let side = 256usize;
+    let mut rng = xorshift(0x1319_8A2E_0370_7344);
+    let plane: Vec<u8> = (0..side * side).map(|_| rng() as u8).collect();
+    let sums: Vec<u64> = (0..side * side).map(|_| rng() & 0xFFFF).collect();
+    let blocks = (side / 2) * (side / 2);
+    g.throughput(Throughput::Elements(blocks as u64));
+
+    // The per-block body of `fold_level`: 2×2 gather + branch-free lane
+    // min/max/sum over a quarter-resolution output grid.
+    g.bench_function(BenchmarkId::new("gather2x2_min_max", side), |b| {
+        b.iter(|| {
+            let (mut lo, mut hi) = (0u32, 0u32);
+            for by in 0..side / 2 {
+                for bx in 0..side / 2 {
+                    let kids = gather2x2(&plane, side, bx, by);
+                    lo += u32::from(lane_min4(kids));
+                    hi += u32::from(lane_max4(kids));
+                }
+            }
+            (lo, hi)
+        })
+    });
+    g.bench_function(BenchmarkId::new("gather2x2_sum", side), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for by in 0..side / 2 {
+                for bx in 0..side / 2 {
+                    acc = acc.wrapping_add(lane_sum4(gather2x2(&sums, side, bx, by)));
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bit_kernels, bench_lane_folds);
+criterion_main!(benches);

@@ -16,6 +16,12 @@
 //! bench_record batch                                  # record BENCH_batch.json
 //! bench_record batch --check --min-speedup 1.3        # exit 1 below the floor
 //!
+//! # split-stage suite: the packed word-parallel engine vs the retained
+//! # scalar reference oracle, recorded to BENCH_split.json with wall time
+//! # plus the machine-independent cells_touched / words_tested counters.
+//! bench_record split                                  # 512x512, write BENCH_split.json
+//! bench_record split --quick --check                  # 256x256 CI smoke + guards
+//!
 //! # perf-regression diff (see rg_bench::diff). Exit 1 on regression.
 //! bench_record diff old.json new.json                 # two recorded files
 //! bench_record diff --baseline BENCH_merge.json       # fresh run vs baseline
@@ -510,6 +516,241 @@ fn batch_main(args: &[String]) {
     }
 }
 
+/// One timed configuration of the split-stage suite.
+struct SplitRow {
+    /// `"packed"` (the word-parallel engine) or `"reference"` (the
+    /// retained scalar oracle, [`rg_core::split_reference`]).
+    backend: &'static str,
+    image: &'static str,
+    /// Criterion name; stored in the `tie_break` column so the differ's
+    /// `(backend, image, tie_break, threshold)` row key stays unique.
+    criterion: &'static str,
+    threshold: u32,
+    iterations: u32,
+    num_squares: usize,
+    wall_ms: f64,
+    cells_touched: u64,
+    words_tested: u64,
+}
+
+fn split_row_json(r: &SplitRow) -> Json {
+    Json::obj(vec![
+        ("backend", Json::Str(r.backend.to_string())),
+        ("image", Json::Str(r.image.to_string())),
+        ("tie_break", Json::Str(r.criterion.to_string())),
+        ("threshold", Json::Num(f64::from(r.threshold))),
+        ("iterations", Json::Num(f64::from(r.iterations))),
+        ("num_squares", Json::Num(r.num_squares as f64)),
+        ("wall_ms", Json::Num((r.wall_ms * 1e3).round() / 1e3)),
+        ("cells_touched", Json::Num(r.cells_touched as f64)),
+        ("words_tested", Json::Num(r.words_tested as f64)),
+    ])
+}
+
+/// Runs the split-stage scene × criterion suite at image size `n`: the
+/// packed engine on its production path (warm reused scratch, sequential)
+/// against the retained scalar reference, best-of-k wall per row plus the
+/// machine-independent counters. Returns the `bench-merge-v1` document and
+/// any guard failures (bit-identity of outputs, packed counters never
+/// exceeding the reference's).
+fn build_split_doc(n: usize) -> (Json, Vec<String>) {
+    use rg_core::{split_into, split_reference, Criterion, SplitResult, SplitScratch};
+
+    // `nested` coalesces deep (many productive levels), `rects` is the
+    // paper's object scene, `noise` goes unproductive immediately — the
+    // case where tight grids + deferred folding pay the most.
+    let scenes: Vec<(&'static str, u32, GrayImage)> = vec![
+        ("nested", 10, synth::nested_rects(n)),
+        ("rects", 12, synth::random_rects(n, n, 40, 11)),
+        ("noise", 10, synth::uniform_noise(n, n, 120, 135, 7)),
+    ];
+    let criteria = [
+        (Criterion::PixelRange, "range"),
+        (Criterion::MeanDifference, "mean"),
+    ];
+    let repeats = 5;
+
+    let mut rows = Vec::new();
+    let mut guard_failures = Vec::new();
+    let mut speedups = Vec::new();
+    let mut log_sum = 0.0f64;
+    let mut log_n = 0u32;
+    let mut scratch = SplitScratch::new();
+    let mut packed_out: SplitResult<u8> = SplitResult::default();
+
+    for (name, threshold, img) in &scenes {
+        for &(crit, crit_name) in &criteria {
+            let cfg = Config::with_threshold(*threshold).criterion(crit);
+
+            // Packed engine: one warm-up call, then best-of-k over the
+            // steady-state (allocation-free) reused-scratch path.
+            split_into(img, &cfg, false, &mut scratch, &mut packed_out);
+            let mut packed_wall = f64::MAX;
+            for _ in 0..repeats {
+                let t0 = Instant::now();
+                split_into(img, &cfg, false, &mut scratch, &mut packed_out);
+                packed_wall = packed_wall.min(t0.elapsed().as_secs_f64());
+            }
+            let packed = SplitRow {
+                backend: "packed",
+                image: name,
+                criterion: crit_name,
+                threshold: *threshold,
+                iterations: packed_out.iterations,
+                num_squares: packed_out.squares.len(),
+                wall_ms: packed_wall * 1e3,
+                cells_touched: packed_out.metrics.cells_folded,
+                words_tested: packed_out.metrics.words_tested,
+            };
+
+            // Reference oracle: allocates fresh per call by construction —
+            // that cost is part of what the packed layout removes.
+            let mut ref_out = split_reference(img, &cfg);
+            let mut ref_wall = f64::MAX;
+            for _ in 0..repeats {
+                let t0 = Instant::now();
+                ref_out = split_reference(img, &cfg);
+                ref_wall = ref_wall.min(t0.elapsed().as_secs_f64());
+            }
+            let reference = SplitRow {
+                backend: "reference",
+                image: name,
+                criterion: crit_name,
+                threshold: *threshold,
+                iterations: ref_out.iterations,
+                num_squares: ref_out.squares.len(),
+                wall_ms: ref_wall * 1e3,
+                cells_touched: ref_out.metrics.cells_folded,
+                words_tested: ref_out.metrics.words_tested,
+            };
+
+            if packed_out.squares != ref_out.squares
+                || packed_out.stats != ref_out.stats
+                || packed_out.square_of != ref_out.square_of
+                || packed_out.iterations != ref_out.iterations
+            {
+                guard_failures.push(format!(
+                    "{name}/{crit_name}: packed output differs from reference"
+                ));
+            }
+            if packed.cells_touched > reference.cells_touched {
+                guard_failures.push(format!(
+                    "{name}/{crit_name}: packed cells_touched {} > reference {}",
+                    packed.cells_touched, reference.cells_touched
+                ));
+            }
+            if packed.words_tested > reference.words_tested {
+                guard_failures.push(format!(
+                    "{name}/{crit_name}: packed words_tested {} > reference {}",
+                    packed.words_tested, reference.words_tested
+                ));
+            }
+
+            let speedup = if packed_wall > 0.0 {
+                ref_wall / packed_wall
+            } else {
+                1.0
+            };
+            speedups.push((
+                format!("{name}/{crit_name}"),
+                Json::Num((speedup * 100.0).round() / 100.0),
+            ));
+            if speedup > 0.0 {
+                log_sum += speedup.ln();
+                log_n += 1;
+            }
+
+            for r in [&packed, &reference] {
+                eprintln!(
+                    "{:9} {:8} {:6} iters={:2} squares={:7} wall={:9.3}ms \
+                     cells={:10} words={:9}",
+                    r.backend,
+                    r.image,
+                    r.criterion,
+                    r.iterations,
+                    r.num_squares,
+                    r.wall_ms,
+                    r.cells_touched,
+                    r.words_tested,
+                );
+            }
+            eprintln!(
+                "{:9} {:8} {:6} speedup={:.2}x",
+                "", name, crit_name, speedup
+            );
+            rows.push(packed);
+            rows.push(reference);
+        }
+    }
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("bench-merge-v1".to_string())),
+        ("generator", Json::Str("bench_record split".to_string())),
+        ("image_size", Json::Num(n as f64)),
+        ("rows", Json::Arr(rows.iter().map(split_row_json).collect())),
+        ("speedup_packed_over_reference", Json::Obj(speedups)),
+        (
+            "speedup_geomean",
+            Json::Num(if log_n > 0 {
+                ((log_sum / f64::from(log_n)).exp() * 100.0).round() / 100.0
+            } else {
+                1.0
+            }),
+        ),
+    ]);
+    (doc, guard_failures)
+}
+
+/// `bench_record split [--quick] [--check] [--out PATH]` — record the
+/// split-stage packed-vs-reference document (`BENCH_split.json`).
+/// `--check` fails on any bit-identity or counter-domination guard.
+fn split_main(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let mut out = "BENCH_split.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" | "--check" => {}
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = p.clone(),
+                    None => {
+                        eprintln!("--out requires a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            bad => {
+                eprintln!("unknown flag {bad:?}; usage: bench_record split [--quick] [--check] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let n = if quick { 256 } else { 512 };
+    let (doc, guard_failures) = build_split_doc(n);
+    std::fs::write(&out, doc.to_pretty() + "\n").unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out}");
+
+    if check && !guard_failures.is_empty() {
+        for f in &guard_failures {
+            eprintln!("SPLIT GUARD FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+    if check {
+        eprintln!(
+            "split guard OK: packed output bit-identical and counters <= reference on every scene"
+        );
+    }
+}
+
 fn load_doc(path: &str) -> Json {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
@@ -567,8 +808,18 @@ fn diff_main(args: &[String]) {
         (Some(b), []) => {
             let base = load_doc(&b);
             let n = base.get("image_size").and_then(Json::as_u64).unwrap_or(256) as usize;
-            eprintln!("running fresh {n}x{n} suite against baseline {b}...");
-            let (doc, _) = build_doc(n);
+            // The baseline's generator field picks the suite to rerun, so
+            // one diff gate serves both the merge and split documents.
+            let generator = base
+                .get("generator")
+                .and_then(Json::as_str)
+                .unwrap_or("bench_record")
+                .to_string();
+            eprintln!("running fresh {n}x{n} `{generator}` suite against baseline {b}...");
+            let (doc, _) = match generator.as_str() {
+                "bench_record split" => build_split_doc(n),
+                _ => build_doc(n),
+            };
             (base, b, doc, "<fresh run>".to_string())
         }
         (None, [b, cur]) => (load_doc(b), b.clone(), load_doc(cur), cur.clone()),
@@ -606,6 +857,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("diff") => diff_main(&args[1..]),
         Some("batch") => batch_main(&args[1..]),
+        Some("split") => split_main(&args[1..]),
         _ => record_main(&args),
     }
 }

@@ -4,11 +4,13 @@
 //! the `bench-merge-v1` schema written by `bench_record`) and classifies
 //! every metric of every row:
 //!
-//! * **identity metrics** (`initial_edges`, `num_regions`) are products of
-//!   the deterministic pipeline — any change at all is a regression (it
-//!   means the segmentation itself drifted, not just its cost);
+//! * **identity metrics** (`initial_edges`, `num_regions`, `num_squares`)
+//!   are products of the deterministic pipeline — any change at all is a
+//!   regression (it means the segmentation itself drifted, not just its
+//!   cost);
 //! * **work metrics** (`iterations`, `peak_live_edges`, `relabel_work`,
-//!   `compactions`) are machine-independent operation counts — the diff
+//!   `compactions`, `cells_touched`, `words_tested`) are
+//!   machine-independent operation counts — the diff
 //!   fails when `current > baseline * (1 + tolerance)`; getting *better*
 //!   is reported but never fatal;
 //! * **noise metrics** (`wall_ms`, `edges_per_sec`) depend on the host —
@@ -24,13 +26,15 @@ use rg_core::json::Json;
 use std::fmt::Write as _;
 
 /// Metrics whose values must match the baseline exactly.
-pub const IDENTITY_METRICS: &[&str] = &["initial_edges", "num_regions"];
+pub const IDENTITY_METRICS: &[&str] = &["initial_edges", "num_regions", "num_squares"];
 /// Machine-independent work counters guarded with the tolerance.
 pub const WORK_METRICS: &[&str] = &[
     "iterations",
     "peak_live_edges",
     "relabel_work",
     "compactions",
+    "cells_touched",
+    "words_tested",
 ];
 /// Host-dependent metrics that warn rather than fail (unless
 /// [`DiffOptions::strict_wall`]). For `edges_per_sec`, *lower* is worse.
@@ -385,6 +389,52 @@ mod tests {
         let r2 = diff_docs(&empty, &base, &DiffOptions::default()).unwrap();
         assert!(r2.ok());
         assert_eq!(r2.new_rows.len(), 1);
+    }
+
+    #[test]
+    fn split_row_metrics_are_guarded() {
+        // `bench_record split` rows carry `cells_touched`/`words_tested`
+        // (work) and `num_squares` (identity); merge rows simply lack them
+        // and are skipped — the schema grows without breaking old files.
+        let split_doc = |cells: f64, squares: f64| {
+            Json::obj(vec![
+                ("schema", "bench-merge-v1".into()),
+                (
+                    "rows",
+                    Json::Arr(vec![Json::obj(vec![
+                        ("backend", "packed".into()),
+                        ("image", "nested".into()),
+                        ("tie_break", "range".into()),
+                        ("threshold", 10.0.into()),
+                        ("iterations", 6.0.into()),
+                        ("num_squares", squares.into()),
+                        ("wall_ms", 3.0.into()),
+                        ("cells_touched", cells.into()),
+                        ("words_tested", 5000.0.into()),
+                    ])]),
+                ),
+            ])
+        };
+        let base = split_doc(100_000.0, 400.0);
+        assert!(diff_docs(&base, &base, &DiffOptions::default())
+            .unwrap()
+            .ok());
+        // +30 % cells_touched is a work regression.
+        let slow = split_doc(130_000.0, 400.0);
+        let r = diff_docs(&base, &slow, &DiffOptions::default()).unwrap();
+        assert!(!r.ok());
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.metric == "cells_touched" && f.severity == Severity::Regression));
+        // Any num_squares drift is an identity failure.
+        let drift = split_doc(100_000.0, 401.0);
+        let r2 = diff_docs(&base, &drift, &DiffOptions::default()).unwrap();
+        assert!(!r2.ok());
+        assert!(r2
+            .findings
+            .iter()
+            .any(|f| f.metric == "num_squares" && f.severity == Severity::Regression));
     }
 
     #[test]

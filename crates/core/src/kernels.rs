@@ -56,6 +56,73 @@ pub fn mean_pair_satisfies(a: (u64, u64), b: (u64, u64), t: u32) -> bool {
     mean_satisfies(a.0, a.1, b.0, b.1, t)
 }
 
+/// Mask of the even-index bits of a 64-bit word (the CM-2 context-mask
+/// idiom: child blocks of one parent sit at bit positions `2i`, `2i+1`).
+pub const EVEN_BITS: u64 = 0x5555_5555_5555_5555;
+
+/// Compresses the 32 even-index bits of `w` into the low 32 bits: input
+/// bit `2i` becomes output bit `i`; odd-index bits are ignored; the high
+/// 32 output bits are zero. This is the inverse of a Morton interleave,
+/// done in five shift/mask rounds.
+#[inline]
+pub fn gather_even_bits(w: u64) -> u64 {
+    let mut x = w & EVEN_BITS;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF
+}
+
+/// AND-combines adjacent bit pairs of `w` and compresses: output bit `i`
+/// (low 32 bits) is `w[2i] & w[2i+1]`.
+#[inline]
+pub fn pair_and_compress(w: u64) -> u64 {
+    gather_even_bits(w & (w >> 1))
+}
+
+/// Coalesces two adjacent child-bitset words into one parent word: output
+/// bit `i` is set iff both horizontal children of parent block `i` are
+/// set, with parents `0..32` taken from `lo` and `32..64` from `hi`. One
+/// call tests 64 parent blocks against 128 child bits.
+#[inline]
+pub fn coalesce_pair_words(lo: u64, hi: u64) -> u64 {
+    pair_and_compress(lo) | (pair_and_compress(hi) << 32)
+}
+
+/// Gathers the 2×2 child block of parent `(bx, by)` from a row-major
+/// plane with row stride `stride`, in TL, TR, BL, BR order (the canonical
+/// child order of the split stage's `combine_ok` calls).
+#[inline]
+pub fn gather2x2<T: Copy>(plane: &[T], stride: usize, bx: usize, by: usize) -> [T; 4] {
+    let i = 2 * by * stride + 2 * bx;
+    [
+        plane[i],
+        plane[i + 1],
+        plane[i + stride],
+        plane[i + stride + 1],
+    ]
+}
+
+/// Minimum of a gathered 2×2 lane quad (branch-free tree fold).
+#[inline]
+pub fn lane_min4<T: Ord + Copy>(v: [T; 4]) -> T {
+    v[0].min(v[1]).min(v[2].min(v[3]))
+}
+
+/// Maximum of a gathered 2×2 lane quad (branch-free tree fold).
+#[inline]
+pub fn lane_max4<T: Ord + Copy>(v: [T; 4]) -> T {
+    v[0].max(v[1]).max(v[2].max(v[3]))
+}
+
+/// Sum of a gathered 2×2 accumulator quad (tree-shaped for the
+/// autovectorizer's benefit).
+#[inline]
+pub fn lane_sum4(v: [u64; 4]) -> u64 {
+    (v[0] + v[1]) + (v[2] + v[3])
+}
+
 /// Width of the region-stats wire record in `u32` words:
 /// `id, min, max, sum_lo, sum_hi, count_lo, count_hi`.
 pub const STATS_WIRE_WORDS: usize = 7;
@@ -131,6 +198,84 @@ mod tests {
                 Criterion::MeanDifference.satisfies(&a, &b, t)
             );
         }
+    }
+
+    #[test]
+    fn gather_even_bits_matches_naive() {
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for _ in 0..256 {
+            let w = next();
+            let mut naive = 0u64;
+            for i in 0..32 {
+                naive |= ((w >> (2 * i)) & 1) << i;
+            }
+            assert_eq!(gather_even_bits(w), naive, "w={w:#x}");
+        }
+        assert_eq!(gather_even_bits(EVEN_BITS), 0xFFFF_FFFF);
+        assert_eq!(gather_even_bits(!EVEN_BITS), 0);
+    }
+
+    #[test]
+    fn pair_and_compress_matches_naive() {
+        let mut rng = 0xfeed_f00d_dead_beefu64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for _ in 0..256 {
+            let w = next();
+            let mut naive = 0u64;
+            for i in 0..32 {
+                let pair = ((w >> (2 * i)) & 1) & ((w >> (2 * i + 1)) & 1);
+                naive |= pair << i;
+            }
+            assert_eq!(pair_and_compress(w), naive, "w={w:#x}");
+        }
+        assert_eq!(pair_and_compress(!0), 0xFFFF_FFFF);
+        assert_eq!(pair_and_compress(EVEN_BITS), 0);
+    }
+
+    #[test]
+    fn coalesce_pair_words_matches_naive() {
+        let cases = [
+            (0u64, 0u64),
+            (!0, !0),
+            (0b11, 0),
+            (0, 0b1100),
+            (0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210),
+        ];
+        for (lo, hi) in cases {
+            let mut naive = 0u64;
+            for i in 0..32 {
+                let pair = ((lo >> (2 * i)) & 1) & ((lo >> (2 * i + 1)) & 1);
+                naive |= pair << i;
+            }
+            for i in 0..32 {
+                let pair = ((hi >> (2 * i)) & 1) & ((hi >> (2 * i + 1)) & 1);
+                naive |= pair << (32 + i);
+            }
+            assert_eq!(coalesce_pair_words(lo, hi), naive, "lo={lo:#x} hi={hi:#x}");
+        }
+    }
+
+    #[test]
+    fn gather2x2_and_lane_folds() {
+        // 4×2 plane: parent (bx=1, by=0) gathers columns 2..4 of both rows.
+        let plane: [u32; 8] = [9, 1, 7, 3, 2, 8, 5, 4];
+        let q = gather2x2(&plane, 4, 1, 0);
+        assert_eq!(q, [7, 3, 5, 4]); // TL, TR, BL, BR
+        assert_eq!(lane_min4(q), 3);
+        assert_eq!(lane_max4(q), 7);
+        let s = gather2x2(&[1u64, 2, 3, 4, 10, 20, 30, 40], 4, 0, 0);
+        assert_eq!(lane_sum4(s), 1 + 2 + 10 + 20);
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod regions;
 pub mod split;
+pub mod split_ref;
 pub mod telemetry;
 pub mod verify;
 
@@ -73,7 +74,8 @@ pub use journal::{
 };
 pub use merge::{choice_key, CandKey, MergeSummary, Merger, StepReport};
 pub use pipeline::{ExecutionPlan, HostPipeline, Pipeline, Workspace};
-pub use split::{split, split_into, split_par, SplitResult, SplitScratch, Square};
+pub use split::{split, split_into, split_par, SplitMetrics, SplitResult, SplitScratch, Square};
+pub use split_ref::split_reference;
 pub use telemetry::{
     CommRecord, ConfigRecord, ConformanceView, Fanout, FaultRecord, Histogram,
     MergeIterationRecord, NullTelemetry, Recorder, SpanGuard, SpanKind, Stage, StageSpan,

@@ -192,6 +192,7 @@ impl<P: Intensity> Workspace<P> {
         self.split.stats.clear();
         self.split.square_of.clear();
         self.split.iterations = 0;
+        self.split.metrics = crate::split::SplitMetrics::default();
         self.edges.clear();
         self.ids.clear();
         self.by_vertex.clear();
@@ -211,6 +212,7 @@ impl<P: Intensity> Workspace<P> {
                 .square_of
                 .reserve(px - self.split.square_of.len());
         }
+        self.split_scratch.prepare(plan.width(), plan.height());
     }
 }
 
@@ -374,6 +376,13 @@ pub(crate) fn run_host_into<P: Intensity>(
                 sim_seconds: None,
             });
             tel.split_done(ws.split.iterations, ws.split.num_squares());
+            // Engine-internal work counters of the packed split (excluded
+            // from cross-engine conformance, like the merge counters).
+            let m = &ws.split.metrics;
+            tel.counter("split.levels_built", m.levels_built as f64);
+            tel.counter("split.productive_levels", m.productive_levels as f64);
+            tel.counter("split.words_tested", m.words_tested as f64);
+            tel.counter("split.cells_folded", m.cells_folded as f64);
         }
 
         {

@@ -7,19 +7,34 @@
 //!
 //! Implementation notes:
 //!
-//! * The image need not be square or a power of two: the quadtree is taken
-//!   over the enclosing power-of-two square, and blocks that are not wholly
-//!   inside the image never coalesce (border pixels end up in smaller
-//!   squares).
+//! * Per level `k` the block statistics live in packed structure-of-arrays
+//!   planes (`min` / `max` / `sum`, one flat lane each) over the **tight**
+//!   floor grid `(w >> k) × (h >> k)` — only blocks wholly inside the image
+//!   ever have their stats consumed, and such blocks form exactly that
+//!   rectangle, so no `Option` tag, no validity mask and no padding to the
+//!   enclosing power-of-two square are needed. The level-to-level fold is a
+//!   branch-free 2×2 gather + lane min/max/add (see [`crate::kernels`]).
+//! * `is_square` levels are packed `u64` bitsets over the ceil grid
+//!   `⌈w/2ᵏ⌉ × ⌈h/2ᵏ⌉`. The "four whole child squares" test runs a word at
+//!   a time: two [`crate::kernels::coalesce_pair_words`] calls AND 128
+//!   child bits down to one 64-block parent word, and all-zero candidate
+//!   words skip the criterion entirely. A partially-outside block can never
+//!   have four whole children (induction from level 0 = real pixels), so
+//!   the old per-block bounds test is implied by the child bits.
 //! * Iteration `k` can only coalesce groups of four *whole* level-(k−1)
 //!   squares, so the first unproductive iteration is terminal; like the
 //!   paper we report only productive iterations.
 //! * [`Config::max_square_log2`] caps square growth; `Some(0)` disables the
 //!   stage (the merge-only baseline).
 //! * [`split`] and [`split_par`] produce bit-identical results; the latter
-//!   parallelises each level over block rows with rayon.
+//!   parallelises each level over block rows with rayon. Both are
+//!   bit-identical to the retained pre-optimisation oracle
+//!   [`crate::split_ref::split_reference`] (differential-proptested).
 
-use crate::config::{Config, RegionStats};
+use crate::config::{Config, Criterion, RegionStats};
+use crate::kernels::{
+    coalesce_pair_words, gather2x2, lane_max4, lane_min4, lane_sum4, range_pair_satisfies,
+};
 use rayon::prelude::*;
 use rg_imaging::{Image, Intensity};
 
@@ -51,6 +66,25 @@ impl Square {
     }
 }
 
+/// Machine-independent work counters of one split run.
+///
+/// All counts are deterministic functions of the image shape, contents and
+/// config — identical between the sequential and rayon paths — which makes
+/// them usable as perf-regression gates (`bench_record split`) on any
+/// machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SplitMetrics {
+    /// Stats-plane levels materialised, including level 0.
+    pub levels_built: u32,
+    /// Levels with at least one coalesce (equals `iterations`).
+    pub productive_levels: u32,
+    /// Homogeneity/coalesce test operations: packed candidate words for the
+    /// word-parallel engine, scalar block probes for the reference oracle.
+    pub words_tested: u64,
+    /// Stats cells written by pyramid folds (level-0 fill included).
+    pub cells_folded: u64,
+}
+
 /// Output of the split stage.
 #[derive(Debug, Clone)]
 pub struct SplitResult<P: Intensity> {
@@ -68,6 +102,9 @@ pub struct SplitResult<P: Intensity> {
     pub width: usize,
     /// Image height.
     pub height: usize,
+    /// Work counters of this run (engine-internal; excluded from
+    /// cross-engine conformance).
+    pub metrics: SplitMetrics,
 }
 
 impl<P: Intensity> SplitResult<P> {
@@ -86,27 +123,100 @@ impl<P: Intensity> Default for SplitResult<P> {
             iterations: 0,
             width: 0,
             height: 0,
+            metrics: SplitMetrics::default(),
         }
     }
 }
 
-/// Reusable scratch for [`split_into`]: the per-level stats pyramid, the
-/// per-level `is_square` bitmaps, and the maximal-square extraction stack.
+/// One level of the stats pyramid: packed structure-of-arrays planes over
+/// the tight floor grid (no `Option` tags — every cell is a whole in-image
+/// block by construction).
+#[derive(Debug)]
+struct PlaneLevel<P: Intensity> {
+    min: Vec<P>,
+    max: Vec<P>,
+    sum: Vec<u64>,
+}
+
+impl<P: Intensity> PlaneLevel<P> {
+    fn new() -> Self {
+        Self {
+            min: Vec::new(),
+            max: Vec::new(),
+            sum: Vec::new(),
+        }
+    }
+
+    /// Re-dimensions the planes for `cells` blocks, keeping capacity.
+    fn reset(&mut self, cells: usize) {
+        self.min.clear();
+        self.min.resize(cells, P::MIN_VALUE);
+        self.max.clear();
+        self.max.resize(cells, P::MIN_VALUE);
+        self.sum.clear();
+        self.sum.resize(cells, 0);
+    }
+}
+
+/// Packed `u64` bitset over a 2-D block grid, one bit per block, row-major
+/// words. Each row owns `wpr` words: `⌈width/64⌉` data words plus one
+/// always-zero spare so the parent level's pair-coalesce may read child
+/// word `2j+1` unconditionally.
+#[derive(Debug, Default)]
+struct BitGrid {
+    words: Vec<u64>,
+    width: usize,
+    height: usize,
+    wpr: usize,
+}
+
+impl BitGrid {
+    /// Re-dimensions (and zeroes) the grid, keeping capacity.
+    fn reset(&mut self, width: usize, height: usize) {
+        self.width = width;
+        self.height = height;
+        self.wpr = width.div_ceil(64) + 1;
+        self.words.clear();
+        self.words.resize(self.wpr * height, 0);
+    }
+
+    #[inline]
+    fn get(&self, x: usize, y: usize) -> bool {
+        debug_assert!(x < self.width && y < self.height);
+        (self.words[y * self.wpr + x / 64] >> (x % 64)) & 1 == 1
+    }
+
+    fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+}
+
+/// Reusable scratch for [`split_into`]: the per-level SoA stats planes, the
+/// packed per-level `is_square` bitsets, and the maximal-square extraction
+/// stack.
 ///
 /// All buffers grow to a high-water mark and are never freed, so running
 /// many same-shape images through one scratch performs **zero** heap
-/// allocations after the first (warm-up) image.
+/// allocations after the first (warm-up) image. Sizing is **tight**: a
+/// `w × h` image allocates `w·h (1 + 1/4 + 1/16 + …) < 4/3·w·h` stats
+/// cells, never the enclosing power-of-two square (a 513×100 image does
+/// *not* pay for 1024² cells — pinned by a regression test).
 #[derive(Debug)]
 pub struct SplitScratch<P: Intensity> {
-    /// `levels[k]`: block grid of optional region stats at level `k` over
-    /// the padded power-of-two square. Only the first `top+1` entries are
-    /// meaningful for the current run; extra entries from larger past runs
-    /// are retained (never freed) for reuse.
-    levels: Vec<Vec<Option<RegionStats<P>>>>,
-    /// `is_square[k]`: bitmap over the level-`k` block grid.
-    is_square: Vec<Vec<bool>>,
+    /// `levels[k]`: stats planes over the level-`k` floor grid
+    /// `(w >> k) × (h >> k)`.
+    levels: Vec<PlaneLevel<P>>,
+    /// `bits[k]` (`k ≥ 1`): packed `is_square` bitset over the level-`k`
+    /// ceil grid. Index 0 is an always-empty placeholder — level-0 squares
+    /// are exactly the real pixels and are never materialised.
+    bits: Vec<BitGrid>,
     /// Explicit DFS stack for top-down maximal-square extraction.
     stack: Vec<(usize, usize, usize)>,
+    /// Per-row bucket offsets for the counting sort of extracted squares
+    /// (`h + 1` entries while in use).
+    sort_rows: Vec<u32>,
+    /// Scatter target of the counting sort (swapped with the output vec).
+    sort_tmp: Vec<Square>,
 }
 
 impl<P: Intensity> SplitScratch<P> {
@@ -114,89 +224,58 @@ impl<P: Intensity> SplitScratch<P> {
     pub fn new() -> Self {
         Self {
             levels: Vec::new(),
-            is_square: Vec::new(),
+            bits: Vec::new(),
             stack: Vec::new(),
+            sort_rows: Vec::new(),
+            sort_tmp: Vec::new(),
         }
     }
 
-    /// Ensures at least `n` level buffers exist (allocating only the outer
-    /// `Vec` slots; inner buffers are sized lazily by the fill passes).
+    /// Ensures at least `n` level slots exist (outer `Vec`s only; inner
+    /// buffers are sized lazily by the fill passes).
     fn ensure_levels(&mut self, n: usize) {
         while self.levels.len() < n {
-            self.levels.push(Vec::new());
+            self.levels.push(PlaneLevel::new());
         }
-        while self.is_square.len() < n {
-            self.is_square.push(Vec::new());
+        while self.bits.len() < n {
+            self.bits.push(BitGrid::default());
         }
+    }
+
+    /// Pre-sizes the level-0 planes (the dominant allocation) for a
+    /// `width × height` image, so a planned warm-up run takes fewer growth
+    /// reallocations.
+    pub fn prepare(&mut self, width: usize, height: usize) {
+        self.ensure_levels(1);
+        let px = width * height;
+        let l0 = &mut self.levels[0];
+        if l0.min.capacity() < px {
+            l0.min.reserve(px - l0.min.len());
+        }
+        if l0.max.capacity() < px {
+            l0.max.reserve(px - l0.max.len());
+        }
+        if l0.sum.capacity() < px {
+            l0.sum.reserve(px - l0.sum.len());
+        }
+    }
+
+    /// Total stats-plane cells currently allocated across all levels — the
+    /// scratch's high-water stats footprint. The padding regression test
+    /// pins this to the tight geometric series of the actual rectangle.
+    pub fn plane_cells(&self) -> usize {
+        self.levels.iter().map(|l| l.min.capacity()).sum()
+    }
+
+    /// Total packed bitset words currently allocated across all levels.
+    pub fn bitset_words(&self) -> usize {
+        self.bits.iter().map(|b| b.words.capacity()).sum()
     }
 }
 
 impl<P: Intensity> Default for SplitScratch<P> {
     fn default() -> Self {
         Self::new()
-    }
-}
-
-/// Fills `scratch.levels[0..=max_level]` with the stats pyramid.
-fn build_pyramid_into<P: Intensity>(
-    img: &Image<P>,
-    max_level: usize,
-    parallel: bool,
-    levels: &mut [Vec<Option<RegionStats<P>>>],
-) {
-    let side = img.width().max(img.height()).next_power_of_two();
-    let top = (side.trailing_zeros() as usize).min(max_level);
-
-    let base = &mut levels[0];
-    base.clear();
-    base.resize(side * side, None);
-    if parallel {
-        base.par_chunks_mut(side).enumerate().for_each(|(y, row)| {
-            if y < img.height() {
-                for (x, cell) in row.iter_mut().enumerate().take(img.width()) {
-                    *cell = Some(RegionStats::of_pixel(img.get(x, y)));
-                }
-            }
-        });
-    } else {
-        for y in 0..img.height() {
-            for x in 0..img.width() {
-                base[y * side + x] = Some(RegionStats::of_pixel(img.get(x, y)));
-            }
-        }
-    }
-
-    for k in 1..=top {
-        let child_side = side >> (k - 1);
-        let this_side = side >> k;
-        let (lo, hi) = levels.split_at_mut(k);
-        let child = &lo[k - 1];
-        let cur = &mut hi[0];
-        cur.clear();
-        cur.resize(this_side * this_side, None);
-        let combine_row = |by: usize, row: &mut [Option<RegionStats<P>>]| {
-            for (bx, cell) in row.iter_mut().enumerate() {
-                let mut acc: Option<RegionStats<P>> = None;
-                for (dy, dx) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)] {
-                    if let Some(c) = child[(2 * by + dy) * child_side + (2 * bx + dx)] {
-                        acc = Some(match acc {
-                            None => c,
-                            Some(a) => a.fold(c),
-                        });
-                    }
-                }
-                *cell = acc;
-            }
-        };
-        if parallel {
-            cur.par_chunks_mut(this_side)
-                .enumerate()
-                .for_each(|(by, row)| combine_row(by, row));
-        } else {
-            for (by, row) in cur.chunks_mut(this_side).enumerate() {
-                combine_row(by, row);
-            }
-        }
     }
 }
 
@@ -218,6 +297,198 @@ fn split_impl<P: Intensity>(img: &Image<P>, config: &Config, parallel: bool) -> 
     out
 }
 
+/// Dispatches one function over the block rows of `buf` (chunks of
+/// `stride`), sequentially or with rayon, visiting only rows `0..rows`.
+fn for_rows<T: Send, F>(buf: &mut [T], stride: usize, rows: usize, parallel: bool, f: F)
+where
+    F: Fn(usize, &mut [T]) + Send + Sync,
+{
+    if rows == 0 || stride == 0 {
+        return;
+    }
+    if parallel {
+        buf.par_chunks_mut(stride).enumerate().for_each(|(y, row)| {
+            if y < rows {
+                f(y, row);
+            }
+        });
+    } else {
+        for (y, row) in buf.chunks_mut(stride).enumerate().take(rows) {
+            f(y, row);
+        }
+    }
+}
+
+/// Fills the level-0 planes: `min = max = pixel`, `sum` = widened pixel.
+fn fill_level0<P: Intensity>(img: &Image<P>, l0: &mut PlaneLevel<P>, parallel: bool) {
+    let (w, h) = (img.width(), img.height());
+    l0.reset(w * h);
+    l0.min.copy_from_slice(img.pixels());
+    l0.max.copy_from_slice(img.pixels());
+    for_rows(&mut l0.sum, w, h, parallel, |y, row| {
+        for (s, &p) in row.iter_mut().zip(img.row(y)) {
+            *s = p.to_u32() as u64;
+        }
+    });
+}
+
+/// Folds the level-`k` stats planes from level `k−1`: three branch-free
+/// lane passes (min, max, sum) over the tight floor grid.
+fn fold_level<P: Intensity>(
+    levels: &mut [PlaneLevel<P>],
+    k: usize,
+    w: usize,
+    h: usize,
+    parallel: bool,
+) {
+    let (fw, fh) = (w >> k, h >> k);
+    let cfw = w >> (k - 1);
+    let (lo, hi) = levels.split_at_mut(k);
+    let child = &lo[k - 1];
+    let cur = &mut hi[0];
+    cur.reset(fw * fh);
+    if fw == 0 || fh == 0 {
+        return;
+    }
+    let cmin = &child.min;
+    for_rows(&mut cur.min, fw, fh, parallel, |by, row| {
+        for (bx, cell) in row.iter_mut().enumerate() {
+            *cell = lane_min4(gather2x2(cmin, cfw, bx, by));
+        }
+    });
+    let cmax = &child.max;
+    for_rows(&mut cur.max, fw, fh, parallel, |by, row| {
+        for (bx, cell) in row.iter_mut().enumerate() {
+            *cell = lane_max4(gather2x2(cmax, cfw, bx, by));
+        }
+    });
+    let csum = &child.sum;
+    for_rows(&mut cur.sum, fw, fh, parallel, |by, row| {
+        for (bx, cell) in row.iter_mut().enumerate() {
+            *cell = lane_sum4(gather2x2(csum, cfw, bx, by));
+        }
+    });
+}
+
+/// Mask selecting the low `lanes` bits of a word.
+#[inline]
+fn lanes_mask(lanes: usize) -> u64 {
+    if lanes >= 64 {
+        !0
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+/// The "four whole child squares" test for 64 parent candidates at once.
+/// At level 1 the children are raw pixels, whole by definition inside the
+/// floor rect (the caller masks to it).
+#[inline]
+fn children_ok_word(child_words: &[u64], child_wpr: usize, k: usize, by: usize, j: usize) -> u64 {
+    if k == 1 {
+        !0
+    } else {
+        let top = 2 * by * child_wpr + 2 * j;
+        let bot = top + child_wpr;
+        coalesce_pair_words(child_words[top], child_words[top + 1])
+            & coalesce_pair_words(child_words[bot], child_words[bot + 1])
+    }
+}
+
+/// Decides `is_square` for level `k`, writing the packed bitset. Candidate
+/// words that are all-zero after the child coalesce skip the criterion.
+#[allow(clippy::too_many_arguments)]
+fn decide_level<P: Intensity>(
+    levels: &[PlaneLevel<P>],
+    bits: &mut [BitGrid],
+    k: usize,
+    w: usize,
+    h: usize,
+    crit: Criterion,
+    t: u32,
+    parallel: bool,
+) {
+    let (fw, fh) = (w >> k, h >> k);
+    let (cw, ch) = ((w + (1 << k) - 1) >> k, (h + (1 << k) - 1) >> k);
+    let (bits_lo, bits_hi) = bits.split_at_mut(k);
+    let cur = &mut bits_hi[0];
+    cur.reset(cw, ch);
+    if fw == 0 || fh == 0 {
+        return;
+    }
+    let nw = fw.div_ceil(64);
+    let wpr = cur.wpr;
+    let (child_words, child_wpr): (&[u64], usize) = if k >= 2 {
+        (&bits_lo[k - 1].words, bits_lo[k - 1].wpr)
+    } else {
+        (&[], 0)
+    };
+
+    match crit {
+        Criterion::PixelRange => {
+            // The block's range is the range of its (already folded)
+            // level-k stats: one branch-free compare per lane, 64 lanes
+            // per candidate word.
+            let (minp, maxp) = (&levels[k].min, &levels[k].max);
+            for_rows(&mut cur.words, wpr, fh, parallel, |by, row| {
+                for (j, slot) in row.iter_mut().enumerate().take(nw) {
+                    let lanes = (fw - 64 * j).min(64);
+                    let cok =
+                        children_ok_word(child_words, child_wpr, k, by, j) & lanes_mask(lanes);
+                    if cok == 0 {
+                        continue;
+                    }
+                    let off = by * fw + 64 * j;
+                    let mut rb = 0u64;
+                    for i in 0..lanes {
+                        let ok =
+                            range_pair_satisfies(minp[off + i].to_u32(), maxp[off + i].to_u32(), t);
+                        rb |= (ok as u64) << i;
+                    }
+                    *slot = cok & rb;
+                }
+            });
+        }
+        Criterion::MeanDifference => {
+            // Pairwise child-mean tests need the four child stats, so walk
+            // the surviving candidate bits and gather from level k−1.
+            let child = &levels[k - 1];
+            let (cmin, cmax, csum) = (&child.min, &child.max, &child.sum);
+            let cfw = w >> (k - 1);
+            let ccount = 1u64 << (2 * (k - 1));
+            for_rows(&mut cur.words, wpr, fh, parallel, |by, row| {
+                for (j, slot) in row.iter_mut().enumerate().take(nw) {
+                    let lanes = (fw - 64 * j).min(64);
+                    let mut cok =
+                        children_ok_word(child_words, child_wpr, k, by, j) & lanes_mask(lanes);
+                    if cok == 0 {
+                        continue;
+                    }
+                    let mut bits_out = 0u64;
+                    while cok != 0 {
+                        let i = cok.trailing_zeros() as usize;
+                        cok &= cok - 1;
+                        let bx = 64 * j + i;
+                        let mn = gather2x2(cmin, cfw, bx, by);
+                        let mx = gather2x2(cmax, cfw, bx, by);
+                        let sm = gather2x2(csum, cfw, bx, by);
+                        let kids = [0usize, 1, 2, 3].map(|q| RegionStats {
+                            min: mn[q],
+                            max: mx[q],
+                            sum: sm[q],
+                            count: ccount,
+                        });
+                        if crit.combine_ok(&kids, t) {
+                            bits_out |= 1 << i;
+                        }
+                    }
+                    *slot = bits_out;
+                }
+            });
+        }
+    }
+}
+
 /// Runs the split stage into caller-owned buffers: all intermediate state
 /// lives in `scratch` and the result is written into `out` (cleared first).
 ///
@@ -232,136 +503,157 @@ pub fn split_into<P: Intensity>(
     out: &mut SplitResult<P>,
 ) {
     let (w, h) = (img.width(), img.height());
-    let side = w.max(h).next_power_of_two();
-    let top_possible = side.trailing_zeros() as usize;
+    let top_possible = w.max(h).next_power_of_two().trailing_zeros() as usize;
     let cap = config
         .max_square_log2
         .map(|m| m as usize)
         .unwrap_or(top_possible)
         .min(top_possible);
+    let t = config.threshold;
+    let crit = config.criterion;
 
     scratch.ensure_levels(cap + 1);
-    build_pyramid_into(img, cap, parallel, &mut scratch.levels);
+    let SplitScratch {
+        levels,
+        bits,
+        stack,
+        sort_rows,
+        sort_tmp,
+    } = scratch;
+    let mut metrics = SplitMetrics::default();
 
-    // is_square[k] : bitmap over the level-k block grid; level 0 squares are
-    // exactly the real pixels.
-    {
-        let l0 = &mut scratch.is_square[0];
-        l0.clear();
-        l0.resize(side * side, false);
-        for y in 0..h {
-            for cell in &mut l0[y * side..y * side + w] {
-                *cell = true;
-            }
-        }
-    }
+    fill_level0(img, &mut levels[0], parallel);
+    metrics.levels_built = 1;
+    metrics.cells_folded += (w * h) as u64;
 
     let mut iterations = 0u32;
-    // Highest level actually written this run (the first unproductive level
-    // is still written before the loop breaks, matching the paper's "first
-    // unproductive iteration is terminal" probe).
+    // Highest level actually probed this run (the first unproductive level
+    // still gets its bitset written before the loop breaks, matching the
+    // paper's "first unproductive iteration is terminal" probe).
     let mut top = 0usize;
     for k in 1..=cap {
-        let this_side = side >> k;
-        let child_side = side >> (k - 1);
-        let child_stats = &scratch.levels[k - 1];
-        let t = config.threshold;
-        let crit = config.criterion;
-        let b = 1usize << k;
+        let (fw, fh) = (w >> k, h >> k);
+        top = k;
 
-        let (sq_lo, sq_hi) = scratch.is_square.split_at_mut(k);
-        let child_sq = &sq_lo[k - 1];
-        let cur = &mut sq_hi[0];
-        cur.clear();
-        cur.resize(this_side * this_side, false);
-
-        let decide = |bx: usize, by: usize| -> bool {
-            // The block must lie wholly inside the image...
-            if (bx + 1) * b > w || (by + 1) * b > h {
-                return false;
-            }
-            // ...its four children must currently be whole squares...
-            let mut kids = [RegionStats::of_pixel(P::MIN_VALUE); 4];
-            for (i, (dy, dx)) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)]
-                .into_iter()
-                .enumerate()
-            {
-                let ci = (2 * by + dy) * child_side + (2 * bx + dx);
-                if !child_sq[ci] {
-                    return false;
-                }
-                kids[i] = child_stats[ci].expect("whole child square has stats");
-            }
-            // ...and the combination must be homogeneous.
-            crit.combine_ok(&kids, t)
-        };
-
-        if parallel {
-            cur.par_chunks_mut(this_side)
-                .enumerate()
-                .for_each(|(by, row)| {
-                    for (bx, cell) in row.iter_mut().enumerate() {
-                        *cell = decide(bx, by);
-                    }
-                });
-        } else {
-            for (by, row) in cur.chunks_mut(this_side).enumerate() {
-                for (bx, cell) in row.iter_mut().enumerate() {
-                    *cell = decide(bx, by);
-                }
-            }
+        // Under the range criterion the level-k fold comes first — the
+        // candidate test *is* a range check on the folded stats. The mean
+        // criterion tests child pairs instead, so its fold is deferred
+        // until the level is known productive (skipping the apex probe).
+        let fold_first = matches!(crit, Criterion::PixelRange);
+        if fold_first {
+            fold_level(levels, k, w, h, parallel);
+            metrics.levels_built += 1;
+            metrics.cells_folded += (fw * fh) as u64;
         }
 
-        let any = cur.iter().any(|&s| s);
-        top = k;
-        if any {
-            iterations += 1;
-        } else {
+        decide_level(levels, bits, k, w, h, crit, t, parallel);
+        metrics.words_tested += (fh * fw.div_ceil(64)) as u64;
+
+        if !bits[k].any() {
             break;
         }
+        if !fold_first {
+            fold_level(levels, k, w, h, parallel);
+            metrics.levels_built += 1;
+            metrics.cells_folded += (fw * fh) as u64;
+        }
+        iterations += 1;
     }
+    metrics.productive_levels = iterations;
 
     // Extract maximal squares, top-down (a square is maximal when no
-    // ancestor block is itself a square).
+    // ancestor block is itself a square). Seeds cover the ceil grid of the
+    // top processed level, so partially-inside border blocks descend.
     let squares = &mut out.squares;
     squares.clear();
-    // Seed the traversal with every block of the top processed level (the
-    // top level may be below the pyramid apex when the loop ended early or
-    // a cap is set).
-    let top_grid = side >> top;
-    let stack = &mut scratch.stack;
-    stack.clear();
-    for by in (0..top_grid).rev() {
-        for bx in (0..top_grid).rev() {
-            stack.push((top, bx, by));
-        }
-    }
-    while let Some((k, bx, by)) = stack.pop() {
-        let b = 1usize << k;
-        let (x0, y0) = (bx * b, by * b);
-        if x0 >= w || y0 >= h {
-            continue; // block entirely in the padding
-        }
-        let this_side = side >> k;
-        if scratch.is_square[k][by * this_side + bx] {
-            squares.push(Square {
-                x: x0 as u32,
-                y: y0 as u32,
-                log2: k as u8,
-            });
-        } else if k > 0 {
-            // Push in reverse Morton order so pops visit TL, TR, BL, BR.
-            for (dy, dx) in [(1usize, 1usize), (1, 0), (0, 1), (0, 0)] {
-                stack.push((k - 1, 2 * bx + dx, 2 * by + dy));
+    if top == 0 {
+        // Merge-only baseline (or 1×1 image): every pixel is a square.
+        squares.reserve(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                squares.push(Square {
+                    x: x as u32,
+                    y: y as u32,
+                    log2: 0,
+                });
             }
         }
+    } else {
+        stack.clear();
+        let (tcw, tch) = ((w + (1 << top) - 1) >> top, (h + (1 << top) - 1) >> top);
+        for by in (0..tch).rev() {
+            for bx in (0..tcw).rev() {
+                stack.push((top, bx, by));
+            }
+        }
+        while let Some((k, bx, by)) = stack.pop() {
+            let (x0, y0) = (bx << k, by << k);
+            if x0 >= w || y0 >= h {
+                continue; // block entirely outside the image
+            }
+            if k == 0 {
+                squares.push(Square {
+                    x: x0 as u32,
+                    y: y0 as u32,
+                    log2: 0,
+                });
+            } else if bits[k].get(bx, by) {
+                squares.push(Square {
+                    x: x0 as u32,
+                    y: y0 as u32,
+                    log2: k as u8,
+                });
+            } else {
+                // Push in reverse Morton order so pops visit TL, TR, BL, BR.
+                for (dy, dx) in [(1usize, 1usize), (1, 0), (0, 1), (0, 0)] {
+                    stack.push((k - 1, 2 * bx + dx, 2 * by + dy));
+                }
+            }
+        }
+
+        // Canonical order: raster order of the top-left corner, which makes
+        // the dense square index order-isomorphic to `Square::id`. The DFS
+        // emits top-block rows top-to-bottom and Z-order inside each block,
+        // so corners on any fixed row already appear left-to-right — a
+        // stable counting sort on `y` alone restores full raster order in
+        // O(n + h) instead of a comparison sort (the dominant extraction
+        // cost on fragmented scenes).
+        sort_rows.clear();
+        sort_rows.resize(h + 1, 0);
+        for s in squares.iter() {
+            sort_rows[s.y as usize + 1] += 1;
+        }
+        for y in 0..h {
+            sort_rows[y + 1] += sort_rows[y];
+        }
+        sort_tmp.clear();
+        sort_tmp.resize(
+            squares.len(),
+            Square {
+                x: 0,
+                y: 0,
+                log2: 0,
+            },
+        );
+        for s in squares.iter() {
+            let slot = &mut sort_rows[s.y as usize];
+            sort_tmp[*slot as usize] = *s;
+            *slot += 1;
+        }
+        std::mem::swap(squares, sort_tmp);
+        // Belt-and-braces: if the x-monotonicity invariant ever broke, fall
+        // back to the comparison sort rather than emit out of order.
+        if !squares
+            .windows(2)
+            .all(|p| (p[0].y, p[0].x) < (p[1].y, p[1].x))
+        {
+            debug_assert!(false, "DFS emission lost within-row x order");
+            squares.sort_unstable_by_key(|s| (s.y, s.x));
+        }
     }
 
-    // Canonical order: raster order of the top-left pixel, which makes the
-    // dense square index order-isomorphic to Square::id.
-    squares.sort_unstable_by_key(|s| (s.y, s.x));
-
-    // Per-square stats and the pixel -> square map.
+    // Per-square stats (read from the tight planes; count is the constant
+    // 4^k of a whole level-k block) and the pixel -> square map.
     let stats = &mut out.stats;
     stats.clear();
     stats.reserve(squares.len());
@@ -370,15 +662,25 @@ pub fn split_into<P: Intensity>(
     square_of.resize(w * h, u32::MAX);
     for (i, s) in squares.iter().enumerate() {
         let k = s.log2 as usize;
-        let this_side = side >> k;
-        let st = scratch.levels[k][(s.y as usize >> k) * this_side + (s.x as usize >> k)]
-            .expect("emitted square has stats");
-        stats.push(st);
-        for y in s.y as usize..s.y as usize + s.side() as usize {
-            for cell in
-                &mut square_of[y * w + s.x as usize..y * w + s.x as usize + s.side() as usize]
-            {
-                *cell = i as u32;
+        let fwk = w >> k;
+        let idx = ((s.y as usize) >> k) * fwk + ((s.x as usize) >> k);
+        let lvl = &levels[k];
+        stats.push(RegionStats {
+            min: lvl.min[idx],
+            max: lvl.max[idx],
+            sum: lvl.sum[idx],
+            count: 1u64 << (2 * k),
+        });
+        if s.log2 == 0 {
+            // Pixel squares dominate fragmented scenes; skip the loop setup.
+            square_of[s.y as usize * w + s.x as usize] = i as u32;
+        } else {
+            for y in s.y as usize..s.y as usize + s.side() as usize {
+                for cell in
+                    &mut square_of[y * w + s.x as usize..y * w + s.x as usize + s.side() as usize]
+                {
+                    *cell = i as u32;
+                }
             }
         }
     }
@@ -387,6 +689,7 @@ pub fn split_into<P: Intensity>(
     out.iterations = iterations;
     out.width = w;
     out.height = h;
+    out.metrics = metrics;
 }
 
 #[cfg(test)]
@@ -551,6 +854,7 @@ mod tests {
                 assert_eq!(a.stats, b.stats);
                 assert_eq!(a.square_of, b.square_of);
                 assert_eq!(a.iterations, b.iterations);
+                assert_eq!(a.metrics, b.metrics);
             }
         }
     }
@@ -577,6 +881,7 @@ mod tests {
                     assert_eq!(fresh.stats, out.stats);
                     assert_eq!(fresh.square_of, out.square_of);
                     assert_eq!(fresh.iterations, out.iterations);
+                    assert_eq!(fresh.metrics, out.metrics);
                     assert_eq!((fresh.width, fresh.height), (out.width, out.height));
                 }
             }
@@ -605,5 +910,69 @@ mod tests {
         // ... but only the mean criterion accepts the 4×4 (means all 6,
         // pooled range 12 > 8).
         assert_eq!(split(&img, &mean_cfg).num_squares(), 1);
+    }
+
+    #[test]
+    fn one_by_n_and_n_by_one_degenerate() {
+        // Nothing ever coalesces in a 1-pixel-wide strip (no 2×2 block
+        // fits), regardless of contents.
+        let tall: Image<u8> = Image::new(1, 37, 5);
+        let r = split(&tall, &cfg(255));
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.num_squares(), 37);
+        let wide: Image<u8> = Image::new(129, 1, 5);
+        let r = split(&wide, &cfg(255));
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.num_squares(), 129);
+        let dot: Image<u8> = Image::new(1, 1, 9);
+        let r = split(&dot, &cfg(0));
+        assert_eq!(r.num_squares(), 1);
+        assert_eq!(r.stats[0].count, 1);
+    }
+
+    #[test]
+    fn metrics_accounting() {
+        // Uniform 16×16, T=0: level 0 fill (256 cells) + folds at levels
+        // 1..=4 (64+16+4+1), all productive.
+        let img: Image<u8> = Image::new(16, 16, 42);
+        let r = split(&img, &cfg(0));
+        assert_eq!(r.metrics.levels_built, 5);
+        assert_eq!(r.metrics.productive_levels, 4);
+        assert_eq!(r.metrics.cells_folded, 256 + 64 + 16 + 4 + 1);
+        // One candidate word per block row per level: 8 + 4 + 2 + 1.
+        assert_eq!(r.metrics.words_tested, 8 + 4 + 2 + 1);
+        // Checkerboard: one unproductive probe folds level 1 then stops.
+        let cb = split(&synth::checkerboard(8, 1, 0, 200), &cfg(10));
+        assert_eq!(cb.metrics.levels_built, 2);
+        assert_eq!(cb.metrics.productive_levels, 0);
+        assert_eq!(cb.metrics.cells_folded, 64 + 16);
+        assert_eq!(cb.metrics.words_tested, 4);
+    }
+
+    #[test]
+    fn rect_scratch_footprint_is_tight() {
+        // The padding regression: a 513×100 image must allocate the tight
+        // geometric series of the rectangle (< 4/3 · w·h stats cells), not
+        // the 1024×1024 enclosing power-of-two square of the old layout.
+        let img: Image<u8> = Image::new(513, 100, 7);
+        let mut scratch = SplitScratch::new();
+        let mut out = SplitResult::default();
+        split_into(&img, &cfg(0), false, &mut scratch, &mut out);
+        let cells = scratch.plane_cells();
+        assert!(
+            cells < 4 * 513 * 100 / 3 + 64,
+            "stats planes allocated {cells} cells — padding is back?"
+        );
+        assert!(
+            cells < 1024 * 1024 / 4,
+            "stats planes allocated {cells} cells — comparable to the padded square"
+        );
+        // Packed bitsets are a rounding error next to the old Vec<bool>
+        // levels (which held side² bytes at level 1 alone).
+        let words = scratch.bitset_words();
+        assert!(
+            words * 64 < 2 * 513 * 100,
+            "bitsets allocated {words} words"
+        );
     }
 }

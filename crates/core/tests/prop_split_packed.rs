@@ -1,0 +1,90 @@
+//! Differential property tests of the packed word-parallel split engine
+//! against the retained pre-optimisation oracle
+//! ([`rg_core::split_reference`]): squares, per-square stats, the
+//! pixel→square map and the iteration count must be bit-identical across
+//! random sizes (including non-power-of-two rectangles and degenerate
+//! 1×N / N×1 strips), both criteria, sequential vs rayon passes, and a
+//! scratch reused across shape changes vs fresh calls.
+
+use proptest::prelude::*;
+use rg_core::{
+    split, split_into, split_par, split_reference, Config, Criterion, SplitResult, SplitScratch,
+};
+use rg_imaging::{synth, Image};
+
+// Random rectangles, biased toward awkward shapes: non-power-of-two
+// sides, strips of width or height 1, and tiny images.
+prop_compose! {
+    fn scene()(
+        seed in 0u64..1_000_000,
+        shape in prop_oneof![
+            ((2usize..70), (2usize..70)),
+            ((1usize..2), (1usize..130)),   // 1×N strip
+            ((1usize..130), (1usize..2)),   // N×1 strip
+            (Just(65usize), Just(33usize)), // just past powers of two
+        ],
+        count in 0usize..12,
+    ) -> Image<u8> {
+        synth::random_rects(shape.0, shape.1, count, seed)
+    }
+}
+
+prop_compose! {
+    fn split_config()(
+        t in 0u32..120,
+        crit in prop_oneof![Just(Criterion::PixelRange), Just(Criterion::MeanDifference)],
+        cap in prop_oneof![Just(None), (0u8..8).prop_map(Some)],
+    ) -> Config {
+        Config::with_threshold(t).criterion(crit).max_square_log2(cap)
+    }
+}
+
+/// Full bit-identity check of the split output fields the consumers read.
+fn assert_same(a: &SplitResult<u8>, b: &SplitResult<u8>, what: &str) {
+    assert_eq!(a.squares, b.squares, "{what}: squares");
+    assert_eq!(a.stats, b.stats, "{what}: stats");
+    assert_eq!(a.square_of, b.square_of, "{what}: square_of");
+    assert_eq!(a.iterations, b.iterations, "{what}: iterations");
+    assert_eq!((a.width, a.height), (b.width, b.height), "{what}: shape");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn packed_split_matches_reference(img in scene(), cfg in split_config()) {
+        let oracle = split_reference(&img, &cfg);
+        assert_same(&split(&img, &cfg), &oracle, "seq");
+        assert_same(&split_par(&img, &cfg), &oracle, "par");
+    }
+
+    #[test]
+    fn packed_counters_never_exceed_reference(img in scene(), cfg in split_config()) {
+        // The machine-independent work counters must show the packing
+        // doing no more work than the padded scalar oracle.
+        let oracle = split_reference(&img, &cfg);
+        let packed = split(&img, &cfg);
+        prop_assert!(packed.metrics.cells_folded <= oracle.metrics.cells_folded);
+        prop_assert!(packed.metrics.words_tested <= oracle.metrics.words_tested);
+        prop_assert_eq!(packed.metrics.productive_levels, oracle.metrics.productive_levels);
+    }
+
+    #[test]
+    fn reused_scratch_matches_reference_across_shapes(
+        imgs in prop::collection::vec(scene(), 2..5),
+        cfg in split_config(),
+    ) {
+        // One scratch + one output buffer across a stream of different
+        // shapes (growing and shrinking) stays bit-identical to the
+        // oracle, sequentially and in parallel.
+        let mut scratch = SplitScratch::new();
+        let mut out = SplitResult::default();
+        for img in &imgs {
+            let oracle = split_reference(img, &cfg);
+            for parallel in [false, true] {
+                split_into(img, &cfg, parallel, &mut scratch, &mut out);
+                assert_same(&out, &oracle, if parallel { "reused/par" } else { "reused/seq" });
+            }
+        }
+    }
+}

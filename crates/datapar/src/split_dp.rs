@@ -21,6 +21,7 @@
 
 use crate::fields::{PixelStats, DEAD};
 use cm_sim::{Field, Machine, Shape};
+use rg_core::kernels::{mean_pair_satisfies, range_pair_satisfies, union_hi, union_lo};
 use rg_core::{Config, Criterion};
 use rg_imaging::{Image, Intensity};
 
@@ -154,17 +155,19 @@ fn homogeneous4(
 ) -> Field<bool> {
     match crit {
         Criterion::PixelRange => {
-            let min1 = m.zip(&own.min, &e.min, |a, b| a.min(b));
-            let min2 = m.zip(&s.min, &se.min, |a, b| a.min(b));
-            let mn = m.zip(&min1, &min2, |a, b| a.min(b));
-            let max1 = m.zip(&own.max, &e.max, |a, b| a.max(b));
-            let max2 = m.zip(&s.max, &se.max, |a, b| a.max(b));
-            let mx = m.zip(&max1, &max2, |a, b| a.max(b));
-            m.zip(&mn, &mx, move |lo, hi| hi - lo <= t)
+            // Pooled extrema + range test through the shared scalar
+            // kernels (the same closures the packed host split uses).
+            let min1 = m.zip(&own.min, &e.min, union_lo);
+            let min2 = m.zip(&s.min, &se.min, union_lo);
+            let mn = m.zip(&min1, &min2, union_lo);
+            let max1 = m.zip(&own.max, &e.max, union_hi);
+            let max2 = m.zip(&s.max, &se.max, union_hi);
+            let mx = m.zip(&max1, &max2, union_hi);
+            m.zip(&mn, &mx, move |lo, hi| range_pair_satisfies(lo, hi, t))
         }
         Criterion::MeanDifference => {
-            // Exact pairwise mean test via cross-multiplication, matching
-            // the host engine's `combine_ok` bit for bit.
+            // Exact pairwise mean test via the shared cross-multiplication
+            // kernel, matching the host engine's `combine_ok` bit for bit.
             let packed: Vec<Field<(u64, u64)>> = [own, e, s, se]
                 .iter()
                 .map(|st| m.zip(&st.sum, &st.cnt, |s, c| (s, c)))
@@ -172,14 +175,13 @@ fn homogeneous4(
             let mut ok = Field::constant(own.min.shape(), true);
             for i in 0..4 {
                 for j in i + 1..4 {
-                    let close = m.zip(&packed[i], &packed[j], move |(si, ci), (sj, cj)| {
+                    let close = m.zip(&packed[i], &packed[j], move |a, b| {
                         // Dead corners (cnt 0) are excluded by kids_whole;
                         // accept vacuously to avoid div-by-zero concerns.
-                        if ci == 0 || cj == 0 {
+                        if a.1 == 0 || b.1 == 0 {
                             return true;
                         }
-                        let num = (si as u128 * cj as u128).abs_diff(sj as u128 * ci as u128);
-                        num <= t as u128 * ci as u128 * cj as u128
+                        mean_pair_satisfies(a, b, t)
                     });
                     ok = m.zip(&ok, &close, |a, b| a && b);
                 }
