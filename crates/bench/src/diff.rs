@@ -28,6 +28,9 @@ use std::fmt::Write as _;
 /// Metrics whose values must match the baseline exactly.
 pub const IDENTITY_METRICS: &[&str] = &["initial_edges", "num_regions", "num_squares"];
 /// Machine-independent work counters guarded with the tolerance.
+/// `critical_path_us` and `imbalance_pct` come from `trace_analyze
+/// --bench` rows: both derive from the simulator's deterministic virtual
+/// clock, so they gate like operation counts, not like wall time.
 pub const WORK_METRICS: &[&str] = &[
     "iterations",
     "peak_live_edges",
@@ -35,6 +38,8 @@ pub const WORK_METRICS: &[&str] = &[
     "compactions",
     "cells_touched",
     "words_tested",
+    "critical_path_us",
+    "imbalance_pct",
 ];
 /// Host-dependent metrics that warn rather than fail (unless
 /// [`DiffOptions::strict_wall`]). For `edges_per_sec`, *lower* is worse.
@@ -329,6 +334,57 @@ mod tests {
         assert_eq!(bad.len(), 1);
         assert_eq!(bad[0].metric, "relabel_work");
         assert!(r.render().contains("REGRESSED"));
+    }
+
+    /// Rows written by `trace_analyze --bench` gate on the causal metrics:
+    /// a critical-path or imbalance regression past the tolerance fails,
+    /// and an improvement never does.
+    #[test]
+    fn trace_analyze_rows_gate_on_causal_metrics() {
+        let trace_doc = |critical_path_us: f64, imbalance_pct: f64| {
+            Json::obj(vec![
+                ("schema", "bench-merge-v1".into()),
+                (
+                    "rows",
+                    Json::Arr(vec![Json::obj(vec![
+                        ("backend", "msgpass:async:4".into()),
+                        ("image", "128x128".into()),
+                        ("tie_break", "random".into()),
+                        ("threshold", 10.0.into()),
+                        ("critical_path_us", critical_path_us.into()),
+                        ("imbalance_pct", imbalance_pct.into()),
+                        ("utilization_pct", 80.0.into()),
+                        ("wall_us", 45_000.0.into()),
+                    ])]),
+                ),
+            ])
+        };
+        let base = trace_doc(40_000.0, 8.0);
+        let r = diff_docs(
+            &base,
+            &trace_doc(40_000.0 * 1.3, 8.0),
+            &DiffOptions::default(),
+        )
+        .unwrap();
+        assert!(!r.ok());
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.severity == Severity::Regression && f.metric == "critical_path_us"));
+        let r = diff_docs(
+            &base,
+            &trace_doc(40_000.0, 8.0 * 1.5),
+            &DiffOptions::default(),
+        )
+        .unwrap();
+        assert!(!r.ok());
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.severity == Severity::Regression && f.metric == "imbalance_pct"));
+        // A faster, better-balanced run sails through.
+        let r = diff_docs(&base, &trace_doc(30_000.0, 2.0), &DiffOptions::default()).unwrap();
+        assert!(r.ok(), "{}", r.render());
     }
 
     #[test]

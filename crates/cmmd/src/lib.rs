@@ -37,6 +37,7 @@ pub mod collectives;
 pub mod fault;
 pub mod runtime;
 pub mod time;
+pub mod trace;
 
 pub use alltomany::{all_to_many, try_all_to_many, CommScheme};
 pub use fault::{
@@ -45,3 +46,4 @@ pub use fault::{
 };
 pub use runtime::{run_spmd, try_run_spmd, Node, SpmdAbort, SpmdResult};
 pub use time::TimeParams;
+pub use trace::{TraceEvent, TraceKind};

@@ -24,6 +24,7 @@ use crate::fault::{
     FRAME_HEADER_LEN,
 };
 use crate::time::TimeParams;
+use crate::trace::{TraceEvent, TraceKind};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
@@ -42,6 +43,9 @@ pub struct SpmdResult<R> {
     pub fault_events: Vec<FaultEvent>,
     /// Aggregate fault counters over all nodes.
     pub fault_counters: FaultCounters,
+    /// Causal trace events, concatenated in rank order (empty unless the
+    /// node program armed [`Node::set_tracing`]).
+    pub trace_events: Vec<TraceEvent>,
 }
 
 /// An SPMD run that aborted: at least one node program returned a
@@ -94,6 +98,20 @@ pub struct Node {
     slowdown: f64,
     /// Communication calls made (drives the stall sampler).
     comm_ops: u64,
+    /// Whether causal tracing is armed (off by default: untraced runs pay
+    /// one branch per communication call).
+    tracing: bool,
+    /// Recorded trace events (empty unless tracing).
+    trace_events: Vec<TraceEvent>,
+    /// Program-point tag stamped onto trace events.
+    trace_stream: &'static str,
+    /// Logical send ordinal per destination (independent of the chaos
+    /// transport's frame sequence numbers).
+    trace_send_seq: Vec<u64>,
+    /// Accepted-receive ordinal per source.
+    trace_recv_seq: Vec<u64>,
+    /// Collective-participation ordinal.
+    trace_coll_seq: u64,
 }
 
 impl Node {
@@ -145,6 +163,77 @@ impl Node {
         if ts_ns > self.clock_ns {
             self.clock_ns = ts_ns;
         }
+    }
+
+    /// Arms (or disarms) causal tracing: every subsequent send, receive
+    /// and collective records a [`TraceEvent`] stamped with the virtual
+    /// clock. Off by default; untraced runs pay one branch per call.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Whether causal tracing is armed.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Sets the program-point tag stamped onto subsequent trace events
+    /// (e.g. `"boundary"`, `"merge:stats"`). SPMD symmetry keeps sender
+    /// and receiver tags agreeing: both ranks pass the same program point
+    /// before touching the same logical message.
+    pub fn set_trace_stream(&mut self, stream: &'static str) {
+        self.trace_stream = stream;
+    }
+
+    /// Drains the node's recorded trace events.
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace_events)
+    }
+
+    fn trace_send(&mut self, dst: usize, bytes: usize, retry_wait_ns: f64) {
+        let seq = self.trace_send_seq[dst];
+        self.trace_send_seq[dst] += 1;
+        self.trace_events.push(TraceEvent {
+            kind: TraceKind::Send,
+            stream: self.trace_stream,
+            src: self.rank as u32,
+            dst: dst as u32,
+            seq,
+            bytes: bytes as u64,
+            t_ns: self.clock_ns,
+            wait_ns: retry_wait_ns,
+        });
+    }
+
+    fn trace_recv(&mut self, src: usize, bytes: usize, wait_ns: f64) {
+        let seq = self.trace_recv_seq[src];
+        self.trace_recv_seq[src] += 1;
+        self.trace_events.push(TraceEvent {
+            kind: TraceKind::Recv,
+            stream: self.trace_stream,
+            src: src as u32,
+            dst: self.rank as u32,
+            seq,
+            bytes: bytes as u64,
+            t_ns: self.clock_ns,
+            wait_ns,
+        });
+    }
+
+    fn trace_coll(&mut self, bytes: usize, wait_ns: f64) {
+        let seq = self.trace_coll_seq;
+        self.trace_coll_seq += 1;
+        let rank = self.rank as u32;
+        self.trace_events.push(TraceEvent {
+            kind: TraceKind::Collective,
+            stream: self.trace_stream,
+            src: rank,
+            dst: rank,
+            seq,
+            bytes: bytes as u64,
+            t_ns: self.clock_ns,
+            wait_ns: wait_ns.max(0.0),
+        });
     }
 
     /// Records a fault/recovery event at the current virtual time.
@@ -212,19 +301,25 @@ impl Node {
 
     fn send_impl(&mut self, dst: usize, payload: Bytes, sync: bool) -> Result<(), Fault> {
         let Some(plan) = self.plan.clone() else {
+            let len = payload.len();
             if sync {
                 self.clock_ns +=
-                    self.params.alpha_sync_ns + payload.len() as f64 * self.params.beta_ns_per_byte;
+                    self.params.alpha_sync_ns + len as f64 * self.params.beta_ns_per_byte;
             } else {
                 self.clock_ns += self.params.alpha_async_ns;
             }
             self.post(dst, payload, 0.0);
+            if self.tracing {
+                self.trace_send(dst, len, 0.0);
+            }
             return Ok(());
         };
         self.apply_stall();
         let seq = self.next_seq[dst];
         self.next_seq[dst] += 1;
-        let frame_bytes = (FRAME_HEADER_LEN + payload.len()) as f64;
+        let len = payload.len();
+        let frame_bytes = (FRAME_HEADER_LEN + len) as f64;
+        let mut retry_wait_ns = 0.0;
         for attempt in 0..=plan.retry.max_retries {
             if sync {
                 self.clock_ns +=
@@ -237,6 +332,7 @@ impl Node {
                 self.fault_counters.drops += 1;
                 self.record(FaultKind::Drop, dst, seq);
                 self.clock_ns += plan.retry.timeout_ns;
+                retry_wait_ns += plan.retry.timeout_ns;
                 self.fault_counters.retries += 1;
                 self.record(FaultKind::Retry, dst, seq);
                 continue;
@@ -254,6 +350,7 @@ impl Node {
                 self.fault_counters.corruptions += 1;
                 self.record(FaultKind::Corrupt, dst, seq);
                 self.clock_ns += plan.retry.timeout_ns;
+                retry_wait_ns += plan.retry.timeout_ns;
                 self.fault_counters.retries += 1;
                 self.record(FaultKind::Retry, dst, seq);
                 continue;
@@ -262,6 +359,9 @@ impl Node {
                 self.fault_counters.duplicates += 1;
                 self.record(FaultKind::Duplicate, dst, seq);
                 self.post(dst, frame, o.delay_ns);
+            }
+            if self.tracing {
+                self.trace_send(dst, len, retry_wait_ns);
             }
             return Ok(());
         }
@@ -351,6 +451,7 @@ impl Node {
     /// and silently discarded until the expected frame arrives; a
     /// disconnected peer yields [`Fault::PeerDown`].
     pub fn try_recv_from(&mut self, src: usize) -> Result<Bytes, Fault> {
+        let mut wait_ns = 0.0;
         loop {
             let msg = self.from[src].recv().map_err(|_| Fault::PeerDown {
                 rank: self.rank,
@@ -360,9 +461,16 @@ impl Node {
             let arrival = msg.ts_ns
                 + self.params.net_latency_ns
                 + msg.payload.len() as f64 * self.params.beta_ns_per_byte;
+            // Blocked-waiting portion: how far the arrival timestamp pulls
+            // the local clock forward (the receive overhead below is CPU
+            // work, not waiting).
+            wait_ns += (arrival - self.clock_ns).max(0.0);
             self.sync_to(arrival);
             self.clock_ns += self.params.recv_overhead_ns;
             if self.plan.is_none() {
+                if self.tracing {
+                    self.trace_recv(src, msg.payload.len(), wait_ns);
+                }
                 return Ok(msg.payload);
             }
             match decode_frame(msg.payload) {
@@ -376,6 +484,9 @@ impl Node {
                     }
                     debug_assert_eq!(seq, expect, "transport hole on link {src}->{}", self.rank);
                     self.expect_seq[src] = seq + 1;
+                    if self.tracing {
+                        self.trace_recv(src, payload.len(), wait_ns);
+                    }
                     return Ok(payload);
                 }
             }
@@ -395,12 +506,16 @@ impl Node {
     /// Fallible barrier (see [`Node::barrier`]).
     pub fn try_barrier(&mut self) -> Result<(), Fault> {
         self.apply_stall();
+        let entered = self.clock_ns;
         let all = self
             .collectives
             .try_exchange_clock(self.rank, self.clock_ns)
             .map_err(|_| Fault::CollectivePoisoned { rank: self.rank })?;
         let max = all.iter().copied().fold(f64::MIN, f64::max);
         self.clock_ns = max + (self.size.max(2) as f64).log2() * self.params.tree_stage_ns;
+        if self.tracing {
+            self.trace_coll(0, max - entered);
+        }
         Ok(())
     }
 
@@ -419,6 +534,7 @@ impl Node {
     /// Fallible global concatenation (see [`Node::concat`]).
     pub fn try_concat(&mut self, payload: Bytes) -> Result<Vec<Bytes>, Fault> {
         self.apply_stall();
+        let entered = self.clock_ns;
         let parts = self
             .collectives
             .try_exchange_bytes(self.rank, self.clock_ns, payload)
@@ -428,6 +544,9 @@ impl Node {
         self.clock_ns = max_ts
             + (self.size.max(2) as f64).log2() * self.params.tree_stage_ns
             + total as f64 * self.params.beta_ns_per_byte;
+        if self.tracing {
+            self.trace_coll(total, max_ts - entered);
+        }
         Ok(parts.into_iter().map(|(_, b)| b).collect())
     }
 
@@ -448,12 +567,16 @@ impl Node {
         op: impl Fn(u64, u64) -> u64,
     ) -> Result<u64, Fault> {
         self.apply_stall();
+        let entered = self.clock_ns;
         let parts = self
             .collectives
             .try_exchange_u64(self.rank, self.clock_ns, v)
             .map_err(|_| Fault::CollectivePoisoned { rank: self.rank })?;
         let max_ts = parts.iter().map(|(t, _)| *t).fold(f64::MIN, f64::max);
         self.clock_ns = max_ts + (self.size.max(2) as f64).log2() * self.params.tree_stage_ns;
+        if self.tracing {
+            self.trace_coll(8, max_ts - entered);
+        }
         Ok(parts.into_iter().map(|(_, x)| x).reduce(&op).unwrap())
     }
 
@@ -493,6 +616,7 @@ impl Node {
         } else {
             Bytes::new()
         };
+        let entered = self.clock_ns;
         let parts = self
             .collectives
             .try_exchange_bytes(self.rank, self.clock_ns, contribution)
@@ -502,6 +626,9 @@ impl Node {
         self.clock_ns = max_ts
             + (self.size.max(2) as f64).log2() * self.params.tree_stage_ns
             + data.len() as f64 * self.params.beta_ns_per_byte;
+        if self.tracing {
+            self.trace_coll(data.len(), max_ts - entered);
+        }
         Ok(data)
     }
 
@@ -525,12 +652,16 @@ impl Node {
         op: impl Fn(u64, u64) -> u64,
     ) -> Result<u64, Fault> {
         self.apply_stall();
+        let entered = self.clock_ns;
         let parts = self
             .collectives
             .try_exchange_u64(self.rank, self.clock_ns, v)
             .map_err(|_| Fault::CollectivePoisoned { rank: self.rank })?;
         let max_ts = parts.iter().map(|(t, _)| *t).fold(f64::MIN, f64::max);
         self.clock_ns = max_ts + (self.size.max(2) as f64).log2() * self.params.tree_stage_ns;
+        if self.tracing {
+            self.trace_coll(8, max_ts - entered);
+        }
         Ok(parts[..self.rank]
             .iter()
             .fold(init, |acc, &(_, x)| op(acc, x)))
@@ -552,6 +683,7 @@ impl Node {
     pub fn try_gather_to(&mut self, root: usize, payload: Bytes) -> Result<Vec<Bytes>, Fault> {
         assert!(root < self.size, "gather root out of range");
         self.apply_stall();
+        let entered = self.clock_ns;
         let parts = self
             .collectives
             .try_exchange_bytes(self.rank, self.clock_ns, payload)
@@ -559,12 +691,16 @@ impl Node {
         let max_ts = parts.iter().map(|(t, _)| *t).fold(f64::MIN, f64::max);
         let total: usize = parts.iter().map(|(_, b)| b.len()).sum();
         self.clock_ns = max_ts + (self.size.max(2) as f64).log2() * self.params.tree_stage_ns;
-        if self.rank == root {
+        let out = if self.rank == root {
             self.clock_ns += total as f64 * self.params.beta_ns_per_byte;
-            Ok(parts.into_iter().map(|(_, b)| b).collect())
+            parts.into_iter().map(|(_, b)| b).collect()
         } else {
-            Ok(Vec::new())
+            Vec::new()
+        };
+        if self.tracing {
+            self.trace_coll(total, max_ts - entered);
         }
+        Ok(out)
     }
 }
 
@@ -636,10 +772,22 @@ where
             fault_events: Vec::new(),
             fault_counters: FaultCounters::default(),
             comm_ops: 0,
+            tracing: false,
+            trace_events: Vec::new(),
+            trace_stream: "setup",
+            trace_send_seq: vec![0; nodes],
+            trace_recv_seq: vec![0; nodes],
+            trace_coll_seq: 0,
         });
     }
 
-    type NodeExit<R> = (Result<R, Fault>, f64, Vec<FaultEvent>, FaultCounters);
+    type NodeExit<R> = (
+        Result<R, Fault>,
+        f64,
+        Vec<FaultEvent>,
+        FaultCounters,
+        Vec<TraceEvent>,
+    );
     let f = &f;
     let mut out: Vec<Option<NodeExit<R>>> = (0..nodes).map(|_| None).collect();
     std::thread::scope(|scope| {
@@ -653,12 +801,21 @@ where
                     node.poison_collectives();
                 }
                 let events = node.take_fault_events();
-                (node.rank, r, node.clock_ns, events, node.fault_counters)
+                let trace = node.take_trace_events();
+                (
+                    node.rank,
+                    r,
+                    node.clock_ns,
+                    events,
+                    node.fault_counters,
+                    trace,
+                )
             }));
         }
         for j in joins {
-            let (rank, r, clock, events, counters) = j.join().expect("node program panicked");
-            out[rank] = Some((r, clock, events, counters));
+            let (rank, r, clock, events, counters, trace) =
+                j.join().expect("node program panicked");
+            out[rank] = Some((r, clock, events, counters, trace));
         }
     });
 
@@ -667,11 +824,13 @@ where
     let mut node_seconds = Vec::with_capacity(nodes);
     let mut fault_events = Vec::new();
     let mut fault_counters = FaultCounters::default();
+    let mut trace_events = Vec::new();
     for (rank, slot) in out.into_iter().enumerate() {
-        let (r, clock, events, counters) = slot.expect("missing node result");
+        let (r, clock, events, counters, trace) = slot.expect("missing node result");
         node_seconds.push(clock / 1e9);
         fault_events.extend(events);
         fault_counters.merge(&counters);
+        trace_events.extend(trace);
         match r {
             Ok(v) => results.push(v),
             Err(fault) => faults.push((rank, fault)),
@@ -691,6 +850,7 @@ where
         max_seconds,
         fault_events,
         fault_counters,
+        trace_events,
     })
 }
 
@@ -812,6 +972,109 @@ mod tests {
             assert_eq!(x, y);
         }
         assert_eq!(a.max_seconds, b.max_seconds);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::channel::encode_u32s;
+    use crate::trace::TraceKind;
+
+    fn traced_ring(plan: Option<FaultPlan>) -> SpmdResult<()> {
+        try_run_spmd(4, TimeParams::default(), plan, |node| {
+            node.set_tracing(true);
+            node.set_trace_stream("ring");
+            let right = (node.rank() + 1) % node.size();
+            let left = (node.rank() + node.size() - 1) % node.size();
+            node.try_send_sync(right, encode_u32s(&[node.rank() as u32]))?;
+            let _ = node.try_recv_from(left)?;
+            node.set_trace_stream("sync");
+            node.try_barrier()?;
+            Ok(())
+        })
+        .expect("ring must survive")
+    }
+
+    #[test]
+    fn untraced_runs_record_nothing() {
+        let res = run_spmd(4, TimeParams::default(), |node| {
+            node.send_sync((node.rank() + 1) % node.size(), encode_u32s(&[1]));
+            let _ = node.recv_from((node.rank() + node.size() - 1) % node.size());
+            node.barrier();
+        });
+        assert!(res.trace_events.is_empty());
+    }
+
+    #[test]
+    fn traced_ring_pairs_sends_and_recvs() {
+        let res = traced_ring(None);
+        let sends: Vec<_> = res
+            .trace_events
+            .iter()
+            .filter(|e| e.kind == TraceKind::Send)
+            .collect();
+        let recvs: Vec<_> = res
+            .trace_events
+            .iter()
+            .filter(|e| e.kind == TraceKind::Recv)
+            .collect();
+        let colls: Vec<_> = res
+            .trace_events
+            .iter()
+            .filter(|e| e.kind == TraceKind::Collective)
+            .collect();
+        assert_eq!(sends.len(), 4);
+        assert_eq!(recvs.len(), 4);
+        assert_eq!(colls.len(), 4);
+        for s in &sends {
+            assert_eq!(s.stream, "ring");
+            assert!(
+                recvs
+                    .iter()
+                    .any(|r| (r.src, r.dst, r.seq) == (s.src, s.dst, s.seq)),
+                "unpaired send {s:?}"
+            );
+            // Recv completion must not precede the paired send.
+            let r = recvs
+                .iter()
+                .find(|r| (r.src, r.dst, r.seq) == (s.src, s.dst, s.seq))
+                .unwrap();
+            assert!(r.t_ns >= s.t_ns);
+        }
+        // Collective ordinals align across ranks and at least one rank
+        // waited for a peer (clocks differ before the barrier).
+        for c in &colls {
+            assert_eq!(c.seq, 0);
+            assert_eq!(c.stream, "sync");
+        }
+        assert!(colls.iter().any(|c| c.wait_ns == 0.0));
+    }
+
+    #[test]
+    fn trace_seq_is_logical_under_retransmission() {
+        // A storm plan retransmits frames, but logical trace pairing must
+        // be unaffected and retry waits must be attributed to sends.
+        let res = traced_ring(Some(FaultPlan::new(5, "storm").unwrap()));
+        let sends: Vec<_> = res
+            .trace_events
+            .iter()
+            .filter(|e| e.kind == TraceKind::Send)
+            .collect();
+        assert_eq!(sends.len(), 4);
+        for s in &sends {
+            assert_eq!(s.seq, 0, "one logical send per edge");
+            assert!(
+                res.trace_events
+                    .iter()
+                    .any(|r| r.kind == TraceKind::Recv
+                        && (r.src, r.dst, r.seq) == (s.src, s.dst, s.seq)),
+                "unpaired send {s:?}"
+            );
+        }
+        if res.fault_counters.retries > 0 {
+            assert!(sends.iter().any(|s| s.wait_ns > 0.0));
+        }
     }
 }
 

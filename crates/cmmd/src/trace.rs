@@ -1,0 +1,71 @@
+//! Causal trace events recorded by the node runtime.
+//!
+//! When tracing is armed ([`crate::Node::set_tracing`]) every point-to-point
+//! send/receive and every collective records a [`TraceEvent`] stamped with
+//! the node's virtual clock. Flow edges are correlated by
+//! `(stream, src, dst, seq)`: the sender's `seq` counts logical sends per
+//! destination, the receiver's counts accepted receives per source, and the
+//! per-link FIFO channel guarantees the k-th accepted receive on a link is
+//! the k-th logical send — so the pair shares one sequence number even when
+//! the chaos transport retransmits underneath.
+//!
+//! `wait_ns` carries the *idle* portion of the operation, which is what the
+//! downstream critical-path analysis attributes:
+//!
+//! - receive: clock advance caused by synchronising to the sender's
+//!   arrival timestamp (blocked-waiting time; the fixed receive overhead
+//!   is CPU work and excluded);
+//! - collective: how long this node waited at the rendezvous for the
+//!   latest peer to arrive (zero for the straggler itself);
+//! - send: retry-timeout time charged by the fault-injection transport
+//!   (zero on the fault-free fabric).
+
+/// What kind of communication operation a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A logical point-to-point send (one per `send_*` call, regardless of
+    /// retransmissions underneath). Recorded by the source rank.
+    Send,
+    /// A logical point-to-point receive (one accepted payload per
+    /// `recv_*` call). Recorded by the destination rank.
+    Recv,
+    /// Participation in a control-network collective (barrier, concat,
+    /// reduction, scan, broadcast, gather). Recorded by every rank; the
+    /// per-node collective ordinal `seq` aligns participants across ranks
+    /// because SPMD programs enter collectives in lockstep.
+    Collective,
+}
+
+/// One traced communication operation at virtual time `t_ns`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Operation kind.
+    pub kind: TraceKind,
+    /// Program-point tag active on the recording rank (see
+    /// [`crate::Node::set_trace_stream`]).
+    pub stream: &'static str,
+    /// Source rank (for collectives: the recording rank).
+    pub src: u32,
+    /// Destination rank (for collectives: the recording rank).
+    pub dst: u32,
+    /// Correlation sequence number: per-destination send ordinal,
+    /// per-source receive ordinal, or per-node collective ordinal.
+    pub seq: u64,
+    /// Payload bytes (the logical payload, not retransmitted frames).
+    pub bytes: u64,
+    /// Virtual time at operation completion, nanoseconds.
+    pub t_ns: f64,
+    /// Idle portion of the operation, nanoseconds (see module docs).
+    pub wait_ns: f64,
+}
+
+impl TraceEvent {
+    /// The rank that recorded this event (source for sends and
+    /// collectives, destination for receives).
+    pub fn rank(&self) -> u32 {
+        match self.kind {
+            TraceKind::Send | TraceKind::Collective => self.src,
+            TraceKind::Recv => self.dst,
+        }
+    }
+}

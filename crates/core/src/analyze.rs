@@ -1,0 +1,708 @@
+//! Cross-rank causal analysis of a traced message-passing journal.
+//!
+//! The paper's central question is processor utilization: how much of the
+//! makespan is useful work versus waiting on the slowest processor or on
+//! communication. This module answers it post-mortem from the causal flow
+//! events ([`crate::telemetry::FlowRecord`]) a traced msgpass run streams
+//! into its journal:
+//!
+//! 1. **DAG reconstruction.** Per-rank event chains (program order, virtual
+//!    clocks) plus cross-rank edges: each `recv` depends on its matched
+//!    `send` (correlated by `(stream, src, dst, seq)`), and each collective
+//!    participation depends on every participant reaching the rendezvous
+//!    (participants share a per-node ordinal because SPMD programs enter
+//!    collectives in lockstep).
+//! 2. **Critical path.** Longest *busy-time* path through the DAG:
+//!    `cp(e) = min(t(e), busy(e) + max over predecessors cp(pred))`. The
+//!    `min` clamp encodes that no dependency chain can accumulate more
+//!    attributable work by time `t` than `t` itself, which pins the two
+//!    defining invariants structurally: critical path ≤ wall time, and —
+//!    because a rank's own chain is one candidate path — critical path ≥
+//!    max per-rank busy time.
+//! 3. **Attribution.** Per-rank busy/idle split (idle = receive waits +
+//!    collective rendezvous waits + chaos retry timeouts), load-imbalance
+//!    percentage `(max busy − mean busy) / max busy`, straggler ranks,
+//!    per-stream critical-path breakdown, per-edge wait attribution, and
+//!    communication/computation overlap (the share of in-flight message
+//!    time the receiver spent doing other work).
+//!
+//! Everything degrades gracefully on truncated journals: an unmatched
+//! receive simply loses its cross edge, a missing `run_end` loses nothing,
+//! and a journal with no flow events yields no analysis ([`analyze_run`]
+//! returns `None`) rather than a panic.
+
+use std::collections::HashMap;
+
+use crate::journal::{Event, EventKind};
+use crate::json::Json;
+use crate::telemetry::{FlowKind, FlowRecord};
+
+/// One rank's busy/idle timeline summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankTimeline {
+    /// The rank.
+    pub rank: u32,
+    /// Virtual clock at the rank's last traced operation, nanoseconds.
+    pub final_ns: f64,
+    /// Busy time: total event time minus waits, nanoseconds.
+    pub busy_ns: f64,
+    /// Idle time: receive + collective + retry waits, nanoseconds.
+    pub idle_ns: f64,
+    /// Traced operations recorded by this rank.
+    pub events: usize,
+}
+
+impl RankTimeline {
+    /// Busy share of this rank's timeline, percent.
+    pub fn utilization_pct(&self) -> f64 {
+        if self.final_ns <= 0.0 {
+            100.0
+        } else {
+            100.0 * self.busy_ns / self.final_ns
+        }
+    }
+}
+
+/// Critical-path time attributed to one stream (program-point tag).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSegment {
+    /// Stream tag (e.g. `"boundary"`, `"merge:stats"`).
+    pub stream: String,
+    /// Busy nanoseconds on the critical path under this tag.
+    pub busy_ns: f64,
+    /// Critical-path events under this tag.
+    pub events: usize,
+}
+
+/// Wait time attributed to one directed communication edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeAttribution {
+    /// Sending rank.
+    pub src: u32,
+    /// Receiving rank.
+    pub dst: u32,
+    /// Logical messages sent on the edge.
+    pub messages: u64,
+    /// Logical payload bytes sent on the edge.
+    pub bytes: u64,
+    /// Receiver blocked-waiting time on the edge, nanoseconds.
+    pub recv_wait_ns: f64,
+    /// Sender chaos retry-timeout time on the edge, nanoseconds (zero on
+    /// fault-free fabrics).
+    pub retry_wait_ns: f64,
+}
+
+/// The full causal analysis of one traced run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunAnalysis {
+    /// Engine label from `run_start` (empty if the journal prefix lost it).
+    pub engine: String,
+    /// Image width (0 if unknown).
+    pub width: usize,
+    /// Image height (0 if unknown).
+    pub height: usize,
+    /// Ranks observed in the trace.
+    pub nodes: usize,
+    /// Virtual makespan: latest traced-operation completion, nanoseconds.
+    pub wall_ns: f64,
+    /// Critical-path length, nanoseconds.
+    pub critical_path_ns: f64,
+    /// Per-rank timelines, indexed by position (ascending rank).
+    pub ranks: Vec<RankTimeline>,
+    /// Load imbalance `(max busy − mean busy) / max busy`, percent.
+    pub imbalance_pct: f64,
+    /// The rank with the most busy time.
+    pub straggler: u32,
+    /// Critical-path breakdown by stream, descending busy time.
+    pub critical_path: Vec<PathSegment>,
+    /// Total receive blocked-waiting time across ranks, nanoseconds.
+    pub recv_wait_ns: f64,
+    /// Total collective rendezvous waiting time across ranks, nanoseconds.
+    pub coll_wait_ns: f64,
+    /// Total chaos retry-timeout time across ranks, nanoseconds.
+    pub retry_wait_ns: f64,
+    /// Per-edge wait attribution, descending total wait.
+    pub edges: Vec<EdgeAttribution>,
+    /// Communication/computation overlap: share of total in-flight message
+    /// time during which the receiver was *not* blocked on it, percent.
+    pub overlap_pct: f64,
+    /// Flow events that paired (`recv` matched to a prior `send`).
+    pub matched_flows: usize,
+    /// Receives with no matching send (non-zero only on truncated or
+    /// damaged journals; their cross edges are dropped, not fatal).
+    pub unmatched_recvs: usize,
+}
+
+impl RunAnalysis {
+    /// Mean per-rank busy time, nanoseconds.
+    pub fn mean_busy_ns(&self) -> f64 {
+        if self.ranks.is_empty() {
+            0.0
+        } else {
+            self.ranks.iter().map(|r| r.busy_ns).sum::<f64>() / self.ranks.len() as f64
+        }
+    }
+
+    /// Maximum per-rank busy time, nanoseconds.
+    pub fn max_busy_ns(&self) -> f64 {
+        self.ranks.iter().map(|r| r.busy_ns).fold(0.0, f64::max)
+    }
+
+    /// Aggregate utilization: total busy over `nodes × wall`, percent.
+    pub fn utilization_pct(&self) -> f64 {
+        let denom = self.wall_ns * self.ranks.len() as f64;
+        if denom <= 0.0 {
+            100.0
+        } else {
+            100.0 * self.ranks.iter().map(|r| r.busy_ns).sum::<f64>() / denom
+        }
+    }
+
+    /// Serializes the analysis to a JSON object (times in milliseconds of
+    /// virtual time).
+    pub fn to_json(&self) -> Json {
+        let ms = |ns: f64| Json::from(ns / 1e6);
+        let ranks: Vec<Json> = self
+            .ranks
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("rank", u64::from(r.rank).into()),
+                    ("busy_ms", ms(r.busy_ns)),
+                    ("idle_ms", ms(r.idle_ns)),
+                    ("final_ms", ms(r.final_ns)),
+                    ("utilization_pct", r.utilization_pct().into()),
+                    ("events", r.events.into()),
+                ])
+            })
+            .collect();
+        let path: Vec<Json> = self
+            .critical_path
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("stream", s.stream.as_str().into()),
+                    ("busy_ms", ms(s.busy_ns)),
+                    ("events", s.events.into()),
+                ])
+            })
+            .collect();
+        let edges: Vec<Json> = self
+            .edges
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    ("src", u64::from(e.src).into()),
+                    ("dst", u64::from(e.dst).into()),
+                    ("messages", e.messages.into()),
+                    ("bytes", e.bytes.into()),
+                    ("recv_wait_ms", ms(e.recv_wait_ns)),
+                    ("retry_wait_ms", ms(e.retry_wait_ns)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("engine", self.engine.as_str().into()),
+            ("width", self.width.into()),
+            ("height", self.height.into()),
+            ("nodes", self.nodes.into()),
+            ("wall_ms", ms(self.wall_ns)),
+            ("critical_path_ms", ms(self.critical_path_ns)),
+            ("max_rank_busy_ms", ms(self.max_busy_ns())),
+            ("mean_rank_busy_ms", ms(self.mean_busy_ns())),
+            ("imbalance_pct", self.imbalance_pct.into()),
+            ("straggler", u64::from(self.straggler).into()),
+            ("utilization_pct", self.utilization_pct().into()),
+            ("overlap_pct", self.overlap_pct.into()),
+            ("recv_wait_ms", ms(self.recv_wait_ns)),
+            ("coll_wait_ms", ms(self.coll_wait_ns)),
+            ("retry_wait_ms", ms(self.retry_wait_ns)),
+            ("matched_flows", self.matched_flows.into()),
+            ("unmatched_recvs", self.unmatched_recvs.into()),
+            ("ranks", Json::Arr(ranks)),
+            ("critical_path", Json::Arr(path)),
+            ("edges", Json::Arr(edges)),
+        ])
+    }
+
+    /// Renders a human-readable attribution report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let ms = |ns: f64| ns / 1e6;
+        let _ = writeln!(
+            s,
+            "causal analysis: {} {}x{} on {} rank(s)",
+            if self.engine.is_empty() {
+                "<unknown engine>"
+            } else {
+                &self.engine
+            },
+            self.width,
+            self.height,
+            self.nodes
+        );
+        let _ = writeln!(
+            s,
+            "  wall (virtual)   {:>10.3} ms\n  critical path    {:>10.3} ms ({:.1}% of wall)",
+            ms(self.wall_ns),
+            ms(self.critical_path_ns),
+            if self.wall_ns > 0.0 {
+                100.0 * self.critical_path_ns / self.wall_ns
+            } else {
+                100.0
+            }
+        );
+        let _ = writeln!(
+            s,
+            "  imbalance        {:>10.1} %   straggler: rank {}",
+            self.imbalance_pct, self.straggler
+        );
+        let _ = writeln!(
+            s,
+            "  utilization      {:>10.1} %   comm/compute overlap: {:.1}%",
+            self.utilization_pct(),
+            self.overlap_pct
+        );
+        let _ = writeln!(
+            s,
+            "  waits            recv {:.3} ms · collective {:.3} ms · retry {:.3} ms",
+            ms(self.recv_wait_ns),
+            ms(self.coll_wait_ns),
+            ms(self.retry_wait_ns)
+        );
+        let _ = writeln!(s, "  per-rank busy/idle:");
+        for r in &self.ranks {
+            let _ = writeln!(
+                s,
+                "    rank {:>3}  busy {:>10.3} ms  idle {:>10.3} ms  util {:>5.1}%",
+                r.rank,
+                ms(r.busy_ns),
+                ms(r.idle_ns),
+                r.utilization_pct()
+            );
+        }
+        if !self.critical_path.is_empty() {
+            let _ = writeln!(s, "  critical path by stream:");
+            for seg in &self.critical_path {
+                let _ = writeln!(
+                    s,
+                    "    {:<16} {:>10.3} ms  ({} event(s))",
+                    seg.stream,
+                    ms(seg.busy_ns),
+                    seg.events
+                );
+            }
+        }
+        if !self.edges.is_empty() {
+            let _ = writeln!(s, "  top edges by attributed wait:");
+            for e in self.edges.iter().take(8) {
+                let _ = writeln!(
+                    s,
+                    "    {:>3} -> {:<3} {:>6} msg {:>10} B  recv-wait {:>9.3} ms  retry-wait {:>9.3} ms",
+                    e.src, e.dst, e.messages, e.bytes, ms(e.recv_wait_ns), ms(e.retry_wait_ns)
+                );
+            }
+        }
+        if self.unmatched_recvs > 0 {
+            let _ = writeln!(
+                s,
+                "  note: {} receive(s) had no matching send (truncated journal?)",
+                self.unmatched_recvs
+            );
+        }
+        s
+    }
+}
+
+/// Analyzes the first (or only) run of an event stream. Returns `None`
+/// when the stream holds no flow events (e.g. a host-engine journal).
+pub fn analyze_run(events: &[Event]) -> Option<RunAnalysis> {
+    let mut engine = String::new();
+    let mut width = 0usize;
+    let mut height = 0usize;
+    let mut flows: Vec<&FlowRecord> = Vec::new();
+    for ev in events {
+        match &ev.kind {
+            // Nested per-image runs (batch journals) keep the outermost
+            // label; a lone run has exactly one run_start anyway.
+            EventKind::RunStart {
+                engine: e,
+                width: w,
+                height: h,
+                ..
+            } if engine.is_empty() => {
+                engine = e.clone();
+                width = *w;
+                height = *h;
+            }
+            EventKind::Flow { rec } => flows.push(rec),
+            _ => {}
+        }
+    }
+    if flows.is_empty() {
+        return None;
+    }
+
+    // Group per recording rank, preserving emission (program) order.
+    let mut by_rank: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (i, f) in flows.iter().enumerate() {
+        by_rank.entry(f.rank()).or_default().push(i);
+    }
+    let mut rank_ids: Vec<u32> = by_rank.keys().copied().collect();
+    rank_ids.sort_unstable();
+
+    // Per-event durations and busy time. A rank's virtual clock starts at
+    // zero, so the first event's duration is its own completion time.
+    let n = flows.len();
+    let mut prev: Vec<Option<usize>> = vec![None; n];
+    let mut busy: Vec<f64> = vec![0.0; n];
+    for ids in by_rank.values() {
+        let mut last_t = 0.0f64;
+        let mut last_i: Option<usize> = None;
+        for &i in ids {
+            let f = flows[i];
+            let dur = (f.t_ns - last_t).max(0.0);
+            busy[i] = (dur - f.wait_ns).max(0.0);
+            prev[i] = last_i;
+            last_t = f.t_ns;
+            last_i = Some(i);
+        }
+    }
+
+    // Cross edges: recv -> matched send, collective -> all participants'
+    // chain predecessors.
+    let mut send_at: HashMap<(&str, u32, u32, u64), usize> = HashMap::new();
+    for (i, f) in flows.iter().enumerate() {
+        if f.kind == FlowKind::Send {
+            send_at.insert((f.stream.as_str(), f.src, f.dst, f.seq), i);
+        }
+    }
+    let mut coll_groups: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, f) in flows.iter().enumerate() {
+        if f.kind == FlowKind::Collective {
+            coll_groups.entry(f.seq).or_default().push(i);
+        }
+    }
+
+    // Longest busy path over the DAG in virtual-time order (all edges point
+    // forward in t_ns, so sorting by completion time is a topological
+    // order; ties break by rank then program position for determinism).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        flows[a]
+            .t_ns
+            .partial_cmp(&flows[b].t_ns)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| flows[a].rank().cmp(&flows[b].rank()))
+            .then_with(|| a.cmp(&b))
+    });
+    let mut cp = vec![0.0f64; n];
+    let mut via: Vec<Option<usize>> = vec![None; n];
+    let mut matched = 0usize;
+    let mut unmatched_recvs = 0usize;
+    for &i in &order {
+        let f = flows[i];
+        let mut best = 0.0f64;
+        let mut best_via: Option<usize> = None;
+        let consider = |j: Option<usize>, best: &mut f64, best_via: &mut Option<usize>| {
+            if let Some(j) = j {
+                if cp[j] > *best {
+                    *best = cp[j];
+                    *best_via = Some(j);
+                }
+            }
+        };
+        consider(prev[i], &mut best, &mut best_via);
+        match f.kind {
+            FlowKind::Recv => match send_at.get(&(f.stream.as_str(), f.src, f.dst, f.seq)) {
+                Some(&s) => {
+                    matched += 1;
+                    consider(Some(s), &mut best, &mut best_via);
+                }
+                None => unmatched_recvs += 1,
+            },
+            FlowKind::Collective => {
+                if let Some(group) = coll_groups.get(&f.seq) {
+                    for &g in group {
+                        consider(prev[g], &mut best, &mut best_via);
+                    }
+                }
+            }
+            FlowKind::Send => {}
+        }
+        // The clamp: no dependency chain can carry more busy time up to
+        // t(e) than t(e) itself — see module docs.
+        cp[i] = (best + busy[i]).min(f.t_ns.max(0.0));
+        via[i] = best_via;
+    }
+
+    // Per-rank timelines + aggregate waits.
+    let mut ranks: Vec<RankTimeline> = Vec::with_capacity(rank_ids.len());
+    let mut recv_wait_ns = 0.0f64;
+    let mut coll_wait_ns = 0.0f64;
+    let mut retry_wait_ns = 0.0f64;
+    for &r in &rank_ids {
+        let ids = &by_rank[&r];
+        let mut t = RankTimeline {
+            rank: r,
+            final_ns: 0.0,
+            busy_ns: 0.0,
+            idle_ns: 0.0,
+            events: ids.len(),
+        };
+        for &i in ids {
+            let f = flows[i];
+            t.final_ns = f.t_ns.max(t.final_ns);
+            t.busy_ns += busy[i];
+            t.idle_ns += f.wait_ns;
+            match f.kind {
+                FlowKind::Recv => recv_wait_ns += f.wait_ns,
+                FlowKind::Collective => coll_wait_ns += f.wait_ns,
+                FlowKind::Send => retry_wait_ns += f.wait_ns,
+            }
+        }
+        ranks.push(t);
+    }
+    let wall_ns = flows.iter().map(|f| f.t_ns).fold(0.0, f64::max);
+    let max_busy = ranks.iter().map(|r| r.busy_ns).fold(0.0, f64::max);
+    let mean_busy = ranks.iter().map(|r| r.busy_ns).sum::<f64>() / ranks.len() as f64;
+    let imbalance_pct = if max_busy > 0.0 {
+        100.0 * (max_busy - mean_busy) / max_busy
+    } else {
+        0.0
+    };
+    let straggler = ranks
+        .iter()
+        .max_by(|a, b| {
+            a.busy_ns
+                .partial_cmp(&b.busy_ns)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.rank.cmp(&a.rank))
+        })
+        .map(|r| r.rank)
+        .unwrap_or(0);
+
+    // Critical path: walk back from the event with the largest cp.
+    let end = order
+        .iter()
+        .copied()
+        .max_by(|&a, &b| {
+            cp[a]
+                .partial_cmp(&cp[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.cmp(&a))
+        })
+        .unwrap();
+    let critical_path_ns = cp[end];
+    let mut seg: HashMap<&str, (f64, usize)> = HashMap::new();
+    let mut cur = Some(end);
+    while let Some(i) = cur {
+        let e = seg.entry(flows[i].stream.as_str()).or_insert((0.0, 0));
+        e.0 += busy[i];
+        e.1 += 1;
+        cur = via[i];
+    }
+    let mut critical_path: Vec<PathSegment> = seg
+        .into_iter()
+        .map(|(stream, (busy_ns, events))| PathSegment {
+            stream: stream.to_string(),
+            busy_ns,
+            events,
+        })
+        .collect();
+    critical_path.sort_by(|a, b| {
+        b.busy_ns
+            .partial_cmp(&a.busy_ns)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.stream.cmp(&b.stream))
+    });
+
+    // Per-edge attribution + comm/compute overlap.
+    let mut edge_map: HashMap<(u32, u32), EdgeAttribution> = HashMap::new();
+    let mut in_flight_ns = 0.0f64;
+    let mut overlapped_ns = 0.0f64;
+    for (i, f) in flows.iter().enumerate() {
+        if f.src == f.dst && f.kind == FlowKind::Collective {
+            continue;
+        }
+        let e = edge_map
+            .entry((f.src, f.dst))
+            .or_insert_with(|| EdgeAttribution {
+                src: f.src,
+                dst: f.dst,
+                messages: 0,
+                bytes: 0,
+                recv_wait_ns: 0.0,
+                retry_wait_ns: 0.0,
+            });
+        match f.kind {
+            FlowKind::Send => {
+                e.messages += 1;
+                e.bytes += f.bytes;
+                e.retry_wait_ns += f.wait_ns;
+            }
+            FlowKind::Recv => {
+                e.recv_wait_ns += f.wait_ns;
+                if let Some(&s) = send_at.get(&(f.stream.as_str(), f.src, f.dst, f.seq)) {
+                    let flight = (f.t_ns - flows[s].t_ns).max(0.0);
+                    in_flight_ns += flight;
+                    overlapped_ns += (flight - f.wait_ns).max(0.0);
+                }
+            }
+            FlowKind::Collective => {}
+        }
+        let _ = i;
+    }
+    let mut edges: Vec<EdgeAttribution> = edge_map.into_values().collect();
+    edges.sort_by(|a, b| {
+        (b.recv_wait_ns + b.retry_wait_ns)
+            .partial_cmp(&(a.recv_wait_ns + a.retry_wait_ns))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (a.src, a.dst).cmp(&(b.src, b.dst)))
+    });
+    let overlap_pct = if in_flight_ns > 0.0 {
+        100.0 * overlapped_ns / in_flight_ns
+    } else {
+        100.0
+    };
+
+    Some(RunAnalysis {
+        engine,
+        width,
+        height,
+        nodes: rank_ids.len(),
+        wall_ns,
+        critical_path_ns,
+        ranks,
+        imbalance_pct,
+        straggler,
+        critical_path,
+        recv_wait_ns,
+        coll_wait_ns,
+        retry_wait_ns,
+        edges,
+        overlap_pct,
+        matched_flows: matched,
+        unmatched_recvs,
+    })
+}
+
+/// Analyzes every run in a (possibly multi-run) journal, skipping runs
+/// without flow events.
+pub fn analyze_journal(events: &[Event]) -> Vec<RunAnalysis> {
+    crate::chrome::split_runs(events)
+        .iter()
+        .filter_map(|run| analyze_run(run))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::FlowKind;
+
+    fn flow(kind: FlowKind, stream: &str, src: u32, dst: u32, seq: u64, t: f64, w: f64) -> Event {
+        Event {
+            t_us: 0,
+            kind: EventKind::Flow {
+                rec: FlowRecord {
+                    kind,
+                    stream: stream.to_string(),
+                    src,
+                    dst,
+                    seq,
+                    bytes: 8,
+                    t_ns: t,
+                    wait_ns: w,
+                },
+            },
+        }
+    }
+
+    /// Rank 0 computes 100 ns then sends; rank 1 receives at 130 ns having
+    /// waited 90 ns (it was ready at 40 ns).
+    fn two_rank_events() -> Vec<Event> {
+        vec![
+            flow(FlowKind::Send, "work", 0, 1, 0, 100.0, 0.0),
+            flow(FlowKind::Recv, "work", 0, 1, 0, 130.0, 90.0),
+        ]
+    }
+
+    #[test]
+    fn empty_and_flowless_journals_yield_none() {
+        assert!(analyze_run(&[]).is_none());
+        let no_flows = vec![Event {
+            t_us: 0,
+            kind: EventKind::MergeDone { num_regions: 3 },
+        }];
+        assert!(analyze_run(&no_flows).is_none());
+    }
+
+    #[test]
+    fn critical_path_crosses_the_message_edge() {
+        let a = analyze_run(&two_rank_events()).unwrap();
+        assert_eq!(a.nodes, 2);
+        assert_eq!(a.wall_ns, 130.0);
+        // Rank 0 busy 100, rank 1 busy 130−90=40; the path is rank 0's
+        // send (100) plus rank 1's post-arrival work (40) = 140, clamped
+        // to wall 130.
+        assert_eq!(a.max_busy_ns(), 100.0);
+        assert!(a.critical_path_ns <= a.wall_ns + 1e-9);
+        assert!(a.critical_path_ns >= a.max_busy_ns() - 1e-9);
+        assert_eq!(a.straggler, 0);
+        assert_eq!(a.recv_wait_ns, 90.0);
+        assert_eq!(a.matched_flows, 1);
+        assert_eq!(a.unmatched_recvs, 0);
+        // The message was in flight 30 ns, the receiver blocked 90 ≥ 30,
+        // so nothing overlapped.
+        assert_eq!(a.overlap_pct, 0.0);
+        let edge = &a.edges[0];
+        assert_eq!((edge.src, edge.dst), (0, 1));
+        assert_eq!(edge.recv_wait_ns, 90.0);
+    }
+
+    #[test]
+    fn collective_waits_attribute_to_the_rendezvous() {
+        // Rank 0 reaches the barrier at 100, rank 1 at 40 (waits 60); both
+        // exit at 110.
+        let events = vec![
+            flow(FlowKind::Collective, "sync", 0, 0, 0, 110.0, 0.0),
+            flow(FlowKind::Collective, "sync", 1, 1, 0, 110.0, 60.0),
+        ];
+        let a = analyze_run(&events).unwrap();
+        assert_eq!(a.coll_wait_ns, 60.0);
+        assert_eq!(a.straggler, 0);
+        assert!(a.critical_path_ns <= a.wall_ns + 1e-9);
+        assert!(a.critical_path_ns >= a.max_busy_ns() - 1e-9);
+        // Collectives are node-local records, not edges.
+        assert!(a.edges.is_empty());
+    }
+
+    #[test]
+    fn truncated_journal_degrades_gracefully() {
+        // The recv survives but its send was lost with the journal tail.
+        let events = vec![flow(FlowKind::Recv, "work", 0, 1, 0, 130.0, 90.0)];
+        let a = analyze_run(&events).unwrap();
+        assert_eq!(a.unmatched_recvs, 1);
+        assert_eq!(a.matched_flows, 0);
+        assert!(a.critical_path_ns <= a.wall_ns + 1e-9);
+    }
+
+    #[test]
+    fn imbalance_names_the_heavy_rank() {
+        let events = vec![
+            flow(FlowKind::Send, "work", 0, 1, 0, 300.0, 0.0),
+            flow(FlowKind::Recv, "work", 0, 1, 0, 330.0, 230.0),
+        ];
+        let a = analyze_run(&events).unwrap();
+        // busy: rank 0 = 300, rank 1 = 100; mean 200.
+        assert_eq!(a.straggler, 0);
+        assert!((a.imbalance_pct - 100.0 * (300.0 - 200.0) / 300.0).abs() < 1e-9);
+        let json = a.to_json();
+        assert!(json.get("critical_path_ms").is_some());
+        assert!(json.get("imbalance_pct").is_some());
+        let text = a.render();
+        assert!(text.contains("straggler"));
+    }
+}

@@ -18,15 +18,26 @@
 //!   per counter name (the message-passing engine's cumulative
 //!   `comm.bytes` among them);
 //! * stage aggregates, split/merge outcomes, histograms, and `run_end`
-//!   become instant events (`ph:"i"`) carrying their payload in `args`.
+//!   become instant events (`ph:"i"`) carrying their payload in `args`;
+//! * causal flow records ([`EventKind::Flow`]) render on **per-rank thread
+//!   lanes** (`tid` = rank + 1, named `rank N`): each matched send/recv
+//!   pair becomes a flow arrow (`ph:"s"` → `ph:"f"`, bound by the string
+//!   id `stream:src>dst:seq`), collective rendezvous waits become
+//!   instants, and every rank feeds a `util:rankN` counter track with its
+//!   cumulative busy share of the virtual clock.
 //!
 //! Timestamps are the journal's `t_us` (already microseconds, the unit the
-//! format requires). [`validate_chrome_trace`] checks a produced document
-//! against the subset of the format this module emits — the CI trace job
-//! and the schema tests run it on real engine output.
+//! format requires); flow events instead use their own **virtual** clock
+//! (`t_ns / 1000`), so rank lanes show simulated time while the pipeline
+//! lane shows host time. [`validate_chrome_trace`] checks a produced
+//! document against the subset of the format this module emits — the CI
+//! trace job and the schema tests run it on real engine output.
+
+use std::collections::HashSet;
 
 use crate::journal::{Event, EventKind};
 use crate::json::Json;
+use crate::telemetry::FlowKind;
 
 /// The fixed `tid` every run's events land on (one thread lane per run).
 const MAIN_TID: u64 = 0;
@@ -65,6 +76,18 @@ fn instant(name: &str, pid: u64, ts: u64, args: Vec<(&'static str, Json)>) -> Js
     Json::obj(o)
 }
 
+/// Like [`ev_base`] but on an explicit rank lane with a fractional
+/// (virtual-clock) timestamp — the base of every flow-record event.
+fn lane_base(ph: &str, name: &str, pid: u64, tid: u64, ts: f64) -> Vec<(&'static str, Json)> {
+    vec![
+        ("name", name.into()),
+        ("ph", ph.into()),
+        ("pid", pid.into()),
+        ("tid", tid.into()),
+        ("ts", ts.into()),
+    ]
+}
+
 /// Appends one run's trace events (process lane `pid`) to `out`.
 ///
 /// The output is always `B`/`E`-balanced even when the journal is not: a
@@ -75,6 +98,13 @@ fn instant(name: &str, pid: u64, ts: u64, args: Vec<(&'static str, Json)>) -> Js
 fn push_run(out: &mut Vec<Json>, events: &[Event], pid: u64) {
     let mut open_spans: Vec<String> = Vec::new();
     let mut last_ts = 0u64;
+    // Flow-lane state: which ranks already have a named lane, each rank's
+    // cumulative wait (for the utilization counter), and which flow ids
+    // have an emitted `s` half (an `f` with no prior `s` would break the
+    // binding, so unmatched receives fall back to instants).
+    let mut rank_lanes: Vec<u32> = Vec::new();
+    let mut rank_wait: Vec<(u32, f64)> = Vec::new();
+    let mut sent_ids: HashSet<String> = HashSet::new();
     for ev in events {
         let ts = ev.t_us;
         last_ts = last_ts.max(ts);
@@ -203,6 +233,90 @@ fn push_run(out: &mut Vec<Json>, events: &[Event], pid: u64) {
                     vec![("dropped", (*dropped).into())],
                 ));
             }
+            EventKind::Flow { rec } => {
+                let rank = rec.rank();
+                let tid = u64::from(rank) + 1;
+                if !rank_lanes.contains(&rank) {
+                    rank_lanes.push(rank);
+                    let mut m = lane_base("M", "thread_name", pid, tid, 0.0);
+                    m.push((
+                        "args",
+                        Json::obj(vec![("name", format!("rank {rank}").into())]),
+                    ));
+                    out.push(Json::obj(m));
+                }
+                let vts = rec.t_ns / 1000.0; // virtual ns -> us
+                let id = format!("{}:{}>{}:{}", rec.stream, rec.src, rec.dst, rec.seq);
+                let name = format!("msg:{}", rec.stream);
+                match rec.kind {
+                    FlowKind::Send => {
+                        let mut o = lane_base("s", &name, pid, tid, vts);
+                        sent_ids.insert(id.clone());
+                        o.push(("id", id.into()));
+                        o.push((
+                            "args",
+                            Json::obj(vec![
+                                ("bytes", rec.bytes.into()),
+                                ("retry_wait_ns", rec.wait_ns.into()),
+                            ]),
+                        ));
+                        out.push(Json::obj(o));
+                    }
+                    FlowKind::Recv => {
+                        if sent_ids.contains(&id) {
+                            let mut o = lane_base("f", &name, pid, tid, vts);
+                            o.push(("bp", "e".into())); // bind to enclosing slice
+                            o.push(("id", id.into()));
+                            o.push((
+                                "args",
+                                Json::obj(vec![
+                                    ("bytes", rec.bytes.into()),
+                                    ("wait_ns", rec.wait_ns.into()),
+                                ]),
+                            ));
+                            out.push(Json::obj(o));
+                        } else {
+                            // Truncated journal lost the send half; keep the
+                            // trace loadable with an instant instead.
+                            let mut o = lane_base("i", &name, pid, tid, vts);
+                            o.push(("s", "t".into()));
+                            o.push((
+                                "args",
+                                Json::obj(vec![
+                                    ("bytes", rec.bytes.into()),
+                                    ("wait_ns", rec.wait_ns.into()),
+                                ]),
+                            ));
+                            out.push(Json::obj(o));
+                        }
+                    }
+                    FlowKind::Collective => {
+                        if rec.wait_ns > 0.0 {
+                            let mut o =
+                                lane_base("i", &format!("coll_wait:{}", rec.stream), pid, tid, vts);
+                            o.push(("s", "t".into()));
+                            o.push(("args", Json::obj(vec![("wait_ns", rec.wait_ns.into())])));
+                            out.push(Json::obj(o));
+                        }
+                    }
+                }
+                // Utilization counter: busy share of this rank's virtual
+                // clock so far.
+                let w = match rank_wait.iter_mut().find(|(r, _)| *r == rank) {
+                    Some((_, w)) => w,
+                    None => {
+                        rank_wait.push((rank, 0.0));
+                        &mut rank_wait.last_mut().expect("just pushed").1
+                    }
+                };
+                *w += rec.wait_ns;
+                if rec.t_ns > 0.0 {
+                    let util = 100.0 * (rec.t_ns - *w).max(0.0) / rec.t_ns;
+                    let mut o = lane_base("C", &format!("util:rank{rank}"), pid, tid, vts);
+                    o.push(("args", Json::obj(vec![("value", util.into())])));
+                    out.push(Json::obj(o));
+                }
+            }
         }
     }
     // Close anything the journal left open (truncated / panicked run) at
@@ -259,7 +373,9 @@ pub fn chrome_trace_multi(runs: &[&[Event]]) -> Json {
 
 /// Validates a document against the subset of the Trace Event Format this
 /// module emits: the top-level shape, per-event required fields, known
-/// phase codes, and per-`pid` `B`/`E` balance with LIFO matching by name.
+/// phase codes, per-`pid` `B`/`E` balance with LIFO matching by name, and
+/// flow binding (every `ph:"f"` finish must name an id with a prior
+/// `ph:"s"` start in the same process lane).
 pub fn validate_chrome_trace(doc: &Json) -> Result<(), String> {
     let events = doc
         .get("traceEvents")
@@ -267,6 +383,8 @@ pub fn validate_chrome_trace(doc: &Json) -> Result<(), String> {
         .ok_or("missing traceEvents array")?;
     // Per-pid stack of open duration-event names.
     let mut open: Vec<(u64, Vec<String>)> = Vec::new();
+    // Flow ids with an emitted start half, per pid.
+    let mut flow_starts: HashSet<(u64, String)> = HashSet::new();
     for (i, ev) in events.iter().enumerate() {
         let ctx = |what: &str| format!("traceEvents[{i}]: {what}");
         let name = ev
@@ -319,6 +437,24 @@ pub fn validate_chrome_trace(doc: &Json) -> Result<(), String> {
                     .and_then(|a| a.get("name"))
                     .and_then(Json::as_str)
                     .ok_or_else(|| ctx("metadata missing args.name"))?;
+            }
+            "s" => {
+                let id = ev
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ctx("flow start missing id"))?;
+                flow_starts.insert((pid, id.to_string()));
+            }
+            "f" => {
+                let id = ev
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ctx("flow finish missing id"))?;
+                if !flow_starts.contains(&(pid, id.to_string())) {
+                    return Err(ctx(&format!(
+                        "flow finish id {id:?} has no prior start (pid {pid})"
+                    )));
+                }
             }
             other => return Err(ctx(&format!("unknown phase {other:?}"))),
         }
@@ -423,6 +559,105 @@ mod tests {
             .filter_map(|e| e.get("name").and_then(Json::as_str))
             .collect();
         assert_eq!(ends, vec!["iter:0", "stage:merge", "run"]);
+    }
+
+    fn flow_event(kind: FlowKind, src: u32, dst: u32, t_ns: f64, wait_ns: f64) -> Event {
+        Event {
+            t_us: 0,
+            kind: EventKind::Flow {
+                rec: crate::telemetry::FlowRecord {
+                    kind,
+                    stream: "boundary".to_string(),
+                    src,
+                    dst,
+                    seq: 0,
+                    bytes: 64,
+                    t_ns,
+                    wait_ns,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn flow_records_export_as_bound_arrows_on_rank_lanes() {
+        let mut events = traced_run("msgpass");
+        let end = events.pop().expect("run_end"); // keep flows inside the run
+        events.push(flow_event(FlowKind::Send, 0, 1, 100.0, 0.0));
+        events.push(flow_event(FlowKind::Recv, 0, 1, 130.0, 20.0));
+        events.push(flow_event(FlowKind::Collective, 1, 1, 150.0, 5.0));
+        events.push(end);
+        let doc = chrome_trace(&events);
+        validate_chrome_trace(&doc).unwrap();
+        let arr = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let phase_of = |ph: &str| -> Vec<&Json> {
+            arr.iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+                .collect()
+        };
+        let starts = phase_of("s");
+        let finishes = phase_of("f");
+        assert_eq!(starts.len(), 1);
+        assert_eq!(finishes.len(), 1);
+        assert_eq!(
+            starts[0].get("id").and_then(Json::as_str),
+            Some("boundary:0>1:0")
+        );
+        assert_eq!(
+            finishes[0].get("id").and_then(Json::as_str),
+            Some("boundary:0>1:0")
+        );
+        // Send on rank 0's lane (tid 1), recv on rank 1's (tid 2).
+        assert_eq!(starts[0].get("tid").and_then(Json::as_u64), Some(1));
+        assert_eq!(finishes[0].get("tid").and_then(Json::as_u64), Some(2));
+        let names: Vec<&str> = arr
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(names.contains(&"coll_wait:boundary"));
+        assert!(names.contains(&"util:rank0"));
+        assert!(names.contains(&"util:rank1"));
+        // The rank lanes are named.
+        let lane_names: Vec<&str> = arr
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+            })
+            .collect();
+        assert!(lane_names.contains(&"rank 0"));
+        assert!(lane_names.contains(&"rank 1"));
+    }
+
+    #[test]
+    fn orphan_recv_degrades_to_instant_and_still_validates() {
+        // A truncated journal that lost the send half: no `f` without `s`.
+        let events = vec![flow_event(FlowKind::Recv, 0, 1, 130.0, 20.0)];
+        let doc = chrome_trace(&events);
+        validate_chrome_trace(&doc).unwrap();
+        let arr = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert!(!arr
+            .iter()
+            .any(|e| e.get("ph").and_then(Json::as_str) == Some("f")));
+    }
+
+    #[test]
+    fn validator_rejects_unbound_flow_finish() {
+        let doc = Json::obj(vec![(
+            "traceEvents",
+            Json::Arr(vec![Json::obj(vec![
+                ("name", "msg:x".into()),
+                ("ph", "f".into()),
+                ("pid", 1u64.into()),
+                ("tid", 1u64.into()),
+                ("ts", 0u64.into()),
+                ("id", "x:0>1:0".into()),
+            ])]),
+        )]);
+        let err = validate_chrome_trace(&doc).unwrap_err();
+        assert!(err.contains("no prior start"), "{err}");
     }
 
     #[test]

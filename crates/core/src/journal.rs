@@ -42,18 +42,20 @@
 //! | `merge_done`  | `num_regions`                                        |
 //! | `comm`        | `scheme`, `nodes`, `rounds`, `messages`, `bytes`     |
 //! | `fault`       | `kind`, `src`, `dst`, `seq`, `ts_ns` (chaos runs)    |
+//! | `send` / `recv` / `coll` | `stream`, `src`, `dst`, `seq`, `bytes`, `t_ns`, `wait_ns` (traced msgpass runs) |
 //! | `counter`     | `name`, `value`                                      |
 //! | `hist`        | `name`, `hist` object (see [`Histogram::to_json`])   |
 //! | `run_end`     | `dropped` (events lost to sink back-pressure)        |
 
+use std::collections::HashMap;
 use std::io::{self, Write};
 use std::time::Instant;
 
 use crate::config::Config;
 use crate::json::{Json, JsonError};
 use crate::telemetry::{
-    CommRecord, ConfigRecord, FaultRecord, Histogram, MergeIterationRecord, SpanKind, Stage,
-    StageSpan, Telemetry, TelemetryReport,
+    CommRecord, ConfigRecord, FaultRecord, FlowKind, FlowRecord, Histogram, MergeIterationRecord,
+    SpanKind, Stage, StageSpan, Telemetry, TelemetryReport,
 };
 
 /// What happened (the payload of one journal line).
@@ -112,6 +114,15 @@ pub enum EventKind {
         /// The record.
         rec: FaultRecord,
     },
+    /// One causal flow event (traced message-passing runs only): a
+    /// point-to-point send/receive edge or a collective participation,
+    /// correlated by `(stream, src, dst, seq)` and stamped with the
+    /// virtual clock (`t_ns`). The `"ev"` tag is `"send"`, `"recv"`, or
+    /// `"coll"` per [`FlowKind::label`].
+    Flow {
+        /// The record.
+        rec: FlowRecord,
+    },
     /// A named scalar counter.
     Counter {
         /// Counter name.
@@ -149,6 +160,7 @@ impl EventKind {
             EventKind::MergeDone { .. } => "merge_done",
             EventKind::Comm { .. } => "comm",
             EventKind::Fault { .. } => "fault",
+            EventKind::Flow { rec } => rec.kind.label(),
             EventKind::Counter { .. } => "counter",
             EventKind::Histogram { .. } => "hist",
             EventKind::RunEnd { .. } => "run_end",
@@ -227,6 +239,15 @@ impl Event {
                 pairs.push(("dst", u64::from(rec.dst).into()));
                 pairs.push(("seq", rec.seq.into()));
                 pairs.push(("ts_ns", rec.ts_ns.into()));
+            }
+            EventKind::Flow { rec } => {
+                pairs.push(("stream", rec.stream.as_str().into()));
+                pairs.push(("src", u64::from(rec.src).into()));
+                pairs.push(("dst", u64::from(rec.dst).into()));
+                pairs.push(("seq", rec.seq.into()));
+                pairs.push(("bytes", rec.bytes.into()));
+                pairs.push(("t_ns", rec.t_ns.into()));
+                pairs.push(("wait_ns", rec.wait_ns.into()));
             }
             EventKind::Counter { name, value } => {
                 pairs.push(("name", name.as_str().into()));
@@ -394,6 +415,40 @@ impl Event {
                         .get("ts_ns")
                         .and_then(Json::as_f64)
                         .ok_or_else(|| bad("ts_ns"))?,
+                },
+            },
+            "send" | "recv" | "coll" => EventKind::Flow {
+                rec: FlowRecord {
+                    kind: FlowKind::parse(tag).unwrap(),
+                    stream: v
+                        .get("stream")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| bad("stream"))?
+                        .to_string(),
+                    src: v
+                        .get("src")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("src"))? as u32,
+                    dst: v
+                        .get("dst")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("dst"))? as u32,
+                    seq: v
+                        .get("seq")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("seq"))?,
+                    bytes: v
+                        .get("bytes")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("bytes"))?,
+                    t_ns: v
+                        .get("t_ns")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| bad("t_ns"))?,
+                    wait_ns: v
+                        .get("wait_ns")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| bad("wait_ns"))?,
                 },
             },
             "counter" => EventKind::Counter {
@@ -575,6 +630,10 @@ impl<S: EmitEvent> Telemetry for Streaming<S> {
         self.push(EventKind::Fault { rec });
     }
 
+    fn flow(&mut self, rec: FlowRecord) {
+        self.push(EventKind::Flow { rec });
+    }
+
     fn counter(&mut self, name: &str, value: f64) {
         self.push(EventKind::Counter {
             name: name.to_string(),
@@ -689,23 +748,46 @@ impl<W: Write> Drop for JsonlWriter<W> {
 /// A streaming JSONL [`Telemetry`] sink (see [`JsonlWriter`]).
 pub type JsonlSink<W> = Streaming<JsonlWriter<W>>;
 
+/// Which clock a streaming journal sink stamps `t_us` with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClockMode {
+    /// Wall microseconds since the sink observed `run_start`.
+    #[default]
+    Wall,
+    /// Event ordinals (0, 1, 2, ...) — see
+    /// [`Streaming::with_logical_clock`]. Two identical event streams
+    /// serialize to byte-identical journals, the reproducibility contract
+    /// seeded `--chaos` runs rely on.
+    Logical,
+}
+
 /// Opens a JSONL sink for a `--trace-out` style path: `"-"` streams to
 /// stderr line-by-line (unbuffered); anything else creates/truncates a
-/// file with the default buffer bound.
-pub fn jsonl_sink_for_path(path: &str) -> io::Result<JsonlSink<Box<dyn Write>>> {
+/// file with the default buffer bound. `clock` selects wall-microsecond or
+/// logical-ordinal timestamps (see [`ClockMode`]).
+pub fn jsonl_sink(path: &str, clock: ClockMode) -> io::Result<JsonlSink<Box<dyn Write>>> {
     let writer: JsonlWriter<Box<dyn Write>> = if path == "-" {
         JsonlWriter::with_buffer_cap(Box::new(io::stderr()), 0)
     } else {
         JsonlWriter::new(Box::new(std::fs::File::create(path)?))
     };
-    Ok(Streaming::new(writer))
+    let sink = Streaming::new(writer);
+    Ok(match clock {
+        ClockMode::Wall => sink,
+        ClockMode::Logical => sink.with_logical_clock(),
+    })
 }
 
-/// [`jsonl_sink_for_path`] in logical-clock mode (see
-/// [`Streaming::with_logical_clock`]) — the journal flavour `--chaos` uses
-/// so a repeated seeded run writes a byte-identical trace.
+/// Deprecated alias for [`jsonl_sink`] with [`ClockMode::Wall`].
+#[deprecated(since = "0.1.0", note = "use jsonl_sink(path, ClockMode::Wall)")]
+pub fn jsonl_sink_for_path(path: &str) -> io::Result<JsonlSink<Box<dyn Write>>> {
+    jsonl_sink(path, ClockMode::Wall)
+}
+
+/// Deprecated alias for [`jsonl_sink`] with [`ClockMode::Logical`].
+#[deprecated(since = "0.1.0", note = "use jsonl_sink(path, ClockMode::Logical)")]
 pub fn jsonl_sink_for_path_logical(path: &str) -> io::Result<JsonlSink<Box<dyn Write>>> {
-    Ok(jsonl_sink_for_path(path)?.with_logical_clock())
+    jsonl_sink(path, ClockMode::Logical)
 }
 
 /// An in-memory event consumer (testing and trace export).
@@ -849,6 +931,10 @@ pub fn replay(events: &[Event]) -> TelemetryReport {
                 }
                 r.faults.push(rec.clone());
             }
+            // Flow events are analysis-grade detail (see [`crate::analyze`]);
+            // folding thousands of them into the aggregate report would
+            // bloat it without informing any report-level metric.
+            EventKind::Flow { .. } => {}
             EventKind::Counter { name, value } => r.counters.push((name.clone(), *value)),
             EventKind::Histogram { name, hist } => {
                 r.histograms.push((name.clone(), (**hist).clone()))
@@ -878,12 +964,23 @@ impl std::fmt::Display for JournalInvalid {
 /// [`SpanKind::may_nest_in`], every end matches the innermost open span,
 /// timestamps are monotonic, and no span is left open at the end.
 ///
+/// Flow events are held to the causal-trace schema on top of that:
+/// per-rank virtual clocks (`t_ns` keyed by the recording rank) must be
+/// monotonic, every `recv` must match an earlier `send` with the same
+/// `(stream, src, dst, seq)` correlation key, and a complete journal pairs
+/// every send. Flow state resets at each `run_start` (per-image runs in a
+/// batch journal re-start rank clocks and sequence counters at zero).
+///
 /// Truncated journals fail the final balance check by design — use
-/// [`replay`] (which ignores spans) for post-mortem analysis, and this
-/// function to certify a journal a run claims to have completed.
+/// [`replay`] (which ignores spans) for post-mortem analysis plus
+/// [`flow_pairing`] for a tolerant pairing summary, and this function to
+/// certify a journal a run claims to have completed.
 pub fn validate_journal(events: &[Event]) -> Result<(), JournalInvalid> {
     let mut stack: Vec<SpanKind> = Vec::new();
     let mut last_t = 0u64;
+    // Causal-trace state, reset at each run_start.
+    let mut rank_clock: HashMap<u32, f64> = HashMap::new();
+    let mut in_flight: HashMap<(String, u32, u32, u64), u32> = HashMap::new();
     for (i, ev) in events.iter().enumerate() {
         if ev.t_us < last_t {
             return Err(JournalInvalid {
@@ -893,6 +990,52 @@ pub fn validate_journal(events: &[Event]) -> Result<(), JournalInvalid> {
         }
         last_t = ev.t_us;
         match &ev.kind {
+            EventKind::RunStart { .. } => {
+                if let Some(n) = in_flight.values().copied().reduce(|a, b| a + b) {
+                    return Err(JournalInvalid {
+                        event_index: i,
+                        message: format!("{n} send(s) without a matching recv at run boundary"),
+                    });
+                }
+                rank_clock.clear();
+            }
+            EventKind::Flow { rec } => {
+                let rank = rec.rank();
+                let last = rank_clock.entry(rank).or_insert(f64::NEG_INFINITY);
+                if rec.t_ns < *last {
+                    return Err(JournalInvalid {
+                        event_index: i,
+                        message: format!(
+                            "rank {rank} virtual clock regressed: {} after {}",
+                            rec.t_ns, *last
+                        ),
+                    });
+                }
+                *last = rec.t_ns;
+                let key = (rec.stream.clone(), rec.src, rec.dst, rec.seq);
+                match rec.kind {
+                    FlowKind::Send => *in_flight.entry(key).or_insert(0) += 1,
+                    FlowKind::Recv => match in_flight.get_mut(&key) {
+                        Some(n) if *n > 0 => {
+                            *n -= 1;
+                            if *n == 0 {
+                                in_flight.remove(&key);
+                            }
+                        }
+                        _ => {
+                            return Err(JournalInvalid {
+                                event_index: i,
+                                message: format!(
+                                    "recv without a matching prior send: \
+                                     stream {:?} {}->{} seq {}",
+                                    rec.stream, rec.src, rec.dst, rec.seq
+                                ),
+                            })
+                        }
+                    },
+                    FlowKind::Collective => {}
+                }
+            }
             EventKind::SpanBegin { span } => {
                 if !span.may_nest_in(stack.last().copied()) {
                     return Err(JournalInvalid {
@@ -938,7 +1081,101 @@ pub fn validate_journal(events: &[Event]) -> Result<(), JournalInvalid> {
             ),
         });
     }
+    if let Some(n) = in_flight.values().copied().reduce(|a, b| a + b) {
+        return Err(JournalInvalid {
+            event_index: events.len(),
+            message: format!("journal ended with {n} send(s) without a matching recv"),
+        });
+    }
     Ok(())
+}
+
+/// Tolerant flow-pairing summary over a (possibly truncated) journal.
+///
+/// Unlike [`validate_journal`], nothing here is fatal: a truncated journal
+/// legitimately loses the receives of its final in-flight sends, so this
+/// reports what paired and what did not. Pairing state resets at each
+/// `run_start` (per-image runs restart sequence counters); sends left
+/// unpaired at a boundary are counted, not errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlowPairing {
+    /// `send` events seen.
+    pub sends: usize,
+    /// `recv` events seen.
+    pub recvs: usize,
+    /// `coll` events seen.
+    pub colls: usize,
+    /// Receives that matched a prior send on `(stream, src, dst, seq)`.
+    pub matched: usize,
+    /// Receives with no matching prior send.
+    pub unmatched_recvs: usize,
+    /// Sends never claimed by a receive (in-flight at a run boundary or at
+    /// the end of the journal — expected for truncated journals).
+    pub unpaired_sends: usize,
+    /// Flow events whose recording rank's virtual clock went backwards.
+    pub clock_regressions: usize,
+}
+
+impl FlowPairing {
+    /// `true` when the journal contains any flow events at all.
+    pub fn any(&self) -> bool {
+        self.sends + self.recvs + self.colls > 0
+    }
+
+    /// `true` when every receive matched and no send was left unpaired.
+    pub fn fully_paired(&self) -> bool {
+        self.unmatched_recvs == 0 && self.unpaired_sends == 0 && self.clock_regressions == 0
+    }
+}
+
+/// Computes the [`FlowPairing`] summary of an event stream.
+pub fn flow_pairing(events: &[Event]) -> FlowPairing {
+    let mut fp = FlowPairing::default();
+    let mut rank_clock: HashMap<u32, f64> = HashMap::new();
+    let mut in_flight: HashMap<(String, u32, u32, u64), u32> = HashMap::new();
+    let flush = |in_flight: &mut HashMap<(String, u32, u32, u64), u32>, fp: &mut FlowPairing| {
+        fp.unpaired_sends += in_flight.values().map(|&n| n as usize).sum::<usize>();
+        in_flight.clear();
+    };
+    for ev in events {
+        match &ev.kind {
+            EventKind::RunStart { .. } => {
+                flush(&mut in_flight, &mut fp);
+                rank_clock.clear();
+            }
+            EventKind::Flow { rec } => {
+                let last = rank_clock.entry(rec.rank()).or_insert(f64::NEG_INFINITY);
+                if rec.t_ns < *last {
+                    fp.clock_regressions += 1;
+                }
+                *last = rec.t_ns;
+                let key = (rec.stream.clone(), rec.src, rec.dst, rec.seq);
+                match rec.kind {
+                    FlowKind::Send => {
+                        fp.sends += 1;
+                        *in_flight.entry(key).or_insert(0) += 1;
+                    }
+                    FlowKind::Recv => {
+                        fp.recvs += 1;
+                        match in_flight.get_mut(&key) {
+                            Some(n) if *n > 0 => {
+                                *n -= 1;
+                                if *n == 0 {
+                                    in_flight.remove(&key);
+                                }
+                                fp.matched += 1;
+                            }
+                            _ => fp.unmatched_recvs += 1,
+                        }
+                    }
+                    FlowKind::Collective => fp.colls += 1,
+                }
+            }
+            _ => {}
+        }
+    }
+    flush(&mut in_flight, &mut fp);
+    fp
 }
 
 #[cfg(test)]
@@ -1104,6 +1341,114 @@ mod tests {
             },
         ];
         assert!(validate_journal(&backwards).is_err());
+    }
+
+    fn flow(kind: FlowKind, stream: &str, src: u32, dst: u32, seq: u64, t_ns: f64) -> EventKind {
+        EventKind::Flow {
+            rec: FlowRecord {
+                kind,
+                stream: stream.to_string(),
+                src,
+                dst,
+                seq,
+                bytes: 16,
+                t_ns,
+                wait_ns: 0.5,
+            },
+        }
+    }
+
+    #[test]
+    fn flow_events_round_trip_and_validate() {
+        let mk = |t_us: u64, kind: EventKind| Event { t_us, kind };
+        let events = vec![
+            mk(0, flow(FlowKind::Send, "boundary", 0, 1, 0, 10.0)),
+            mk(1, flow(FlowKind::Send, "boundary", 1, 0, 0, 11.0)),
+            mk(2, flow(FlowKind::Recv, "boundary", 0, 1, 0, 20.0)),
+            mk(3, flow(FlowKind::Recv, "boundary", 1, 0, 0, 21.0)),
+            mk(4, flow(FlowKind::Collective, "sync", 0, 0, 0, 30.0)),
+            mk(5, flow(FlowKind::Collective, "sync", 1, 1, 0, 30.0)),
+        ];
+        let text: String = events.iter().map(Event::to_line).collect();
+        assert!(text.contains(r#""ev":"send""#) && text.contains(r#""ev":"coll""#));
+        let parsed = parse_journal_strict(&text).unwrap();
+        assert_eq!(parsed, events);
+        validate_journal(&events).unwrap();
+        let fp = flow_pairing(&events);
+        assert!(fp.any() && fp.fully_paired());
+        assert_eq!((fp.sends, fp.recvs, fp.colls, fp.matched), (2, 2, 2, 2));
+        // Flow events leave the replayed report untouched.
+        assert_eq!(replay(&events), TelemetryReport::default());
+    }
+
+    #[test]
+    fn validator_rejects_broken_flow_schemas() {
+        let mk = |t_us: u64, kind: EventKind| Event { t_us, kind };
+        // A recv with no prior send.
+        let orphan = vec![mk(0, flow(FlowKind::Recv, "boundary", 0, 1, 0, 5.0))];
+        let err = validate_journal(&orphan).unwrap_err();
+        assert!(err.message.contains("matching prior send"), "{err}");
+        assert_eq!(flow_pairing(&orphan).unmatched_recvs, 1);
+        // A send never received.
+        let dangling = vec![mk(0, flow(FlowKind::Send, "boundary", 0, 1, 0, 5.0))];
+        let err = validate_journal(&dangling).unwrap_err();
+        assert!(err.message.contains("without a matching recv"), "{err}");
+        let fp = flow_pairing(&dangling);
+        assert_eq!(fp.unpaired_sends, 1);
+        assert!(!fp.fully_paired());
+        // Per-rank virtual clock regression (rank 0 records t_ns 9 after 10).
+        let backwards = vec![
+            mk(0, flow(FlowKind::Send, "a", 0, 1, 0, 10.0)),
+            mk(1, flow(FlowKind::Send, "a", 0, 1, 1, 9.0)),
+            mk(2, flow(FlowKind::Recv, "a", 0, 1, 0, 12.0)),
+            mk(3, flow(FlowKind::Recv, "a", 0, 1, 1, 13.0)),
+        ];
+        let err = validate_journal(&backwards).unwrap_err();
+        assert!(err.message.contains("virtual clock regressed"), "{err}");
+        assert_eq!(flow_pairing(&backwards).clock_regressions, 1);
+        // A run boundary resets rank clocks but in-flight sends across it
+        // are an error.
+        let cfg = Config::with_threshold(10);
+        let run_start = EventKind::RunStart {
+            engine: "mp".into(),
+            width: 8,
+            height: 8,
+            config: ConfigRecord::of(&cfg),
+        };
+        let crossing = vec![
+            mk(0, flow(FlowKind::Send, "a", 0, 1, 0, 10.0)),
+            mk(1, run_start.clone()),
+            mk(2, flow(FlowKind::Recv, "a", 0, 1, 0, 12.0)),
+        ];
+        let err = validate_journal(&crossing).unwrap_err();
+        assert!(err.message.contains("run boundary"), "{err}");
+        // ... while fully-paired runs back-to-back validate even though
+        // rank clocks restart at zero.
+        let stacked = vec![
+            mk(0, run_start.clone()),
+            mk(1, flow(FlowKind::Send, "a", 0, 1, 0, 10.0)),
+            mk(2, flow(FlowKind::Recv, "a", 0, 1, 0, 12.0)),
+            mk(3, run_start),
+            mk(4, flow(FlowKind::Send, "a", 0, 1, 0, 1.0)),
+            mk(5, flow(FlowKind::Recv, "a", 0, 1, 0, 2.0)),
+        ];
+        validate_journal(&stacked).unwrap();
+        assert!(flow_pairing(&stacked).fully_paired());
+    }
+
+    #[test]
+    fn jsonl_sink_clock_modes_match_deprecated_constructors() {
+        // The consolidated constructor must behave identically to the two
+        // legacy names (stderr path: no file side effects).
+        let a = jsonl_sink("-", ClockMode::Wall).unwrap();
+        assert!(a.logical.is_none());
+        let b = jsonl_sink("-", ClockMode::Logical).unwrap();
+        assert_eq!(b.logical, Some(0));
+        #[allow(deprecated)]
+        {
+            assert!(jsonl_sink_for_path("-").unwrap().logical.is_none());
+            assert_eq!(jsonl_sink_for_path_logical("-").unwrap().logical, Some(0));
+        }
     }
 
     #[test]

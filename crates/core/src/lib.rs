@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 pub mod batch;
 pub mod chrome;
 pub mod config;
@@ -59,6 +60,7 @@ pub mod split_ref;
 pub mod telemetry;
 pub mod verify;
 
+pub use analyze::{analyze_journal, analyze_run, RankTimeline, RunAnalysis};
 pub use batch::{run_batch, run_batch_collect, BatchOptions, BatchSummary, ChaosSpec};
 pub use chrome::{chrome_trace, chrome_trace_multi, split_runs, validate_chrome_trace};
 pub use config::{Config, Connectivity, Criterion, MergeBackend, RegionStats, TieBreak};
@@ -67,18 +69,20 @@ pub use engine::{
     Segmentation,
 };
 pub use hierarchy::{MergeEvent, MergeTrace};
+#[allow(deprecated)]
 pub use journal::{
-    jsonl_sink_for_path, jsonl_sink_for_path_logical, parse_journal, parse_journal_strict, replay,
-    validate_journal, EmitEvent, Event, EventKind, EventLog, EventVec, JournalInvalid,
-    JournalStats, JsonlSink, JsonlWriter, Streaming,
+    flow_pairing, jsonl_sink, jsonl_sink_for_path, jsonl_sink_for_path_logical, parse_journal,
+    parse_journal_strict, replay, validate_journal, ClockMode, EmitEvent, Event, EventKind,
+    EventLog, EventVec, FlowPairing, JournalInvalid, JournalStats, JsonlSink, JsonlWriter,
+    Streaming,
 };
 pub use merge::{choice_key, CandKey, MergeSummary, Merger, StepReport};
 pub use pipeline::{ExecutionPlan, HostPipeline, Pipeline, Workspace};
 pub use split::{split, split_into, split_par, SplitMetrics, SplitResult, SplitScratch, Square};
 pub use split_ref::split_reference;
 pub use telemetry::{
-    CommRecord, ConfigRecord, ConformanceView, Fanout, FaultRecord, Histogram,
-    MergeIterationRecord, NullTelemetry, Recorder, SpanGuard, SpanKind, Stage, StageSpan,
-    Telemetry, TelemetryReport,
+    CommRecord, ConfigRecord, ConformanceView, Fanout, FaultRecord, FlowKind, FlowRecord,
+    Histogram, MergeIterationRecord, NullTelemetry, Recorder, SpanGuard, SpanKind, Stage,
+    StageSpan, Telemetry, TelemetryReport,
 };
 pub use verify::{verify_segmentation, Violation};

@@ -517,6 +517,81 @@ pub struct FaultRecord {
     pub ts_ns: f64,
 }
 
+/// Which side of a causal flow edge a [`FlowRecord`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowKind {
+    /// A logical point-to-point send, recorded by the source rank.
+    Send,
+    /// The matching receive, recorded by the destination rank.
+    Recv,
+    /// Participation in a control-network collective; all ranks record one
+    /// with the same per-node ordinal, so participants pair across ranks.
+    Collective,
+}
+
+impl FlowKind {
+    /// The journal tag for this kind: `"send"`, `"recv"`, or `"coll"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlowKind::Send => "send",
+            FlowKind::Recv => "recv",
+            FlowKind::Collective => "coll",
+        }
+    }
+
+    /// Parses a [`FlowKind::label`] string.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "send" => Some(FlowKind::Send),
+            "recv" => Some(FlowKind::Recv),
+            "coll" => Some(FlowKind::Collective),
+            _ => None,
+        }
+    }
+}
+
+/// One causal flow event from a traced message-passing run.
+///
+/// Sends and receives are correlated by `(stream, src, dst, seq)` — the
+/// sequence number counts *logical* messages per link, so the pairing is
+/// stable even when the chaos transport retransmits frames underneath.
+/// Collective participations pair across ranks by their per-node ordinal.
+/// `t_ns` is the virtual clock at operation completion; `wait_ns` is the
+/// idle portion (blocked on the sender's arrival timestamp, waiting at a
+/// collective rendezvous, or chaos retry timeouts on a send), which is what
+/// the critical-path analysis in [`crate::analyze`] attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowRecord {
+    /// Send, receive, or collective participation.
+    pub kind: FlowKind,
+    /// Program-point tag (e.g. `"boundary"`, `"merge:stats"`).
+    pub stream: String,
+    /// Source rank (for collectives: the recording rank).
+    pub src: u32,
+    /// Destination rank (for collectives: the recording rank).
+    pub dst: u32,
+    /// Correlation sequence number (per-link message ordinal or per-node
+    /// collective ordinal).
+    pub seq: u64,
+    /// Logical payload bytes.
+    pub bytes: u64,
+    /// Virtual time at operation completion, nanoseconds.
+    pub t_ns: f64,
+    /// Idle portion of the operation, nanoseconds.
+    pub wait_ns: f64,
+}
+
+impl FlowRecord {
+    /// The rank that recorded this event (source for sends and
+    /// collectives, destination for receives).
+    pub fn rank(&self) -> u32 {
+        match self.kind {
+            FlowKind::Send | FlowKind::Collective => self.src,
+            FlowKind::Recv => self.dst,
+        }
+    }
+}
+
 /// The telemetry sink every engine reports into.
 ///
 /// All methods have empty defaults so sinks implement only what they need;
@@ -560,6 +635,11 @@ pub trait Telemetry {
     /// One injected-fault event from a chaos run (message-passing engine
     /// only; never emitted on fault-free runs).
     fn fault(&mut self, _rec: FaultRecord) {}
+
+    /// One causal flow event (traced message-passing runs only): a
+    /// point-to-point send/receive edge or a collective participation,
+    /// correlated by `(stream, src, dst, seq)`.
+    fn flow(&mut self, _rec: FlowRecord) {}
 
     /// A named scalar counter (e.g. `"merge.send.ops"` from the
     /// data-parallel cost ledger).
@@ -1433,6 +1513,12 @@ impl Telemetry for Fanout<'_> {
     fn fault(&mut self, rec: FaultRecord) {
         for s in &mut self.sinks {
             s.fault(rec.clone());
+        }
+    }
+
+    fn flow(&mut self, rec: FlowRecord) {
+        for s in &mut self.sinks {
+            s.flow(rec.clone());
         }
     }
 

@@ -129,6 +129,7 @@ pub fn build_local_rag<P: Intensity>(
     );
     // The split stage ends with a synchronisation point: the paper times
     // the stages separately.
+    node.set_trace_stream("split");
     node.try_barrier()?;
     let split_done_seconds = node.clock_seconds();
 
@@ -205,6 +206,7 @@ pub fn build_local_rag<P: Intensity>(
     ];
 
     // Send strips to existing neighbours first (buffered), then receive.
+    node.set_trace_stream("boundary");
     let mut expected: Vec<(usize, Side)> = Vec::new();
     for &(side, dx, dy) in &neighbours {
         let nx = tx as isize + dx;
@@ -256,6 +258,7 @@ pub fn build_local_rag<P: Intensity>(
 
     // Diagonal corner exchange for 8-connectivity.
     if config.connectivity == Connectivity::Eight {
+        node.set_trace_stream("corner");
         let mut expected: Vec<usize> = Vec::new();
         for (dx, dy) in [(1isize, 1isize), (-1, 1), (1, -1), (-1, -1)] {
             let nx = tx as isize + dx;

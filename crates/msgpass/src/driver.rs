@@ -6,12 +6,12 @@ use crate::merge_mp::{merge_mp, ExchangeComm, MpMergeOutcome, EXCHANGES_PER_ITER
 use cmmd_sim::channel::{encode_u32s, try_decode_u32s};
 use cmmd_sim::{
     try_run_spmd, CommScheme, Fault, FaultCounters, FaultEvent, FaultKind, FaultPlan, SpmdAbort,
-    TimeParams,
+    TimeParams, TraceEvent, TraceKind,
 };
 use rg_core::labels::compact_first_appearance;
 use rg_core::telemetry::{
-    derive_merge_iterations, CommRecord, FaultRecord, Histogram, SpanGuard, SpanKind, Stage,
-    StageSpan, Telemetry,
+    derive_merge_iterations, CommRecord, FaultRecord, FlowKind, FlowRecord, Histogram, SpanGuard,
+    SpanKind, Stage, StageSpan, Telemetry,
 };
 use rg_core::{Config, Segmentation};
 use rg_imaging::{Image, Intensity};
@@ -65,6 +65,12 @@ pub struct MsgPassOutcome {
     pub fault_events: Vec<FaultEvent>,
     /// Aggregate fault counters across all nodes.
     pub fault_counters: FaultCounters,
+    /// Causal flow events (send/recv/collective) captured by the CMMD
+    /// trace layer, concatenated in rank order. Empty unless the run was
+    /// executed with tracing on (the telemetry entry points enable it when
+    /// the sink is live); also empty on degraded chaos runs, whose
+    /// history aborted mid-flight.
+    pub flows: Vec<TraceEvent>,
 }
 
 impl MsgPassOutcome {
@@ -115,7 +121,19 @@ pub fn segment_msgpass_with_telemetry<P: Intensity>(
 ) -> MsgPassOutcome {
     let enabled = tel.enabled();
     let wall = enabled.then(Instant::now);
-    let out = segment_msgpass_with(img, config, nodes, scheme, TimeParams::cm5_mp());
+    // A live sink turns the CMMD trace layer on, so the journal carries
+    // the causal flow events analysis needs; untraced runs skip the
+    // capture entirely (the zero-cost telemetry contract).
+    let out = try_segment_msgpass_impl(
+        img,
+        config,
+        nodes,
+        scheme,
+        TimeParams::cm5_mp(),
+        None,
+        enabled,
+    )
+    .unwrap_or_else(|abort| panic!("fault-free msgpass run aborted: {abort}"));
     if enabled {
         // Host wall time is not meaningful per simulated stage here (all
         // nodes run concurrently on OS threads), so the whole run's wall
@@ -141,7 +159,7 @@ pub fn segment_msgpass_chaos_with_telemetry<P: Intensity>(
     plan: &FaultPlan,
     tel: &mut dyn Telemetry,
 ) -> MsgPassOutcome {
-    let out = segment_msgpass_chaos(img, config, nodes, scheme, plan);
+    let out = segment_msgpass_chaos_impl(img, config, nodes, scheme, plan, tel.enabled());
     if tel.enabled() {
         emit_telemetry(&out, img.width(), img.height(), config, tel, 0.0);
     }
@@ -285,9 +303,85 @@ fn emit_telemetry(
                 tel.counter("faults.total", out.fault_counters.total_faults() as f64);
                 tel.counter("faults.retries", out.fault_counters.retries as f64);
             }
+
+            // Causal flow events, interleaved so every receive follows its
+            // matching send (what the strict journal validator and the
+            // cross-rank analyzer expect). Untraced runs carry none and
+            // their journals are unchanged.
+            for f in causal_order(&out.flows) {
+                tel.flow(FlowRecord {
+                    kind: match f.kind {
+                        TraceKind::Send => FlowKind::Send,
+                        TraceKind::Recv => FlowKind::Recv,
+                        TraceKind::Collective => FlowKind::Collective,
+                    },
+                    stream: f.stream.to_string(),
+                    src: f.src,
+                    dst: f.dst,
+                    seq: f.seq,
+                    bytes: f.bytes,
+                    t_ns: f.t_ns,
+                    wait_ns: f.wait_ns,
+                });
+            }
         }
         tel.run_end();
     }
+}
+
+/// Orders rank-concatenated trace events so that every receive follows its
+/// matching send while each rank's events keep their program order — the
+/// interleaving the strict journal validator checks. The traced execution
+/// completed, so its dependency graph is acyclic and the greedy schedule
+/// always drains; a truncated or damaged capture with orphan receives is
+/// flushed in rank order at the end (tolerant consumers report those as
+/// unmatched rather than failing).
+fn causal_order(flows: &[TraceEvent]) -> Vec<&TraceEvent> {
+    let mut queues: Vec<Vec<&TraceEvent>> = Vec::new();
+    let mut last_rank: Option<u32> = None;
+    for f in flows {
+        if last_rank != Some(f.rank()) {
+            last_rank = Some(f.rank());
+            queues.push(Vec::new());
+        }
+        queues.last_mut().expect("queue just pushed").push(f);
+    }
+    let mut out: Vec<&TraceEvent> = Vec::with_capacity(flows.len());
+    let mut sent: HashMap<(&str, u32, u32, u64), u32> = HashMap::new();
+    let mut heads: Vec<usize> = vec![0; queues.len()];
+    loop {
+        let mut progress = false;
+        for (q, queue) in queues.iter().enumerate() {
+            while let Some(&ev) = queue.get(heads[q]) {
+                let ready = match ev.kind {
+                    TraceKind::Recv => match sent.get_mut(&(ev.stream, ev.src, ev.dst, ev.seq)) {
+                        Some(n) if *n > 0 => {
+                            *n -= 1;
+                            true
+                        }
+                        _ => false,
+                    },
+                    _ => true,
+                };
+                if !ready {
+                    break;
+                }
+                if ev.kind == TraceKind::Send {
+                    *sent.entry((ev.stream, ev.src, ev.dst, ev.seq)).or_insert(0) += 1;
+                }
+                out.push(ev);
+                heads[q] += 1;
+                progress = true;
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+    for (q, queue) in queues.iter().enumerate() {
+        out.extend(queue[heads[q]..].iter());
+    }
+    out
 }
 
 /// [`segment_msgpass`] with explicit time parameters.
@@ -301,7 +395,7 @@ pub fn segment_msgpass_with<P: Intensity>(
     scheme: CommScheme,
     params: TimeParams,
 ) -> MsgPassOutcome {
-    try_segment_msgpass_impl(img, config, nodes, scheme, params, None)
+    try_segment_msgpass_impl(img, config, nodes, scheme, params, None, false)
         .unwrap_or_else(|abort| panic!("fault-free msgpass run aborted: {abort}"))
 }
 
@@ -321,6 +415,17 @@ pub fn segment_msgpass_chaos<P: Intensity>(
     scheme: CommScheme,
     plan: &FaultPlan,
 ) -> MsgPassOutcome {
+    segment_msgpass_chaos_impl(img, config, nodes, scheme, plan, false)
+}
+
+fn segment_msgpass_chaos_impl<P: Intensity>(
+    img: &Image<P>,
+    config: &Config,
+    nodes: usize,
+    scheme: CommScheme,
+    plan: &FaultPlan,
+    trace: bool,
+) -> MsgPassOutcome {
     match try_segment_msgpass_impl(
         img,
         config,
@@ -328,6 +433,7 @@ pub fn segment_msgpass_chaos<P: Intensity>(
         scheme,
         TimeParams::cm5_mp(),
         Some(plan.clone()),
+        trace,
     ) {
         Ok(out) => out,
         Err(abort) => {
@@ -366,6 +472,7 @@ pub fn segment_msgpass_chaos<P: Intensity>(
                 degraded: true,
                 fault_events,
                 fault_counters: abort.fault_counters,
+                flows: Vec::new(),
             }
         }
     }
@@ -381,6 +488,7 @@ fn try_segment_msgpass_impl<P: Intensity>(
     scheme: CommScheme,
     params: TimeParams,
     plan: Option<FaultPlan>,
+    trace: bool,
 ) -> Result<MsgPassOutcome, SpmdAbort> {
     let decomp = Decomposition::for_nodes(nodes, img.width(), img.height());
     let safe_cap = decomp.max_safe_square_log2();
@@ -390,15 +498,18 @@ fn try_segment_msgpass_impl<P: Intensity>(
         .unwrap_or(safe_cap);
 
     let res = try_run_spmd(decomp.nodes(), params, plan, |node| {
+        node.set_tracing(trace);
         // Steps 0–2: receive the sub-image, split it, build the local
         // graph with boundary exchange (split time captured inside).
         let mut rag = build_local_rag(node, &decomp, img, config, cap_used)?;
         let t_split = rag.split_done_seconds;
+        node.set_trace_stream("graph");
         node.try_barrier()?;
         let t_graph = node.clock_seconds();
 
         // Steps 3–5: cooperative merge.
         let merge = merge_mp(node, &decomp, &mut rag, config, scheme)?;
+        node.set_trace_stream("merge:post");
         node.try_barrier()?;
         let t_merge = node.clock_seconds();
 
@@ -410,6 +521,7 @@ fn try_segment_msgpass_impl<P: Intensity>(
             words.push(dead);
             words.push(rep);
         }
+        node.set_trace_stream("label");
         let all = node.try_concat(encode_u32s(&words))?;
         let mut redirect: HashMap<u32, u32> = HashMap::new();
         for payload in all {
@@ -526,6 +638,7 @@ fn try_segment_msgpass_impl<P: Intensity>(
         degraded: false,
         fault_events: res.fault_events,
         fault_counters: res.fault_counters,
+        flows: res.trace_events,
     })
 }
 
@@ -689,6 +802,72 @@ mod tests {
         assert_eq!(r.merges_per_iteration(), out.seg.merges_per_iteration);
         assert_eq!(r.num_regions, out.seg.num_regions);
         assert_eq!(r.counter("cap_used_log2"), Some(out.cap_used as f64));
+    }
+
+    #[test]
+    fn traced_run_emits_strictly_valid_flow_journal() {
+        let img = synth::rect_collection(64);
+        let cfg = Config::with_threshold(10);
+        let mut log = rg_core::EventLog::in_memory();
+        let out = segment_msgpass_with_telemetry(&img, &cfg, 4, CommScheme::Async, &mut log);
+        assert!(!out.flows.is_empty());
+        let events = log.into_events();
+        // Strict validation covers flow pairing and per-rank clock
+        // monotonicity — the causal interleave must satisfy both.
+        rg_core::validate_journal(&events).unwrap();
+        let fp = rg_core::flow_pairing(&events);
+        assert!(fp.any() && fp.fully_paired(), "{fp:?}");
+        assert_eq!(fp.sends, fp.recvs);
+        assert_eq!(fp.sends as u64, out.total_messages);
+        let a = rg_core::analyze_run(&events).expect("flows present");
+        assert_eq!(a.nodes, 4);
+        assert!(a.critical_path_ns <= a.wall_ns + 1e-6);
+        assert!(a.critical_path_ns >= a.max_busy_ns() - 1e-6);
+        assert!(a.wall_ns > 0.0);
+        // Stage tags from every phase of the program reached the journal.
+        let streams: std::collections::HashSet<&str> = out.flows.iter().map(|f| f.stream).collect();
+        for s in [
+            "split",
+            "boundary",
+            "graph",
+            "merge:stats",
+            "merge:term",
+            "label",
+        ] {
+            assert!(streams.contains(s), "missing stream {s:?} in {streams:?}");
+        }
+    }
+
+    #[test]
+    fn untraced_run_captures_no_flows() {
+        let img = synth::rect_collection(32);
+        let out = segment_msgpass(&img, &Config::with_threshold(10), 4, CommScheme::Async);
+        assert!(out.flows.is_empty());
+    }
+
+    #[test]
+    fn traced_chaos_run_attributes_retry_waits() {
+        use cmmd_sim::FaultPlan;
+        let img = synth::rect_collection(64);
+        let cfg = Config::with_threshold(10);
+        // The storm profile drops and corrupts aggressively; every retry
+        // burns a timeout the trace must attribute to the affected edge.
+        let plan = FaultPlan::new(2, "storm").expect("known profile");
+        let mut log = rg_core::EventLog::in_memory();
+        let out =
+            segment_msgpass_chaos_with_telemetry(&img, &cfg, 4, CommScheme::Async, &plan, &mut log);
+        assert!(!out.degraded, "storm seed 2 must be survivable");
+        assert!(out.fault_counters.retries > 0);
+        let events = log.into_events();
+        rg_core::validate_journal(&events).unwrap();
+        let a = rg_core::analyze_run(&events).expect("flows present");
+        assert!(
+            a.retry_wait_ns > 0.0,
+            "retries must surface as retry-wait: {a:?}"
+        );
+        assert!(a.edges.iter().any(|e| e.retry_wait_ns > 0.0));
+        assert!(a.critical_path_ns <= a.wall_ns + 1e-6);
+        assert!(a.critical_path_ns >= a.max_busy_ns() - 1e-6);
     }
 
     #[test]

@@ -98,13 +98,17 @@ pub struct MpMergeOutcome {
 
 /// Runs one all-to-many exchange, recording outgoing payload sizes into
 /// `hist` and returning the received messages plus this node's
-/// communication deltas for the exchange.
+/// communication deltas for the exchange. `stream` tags the exchange's
+/// flow events (every node passes the same tag at the same program point,
+/// so send and recv halves agree).
 fn traced_exchange(
     node: &mut Node,
     outgoing: Vec<(usize, Bytes)>,
     scheme: CommScheme,
     hist: &mut Histogram,
+    stream: &'static str,
 ) -> Result<(Vec<(usize, Bytes)>, ExchangeComm), Fault> {
+    node.set_trace_stream(stream);
     for (_, payload) in &outgoing {
         hist.record(payload.len() as u64);
     }
@@ -168,7 +172,8 @@ pub fn merge_mp(
             .map(|(dst, words)| (dst, encode_u32s(&words)))
             .collect();
         rag.ghosts.clear();
-        let (received, comm) = traced_exchange(node, outgoing, scheme, &mut msg_bytes_hist)?;
+        let (received, comm) =
+            traced_exchange(node, outgoing, scheme, &mut msg_bytes_hist, "merge:stats")?;
         iter_comm[0] = comm;
         for (_, payload) in received {
             let words = try_decode_u32s(payload).map_err(|_| malformed("stats payload"))?;
@@ -200,6 +205,7 @@ pub fn merge_mp(
         node.compute(rag.half_edges.len() as u64 * MERGE_UNITS_PER_EDGE);
 
         let active = !rag.half_edges.is_empty();
+        node.set_trace_stream("merge:term");
         if !node.try_allreduce_or(active)? {
             break;
         }
@@ -260,7 +266,8 @@ pub fn merge_mp(
             .collect();
         // Remote claims (u chose v) targeting my regions v.
         let mut remote_claims: Vec<(u32, u32)> = Vec::new();
-        let (received, comm) = traced_exchange(node, outgoing, scheme, &mut msg_bytes_hist)?;
+        let (received, comm) =
+            traced_exchange(node, outgoing, scheme, &mut msg_bytes_hist, "merge:choice")?;
         iter_comm[1] = comm;
         for (_, payload) in received {
             let words = try_decode_u32s(payload).map_err(|_| malformed("choice payload"))?;
@@ -326,7 +333,13 @@ pub fn merge_mp(
             .map(|(dst, words)| (dst, encode_u32s(&words)))
             .collect();
         let mut redir: HashMap<u32, u32> = newly_dead.iter().copied().collect();
-        let (received, comm) = traced_exchange(node, outgoing, scheme, &mut msg_bytes_hist)?;
+        let (received, comm) = traced_exchange(
+            node,
+            outgoing,
+            scheme,
+            &mut msg_bytes_hist,
+            "merge:redirect",
+        )?;
         iter_comm[2] = comm;
         for (_, payload) in received {
             let words = try_decode_u32s(payload).map_err(|_| malformed("redirect payload"))?;
@@ -358,7 +371,13 @@ pub fn merge_mp(
             .into_iter()
             .map(|(dst, words)| (dst, encode_u32s(&words)))
             .collect();
-        let (received, comm) = traced_exchange(node, outgoing, scheme, &mut msg_bytes_hist)?;
+        let (received, comm) = traced_exchange(
+            node,
+            outgoing,
+            scheme,
+            &mut msg_bytes_hist,
+            "merge:transfer",
+        )?;
         iter_comm[3] = comm;
         for (_, payload) in received {
             let words = try_decode_u32s(payload).map_err(|_| malformed("transfer payload"))?;
@@ -372,6 +391,7 @@ pub fn merge_mp(
         node.compute(rag.half_edges.len() as u64 * MERGE_UNITS_PER_EDGE);
 
         // ---- bookkeeping ----------------------------------------------------
+        node.set_trace_stream("merge:term");
         let global_merges = node.try_allreduce_u64(my_merges, |a, b| a + b)? as u32;
         iterations += 1;
         merges_per_iteration.push(global_merges);

@@ -44,6 +44,10 @@
 //!                          PATH of `-` streams to stderr, unbuffered
 //!   --chrome-trace PATH    write a Chrome trace_event JSON file viewable in
 //!                          chrome://tracing or Perfetto
+//!   --analyze              after the run, print a causal analysis (critical
+//!                          path, per-rank busy/idle, load imbalance,
+//!                          straggler rank) from the captured flow events;
+//!                          needs an mp-* engine to capture any
 //!   --verify               check connectivity/homogeneity/maximality
 //!   --quiet                suppress the summary
 //! ```
@@ -51,9 +55,9 @@
 use cm_sim::CostModel;
 use cmmd_sim::{CommScheme, FaultPlan};
 use rg_core::{
-    chrome_trace, jsonl_sink_for_path, jsonl_sink_for_path_logical, labels::labels_to_image,
-    run_batch, segment_par_with_telemetry, segment_with_telemetry, verify_segmentation,
-    BatchOptions, Config, Connectivity, Criterion, EmitEvent, EventLog, Fanout, HostPipeline,
+    analyze_journal, chrome_trace, jsonl_sink, labels::labels_to_image, run_batch,
+    segment_par_with_telemetry, segment_with_telemetry, verify_segmentation, BatchOptions,
+    ClockMode, Config, Connectivity, Criterion, EmitEvent, EventLog, Fanout, HostPipeline,
     NullTelemetry, Pipeline, Recorder, Segmentation, Telemetry, TieBreak,
 };
 use rg_imaging::{pgm, synth, GrayImage};
@@ -76,6 +80,7 @@ struct Options {
     telemetry: Option<String>,
     trace_out: Option<String>,
     chrome_trace: Option<String>,
+    analyze: bool,
     verify: bool,
     quiet: bool,
 }
@@ -95,7 +100,7 @@ fn usage() -> ! {
          \x20            [--chaos SEED[:none|drop|dup|corrupt|delay|slow|storm|blackhole]]\n\
          \x20            [--demo image1..image6|circles|rects|nested|tool] [--telemetry out.json|-]\n\
          \x20            [--trace-out out.jsonl|-] [--chrome-trace out.trace.json]\n\
-         \x20            [--verify] [--quiet]"
+         \x20            [--analyze] [--verify] [--quiet]"
     );
     exit(2)
 }
@@ -118,6 +123,7 @@ fn parse_args() -> Options {
         telemetry: None,
         trace_out: None,
         chrome_trace: None,
+        analyze: false,
         verify: false,
         quiet: false,
     };
@@ -188,6 +194,7 @@ fn parse_args() -> Options {
             "--telemetry" => o.telemetry = Some(need_value(&mut args, &a)),
             "--trace-out" => o.trace_out = Some(need_value(&mut args, &a)),
             "--chrome-trace" => o.chrome_trace = Some(need_value(&mut args, &a)),
+            "--analyze" => o.analyze = true,
             "--verify" => o.verify = true,
             "--quiet" | "-q" => o.quiet = true,
             "--help" | "-h" => usage(),
@@ -564,18 +571,19 @@ fn main() {
     // Chaos runs log with the logical clock so repeated seeded runs write
     // byte-identical journals and Chrome traces.
     let logical = o.chaos.is_some();
+    let clock = if logical {
+        ClockMode::Logical
+    } else {
+        ClockMode::Wall
+    };
     let mut jsonl = o.trace_out.as_deref().map(|path| {
-        let open = if logical {
-            jsonl_sink_for_path_logical
-        } else {
-            jsonl_sink_for_path
-        };
-        open(path).unwrap_or_else(|e| {
+        jsonl_sink(path, clock).unwrap_or_else(|e| {
             eprintln!("cannot open trace output {path}: {e}");
             exit(1)
         })
     });
-    let mut chrome_log = o.chrome_trace.as_ref().map(|_| {
+    // One in-memory log serves both the Chrome export and --analyze.
+    let mut event_log = (o.chrome_trace.is_some() || o.analyze).then(|| {
         if logical {
             EventLog::in_memory().with_logical_clock()
         } else {
@@ -590,7 +598,7 @@ fn main() {
     if let Some(j) = jsonl.as_mut() {
         sinks.push(j);
     }
-    if let Some(c) = chrome_log.as_mut() {
+    if let Some(c) = event_log.as_mut() {
         sinks.push(c);
     }
     let mut null = NullTelemetry;
@@ -665,8 +673,19 @@ fn main() {
             }
         }
     }
+    if o.analyze {
+        let log = event_log.as_ref().expect("event log allocated above");
+        let analyses = analyze_journal(log.events());
+        if analyses.is_empty() {
+            eprintln!("--analyze: no flow events captured (causal tracing needs an mp-* engine)");
+        } else {
+            for a in &analyses {
+                print!("{}", a.render());
+            }
+        }
+    }
     if let Some(path) = &o.chrome_trace {
-        let log = chrome_log.take().expect("chrome log allocated above");
+        let log = event_log.take().expect("event log allocated above");
         let doc = chrome_trace(log.events());
         let body = doc.to_compact();
         if path == "-" {

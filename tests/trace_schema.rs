@@ -98,6 +98,9 @@ fn every_emitted_event_kind_is_known() {
         "counter",
         "hist",
         "run_end",
+        "send",
+        "recv",
+        "coll",
     ];
     let (img, cfg) = scene();
     for engine in ALL_ENGINES {
@@ -148,6 +151,30 @@ fn msgpass_journal_has_comm_rounds_and_counters() {
 
     let doc = chrome_trace(&events);
     validate_chrome_trace(&doc).expect("chrome export of mp-lp journal");
+}
+
+/// Traced msgpass runs carry causal flow events, fully paired; the Chrome
+/// export renders them as bound flow arrows and still validates. Host
+/// engines' journals stay flow-free (backward compatibility).
+#[test]
+fn msgpass_journal_carries_paired_flows() {
+    use rg_core::json::Json;
+    let (img, cfg) = scene();
+    let events = traced("mp-async", &img, &cfg);
+    let fp = rg_core::flow_pairing(&events);
+    assert!(fp.any(), "traced msgpass journal must carry flow events");
+    assert!(fp.fully_paired(), "{fp:?}");
+    let doc = chrome_trace(&events);
+    validate_chrome_trace(&doc).unwrap();
+    let arr = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+    let has_ph = |ph: &str| {
+        arr.iter()
+            .any(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+    };
+    assert!(has_ph("s"), "flow arrows missing their start half");
+    assert!(has_ph("f"), "flow arrows missing their finish half");
+    let host = traced("seq", &img, &cfg);
+    assert!(!rg_core::flow_pairing(&host).any());
 }
 
 /// Chrome export of all engines at once: one process lane per engine.
@@ -216,6 +243,9 @@ impl Telemetry for DisabledPanicSink {
     }
     fn comm(&mut self, rec: rg_core::CommRecord) {
         panic!("comm({rec:?}) reached a disabled sink");
+    }
+    fn flow(&mut self, rec: rg_core::FlowRecord) {
+        panic!("flow({rec:?}) reached a disabled sink");
     }
 }
 
