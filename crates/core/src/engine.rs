@@ -3,13 +3,9 @@
 use crate::config::Config;
 use crate::graph::Rag;
 use crate::hierarchy::MergeTrace;
-use crate::labels::compact_first_appearance;
 use crate::merge::{MergeSummary, Merger};
-use crate::split::{split, SplitResult};
-use crate::telemetry::{
-    Histogram, MergeIterationRecord, NullTelemetry, SpanGuard, SpanKind, Stage, StageSpan,
-    Telemetry,
-};
+use crate::split::SplitResult;
+use crate::telemetry::{NullTelemetry, Telemetry};
 use rayon::prelude::*;
 use rg_imaging::{Image, Intensity};
 use std::time::Instant;
@@ -128,38 +124,25 @@ pub fn segment_with_trace<P: Intensity>(
     img: &Image<P>,
     config: &Config,
 ) -> (Segmentation, MergeTrace) {
-    let split_result = split(img, config);
-    let rag = Rag::from_split(&split_result, config.connectivity);
-    let stride = split_result.width as u32;
-    let ids: Vec<u64> = split_result
-        .squares
-        .iter()
-        .map(|s| s.id(stride) as u64)
-        .collect();
-    let mut merger = Merger::new(rag, ids, config, false);
-    merger.enable_trace();
-    let summary = merger.run();
-    let trace = merger.take_trace().expect("trace was enabled");
-    let by_vertex = merger.labels_by_vertex();
-    let raw: Vec<u32> = split_result
-        .square_of
-        .iter()
-        .map(|&q| by_vertex[q as usize])
-        .collect();
-    let (labels, num_regions) = compact_first_appearance(&raw);
-    (
-        Segmentation {
-            labels,
-            num_regions,
-            num_squares: split_result.num_squares(),
-            split_iterations: split_result.iterations,
-            merge_iterations: summary.iterations,
-            merges_per_iteration: summary.merges_per_iteration,
-            width: img.width(),
-            height: img.height(),
-        },
-        trace,
-    )
+    segment_with_trace_telemetry(img, config, &mut NullTelemetry)
+}
+
+/// Like [`segment_with_trace`], reporting the full stage span sequence into
+/// the given [`Telemetry`] sink (identical to [`segment_with_telemetry`]'s —
+/// trace recording rides the unified stage driver, it no longer bypasses
+/// telemetry).
+pub fn segment_with_trace_telemetry<P: Intensity>(
+    img: &Image<P>,
+    config: &Config,
+    tel: &mut dyn Telemetry,
+) -> (Segmentation, MergeTrace) {
+    use crate::driver::{run_driver, TraceHook};
+    let mut ws = crate::pipeline::Workspace::new();
+    let mut out = Segmentation::default();
+    let mut backend = crate::pipeline::HostBackend::new(img, config, false, &mut ws).with_trace();
+    run_driver(&mut backend, tel, &mut out);
+    let trace = backend.take_trace().expect("trace was enabled");
+    (out, trace)
 }
 
 /// Runs the full pipeline with rayon parallelism. Produces exactly the same
@@ -187,97 +170,27 @@ fn run_pipeline<P: Intensity>(
 
 /// Runs the merge stage over an existing split result, returning the merge
 /// summary and the raw (uncompacted) per-pixel labels.
+///
+/// A bench/analysis helper, not an engine entry point: it opens no telemetry
+/// spans — the span structure belongs to [`crate::driver::run_driver`].
 pub fn merge_from_split<P: Intensity>(
     split_result: &SplitResult<P>,
     config: &Config,
     parallel: bool,
 ) -> (MergeSummary, Vec<u32>) {
-    let mut watch = Stopwatch::start(false);
-    merge_from_split_with(
-        split_result,
-        config,
-        parallel,
-        &mut NullTelemetry,
-        &mut watch,
-    )
-}
-
-/// [`merge_from_split`] with telemetry: emits the graph/merge stage spans
-/// and one [`MergeIterationRecord`] per merge iteration.
-fn merge_from_split_with<P: Intensity>(
-    split_result: &SplitResult<P>,
-    config: &Config,
-    parallel: bool,
-    tel: &mut dyn Telemetry,
-    watch: &mut Stopwatch,
-) -> (MergeSummary, Vec<u32>) {
-    let enabled = tel.enabled();
-    let mut merger = {
-        let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Graph));
-        let rag = if parallel {
-            Rag::from_split_par(split_result, config.connectivity)
-        } else {
-            Rag::from_split(split_result, config.connectivity)
-        };
-        let stride = split_result.width as u32;
-        let ids: Vec<u64> = split_result
-            .squares
-            .iter()
-            .map(|s| s.id(stride) as u64)
-            .collect();
-        Merger::new(rag, ids, config, parallel)
-    };
-    if enabled {
-        tel.stage(StageSpan {
-            stage: Stage::Graph,
-            wall_seconds: watch.lap(),
-            sim_seconds: None,
-        });
-    }
-
-    let summary = if enabled {
-        let mut iter_wall = Histogram::new();
-        let mut merges_hist = Histogram::new();
-        {
-            let mut merge_span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Merge));
-            let tel = merge_span.tel();
-            while !merger.is_done() {
-                let iteration = merger.iterations();
-                let t0 = Instant::now();
-                let mut iter_span =
-                    SpanGuard::enter(&mut *tel, SpanKind::MergeIteration(iteration));
-                let report = merger.step_traced(iter_span.tel());
-                iter_span.tel().merge_iteration(MergeIterationRecord {
-                    iteration,
-                    merges: report.merges,
-                    used_fallback: report.used_fallback,
-                    active_edges: Some(report.active_edges),
-                    compacted: Some(report.compacted),
-                });
-                drop(iter_span);
-                iter_wall.record(t0.elapsed().as_micros() as u64);
-                merges_hist.record(u64::from(report.merges));
-            }
-        }
-        tel.histogram("merge.iter_wall_us", &iter_wall);
-        tel.histogram("merge.merges_per_iteration", &merges_hist);
-        MergeSummary {
-            iterations: merger.iterations(),
-            merges_per_iteration: merger.merges_per_iteration().to_vec(),
-            num_regions: merger.num_regions(),
-        }
+    let rag = if parallel {
+        Rag::from_split_par(split_result, config.connectivity)
     } else {
-        merger.run()
+        Rag::from_split(split_result, config.connectivity)
     };
-    if enabled {
-        tel.merge_done(summary.num_regions);
-        tel.stage(StageSpan {
-            stage: Stage::Merge,
-            wall_seconds: watch.lap(),
-            sim_seconds: None,
-        });
-    }
-
+    let stride = split_result.width as u32;
+    let ids: Vec<u64> = split_result
+        .squares
+        .iter()
+        .map(|s| s.id(stride) as u64)
+        .collect();
+    let mut merger = Merger::new(rag, ids, config, parallel);
+    let summary = merger.run();
     let by_vertex = merger.labels_by_vertex();
     let labels: Vec<u32> = if parallel {
         split_result

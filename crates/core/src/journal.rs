@@ -778,18 +778,6 @@ pub fn jsonl_sink(path: &str, clock: ClockMode) -> io::Result<JsonlSink<Box<dyn 
     })
 }
 
-/// Deprecated alias for [`jsonl_sink`] with [`ClockMode::Wall`].
-#[deprecated(since = "0.1.0", note = "use jsonl_sink(path, ClockMode::Wall)")]
-pub fn jsonl_sink_for_path(path: &str) -> io::Result<JsonlSink<Box<dyn Write>>> {
-    jsonl_sink(path, ClockMode::Wall)
-}
-
-/// Deprecated alias for [`jsonl_sink`] with [`ClockMode::Logical`].
-#[deprecated(since = "0.1.0", note = "use jsonl_sink(path, ClockMode::Logical)")]
-pub fn jsonl_sink_for_path_logical(path: &str) -> io::Result<JsonlSink<Box<dyn Write>>> {
-    jsonl_sink(path, ClockMode::Logical)
-}
-
 /// An in-memory event consumer (testing and trace export).
 #[derive(Debug, Clone, Default)]
 pub struct EventVec {
@@ -1437,18 +1425,13 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_sink_clock_modes_match_deprecated_constructors() {
-        // The consolidated constructor must behave identically to the two
-        // legacy names (stderr path: no file side effects).
+    fn jsonl_sink_clock_modes() {
+        // One constructor, two clock modes (stderr path: no file side
+        // effects): wall timestamps by default, logical ordinals on demand.
         let a = jsonl_sink("-", ClockMode::Wall).unwrap();
         assert!(a.logical.is_none());
         let b = jsonl_sink("-", ClockMode::Logical).unwrap();
         assert_eq!(b.logical, Some(0));
-        #[allow(deprecated)]
-        {
-            assert!(jsonl_sink_for_path("-").unwrap().logical.is_none());
-            assert_eq!(jsonl_sink_for_path_logical("-").unwrap().logical, Some(0));
-        }
     }
 
     #[test]

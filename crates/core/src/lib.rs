@@ -44,6 +44,7 @@ pub mod analyze;
 pub mod batch;
 pub mod chrome;
 pub mod config;
+pub mod driver;
 pub mod engine;
 pub mod graph;
 pub mod hierarchy;
@@ -64,20 +65,22 @@ pub use analyze::{analyze_journal, analyze_run, RankTimeline, RunAnalysis};
 pub use batch::{run_batch, run_batch_collect, BatchOptions, BatchSummary, ChaosSpec};
 pub use chrome::{chrome_trace, chrome_trace_multi, split_runs, validate_chrome_trace};
 pub use config::{Config, Connectivity, Criterion, MergeBackend, RegionStats, TieBreak};
+pub use driver::{
+    run_driver, BackendAbort, ChaosHook, EngineBackend, GraphStage, LabelStage, MergeCx,
+    MergeStage, RunSummary, SplitInfo, SplitStage, StageStats, TraceHook,
+};
 pub use engine::{
     segment, segment_par, segment_par_with_telemetry, segment_with_telemetry, segment_with_trace,
-    Segmentation,
+    segment_with_trace_telemetry, Segmentation,
 };
 pub use hierarchy::{MergeEvent, MergeTrace};
-#[allow(deprecated)]
 pub use journal::{
-    flow_pairing, jsonl_sink, jsonl_sink_for_path, jsonl_sink_for_path_logical, parse_journal,
-    parse_journal_strict, replay, validate_journal, ClockMode, EmitEvent, Event, EventKind,
-    EventLog, EventVec, FlowPairing, JournalInvalid, JournalStats, JsonlSink, JsonlWriter,
-    Streaming,
+    flow_pairing, jsonl_sink, parse_journal, parse_journal_strict, replay, validate_journal,
+    ClockMode, EmitEvent, Event, EventKind, EventLog, EventVec, FlowPairing, JournalInvalid,
+    JournalStats, JsonlSink, JsonlWriter, Streaming,
 };
 pub use merge::{choice_key, CandKey, MergeSummary, Merger, StepReport};
-pub use pipeline::{ExecutionPlan, HostPipeline, Pipeline, Workspace};
+pub use pipeline::{ExecutionPlan, HostBackend, HostPipeline, Pipeline, Workspace};
 pub use split::{split, split_into, split_par, SplitMetrics, SplitResult, SplitScratch, Square};
 pub use split_ref::split_reference;
 pub use telemetry::{

@@ -26,16 +26,17 @@
 //! through any of the four engines.
 
 use crate::config::Config;
-use crate::engine::{Segmentation, Stopwatch};
+use crate::driver::{
+    run_driver, EngineBackend, GraphStage, LabelStage, MergeCx, MergeStage, RunSummary, SplitInfo,
+    SplitStage, StageStats, TraceHook,
+};
+use crate::engine::Segmentation;
 use crate::graph::adjacent_label_pairs_into;
+use crate::hierarchy::MergeTrace;
 use crate::merge::Merger;
 use crate::split::{split_into, SplitResult, SplitScratch};
-use crate::telemetry::{
-    Histogram, MergeIterationRecord, NullTelemetry, SpanGuard, SpanKind, Stage, StageSpan,
-    Telemetry,
-};
+use crate::telemetry::{MergeIterationRecord, NullTelemetry, Stage, Telemetry};
 use rg_imaging::{Image, Intensity};
-use std::time::Instant;
 
 /// Immutable per-(shape, config) execution geometry, computed once and
 /// consulted by every run: the padded quadtree side, the number of split
@@ -162,9 +163,6 @@ pub struct Workspace<P: Intensity> {
     map_stamp: Vec<u32>,
     /// Current compaction epoch.
     epoch: u32,
-    /// Region-size accumulator for the `region_size_px` histogram
-    /// (telemetry-enabled runs only).
-    sizes: Vec<u64>,
 }
 
 impl<P: Intensity> Workspace<P> {
@@ -180,7 +178,6 @@ impl<P: Intensity> Workspace<P> {
             map_val: Vec::new(),
             map_stamp: Vec::new(),
             epoch: 0,
-            sizes: Vec::new(),
         }
     }
 
@@ -196,7 +193,6 @@ impl<P: Intensity> Workspace<P> {
         self.edges.clear();
         self.ids.clear();
         self.by_vertex.clear();
-        self.sizes.clear();
         // Keep the merger (its buffers are the most expensive to warm) and
         // the stamped compaction tables: epochs make stale entries inert.
     }
@@ -341,9 +337,10 @@ impl Pipeline for HostPipeline<u8> {
     }
 }
 
-/// The host pipeline body: split → RAG → merge → labels over workspace
-/// arenas, reproducing the exact telemetry span/record sequence of
-/// `engine::run_pipeline` (golden-snapshot and trace-schema tested).
+/// The host pipeline body: builds a [`HostBackend`] over the workspace and
+/// hands it to the unified stage driver ([`crate::driver::run_driver`]),
+/// which owns the telemetry span/record sequence (golden-snapshot and
+/// trace-schema tested).
 pub(crate) fn run_host_into<P: Intensity>(
     img: &Image<P>,
     config: &Config,
@@ -352,154 +349,205 @@ pub(crate) fn run_host_into<P: Intensity>(
     ws: &mut Workspace<P>,
     out: &mut Segmentation,
 ) {
-    let enabled = tel.enabled();
-    let (w, h) = (img.width(), img.height());
-    if enabled {
-        tel.run_start(if parallel { "rayon" } else { "seq" }, w, h, config);
+    let mut backend = HostBackend::new(img, config, parallel, ws);
+    run_driver(&mut backend, tel, out);
+}
+
+/// The host engines (sequential / rayon) as a stage-driver backend: live
+/// stages over [`Workspace`] arenas, zero steady-state allocation under a
+/// disabled sink.
+///
+/// This is the exemplar backend: every stage runs for real inside the span
+/// the driver opens for it, wall time comes from the driver's stopwatch,
+/// and there is no simulated time. It is also the only backend implementing
+/// [`TraceHook`] — construct it with [`HostBackend::with_trace`] and take
+/// the merge dendrogram after the run.
+pub struct HostBackend<'a, P: Intensity> {
+    img: &'a Image<P>,
+    config: &'a Config,
+    parallel: bool,
+    ws: &'a mut Workspace<P>,
+    trace: bool,
+}
+
+impl<'a, P: Intensity> HostBackend<'a, P> {
+    /// A backend over `img` using the given workspace arenas.
+    pub fn new(
+        img: &'a Image<P>,
+        config: &'a Config,
+        parallel: bool,
+        ws: &'a mut Workspace<P>,
+    ) -> Self {
+        Self {
+            img,
+            config,
+            parallel,
+            ws,
+            trace: false,
+        }
     }
-    let mut watch = Stopwatch::start(enabled);
 
-    let num_regions = {
-        // Everything between run_start and run_end lives inside the `run`
-        // span; the guard closes it even on unwind.
-        let mut run_span = SpanGuard::enter(&mut *tel, SpanKind::Run);
-        let tel = run_span.tel();
+    /// Enables merge-dendrogram recording for this run (see [`TraceHook`]).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
 
-        {
-            let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Split));
-            split_into(img, config, parallel, &mut ws.split_scratch, &mut ws.split);
-        }
-        if enabled {
-            tel.stage(StageSpan {
-                stage: Stage::Split,
-                wall_seconds: watch.lap(),
-                sim_seconds: None,
-            });
-            tel.split_done(ws.split.iterations, ws.split.num_squares());
-            // Engine-internal work counters of the packed split (excluded
-            // from cross-engine conformance, like the merge counters).
-            let m = &ws.split.metrics;
-            tel.counter("split.levels_built", m.levels_built as f64);
-            tel.counter("split.productive_levels", m.productive_levels as f64);
-            tel.counter("split.words_tested", m.words_tested as f64);
-            tel.counter("split.cells_folded", m.cells_folded as f64);
-        }
+impl<P: Intensity> SplitStage for HostBackend<'_, P> {
+    fn split(&mut self, _tel: &mut dyn Telemetry) -> StageStats {
+        split_into(
+            self.img,
+            self.config,
+            self.parallel,
+            &mut self.ws.split_scratch,
+            &mut self.ws.split,
+        );
+        StageStats::live()
+    }
 
-        {
-            let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Graph));
-            adjacent_label_pairs_into(
-                &ws.split.square_of,
-                w,
-                h,
-                config.connectivity,
-                &mut ws.edges,
-            );
-            let stride = ws.split.width as u32;
-            ws.ids.clear();
-            ws.ids
-                .extend(ws.split.squares.iter().map(|s| s.id(stride) as u64));
-            match &mut ws.merger {
-                Some(m) => m.reset_from(&ws.split.stats, &ws.edges, &ws.ids, config, parallel),
-                slot @ None => {
-                    let mut m = Merger::hollow(config);
-                    m.reset_from(&ws.split.stats, &ws.edges, &ws.ids, config, parallel);
-                    *slot = Some(m);
-                }
+    fn split_report(&mut self, tel: &mut dyn Telemetry) {
+        // Engine-internal work counters of the packed split (excluded
+        // from cross-engine conformance, like the merge counters).
+        let m = &self.ws.split.metrics;
+        tel.counter("split.levels_built", m.levels_built as f64);
+        tel.counter("split.productive_levels", m.productive_levels as f64);
+        tel.counter("split.words_tested", m.words_tested as f64);
+        tel.counter("split.cells_folded", m.cells_folded as f64);
+    }
+}
+
+impl<P: Intensity> GraphStage for HostBackend<'_, P> {
+    fn graph(&mut self, _tel: &mut dyn Telemetry) -> StageStats {
+        let ws = &mut *self.ws;
+        adjacent_label_pairs_into(
+            &ws.split.square_of,
+            self.img.width(),
+            self.img.height(),
+            self.config.connectivity,
+            &mut ws.edges,
+        );
+        let stride = ws.split.width as u32;
+        ws.ids.clear();
+        ws.ids
+            .extend(ws.split.squares.iter().map(|s| s.id(stride) as u64));
+        let merger = match &mut ws.merger {
+            Some(m) => {
+                m.reset_from(
+                    &ws.split.stats,
+                    &ws.edges,
+                    &ws.ids,
+                    self.config,
+                    self.parallel,
+                );
+                m
             }
+            slot @ None => {
+                let mut m = Merger::hollow(self.config);
+                m.reset_from(
+                    &ws.split.stats,
+                    &ws.edges,
+                    &ws.ids,
+                    self.config,
+                    self.parallel,
+                );
+                slot.insert(m)
+            }
+        };
+        if self.trace {
+            // `reset_from` drops any previous trace, so arm it here —
+            // after the merger has its vertices for this image.
+            merger.enable_trace();
         }
-        if enabled {
-            tel.stage(StageSpan {
-                stage: Stage::Graph,
-                wall_seconds: watch.lap(),
-                sim_seconds: None,
-            });
-        }
+        StageStats::live()
+    }
+}
 
-        let merger = ws.merger.as_mut().expect("merger initialised above");
-        if enabled {
-            let mut iter_wall = Histogram::new();
-            let mut merges_hist = Histogram::new();
-            {
-                let mut merge_span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Merge));
-                let tel = merge_span.tel();
-                while !merger.is_done() {
-                    let iteration = merger.iterations();
-                    let t0 = Instant::now();
-                    let mut iter_span =
-                        SpanGuard::enter(&mut *tel, SpanKind::MergeIteration(iteration));
-                    let report = merger.step_traced(iter_span.tel());
-                    iter_span.tel().merge_iteration(MergeIterationRecord {
+impl<P: Intensity> MergeStage for HostBackend<'_, P> {
+    fn merge(&mut self, cx: &mut MergeCx<'_>) -> StageStats {
+        let merger = self.ws.merger.as_mut().expect("graph stage ran");
+        if cx.enabled() {
+            while !merger.is_done() {
+                let iteration = merger.iterations();
+                cx.iteration(iteration, |tel| {
+                    let report = merger.step_traced(tel);
+                    MergeIterationRecord {
                         iteration,
                         merges: report.merges,
                         used_fallback: report.used_fallback,
                         active_edges: Some(report.active_edges),
                         compacted: Some(report.compacted),
-                    });
-                    drop(iter_span);
-                    iter_wall.record(t0.elapsed().as_micros() as u64);
-                    merges_hist.record(u64::from(report.merges));
-                }
+                    }
+                });
             }
-            tel.histogram("merge.iter_wall_us", &iter_wall);
-            tel.histogram("merge.merges_per_iteration", &merges_hist);
-            tel.merge_done(merger.num_regions());
-            tel.stage(StageSpan {
-                stage: Stage::Merge,
-                wall_seconds: watch.lap(),
-                sim_seconds: None,
-            });
         } else {
             while !merger.is_done() {
                 merger.step();
             }
         }
-
-        merger.labels_by_vertex_into(&mut ws.by_vertex);
-        let num_regions = {
-            let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Label));
-            compact_gather(
-                &ws.split.square_of,
-                &ws.by_vertex,
-                &mut ws.map_val,
-                &mut ws.map_stamp,
-                &mut ws.epoch,
-                &mut out.labels,
-            )
-        };
-        if enabled {
-            tel.stage(StageSpan {
-                stage: Stage::Label,
-                wall_seconds: watch.lap(),
-                sim_seconds: None,
-            });
-            // Region-size distribution at convergence (pixels per region).
-            ws.sizes.clear();
-            ws.sizes.resize(num_regions, 0);
-            for &l in &out.labels {
-                ws.sizes[l as usize] += 1;
-            }
-            let mut hist = Histogram::new();
-            for &s in &ws.sizes {
-                hist.record(s);
-            }
-            tel.histogram("region_size_px", &hist);
-        }
-        num_regions
-    };
-    if enabled {
-        tel.run_end();
+        StageStats::live()
     }
 
-    let merger = ws.merger.as_ref().expect("merger initialised above");
-    out.num_regions = num_regions;
-    out.num_squares = ws.split.num_squares();
-    out.split_iterations = ws.split.iterations;
-    out.merge_iterations = merger.iterations();
-    out.merges_per_iteration.clear();
-    out.merges_per_iteration
-        .extend_from_slice(merger.merges_per_iteration());
-    out.width = w;
-    out.height = h;
+    fn measures_iteration_wall(&self) -> bool {
+        // Host iterations run live; their wall distribution is the
+        // `merge.iter_wall_us` histogram the driver emits.
+        true
+    }
+}
+
+impl<P: Intensity> LabelStage for HostBackend<'_, P> {
+    fn label(&mut self, _tel: &mut dyn Telemetry, out: &mut Segmentation) -> (StageStats, usize) {
+        let ws = &mut *self.ws;
+        let merger = ws.merger.as_ref().expect("graph stage ran");
+        merger.labels_by_vertex_into(&mut ws.by_vertex);
+        let num_regions = compact_gather(
+            &ws.split.square_of,
+            &ws.by_vertex,
+            &mut ws.map_val,
+            &mut ws.map_stamp,
+            &mut ws.epoch,
+            &mut out.labels,
+        );
+        (StageStats::live(), num_regions)
+    }
+}
+
+impl<P: Intensity> EngineBackend for HostBackend<'_, P> {
+    fn engine(&self) -> String {
+        if self.parallel { "rayon" } else { "seq" }.to_string()
+    }
+
+    fn dims(&self) -> (usize, usize) {
+        (self.img.width(), self.img.height())
+    }
+
+    fn config(&self) -> &Config {
+        self.config
+    }
+
+    fn split_info(&self) -> SplitInfo {
+        SplitInfo {
+            iterations: self.ws.split.iterations,
+            num_squares: self.ws.split.num_squares(),
+        }
+    }
+
+    fn summary(&self) -> RunSummary<'_> {
+        let merger = self.ws.merger.as_ref().expect("graph stage ran");
+        RunSummary {
+            split_iterations: self.ws.split.iterations,
+            num_squares: self.ws.split.num_squares(),
+            merge_iterations: merger.iterations(),
+            merges_per_iteration: merger.merges_per_iteration(),
+            num_regions: merger.num_regions(),
+        }
+    }
+}
+
+impl<P: Intensity> TraceHook for HostBackend<'_, P> {
+    fn take_trace(&mut self) -> Option<MergeTrace> {
+        self.ws.merger.as_mut().and_then(|m| m.take_trace())
+    }
 }
 
 /// Fused per-pixel label gather + first-appearance compaction, writing

@@ -1,17 +1,22 @@
 //! End-to-end data-parallel driver: the CM Fortran program, step by step.
+//!
+//! The orchestration itself lives in [`rg_core::driver::run_driver`]; this
+//! module supplies the [`DataParBackend`] — each stage runs live on the
+//! simulated [`Machine`], and the per-stage cost-model ledger snapshots
+//! become the [`StageStats`] simulated seconds the driver reports.
 
-use crate::graph_dp::build_graph;
-use crate::merge_dp::merge_dp;
-use crate::split_dp::split_dp;
-use cm_sim::{CostModel, Machine, ALL_PRIMS};
-use rg_core::labels::compact_first_appearance;
-use rg_core::telemetry::{
-    derive_merge_iterations, Histogram, NullTelemetry, SpanGuard, SpanKind, Stage, StageSpan,
-    Telemetry,
+use crate::graph_dp::{build_graph, DpGraph};
+use crate::merge_dp::{merge_dp, DpMerge};
+use crate::split_dp::{split_dp, DpSplit};
+use cm_sim::{CostLedger, CostModel, Machine, ALL_PRIMS};
+use rg_core::driver::{
+    run_driver, EngineBackend, GraphStage, LabelStage, MergeCx, MergeStage, RunSummary, SplitInfo,
+    SplitStage, StageStats,
 };
+use rg_core::labels::compact_first_appearance;
+use rg_core::telemetry::{derive_merge_iterations, NullTelemetry, Telemetry};
 use rg_core::{Config, Segmentation};
 use rg_imaging::{Image, Intensity};
-use std::time::Instant;
 
 /// A data-parallel run's outputs: the segmentation plus the simulated
 /// per-stage times on the chosen platform.
@@ -64,196 +69,183 @@ pub fn segment_datapar_with_telemetry<P: Intensity>(
     model: CostModel,
     tel: &mut dyn Telemetry,
 ) -> DataParOutcome {
-    let m = Machine::new(model);
-    let enabled = tel.enabled();
-    if enabled {
-        tel.run_start(
-            &format!("datapar:{}", model.name),
-            img.width(),
-            img.height(),
+    let mut backend = DataParBackend::new(img, config, model);
+    let mut out = Segmentation::default();
+    run_driver(&mut backend, tel, &mut out);
+    backend.into_outcome(out)
+}
+
+/// The data-parallel engine as a stage-driver backend: the CM Fortran
+/// program executed stage by stage on a simulated [`Machine`].
+///
+/// Every stage runs live inside the span the driver opens for it; the
+/// machine's per-stage [`CostLedger`] snapshot supplies the simulated
+/// seconds for the stage record. The simulated merge derives its
+/// per-iteration records after the fact (the `iter:<n>` spans it replays
+/// through [`MergeCx::iteration`] are zero-duration markers — still
+/// balanced and strictly nested inside `stage:merge`, as journal
+/// validation requires).
+pub struct DataParBackend<'a, P: Intensity> {
+    m: Machine,
+    img: &'a Image<P>,
+    config: &'a Config,
+    split: Option<DpSplit>,
+    graph: Option<DpGraph>,
+    merged: Option<DpMerge>,
+    split_ledger: Option<CostLedger>,
+    graph_ledger: Option<CostLedger>,
+    merge_ledger: Option<CostLedger>,
+}
+
+impl<'a, P: Intensity> DataParBackend<'a, P> {
+    /// A backend over `img` running on a fresh machine with cost model
+    /// `model`.
+    pub fn new(img: &'a Image<P>, config: &'a Config, model: CostModel) -> Self {
+        Self {
+            m: Machine::new(model),
+            img,
             config,
-        );
+            split: None,
+            graph: None,
+            merged: None,
+            split_ledger: None,
+            graph_ledger: None,
+            merge_ledger: None,
+        }
     }
-    let mut t0 = enabled.then(Instant::now);
-    let mut lap = move || -> f64 {
-        match &mut t0 {
-            Some(t) => {
-                let dt = t.elapsed().as_secs_f64();
-                *t = Instant::now();
-                dt
+
+    /// Consumes the backend into the full [`DataParOutcome`], attaching the
+    /// driver-assembled segmentation.
+    pub fn into_outcome(self, seg: Segmentation) -> DataParOutcome {
+        let split_ledger = self.split_ledger.expect("split stage ran");
+        let graph_ledger = self.graph_ledger.expect("graph stage ran");
+        let merge_ledger = self.merge_ledger.expect("merge stage ran");
+        DataParOutcome {
+            split_seconds: split_ledger.seconds(),
+            graph_seconds: graph_ledger.seconds(),
+            merge_seconds: merge_ledger.seconds(),
+            split_ledger,
+            graph_ledger,
+            merge_ledger,
+            seg,
+            platform: self.m.model().name,
+        }
+    }
+}
+
+impl<P: Intensity> SplitStage for DataParBackend<'_, P> {
+    fn split(&mut self, _tel: &mut dyn Telemetry) -> StageStats {
+        self.split = Some(split_dp(&self.m, self.img, self.config));
+        let ledger = self.m.ledger_snapshot();
+        self.m.reset_ledger();
+        let seconds = ledger.seconds();
+        self.split_ledger = Some(ledger);
+        StageStats::simulated(seconds)
+    }
+}
+
+impl<P: Intensity> GraphStage for DataParBackend<'_, P> {
+    fn graph(&mut self, _tel: &mut dyn Telemetry) -> StageStats {
+        let split = self.split.as_ref().expect("split stage ran");
+        self.graph = Some(build_graph(&self.m, split, self.config.connectivity));
+        let ledger = self.m.ledger_snapshot();
+        self.m.reset_ledger();
+        let seconds = ledger.seconds();
+        self.graph_ledger = Some(ledger);
+        StageStats::simulated(seconds)
+    }
+}
+
+impl<P: Intensity> MergeStage for DataParBackend<'_, P> {
+    fn merge(&mut self, cx: &mut MergeCx<'_>) -> StageStats {
+        let graph = self.graph.as_ref().expect("graph stage ran");
+        let merged = merge_dp(&self.m, graph, self.config);
+        if cx.enabled() {
+            for rec in derive_merge_iterations(
+                &merged.summary.merges_per_iteration,
+                self.config.tie_break,
+                self.config.max_stall,
+            ) {
+                cx.iteration(rec.iteration, |_tel| rec);
             }
-            None => 0.0,
         }
-    };
+        self.merged = Some(merged);
+        let ledger = self.m.ledger_snapshot();
+        let seconds = ledger.seconds();
+        self.merge_ledger = Some(ledger);
+        StageStats::simulated(seconds)
+    }
+}
 
-    // The whole program runs inside the `run` span; the guard closes it
-    // even on unwind. The simulated engine derives its per-iteration
-    // records after the fact, so the `iter:<n>` spans it emits are
-    // zero-duration markers — still balanced and strictly nested inside
-    // `stage:merge`, as journal validation requires.
-    let (
-        split,
-        split_ledger,
-        split_seconds,
-        graph,
-        graph_ledger,
-        graph_seconds,
-        merged,
-        merge_ledger,
-        merge_seconds,
-        labels,
-        num_regions,
-    ) = {
-        let mut run_span = SpanGuard::enter(&mut *tel, SpanKind::Run);
-        let tel = run_span.tel();
-
-        // Step 1: split.
-        let split = {
-            let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Split));
-            split_dp(&m, img, config)
-        };
-        let split_ledger = m.ledger_snapshot();
-        let split_seconds = split_ledger.seconds();
-        m.reset_ledger();
-        if enabled {
-            tel.stage(StageSpan {
-                stage: Stage::Split,
-                wall_seconds: lap(),
-                sim_seconds: Some(split_seconds),
-            });
-        }
-
-        // Step 2: vertices and edges.
-        let graph = {
-            let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Graph));
-            build_graph(&m, &split, config.connectivity)
-        };
-        let graph_ledger = m.ledger_snapshot();
-        let graph_seconds = graph_ledger.seconds();
-        m.reset_ledger();
-        if enabled {
-            tel.stage(StageSpan {
-                stage: Stage::Graph,
-                wall_seconds: lap(),
-                sim_seconds: Some(graph_seconds),
-            });
-            tel.split_done(split.iterations, graph.num_vertices as usize);
-        }
-
-        // Steps 3–5: merge loop.
-        let merged = {
-            let mut merge_span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Merge));
-            let tel = merge_span.tel();
-            let merged = merge_dp(&m, &graph, config);
-            if enabled {
-                let mut merges_hist = Histogram::new();
-                for rec in derive_merge_iterations(
-                    &merged.summary.merges_per_iteration,
-                    config.tie_break,
-                    config.max_stall,
-                ) {
-                    merges_hist.record(u64::from(rec.merges));
-                    let mut iter_span =
-                        SpanGuard::enter(&mut *tel, SpanKind::MergeIteration(rec.iteration));
-                    iter_span.tel().merge_iteration(rec);
-                }
-                tel.histogram("merge.merges_per_iteration", &merges_hist);
-            }
-            merged
-        };
-        let merge_ledger = m.ledger_snapshot();
-        let merge_seconds = merge_ledger.seconds();
-        if enabled {
-            tel.stage(StageSpan {
-                stage: Stage::Merge,
-                wall_seconds: lap(),
-                sim_seconds: Some(merge_seconds),
-            });
-            tel.merge_done(merged.summary.num_regions);
-        }
-
+impl<P: Intensity> LabelStage for DataParBackend<'_, P> {
+    fn label(&mut self, _tel: &mut dyn Telemetry, out: &mut Segmentation) -> (StageStats, usize) {
         // Host-side label compaction (front-end work, uncharged — the CM
         // host also post-processed results).
-        let (labels, num_regions) = {
-            let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Label));
-            compact_first_appearance(merged.pixel_rep.as_slice())
-        };
-        debug_assert_eq!(num_regions, merged.summary.num_regions);
-        if enabled {
-            tel.stage(StageSpan {
-                stage: Stage::Label,
-                wall_seconds: lap(),
-                sim_seconds: None,
-            });
-            // Region-size distribution at convergence.
-            let mut sizes = vec![0u64; num_regions];
-            for &l in &labels {
-                sizes[l as usize] += 1;
-            }
-            let mut region_hist = Histogram::new();
-            for s in sizes {
-                region_hist.record(s);
-            }
-            tel.histogram("region_size_px", &region_hist);
-            // Per-primitive breakdown: the empirical counterpart of the
-            // paper's complexity analysis, one counter pair per primitive.
-            for (stage, ledger) in [
-                ("split", &split_ledger),
-                ("graph", &graph_ledger),
-                ("merge", &merge_ledger),
-            ] {
-                for prim in ALL_PRIMS {
-                    let ops = ledger.count(prim);
-                    if ops > 0 {
-                        let name = format!("{prim:?}").to_lowercase();
-                        tel.counter(&format!("{stage}.{name}.ops"), ops as f64);
-                        tel.counter(&format!("{stage}.{name}.seconds"), ledger.seconds_of(prim));
-                    }
+        let merged = self.merged.as_ref().expect("merge stage ran");
+        let (labels, num_regions) = compact_first_appearance(merged.pixel_rep.as_slice());
+        out.labels = labels;
+        (StageStats::live(), num_regions)
+    }
+}
+
+impl<P: Intensity> EngineBackend for DataParBackend<'_, P> {
+    fn engine(&self) -> String {
+        format!("datapar:{}", self.m.model().name)
+    }
+
+    fn dims(&self) -> (usize, usize) {
+        (self.img.width(), self.img.height())
+    }
+
+    fn config(&self) -> &Config {
+        self.config
+    }
+
+    fn split_info(&self) -> SplitInfo {
+        SplitInfo {
+            iterations: self.split.as_ref().expect("split stage ran").iterations,
+            // Vertex count is fixed by graph construction (slot
+            // compaction), so the driver asks after the graph stage.
+            num_squares: self.graph.as_ref().expect("graph stage ran").num_vertices as usize,
+        }
+    }
+
+    fn summary(&self) -> RunSummary<'_> {
+        let merged = self.merged.as_ref().expect("merge stage ran");
+        RunSummary {
+            split_iterations: self.split.as_ref().expect("split stage ran").iterations,
+            num_squares: self.graph.as_ref().expect("graph stage ran").num_vertices as usize,
+            merge_iterations: merged.summary.iterations,
+            merges_per_iteration: &merged.summary.merges_per_iteration,
+            num_regions: merged.summary.num_regions,
+        }
+    }
+
+    fn run_report(&mut self, tel: &mut dyn Telemetry) {
+        // Per-primitive breakdown: the empirical counterpart of the
+        // paper's complexity analysis, one counter pair per primitive.
+        for (stage, ledger) in [
+            ("split", self.split_ledger.as_ref()),
+            ("graph", self.graph_ledger.as_ref()),
+            ("merge", self.merge_ledger.as_ref()),
+        ] {
+            let ledger = ledger.expect("all stages ran");
+            for prim in ALL_PRIMS {
+                let ops = ledger.count(prim);
+                if ops > 0 {
+                    let name = format!("{prim:?}").to_lowercase();
+                    tel.counter(&format!("{stage}.{name}.ops"), ops as f64);
+                    tel.counter(&format!("{stage}.{name}.seconds"), ledger.seconds_of(prim));
                 }
             }
         }
-        (
-            split,
-            split_ledger,
-            split_seconds,
-            graph,
-            graph_ledger,
-            graph_seconds,
-            merged,
-            merge_ledger,
-            merge_seconds,
-            labels,
-            num_regions,
-        )
-    };
-    if enabled {
-        tel.run_end();
-    }
-
-    DataParOutcome {
-        split_ledger,
-        graph_ledger,
-        merge_ledger,
-        seg: Segmentation {
-            labels,
-            num_regions,
-            num_squares: graph.num_vertices as usize,
-            split_iterations: split.iterations,
-            merge_iterations: merged.summary.iterations,
-            merges_per_iteration: merged.summary.merges_per_iteration,
-            width: img.width(),
-            height: img.height(),
-        },
-        split_seconds,
-        graph_seconds,
-        merge_seconds,
-        platform: m.model().name,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rg_core::telemetry::Stage;
     use rg_core::{segment, Criterion, TieBreak};
     use rg_imaging::synth;
 

@@ -34,5 +34,5 @@ pub mod merge_dp;
 pub mod pipeline_dp;
 pub mod split_dp;
 
-pub use driver::{segment_datapar, segment_datapar_with_telemetry, DataParOutcome};
+pub use driver::{segment_datapar, segment_datapar_with_telemetry, DataParBackend, DataParOutcome};
 pub use pipeline_dp::DataParPipeline;

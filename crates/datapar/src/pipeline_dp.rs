@@ -1,16 +1,18 @@
 //! [`Pipeline`] adapter for the data-parallel engine.
 //!
-//! Wraps [`segment_datapar_with_telemetry`] behind the engine-agnostic
+//! Wraps a [`DataParBackend`] behind the engine-agnostic
 //! [`rg_core::Pipeline`] interface so the batch runtime
 //! ([`rg_core::batch`]) can stream images through a simulated CM alongside
-//! the host engines. The simulated machine rebuilds its fields per image
-//! (the virtual-processor sets are part of the simulation), so unlike
-//! [`rg_core::HostPipeline`] this adapter does **not** claim zero
-//! steady-state allocation — it reuses the plan and recycles the output
-//! buffer only.
+//! the host engines — every image goes through the same
+//! [`rg_core::driver::run_driver`] loop as the one-shot entry points. The
+//! simulated machine rebuilds its fields per image (the virtual-processor
+//! sets are part of the simulation), so unlike [`rg_core::HostPipeline`]
+//! this adapter does **not** claim zero steady-state allocation — it
+//! reuses the plan and recycles the output buffer only.
 
-use crate::driver::segment_datapar_with_telemetry;
+use crate::driver::DataParBackend;
 use cm_sim::CostModel;
+use rg_core::driver::run_driver;
 use rg_core::pipeline::{ExecutionPlan, Pipeline};
 use rg_core::telemetry::Telemetry;
 use rg_core::{Config, Segmentation};
@@ -61,8 +63,8 @@ impl Pipeline for DataParPipeline {
         if stale {
             self.plan = Some(ExecutionPlan::for_shape(w, h, &self.config));
         }
-        let outcome = segment_datapar_with_telemetry(img, &self.config, self.model, tel);
-        *out = outcome.seg;
+        let mut backend = DataParBackend::new(img, &self.config, self.model);
+        run_driver(&mut backend, tel, out);
     }
 }
 

@@ -8,10 +8,14 @@ use cmmd_sim::{
     try_run_spmd, CommScheme, Fault, FaultCounters, FaultEvent, FaultKind, FaultPlan, SpmdAbort,
     TimeParams, TraceEvent, TraceKind,
 };
+use rg_core::driver::{
+    run_driver, BackendAbort, ChaosHook, EngineBackend, GraphStage, LabelStage, MergeCx,
+    MergeStage, RunSummary, SplitInfo, SplitStage, StageStats,
+};
 use rg_core::labels::compact_first_appearance;
 use rg_core::telemetry::{
-    derive_merge_iterations, CommRecord, FaultRecord, FlowKind, FlowRecord, Histogram, SpanGuard,
-    SpanKind, Stage, StageSpan, Telemetry,
+    derive_merge_iterations, CommRecord, FaultRecord, FlowKind, FlowRecord, Histogram,
+    NullTelemetry, SpanGuard, SpanKind, Telemetry,
 };
 use rg_core::{Config, Segmentation};
 use rg_imaging::{Image, Intensity};
@@ -119,29 +123,10 @@ pub fn segment_msgpass_with_telemetry<P: Intensity>(
     scheme: CommScheme,
     tel: &mut dyn Telemetry,
 ) -> MsgPassOutcome {
-    let enabled = tel.enabled();
-    let wall = enabled.then(Instant::now);
-    // A live sink turns the CMMD trace layer on, so the journal carries
-    // the causal flow events analysis needs; untraced runs skip the
-    // capture entirely (the zero-cost telemetry contract).
-    let out = try_segment_msgpass_impl(
-        img,
-        config,
-        nodes,
-        scheme,
-        TimeParams::cm5_mp(),
-        None,
-        enabled,
-    )
-    .unwrap_or_else(|abort| panic!("fault-free msgpass run aborted: {abort}"));
-    if enabled {
-        // Host wall time is not meaningful per simulated stage here (all
-        // nodes run concurrently on OS threads), so the whole run's wall
-        // time is attributed proportionally to the simulated stage times.
-        let wall_total = wall.map(|t| t.elapsed().as_secs_f64()).unwrap_or(0.0);
-        emit_telemetry(&out, img.width(), img.height(), config, tel, wall_total);
-    }
-    out
+    let mut backend = MsgPassBackend::new(img, config, nodes, scheme);
+    let mut out = Segmentation::default();
+    run_driver(&mut backend, tel, &mut out);
+    backend.into_outcome(out)
 }
 
 /// [`segment_msgpass_chaos`] reporting into the given [`Telemetry`] sink.
@@ -150,7 +135,8 @@ pub fn segment_msgpass_with_telemetry<P: Intensity>(
 /// runs with the same `--chaos` seed produce byte-identical journals (the
 /// simulated times, fault events and counters are all deterministic; host
 /// wall time is not). Pair with a logical-clock journal sink
-/// ([`rg_core::jsonl_sink_for_path_logical`]) for full byte stability.
+/// ([`rg_core::jsonl_sink`] under [`rg_core::ClockMode::Logical`]) for full
+/// byte stability.
 pub fn segment_msgpass_chaos_with_telemetry<P: Intensity>(
     img: &Image<P>,
     config: &Config,
@@ -159,70 +145,113 @@ pub fn segment_msgpass_chaos_with_telemetry<P: Intensity>(
     plan: &FaultPlan,
     tel: &mut dyn Telemetry,
 ) -> MsgPassOutcome {
-    let out = segment_msgpass_chaos_impl(img, config, nodes, scheme, plan, tel.enabled());
-    if tel.enabled() {
-        emit_telemetry(&out, img.width(), img.height(), config, tel, 0.0);
-    }
-    out
+    let mut backend = MsgPassBackend::new(img, config, nodes, scheme).with_chaos(plan);
+    let mut out = Segmentation::default();
+    run_driver(&mut backend, tel, &mut out);
+    backend.into_outcome(out)
 }
 
-/// Shared telemetry emission for fault-free and chaos runs: replays the
-/// outcome's history as a balanced span tree plus counters, histograms,
-/// and (when present) fault events.
-fn emit_telemetry(
-    out: &MsgPassOutcome,
-    width: usize,
-    height: usize,
-    config: &Config,
-    tel: &mut dyn Telemetry,
+/// The message-passing engine as a stage-driver backend — the replay
+/// shape: [`EngineBackend::prepare`] runs the whole SPMD node program on
+/// the simulated cluster (with the CMMD trace layer on iff the sink is
+/// live), and the stage methods then re-emit the recorded history as a
+/// balanced span tree (run ▸ stage ▸ iter ▸ comm_round), zero-duration
+/// markers nested exactly as journal validation requires.
+///
+/// Host wall time is not meaningful per simulated stage (all nodes run
+/// concurrently on OS threads), so the whole run's wall time is attributed
+/// proportionally to the simulated stage times through
+/// [`StageStats::replayed`]. Under a fault plan ([`MsgPassBackend::with_chaos`])
+/// an unsurvivable schedule aborts `prepare`, and the [`ChaosHook`]
+/// degrades to a sequential host re-run under the same square cap.
+pub struct MsgPassBackend<'a, P: Intensity> {
+    img: &'a Image<P>,
+    config: &'a Config,
+    nodes: usize,
+    scheme: CommScheme,
+    params: TimeParams,
+    plan: Option<&'a FaultPlan>,
+    outcome: Option<MsgPassOutcome>,
+    abort: Option<SpmdAbort>,
     wall_total: f64,
-) {
-    {
+}
+
+impl<'a, P: Intensity> MsgPassBackend<'a, P> {
+    /// A backend over `img` on `nodes` simulated CM-5 nodes with the given
+    /// communication scheme and the default CM-5 time parameters.
+    pub fn new(img: &'a Image<P>, config: &'a Config, nodes: usize, scheme: CommScheme) -> Self {
+        Self {
+            img,
+            config,
+            nodes,
+            scheme,
+            params: TimeParams::cm5_mp(),
+            plan: None,
+            outcome: None,
+            abort: None,
+            wall_total: 0.0,
+        }
+    }
+
+    /// Overrides the simulated machine's time parameters.
+    pub fn with_params(mut self, params: TimeParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Arms the backend with a seeded deterministic fault-injection plan;
+    /// unsurvivable schedules degrade to a host re-run instead of
+    /// panicking (see [`ChaosHook`]).
+    pub fn with_chaos(mut self, plan: &'a FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Consumes the backend into the full [`MsgPassOutcome`], attaching
+    /// the driver-assembled segmentation.
+    pub fn into_outcome(self, seg: Segmentation) -> MsgPassOutcome {
+        let mut out = self.outcome.expect("prepare ran");
+        out.seg = seg;
+        out
+    }
+
+    fn out(&self) -> &MsgPassOutcome {
+        self.outcome.as_ref().expect("prepare ran")
+    }
+
+    /// Proportional wall attribution for a replayed stage with `sim`
+    /// simulated seconds.
+    fn replayed_stage(&self, sim: f64) -> StageStats {
+        let out = self.out();
         let sim_total =
             (out.split_seconds + out.graph_seconds + out.merge_seconds).max(f64::MIN_POSITIVE);
-        tel.run_start(
-            &format!("msgpass:{}:{}", out.scheme.label(), out.nodes),
-            width,
-            height,
-            config,
-        );
-        {
-            // The simulated engine replays its history post-hoc, so every
-            // span below is a zero-duration marker — still balanced and
-            // strictly nested (run ▸ stage ▸ iter ▸ comm_round), as
-            // journal validation requires.
-            let mut run_span = SpanGuard::enter(&mut *tel, SpanKind::Run);
-            let tel = run_span.tel();
+        StageStats::replayed(self.wall_total * (sim / sim_total), Some(sim))
+    }
+}
 
-            for (stage, sim) in [
-                (Stage::Split, out.split_seconds),
-                (Stage::Graph, out.graph_seconds),
-            ] {
-                {
-                    let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(stage));
-                }
-                tel.stage(StageSpan {
-                    stage,
-                    wall_seconds: wall_total * (sim / sim_total),
-                    sim_seconds: Some(sim),
-                });
-            }
-            tel.split_done(out.seg.split_iterations, out.seg.num_squares);
+impl<P: Intensity> SplitStage for MsgPassBackend<'_, P> {
+    fn split(&mut self, _tel: &mut dyn Telemetry) -> StageStats {
+        self.replayed_stage(self.out().split_seconds)
+    }
+}
 
-            {
-                let mut merge_span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Merge));
-                let tel = merge_span.tel();
-                let mut merges_hist = Histogram::new();
-                let (mut cum_rounds, mut cum_msgs, mut cum_bytes) = (0u64, 0u64, 0u64);
-                for rec in derive_merge_iterations(
-                    &out.seg.merges_per_iteration,
-                    config.tie_break,
-                    config.max_stall,
-                ) {
-                    merges_hist.record(u64::from(rec.merges));
-                    let mut iter_span =
-                        SpanGuard::enter(&mut *tel, SpanKind::MergeIteration(rec.iteration));
-                    let tel = iter_span.tel();
+impl<P: Intensity> GraphStage for MsgPassBackend<'_, P> {
+    fn graph(&mut self, _tel: &mut dyn Telemetry) -> StageStats {
+        self.replayed_stage(self.out().graph_seconds)
+    }
+}
+
+impl<P: Intensity> MergeStage for MsgPassBackend<'_, P> {
+    fn merge(&mut self, cx: &mut MergeCx<'_>) -> StageStats {
+        let out = self.outcome.as_ref().expect("prepare ran");
+        if cx.enabled() {
+            let (mut cum_rounds, mut cum_msgs, mut cum_bytes) = (0u64, 0u64, 0u64);
+            for rec in derive_merge_iterations(
+                &out.seg.merges_per_iteration,
+                self.config.tie_break,
+                self.config.max_stall,
+            ) {
+                cx.iteration(rec.iteration, |tel| {
                     if let Some(exchanges) =
                         out.merge_comm_per_iteration.get(rec.iteration as usize)
                     {
@@ -243,89 +272,197 @@ fn emit_telemetry(
                         tel.counter("comm.messages", cum_msgs as f64);
                         tel.counter("comm.bytes", cum_bytes as f64);
                     }
-                    tel.merge_iteration(rec);
-                }
-                tel.histogram("merge.merges_per_iteration", &merges_hist);
-                tel.histogram("comm.msg_bytes", &out.merge_msg_bytes);
-            }
-            tel.stage(StageSpan {
-                stage: Stage::Merge,
-                wall_seconds: wall_total * (out.merge_seconds / sim_total),
-                sim_seconds: Some(out.merge_seconds),
-            });
-            tel.merge_done(out.seg.num_regions);
-
-            // Host-side label compaction happens inside the SPMD run's
-            // harness; its wall time is folded into the proportional
-            // attribution above, so the Label span itself carries none.
-            {
-                let _span = SpanGuard::enter(&mut *tel, SpanKind::Stage(Stage::Label));
-            }
-            tel.stage(StageSpan {
-                stage: Stage::Label,
-                wall_seconds: 0.0,
-                sim_seconds: None,
-            });
-            // Region-size distribution at convergence.
-            let mut sizes = vec![0u64; out.seg.num_regions];
-            for &l in &out.seg.labels {
-                sizes[l as usize] += 1;
-            }
-            let mut region_hist = Histogram::new();
-            for s in sizes {
-                region_hist.record(s);
-            }
-            tel.histogram("region_size_px", &region_hist);
-
-            tel.comm(CommRecord {
-                scheme: out.scheme.label().to_string(),
-                nodes: out.nodes,
-                rounds: out.total_comm_rounds,
-                messages: out.total_messages,
-                bytes: out.total_bytes,
-            });
-            tel.counter("cap_used_log2", out.cap_used as f64);
-
-            // Fault / chaos telemetry: each injected fault and recovery
-            // event becomes an instant record; counters summarise the
-            // schedule. Fault-free runs emit none of this, keeping their
-            // journals unchanged.
-            if !out.fault_events.is_empty() {
-                for ev in &out.fault_events {
-                    tel.fault(FaultRecord {
-                        kind: ev.kind.label().to_string(),
-                        src: ev.src,
-                        dst: ev.dst,
-                        seq: ev.seq,
-                        ts_ns: ev.ts_ns,
-                    });
-                }
-                tel.counter("faults.total", out.fault_counters.total_faults() as f64);
-                tel.counter("faults.retries", out.fault_counters.retries as f64);
-            }
-
-            // Causal flow events, interleaved so every receive follows its
-            // matching send (what the strict journal validator and the
-            // cross-rank analyzer expect). Untraced runs carry none and
-            // their journals are unchanged.
-            for f in causal_order(&out.flows) {
-                tel.flow(FlowRecord {
-                    kind: match f.kind {
-                        TraceKind::Send => FlowKind::Send,
-                        TraceKind::Recv => FlowKind::Recv,
-                        TraceKind::Collective => FlowKind::Collective,
-                    },
-                    stream: f.stream.to_string(),
-                    src: f.src,
-                    dst: f.dst,
-                    seq: f.seq,
-                    bytes: f.bytes,
-                    t_ns: f.t_ns,
-                    wait_ns: f.wait_ns,
+                    rec
                 });
             }
         }
-        tel.run_end();
+        self.replayed_stage(self.out().merge_seconds)
+    }
+
+    fn merge_report(&mut self, tel: &mut dyn Telemetry) {
+        tel.histogram("comm.msg_bytes", &self.out().merge_msg_bytes);
+    }
+}
+
+impl<P: Intensity> LabelStage for MsgPassBackend<'_, P> {
+    fn label(&mut self, _tel: &mut dyn Telemetry, out: &mut Segmentation) -> (StageStats, usize) {
+        // Host-side label compaction happened inside the SPMD run's
+        // harness; its wall time is folded into the proportional
+        // attribution of the other stages, so the Label span carries none.
+        let seg = &mut self.outcome.as_mut().expect("prepare ran").seg;
+        std::mem::swap(&mut out.labels, &mut seg.labels);
+        (StageStats::replayed(0.0, None), seg.num_regions)
+    }
+}
+
+impl<P: Intensity> EngineBackend for MsgPassBackend<'_, P> {
+    fn engine(&self) -> String {
+        let out = self.out();
+        format!("msgpass:{}:{}", out.scheme.label(), out.nodes)
+    }
+
+    fn dims(&self) -> (usize, usize) {
+        (self.img.width(), self.img.height())
+    }
+
+    fn config(&self) -> &Config {
+        self.config
+    }
+
+    fn prepare(&mut self, telemetry_enabled: bool) -> Result<(), BackendAbort> {
+        // A live sink turns the CMMD trace layer on, so the journal
+        // carries the causal flow events analysis needs; untraced runs
+        // skip the capture entirely (the zero-cost telemetry contract).
+        // Chaos runs never measure wall time: their journals must be
+        // byte-identical for a given seed.
+        let wall = (telemetry_enabled && self.plan.is_none()).then(Instant::now);
+        match try_segment_msgpass_impl(
+            self.img,
+            self.config,
+            self.nodes,
+            self.scheme,
+            self.params,
+            self.plan.cloned(),
+            telemetry_enabled,
+        ) {
+            Ok(out) => {
+                self.wall_total = wall.map(|t| t.elapsed().as_secs_f64()).unwrap_or(0.0);
+                self.outcome = Some(out);
+                Ok(())
+            }
+            Err(abort) => {
+                let message = format!("fault-free msgpass run aborted: {abort}");
+                self.abort = Some(abort);
+                Err(BackendAbort::new(message))
+            }
+        }
+    }
+
+    fn chaos_hook(&mut self) -> Option<&mut dyn ChaosHook> {
+        if self.plan.is_some() {
+            Some(self)
+        } else {
+            None
+        }
+    }
+
+    fn split_info(&self) -> SplitInfo {
+        let seg = &self.out().seg;
+        SplitInfo {
+            iterations: seg.split_iterations,
+            num_squares: seg.num_squares,
+        }
+    }
+
+    fn summary(&self) -> RunSummary<'_> {
+        let seg = &self.out().seg;
+        RunSummary {
+            split_iterations: seg.split_iterations,
+            num_squares: seg.num_squares,
+            merge_iterations: seg.merge_iterations,
+            merges_per_iteration: &seg.merges_per_iteration,
+            num_regions: seg.num_regions,
+        }
+    }
+
+    fn run_report(&mut self, tel: &mut dyn Telemetry) {
+        let out = self.out();
+        tel.comm(CommRecord {
+            scheme: out.scheme.label().to_string(),
+            nodes: out.nodes,
+            rounds: out.total_comm_rounds,
+            messages: out.total_messages,
+            bytes: out.total_bytes,
+        });
+        tel.counter("cap_used_log2", out.cap_used as f64);
+
+        // Fault / chaos telemetry: each injected fault and recovery
+        // event becomes an instant record; counters summarise the
+        // schedule. Fault-free runs emit none of this, keeping their
+        // journals unchanged.
+        if !out.fault_events.is_empty() {
+            for ev in &out.fault_events {
+                tel.fault(FaultRecord {
+                    kind: ev.kind.label().to_string(),
+                    src: ev.src,
+                    dst: ev.dst,
+                    seq: ev.seq,
+                    ts_ns: ev.ts_ns,
+                });
+            }
+            tel.counter("faults.total", out.fault_counters.total_faults() as f64);
+            tel.counter("faults.retries", out.fault_counters.retries as f64);
+        }
+
+        // Causal flow events, interleaved so every receive follows its
+        // matching send (what the strict journal validator and the
+        // cross-rank analyzer expect). Untraced runs carry none and
+        // their journals are unchanged.
+        for f in causal_order(&out.flows) {
+            tel.flow(FlowRecord {
+                kind: match f.kind {
+                    TraceKind::Send => FlowKind::Send,
+                    TraceKind::Recv => FlowKind::Recv,
+                    TraceKind::Collective => FlowKind::Collective,
+                },
+                stream: f.stream.to_string(),
+                src: f.src,
+                dst: f.dst,
+                seq: f.seq,
+                bytes: f.bytes,
+                t_ns: f.t_ns,
+                wait_ns: f.wait_ns,
+            });
+        }
+    }
+}
+
+impl<P: Intensity> ChaosHook for MsgPassBackend<'_, P> {
+    /// Graceful degradation: the cluster aborted under injected faults, so
+    /// the segmentation is recomputed by the sequential host engine under
+    /// the same square cap, flagged via [`MsgPassOutcome::degraded`] and a
+    /// `degraded` fault event. Simulated times and communication totals
+    /// are zeroed.
+    fn degrade(&mut self, _abort: BackendAbort) {
+        let abort = self.abort.take().expect("prepare stashed the abort");
+        let decomp = Decomposition::for_nodes(self.nodes, self.img.width(), self.img.height());
+        let safe_cap = decomp.max_safe_square_log2();
+        let cap_used = self
+            .config
+            .max_square_log2
+            .map(|c| c.min(safe_cap))
+            .unwrap_or(safe_cap);
+        let host_cfg = Config {
+            max_square_log2: Some(cap_used),
+            ..*self.config
+        };
+        let seg = rg_core::segment(self.img, &host_cfg);
+        let mut fault_events = abort.fault_events;
+        fault_events.push(FaultEvent {
+            kind: FaultKind::Degraded,
+            src: 0,
+            dst: 0,
+            seq: 0,
+            ts_ns: 0.0,
+        });
+        self.outcome = Some(MsgPassOutcome {
+            seg,
+            split_seconds: 0.0,
+            graph_seconds: 0.0,
+            merge_seconds: 0.0,
+            scheme: self.scheme,
+            nodes: decomp.nodes(),
+            cap_used,
+            total_messages: 0,
+            total_bytes: 0,
+            total_comm_rounds: 0,
+            merge_comm_per_iteration: Vec::new(),
+            merge_msg_bytes: Histogram::new(),
+            degraded: true,
+            fault_events,
+            fault_counters: abort.fault_counters,
+            flows: Vec::new(),
+        });
     }
 }
 
@@ -395,8 +532,10 @@ pub fn segment_msgpass_with<P: Intensity>(
     scheme: CommScheme,
     params: TimeParams,
 ) -> MsgPassOutcome {
-    try_segment_msgpass_impl(img, config, nodes, scheme, params, None, false)
-        .unwrap_or_else(|abort| panic!("fault-free msgpass run aborted: {abort}"))
+    let mut backend = MsgPassBackend::new(img, config, nodes, scheme).with_params(params);
+    let mut out = Segmentation::default();
+    run_driver(&mut backend, &mut NullTelemetry, &mut out);
+    backend.into_outcome(out)
 }
 
 /// [`segment_msgpass`] under a seeded deterministic fault-injection plan.
@@ -415,67 +554,7 @@ pub fn segment_msgpass_chaos<P: Intensity>(
     scheme: CommScheme,
     plan: &FaultPlan,
 ) -> MsgPassOutcome {
-    segment_msgpass_chaos_impl(img, config, nodes, scheme, plan, false)
-}
-
-fn segment_msgpass_chaos_impl<P: Intensity>(
-    img: &Image<P>,
-    config: &Config,
-    nodes: usize,
-    scheme: CommScheme,
-    plan: &FaultPlan,
-    trace: bool,
-) -> MsgPassOutcome {
-    match try_segment_msgpass_impl(
-        img,
-        config,
-        nodes,
-        scheme,
-        TimeParams::cm5_mp(),
-        Some(plan.clone()),
-        trace,
-    ) {
-        Ok(out) => out,
-        Err(abort) => {
-            let decomp = Decomposition::for_nodes(nodes, img.width(), img.height());
-            let safe_cap = decomp.max_safe_square_log2();
-            let cap_used = config
-                .max_square_log2
-                .map(|c| c.min(safe_cap))
-                .unwrap_or(safe_cap);
-            let host_cfg = Config {
-                max_square_log2: Some(cap_used),
-                ..*config
-            };
-            let seg = rg_core::segment(img, &host_cfg);
-            let mut fault_events = abort.fault_events;
-            fault_events.push(FaultEvent {
-                kind: FaultKind::Degraded,
-                src: 0,
-                dst: 0,
-                seq: 0,
-                ts_ns: 0.0,
-            });
-            MsgPassOutcome {
-                seg,
-                split_seconds: 0.0,
-                graph_seconds: 0.0,
-                merge_seconds: 0.0,
-                scheme,
-                nodes: decomp.nodes(),
-                cap_used,
-                total_messages: 0,
-                total_bytes: 0,
-                total_comm_rounds: 0,
-                merge_comm_per_iteration: Vec::new(),
-                merge_msg_bytes: Histogram::new(),
-                degraded: true,
-                fault_events,
-                fault_counters: abort.fault_counters,
-                flows: Vec::new(),
-            }
-        }
-    }
+    segment_msgpass_chaos_with_telemetry(img, config, nodes, scheme, plan, &mut NullTelemetry)
 }
 
 /// The SPMD node program, fallible end to end: any [`Fault`] a node hits
@@ -778,7 +857,7 @@ mod tests {
 
     #[test]
     fn telemetry_carries_comm_counters() {
-        use rg_core::telemetry::Recorder;
+        use rg_core::telemetry::{Recorder, Stage};
         let img = synth::rect_collection(64);
         let cfg = Config::with_threshold(10);
         let mut rec = Recorder::new();

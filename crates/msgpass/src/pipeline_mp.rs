@@ -1,20 +1,22 @@
 //! [`Pipeline`] adapter for the message-passing engine.
 //!
-//! Wraps [`segment_msgpass_with_telemetry`] behind the engine-agnostic
+//! Wraps a [`MsgPassBackend`] behind the engine-agnostic
 //! [`rg_core::Pipeline`] interface so the batch runtime
 //! ([`rg_core::batch`]) can stream images through the simulated CM-5 node
-//! program alongside the host engines. Each image still spins up its own
-//! simulated nodes (they are part of the simulation), so unlike
-//! [`rg_core::HostPipeline`] this adapter does **not** claim zero
-//! steady-state allocation — it reuses the plan and recycles the output
-//! buffer only.
+//! program alongside the host engines — every image goes through the same
+//! [`rg_core::driver::run_driver`] loop as the one-shot entry points. Each
+//! image still spins up its own simulated nodes (they are part of the
+//! simulation), so unlike [`rg_core::HostPipeline`] this adapter does
+//! **not** claim zero steady-state allocation — it reuses the plan and
+//! recycles the output buffer only.
 //!
 //! Note the engine's structural square cap: splits are limited to squares
 //! that fit a node's tile, so cross-engine comparisons must apply the same
 //! `max_square_log2` to the other engines (see [`crate::Decomposition`]).
 
-use crate::driver::{segment_msgpass_chaos_with_telemetry, segment_msgpass_with_telemetry};
+use crate::driver::MsgPassBackend;
 use cmmd_sim::{CommScheme, FaultPlan};
+use rg_core::driver::run_driver;
 use rg_core::pipeline::{ExecutionPlan, Pipeline};
 use rg_core::telemetry::Telemetry;
 use rg_core::{Config, Segmentation};
@@ -47,10 +49,9 @@ impl MsgPassPipeline {
     }
 
     /// Creates a pipeline that runs every image under the given seeded
-    /// fault-injection plan (see
-    /// [`segment_msgpass_chaos_with_telemetry`]). Each image replays the
-    /// same deterministic schedule, so a chaos batch is reproducible
-    /// end to end.
+    /// fault-injection plan (see [`MsgPassBackend::with_chaos`]). Each
+    /// image replays the same deterministic schedule, so a chaos batch is
+    /// reproducible end to end.
     pub fn with_chaos(config: Config, nodes: usize, scheme: CommScheme, plan: FaultPlan) -> Self {
         let mut pipe = Self::new(config, nodes, scheme);
         pipe.chaos = Some(plan);
@@ -81,18 +82,11 @@ impl Pipeline for MsgPassPipeline {
         if stale {
             self.plan = Some(ExecutionPlan::for_shape(w, h, &self.config));
         }
-        let outcome = match &self.chaos {
-            Some(plan) => segment_msgpass_chaos_with_telemetry(
-                img,
-                &self.config,
-                self.nodes,
-                self.scheme,
-                plan,
-                tel,
-            ),
-            None => segment_msgpass_with_telemetry(img, &self.config, self.nodes, self.scheme, tel),
-        };
-        *out = outcome.seg;
+        let mut backend = MsgPassBackend::new(img, &self.config, self.nodes, self.scheme);
+        if let Some(plan) = &self.chaos {
+            backend = backend.with_chaos(plan);
+        }
+        run_driver(&mut backend, tel, out);
     }
 }
 

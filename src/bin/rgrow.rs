@@ -187,9 +187,11 @@ fn parse_args() -> Options {
             "--demo" => o.demo = Some(need_value(&mut args, &a)),
             "--batch" => o.batch = Some(need_value(&mut args, &a)),
             "--jobs" | "-j" => {
-                o.jobs = need_value(&mut args, &a)
-                    .parse()
-                    .unwrap_or_else(|_| usage())
+                let v = need_value(&mut args, &a);
+                o.jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --jobs value {v:?}: expected a worker count (e.g. --jobs 4)");
+                    usage()
+                })
             }
             "--telemetry" => o.telemetry = Some(need_value(&mut args, &a)),
             "--trace-out" => o.trace_out = Some(need_value(&mut args, &a)),

@@ -1,0 +1,121 @@
+//! Argument-parsing contract of the `rgrow` binary: bad values for the
+//! enumerated flags exit with code 2 and name the valid choices, so a
+//! mistyped engine or tie policy never silently falls back to a default.
+//!
+//! These tests spawn the real binary (no argv mocking) — the same code
+//! path a user's shell hits.
+
+use std::process::{Command, Output};
+
+fn rgrow(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rgrow"))
+        .args(args)
+        .output()
+        .expect("spawn rgrow")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn bad_engine_exits_2_and_lists_choices() {
+    let out = rgrow(&["--demo", "nested", "--engine", "gpu"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown engine \"gpu\""), "{err}");
+    assert!(
+        err.contains("valid choices are: seq, par, cm2-8k, cm2-16k, cm5-dp, mp-lp, mp-async"),
+        "{err}"
+    );
+}
+
+#[test]
+fn bad_tie_exits_2_and_lists_choices() {
+    let out = rgrow(&["--demo", "nested", "--tie", "biggest"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(
+        err.contains("unknown tie-break policy \"biggest\""),
+        "{err}"
+    );
+    assert!(
+        err.contains("valid choices are: random, smallest, largest"),
+        "{err}"
+    );
+}
+
+#[test]
+fn bad_chaos_profile_exits_2_and_lists_choices() {
+    let out = rgrow(&[
+        "--demo",
+        "nested",
+        "--engine",
+        "mp-lp",
+        "--chaos",
+        "7:tsunami",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("bad --chaos spec \"7:tsunami\""), "{err}");
+    assert!(err.contains("unknown chaos profile \"tsunami\""), "{err}");
+    assert!(err.contains("valid choices are:"), "{err}");
+}
+
+#[test]
+fn bad_chaos_seed_exits_2() {
+    let out = rgrow(&[
+        "--demo",
+        "nested",
+        "--engine",
+        "mp-lp",
+        "--chaos",
+        "banana:storm",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("bad chaos seed \"banana\""), "{err}");
+}
+
+#[test]
+fn chaos_without_mp_engine_exits_2() {
+    let out = rgrow(&["--demo", "nested", "--engine", "par", "--chaos", "7:storm"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("needs an mp-* engine"), "{err}");
+    assert!(err.contains("\"par\""), "{err}");
+}
+
+#[test]
+fn bad_jobs_exits_2_and_names_the_flag() {
+    let out = rgrow(&["--demo", "nested", "--jobs", "many"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("bad --jobs value \"many\""), "{err}");
+    assert!(err.contains("worker count"), "{err}");
+}
+
+#[test]
+fn missing_flag_value_exits_2_and_names_the_flag() {
+    let out = rgrow(&["--demo", "nested", "--engine"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("missing value for --engine"));
+}
+
+#[test]
+fn unknown_flag_exits_2_with_usage() {
+    let out = rgrow(&["--demo", "nested", "--warp-drive"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown flag --warp-drive"), "{err}");
+    assert!(err.contains("usage: rgrow"), "{err}");
+}
+
+#[test]
+fn good_args_still_run() {
+    // Sanity: the guard rails above must not reject valid invocations.
+    let out = rgrow(&[
+        "--demo", "nested", "--engine", "seq", "--tie", "smallest", "--quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+}
