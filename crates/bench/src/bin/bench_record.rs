@@ -22,6 +22,12 @@
 //! bench_record split                                  # 512x512, write BENCH_split.json
 //! bench_record split --quick --check                  # 256x256 CI smoke + guards
 //!
+//! # tiled suite: the sharded runtime (rgrow --tiles 4x4) on one worker
+//! # and on the pool vs a fresh whole-image run, recorded to
+//! # BENCH_tiled.json. --check enforces identity guards + speedup floor.
+//! bench_record tiles                                  # 2048x2048, write BENCH_tiled.json
+//! bench_record tiles --quick --check                  # 512x512 smoke + guards
+//!
 //! # perf-regression diff (see rg_bench::diff). Exit 1 on regression.
 //! bench_record diff old.json new.json                 # two recorded files
 //! bench_record diff --baseline BENCH_merge.json       # fresh run vs baseline
@@ -550,7 +556,7 @@ fn split_row_json(r: &SplitRow) -> Json {
 /// Runs the split-stage scene × criterion suite at image size `n`: the
 /// packed engine on its production path (warm reused scratch, sequential)
 /// against the retained scalar reference, best-of-k wall per row plus the
-/// machine-independent counters. Returns the `bench-merge-v1` document and
+/// machine-independent counters. Returns the `bench-split-v1` document and
 /// any guard failures (bit-identity of outputs, packed counters never
 /// exceeding the reference's).
 fn build_split_doc(n: usize) -> (Json, Vec<String>) {
@@ -684,7 +690,7 @@ fn build_split_doc(n: usize) -> (Json, Vec<String>) {
     }
 
     let doc = Json::obj(vec![
-        ("schema", Json::Str("bench-merge-v1".to_string())),
+        ("schema", Json::Str("bench-split-v1".to_string())),
         ("generator", Json::Str("bench_record split".to_string())),
         ("image_size", Json::Num(n as f64)),
         ("rows", Json::Arr(rows.iter().map(split_row_json).collect())),
@@ -747,6 +753,277 @@ fn split_main(args: &[String]) {
     if check {
         eprintln!(
             "split guard OK: packed output bit-identical and counters <= reference on every scene"
+        );
+    }
+}
+
+/// One timed configuration of the tiled suite.
+struct TileRow {
+    /// `"whole"` (one-shot `segment()` per image), `"tiled-j1"` (warm
+    /// `TiledRunner`, one worker), or `"tiled-j4"` (warm runner, pooled
+    /// workers).
+    backend: &'static str,
+    image: &'static str,
+    threshold: u32,
+    num_regions: usize,
+    iterations: u32,
+    seam_edges: Option<usize>,
+    /// Guarded speedup (tiled-j4 row only): best of jobs-fan-out and
+    /// tiled-over-whole on this host. A `speedup` work metric in the diff
+    /// gate — losing it past the tolerance fails CI.
+    speedup: Option<f64>,
+    wall_ms: f64,
+}
+
+fn tile_row_json(r: &TileRow) -> Json {
+    let mut fields = vec![
+        ("backend", Json::Str(r.backend.to_string())),
+        ("image", Json::Str(r.image.to_string())),
+        ("tie_break", Json::Str("smallest".to_string())),
+        ("threshold", Json::Num(f64::from(r.threshold))),
+        ("num_regions", Json::Num(r.num_regions as f64)),
+        ("iterations", Json::Num(f64::from(r.iterations))),
+        ("wall_ms", Json::Num((r.wall_ms * 1e3).round() / 1e3)),
+    ];
+    if let Some(s) = r.seam_edges {
+        fields.push(("seam_edges", Json::Num(s as f64)));
+    }
+    if let Some(s) = r.speedup {
+        fields.push(("speedup", Json::Num((s * 100.0).round() / 100.0)));
+    }
+    Json::obj(fields)
+}
+
+/// Runs the tiled-vs-whole suite at image size `n`: the warm sharded
+/// runtime (`rgrow --tiles 4x4`) on one worker and on the pool, against a
+/// fresh `segment()` per round. Returns the `bench-tiles-v1` document and
+/// any guard failures (worker-count invariance, and exact-label identity
+/// with the whole-image run on the threshold-separated scene).
+fn build_tiles_doc(n: usize) -> (Json, Vec<String>) {
+    use rg_core::{segment, NullTelemetry, Segmentation, TileGrid, TiledRunner};
+
+    let threshold = 10u32;
+    let cfg = Config::with_threshold(threshold).tie_break(TieBreak::SmallestId);
+    let grid = TileGrid::new(4, 4);
+    let jobs = std::thread::available_parallelism().map_or(1, |p| p.get().min(4));
+    let repeats = 3;
+    // `shards`: flat cells pairwise separated by far more than T — the
+    // scene family where the stitched partition provably equals the
+    // whole-image run (exact-labels guard; DESIGN.md §17). `noise`:
+    // narrow-band noise drives tens of merge iterations over a huge RAG —
+    // the whole-image run churns cache-hostile full-image merge arenas
+    // while each tile merges in cache, so sharding wins on a single core
+    // and worker fan-out stacks on top where cores exist. The guarded
+    // `speedup` metric lives on this scene's tiled-j4 row.
+    let scenes: Vec<(&'static str, GrayImage)> = vec![
+        ("shards", synth::checkerboard(n, (n / 16).max(1), 40, 200)),
+        ("noise", synth::uniform_noise(n, n, 120, 135, 9)),
+    ];
+
+    let mut rows = Vec::new();
+    let mut guard_failures = Vec::new();
+    let mut best_j4_over_j1 = 0.0f64;
+    let mut best_tiled_over_whole = 0.0f64;
+
+    for (name, img) in &scenes {
+        // Whole-image one-shot: fresh plan + arenas per call, what an
+        // un-sharded caller pays per image. Warm-up round first.
+        let mut whole_seg = segment(img, &cfg);
+        let mut whole_wall = f64::MAX;
+        for _ in 0..repeats {
+            let t0 = Instant::now();
+            whole_seg = segment(img, &cfg);
+            whole_wall = whole_wall.min(t0.elapsed().as_secs_f64());
+        }
+
+        // Warm tiled runners: per-worker pipelines + stitch scratch
+        // recycled across rounds, the steady-state sharded path.
+        let time_tiled = |jobs: usize| {
+            let mut runner = TiledRunner::new(cfg, false, grid, jobs);
+            let mut seg = Segmentation::default();
+            let mut stats = runner.run_into(img, &mut NullTelemetry, &mut seg);
+            let mut wall = f64::MAX;
+            for _ in 0..repeats {
+                let t0 = Instant::now();
+                stats = runner.run_into(img, &mut NullTelemetry, &mut seg);
+                wall = wall.min(t0.elapsed().as_secs_f64());
+            }
+            (seg, stats, wall)
+        };
+        let (seg_j1, stats_j1, wall_j1) = time_tiled(1);
+        let (seg_j4, stats_j4, wall_j4) = time_tiled(jobs);
+
+        if seg_j1.labels != seg_j4.labels {
+            guard_failures.push(format!("{name}: tiled output depends on worker count"));
+        }
+        if *name == "shards" && seg_j1.labels != whole_seg.labels {
+            guard_failures.push(
+                "shards: tiled labels differ from the whole-image run on a \
+                 threshold-separated scene"
+                    .to_string(),
+            );
+        }
+
+        let j4_over_j1 = if wall_j4 > 0.0 {
+            wall_j1 / wall_j4
+        } else {
+            1.0
+        };
+        let tiled_over_whole = if wall_j4 > 0.0 {
+            whole_wall / wall_j4
+        } else {
+            1.0
+        };
+        best_j4_over_j1 = best_j4_over_j1.max(j4_over_j1);
+        best_tiled_over_whole = best_tiled_over_whole.max(tiled_over_whole);
+        let scene_speedup = j4_over_j1.max(tiled_over_whole);
+
+        let whole = TileRow {
+            backend: "whole",
+            image: name,
+            threshold,
+            num_regions: whole_seg.num_regions,
+            iterations: whole_seg.merge_iterations,
+            seam_edges: None,
+            speedup: None,
+            wall_ms: whole_wall * 1e3,
+        };
+        let tiled_j1 = TileRow {
+            backend: "tiled-j1",
+            image: name,
+            threshold,
+            num_regions: seg_j1.num_regions,
+            iterations: seg_j1.merge_iterations,
+            seam_edges: Some(stats_j1.seam_edges),
+            speedup: None,
+            wall_ms: wall_j1 * 1e3,
+        };
+        let tiled_j4 = TileRow {
+            backend: "tiled-j4",
+            image: name,
+            threshold,
+            num_regions: seg_j4.num_regions,
+            iterations: seg_j4.merge_iterations,
+            seam_edges: Some(stats_j4.seam_edges),
+            // Gate the speedup on the designated speedup scene only: the
+            // flat `shards` scene runs near 1.0x by construction, and
+            // gating a ~1.0 baseline would fail CI on ordinary wall noise.
+            speedup: (*name == "noise").then_some(scene_speedup),
+            wall_ms: wall_j4 * 1e3,
+        };
+        for r in [&whole, &tiled_j1, &tiled_j4] {
+            eprintln!(
+                "{:9} {:8} regions={:8} iters={:3} seam_edges={:7} wall={:10.3}ms",
+                r.backend,
+                r.image,
+                r.num_regions,
+                r.iterations,
+                r.seam_edges.map_or("-".to_string(), |s| s.to_string()),
+                r.wall_ms,
+            );
+        }
+        eprintln!(
+            "{:9} {:8} speedup: jobs{jobs}/jobs1 {j4_over_j1:.2}x, tiled/whole {tiled_over_whole:.2}x",
+            "", name
+        );
+        rows.push(whole);
+        rows.push(tiled_j1);
+        rows.push(tiled_j4);
+    }
+
+    let speedup = best_j4_over_j1.max(best_tiled_over_whole);
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("bench-tiles-v1".to_string())),
+        ("generator", Json::Str("bench_record tiles".to_string())),
+        ("image_size", Json::Num(n as f64)),
+        ("grid", Json::Str(grid.to_string())),
+        ("jobs", Json::Num(jobs as f64)),
+        ("rows", Json::Arr(rows.iter().map(tile_row_json).collect())),
+        (
+            "speedup_jobs4_over_jobs1",
+            Json::Num((best_j4_over_j1 * 100.0).round() / 100.0),
+        ),
+        (
+            "speedup_tiled_over_whole",
+            Json::Num((best_tiled_over_whole * 100.0).round() / 100.0),
+        ),
+        ("speedup", Json::Num((speedup * 100.0).round() / 100.0)),
+    ]);
+    (doc, guard_failures)
+}
+
+/// `bench_record tiles [--quick] [--check] [--min-speedup F] [--out PATH]
+/// [--size N]` — record the tiled-vs-whole document (`BENCH_tiled.json`).
+/// `--check` fails on any identity guard or a best-speedup below the
+/// floor (1.4x by default).
+fn tiles_main(args: &[String]) {
+    let mut quick = false;
+    let mut check = false;
+    let mut min_speedup = 1.4f64;
+    let mut out = "BENCH_tiled.json".to_string();
+    let mut size: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = p.clone(),
+                    None => {
+                        eprintln!("--out requires a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--min-speedup" => {
+                i += 1;
+                min_speedup = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--min-speedup requires a number (e.g. 1.4)");
+                    std::process::exit(2);
+                });
+            }
+            "--size" => {
+                i += 1;
+                size = Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--size requires a pixel count");
+                    std::process::exit(2);
+                }));
+            }
+            bad => {
+                eprintln!(
+                    "unknown flag {bad:?}; usage: bench_record tiles [--quick] [--check] \
+                     [--min-speedup F] [--out PATH] [--size N]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let n = size.unwrap_or(if quick { 512 } else { 2048 });
+    let (doc, guard_failures) = build_tiles_doc(n);
+    let speedup = doc.get("speedup").and_then(Json::as_f64).unwrap_or(1.0);
+    std::fs::write(&out, doc.to_pretty() + "\n").unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out}");
+
+    if check {
+        for f in &guard_failures {
+            eprintln!("TILES GUARD FAILED: {f}");
+        }
+        if speedup < min_speedup {
+            eprintln!("TILES GUARD FAILED: best speedup {speedup:.2}x < floor {min_speedup:.2}x");
+        }
+        if !guard_failures.is_empty() || speedup < min_speedup {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "tiles guard OK: worker-invariant, stitch-identical on the separated scene, \
+             {speedup:.2}x >= {min_speedup:.2}x"
         );
     }
 }
@@ -818,6 +1095,7 @@ fn diff_main(args: &[String]) {
             eprintln!("running fresh {n}x{n} `{generator}` suite against baseline {b}...");
             let (doc, _) = match generator.as_str() {
                 "bench_record split" => build_split_doc(n),
+                "bench_record tiles" => build_tiles_doc(n),
                 _ => build_doc(n),
             };
             (base, b, doc, "<fresh run>".to_string())
@@ -858,6 +1136,7 @@ fn main() {
         Some("diff") => diff_main(&args[1..]),
         Some("batch") => batch_main(&args[1..]),
         Some("split") => split_main(&args[1..]),
+        Some("tiles") => tiles_main(&args[1..]),
         _ => record_main(&args),
     }
 }

@@ -1,8 +1,10 @@
 //! Perf-regression differ for `BENCH_*.json` documents.
 //!
 //! Compares a *current* benchmark document against a *baseline* (both in
-//! the `bench-merge-v1` schema written by `bench_record`) and classifies
-//! every metric of every row:
+//! a `bench_record` schema: `bench-merge-v1`, `bench-split-v1`, or
+//! `bench-tiles-v1` — historical split files stamped with the merge tag
+//! are still accepted, with a warning) and classifies every metric of
+//! every row:
 //!
 //! * **identity metrics** (`initial_edges`, `num_regions`, `num_squares`)
 //!   are products of the deterministic pipeline — any change at all is a
@@ -40,10 +42,14 @@ pub const WORK_METRICS: &[&str] = &[
     "words_tested",
     "critical_path_us",
     "imbalance_pct",
+    "speedup",
 ];
 /// Host-dependent metrics that warn rather than fail (unless
 /// [`DiffOptions::strict_wall`]). For `edges_per_sec`, *lower* is worse.
 pub const NOISE_METRICS: &[&str] = &["wall_ms", "edges_per_sec"];
+/// Metrics where *lower* is the regression direction (throughputs and
+/// speedups); everything else regresses upward.
+const DOWNWARD_METRICS: &[&str] = &["edges_per_sec", "speedup"];
 
 /// Knobs for [`diff_docs`].
 #[derive(Debug, Clone, Copy)]
@@ -100,6 +106,9 @@ pub struct DiffReport {
     pub missing_rows: Vec<String>,
     /// Rows in the current document the baseline lacks (informational).
     pub new_rows: Vec<String>,
+    /// Non-fatal schema notes (e.g. a split document still stamped with
+    /// the legacy `bench-merge-v1` tag).
+    pub schema_warnings: Vec<String>,
 }
 
 impl DiffReport {
@@ -158,6 +167,9 @@ impl DiffReport {
         for row in &self.new_rows {
             let _ = writeln!(out, "new row: {row} (not in baseline)");
         }
+        for w in &self.schema_warnings {
+            let _ = writeln!(out, "schema warning: {w}");
+        }
         let _ = writeln!(
             out,
             "{} metric(s) compared, {} regression(s), {} warning(s){}",
@@ -186,9 +198,16 @@ fn row_key(row: &Json) -> Option<String> {
     Some(format!("{backend}/{image}/{tie}/t{threshold}"))
 }
 
-fn check_schema(doc: &Json, which: &str) -> Result<(), String> {
+/// Validates the schema tag; returns a warning string for accepted legacy
+/// stampings (split documents written before `bench-split-v1` existed).
+fn check_schema(doc: &Json, which: &str) -> Result<Option<String>, String> {
+    let generator = doc.get("generator").and_then(Json::as_str).unwrap_or("");
     match doc.get("schema").and_then(Json::as_str) {
-        Some("bench-merge-v1") => Ok(()),
+        Some("bench-merge-v1") if generator == "bench_record split" => Ok(Some(format!(
+            "{which}: split document stamped with legacy schema \"bench-merge-v1\" \
+             (regenerate with `bench_record split` for \"bench-split-v1\")"
+        ))),
+        Some("bench-merge-v1" | "bench-split-v1" | "bench-tiles-v1") => Ok(None),
         Some(other) => Err(format!("{which}: unsupported schema {other:?}")),
         None => Err(format!("{which}: missing schema field")),
     }
@@ -217,8 +236,8 @@ fn classify(metric: &str, base: f64, cur: f64, opts: &DiffOptions) -> Severity {
             Severity::Regression
         };
     }
-    // `edges_per_sec` regresses downward; everything else upward.
-    let worse = if metric == "edges_per_sec" {
+    // Throughput/speedup metrics regress downward; everything else upward.
+    let worse = if DOWNWARD_METRICS.contains(&metric) {
         base > 0.0 && cur < base * (1.0 - opts.tolerance)
     } else {
         cur > base * (1.0 + opts.tolerance) + f64::EPSILON
@@ -240,12 +259,15 @@ pub fn diff_docs(
     current: &Json,
     opts: &DiffOptions,
 ) -> Result<DiffReport, String> {
-    check_schema(baseline, "baseline")?;
-    check_schema(current, "current")?;
+    let mut report = DiffReport::default();
+    report
+        .schema_warnings
+        .extend(check_schema(baseline, "baseline")?);
+    report
+        .schema_warnings
+        .extend(check_schema(current, "current")?);
     let base_rows = rows_of(baseline, "baseline")?;
     let cur_rows = rows_of(current, "current")?;
-
-    let mut report = DiffReport::default();
     for (key, brow) in &base_rows {
         let Some((_, crow)) = cur_rows.iter().find(|(k, _)| k == key) else {
             report.missing_rows.push(key.clone());
@@ -498,5 +520,62 @@ mod tests {
         let bad = Json::obj(vec![("schema", "bench-merge-v0".into())]);
         assert!(diff_docs(&bad, &bad, &DiffOptions::default()).is_err());
         assert!(diff_docs(&Json::obj(vec![]), &bad, &DiffOptions::default()).is_err());
+    }
+
+    #[test]
+    fn split_and_tiles_schemas_are_accepted() {
+        for tag in ["bench-split-v1", "bench-tiles-v1"] {
+            let d = Json::obj(vec![("schema", tag.into()), ("rows", Json::Arr(vec![]))]);
+            let r = diff_docs(&d, &d, &DiffOptions::default()).unwrap();
+            assert!(r.ok(), "{tag}: {}", r.render());
+            assert!(r.schema_warnings.is_empty());
+        }
+    }
+
+    #[test]
+    fn legacy_split_tag_warns_but_passes() {
+        // Split documents written before `bench-split-v1` carry the merge
+        // tag; they still diff cleanly, with a visible nudge to regenerate.
+        let legacy = Json::obj(vec![
+            ("schema", "bench-merge-v1".into()),
+            ("generator", "bench_record split".into()),
+            ("rows", Json::Arr(vec![])),
+        ]);
+        let r = diff_docs(&legacy, &legacy, &DiffOptions::default()).unwrap();
+        assert!(r.ok());
+        assert_eq!(r.schema_warnings.len(), 2); // baseline + current
+        assert!(r.render().contains("legacy schema"));
+    }
+
+    #[test]
+    fn speedup_gates_downward() {
+        // Tiled rows carry a `speedup` work metric: losing it past the
+        // tolerance regresses; gaining never does.
+        let tiles_doc = |speedup: f64| {
+            Json::obj(vec![
+                ("schema", "bench-tiles-v1".into()),
+                (
+                    "rows",
+                    Json::Arr(vec![Json::obj(vec![
+                        ("backend", "tiled-j4".into()),
+                        ("image", "speckle".into()),
+                        ("tie_break", "smallest".into()),
+                        ("threshold", 10.0.into()),
+                        ("num_regions", 5000.0.into()),
+                        ("speedup", speedup.into()),
+                        ("wall_ms", 100.0.into()),
+                    ])]),
+                ),
+            ])
+        };
+        let base = tiles_doc(1.5);
+        let r = diff_docs(&base, &tiles_doc(1.0), &DiffOptions::default()).unwrap();
+        assert!(!r.ok());
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.metric == "speedup" && f.severity == Severity::Regression));
+        let r = diff_docs(&base, &tiles_doc(2.0), &DiffOptions::default()).unwrap();
+        assert!(r.ok(), "{}", r.render());
     }
 }

@@ -22,14 +22,32 @@
 //! callback may observe completions out of order (the image index is
 //! passed alongside each result); the results themselves are bit-identical
 //! to a sequential run — every engine is deterministic per image.
+//!
+//! ## Failure isolation
+//!
+//! A panicking pipeline (or per-image callback) fails **that image only**:
+//! the panic is caught, the worker rebuilds its pipeline and recycled
+//! buffer, and the batch continues. Failed image indices are reported in
+//! [`BatchSummary::failed`]; their regions are not counted and their
+//! callback is not invoked (or not counted, if the callback itself
+//! panicked). The shared callback mutex recovers from poisoning, so one
+//! worker's panic can no longer cascade into every other worker dying on
+//! a poisoned lock.
 
 use crate::engine::Segmentation;
 use crate::pipeline::Pipeline;
 use crate::telemetry::{NullTelemetry, SpanGuard, SpanKind, Telemetry};
 use rg_imaging::Image;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+/// Locks `m`, recovering the data if a previous holder panicked — batch
+/// state stays usable after an isolated per-image failure.
+fn lock_recover<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The shared per-image callback slot of a multi-worker batch.
 type SharedSink<'a> = Mutex<&'a mut (dyn FnMut(usize, &Segmentation) + Send)>;
@@ -90,14 +108,17 @@ impl Default for BatchOptions {
 }
 
 /// Aggregate outcome of a batch run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchSummary {
-    /// Number of images processed.
+    /// Number of images processed (attempted, including failures).
     pub images: usize,
-    /// Sum of per-image region counts.
+    /// Sum of per-image region counts over the successful images.
     pub total_regions: u64,
     /// Wall-clock seconds for the whole batch.
     pub wall_seconds: f64,
+    /// Indices of images whose pipeline or callback panicked, ascending.
+    /// Empty for a fully successful batch.
+    pub failed: Vec<usize>,
 }
 
 impl BatchSummary {
@@ -108,6 +129,11 @@ impl BatchSummary {
         } else {
             0.0
         }
+    }
+
+    /// `true` when every image segmented and delivered without a panic.
+    pub fn all_ok(&self) -> bool {
+        self.failed.is_empty()
     }
 }
 
@@ -137,6 +163,7 @@ where
         opts.jobs.max(1)
     };
     let mut total_regions = 0u64;
+    let mut failed: Vec<usize> = Vec::new();
 
     if jobs <= 1 {
         let mut pipe = make_pipeline();
@@ -146,21 +173,44 @@ where
             let tel = batch_span.tel();
             for (i, img) in images.iter().enumerate() {
                 let mut img_span = SpanGuard::enter(&mut *tel, SpanKind::BatchImage(i as u32));
-                pipe.run_into(img, img_span.tel(), &mut out);
+                let ran = catch_unwind(AssertUnwindSafe(|| {
+                    pipe.run_into(img, img_span.tel(), &mut out)
+                }));
                 drop(img_span);
+                if ran.is_err() {
+                    failed.push(i);
+                    pipe = make_pipeline();
+                    out = Segmentation::default();
+                    continue;
+                }
+                if catch_unwind(AssertUnwindSafe(|| each(i, &out))).is_err() {
+                    failed.push(i);
+                    continue;
+                }
                 total_regions += out.num_regions as u64;
-                each(i, &out);
             }
         } else {
             for (i, img) in images.iter().enumerate() {
-                pipe.run_into(img, &mut NullTelemetry, &mut out);
+                let ran = catch_unwind(AssertUnwindSafe(|| {
+                    pipe.run_into(img, &mut NullTelemetry, &mut out)
+                }));
+                if ran.is_err() {
+                    failed.push(i);
+                    pipe = make_pipeline();
+                    out = Segmentation::default();
+                    continue;
+                }
+                if catch_unwind(AssertUnwindSafe(|| each(i, &out))).is_err() {
+                    failed.push(i);
+                    continue;
+                }
                 total_regions += out.num_regions as u64;
-                each(i, &out);
             }
         }
     } else {
         let next = AtomicUsize::new(0);
         let regions = AtomicU64::new(0);
+        let failures: Mutex<Vec<usize>> = Mutex::new(Vec::new());
         let sink: SharedSink = Mutex::new(&mut each);
         std::thread::scope(|scope| {
             for _ in 0..jobs.min(images.len()) {
@@ -172,20 +222,41 @@ where
                         if i >= images.len() {
                             break;
                         }
-                        pipe.run_into(&images[i], &mut NullTelemetry, &mut out);
+                        let ran = catch_unwind(AssertUnwindSafe(|| {
+                            pipe.run_into(&images[i], &mut NullTelemetry, &mut out)
+                        }));
+                        if ran.is_err() {
+                            lock_recover(&failures).push(i);
+                            pipe = make_pipeline();
+                            out = Segmentation::default();
+                            continue;
+                        }
+                        // The lock lives inside the catch: if the callback
+                        // panics, the guard drop poisons the mutex and the
+                        // next `lock_recover` heals it.
+                        let delivered =
+                            catch_unwind(AssertUnwindSafe(|| (lock_recover(&sink))(i, &out)));
+                        if delivered.is_err() {
+                            lock_recover(&failures).push(i);
+                            continue;
+                        }
                         regions.fetch_add(out.num_regions as u64, Ordering::Relaxed);
-                        (sink.lock().expect("batch callback poisoned"))(i, &out);
                     }
                 });
             }
         });
         total_regions = regions.load(Ordering::Relaxed);
+        failed = failures
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        failed.sort_unstable();
     }
 
     BatchSummary {
         images: images.len(),
         total_regions,
         wall_seconds: t0.elapsed().as_secs_f64(),
+        failed,
     }
 }
 
@@ -206,7 +277,7 @@ where
         // vector is moved out.
         let slots = Mutex::new(&mut results);
         run_batch(images, opts, make_pipeline, tel, |i, seg| {
-            slots.lock().expect("batch results poisoned")[i] = seg.clone();
+            lock_recover(&slots)[i] = seg.clone();
         })
     };
     (results, summary)
@@ -296,6 +367,96 @@ mod tests {
         let want = segment(&images[1], &cfg);
         assert_eq!(rec.report().num_regions, want.num_regions);
         assert!(rec.is_finished());
+    }
+
+    /// A pipeline that panics on images whose seed pixel matches `bad`,
+    /// standing in for a real per-image engine fault.
+    struct PanicOn {
+        inner: HostPipeline<u8>,
+        bad: u8,
+    }
+
+    impl Pipeline for PanicOn {
+        fn engine(&self) -> &str {
+            "panic-on"
+        }
+        fn plan(&self) -> Option<&crate::pipeline::ExecutionPlan> {
+            self.inner.plan()
+        }
+        fn run_into(&mut self, img: &Image<u8>, tel: &mut dyn Telemetry, out: &mut Segmentation) {
+            assert_ne!(img.pixels()[0], self.bad, "deliberate per-image fault");
+            self.inner.run_into(img, tel, out);
+        }
+    }
+
+    #[test]
+    fn panicking_image_fails_alone_and_batch_continues() {
+        // Image 2 carries the poison marker in its first pixel; every
+        // other image must still segment, on one worker and on several
+        // (the multi-worker case is the historical cascade: a poisoned
+        // sink mutex killed every remaining worker).
+        let mut images = demo_images(6);
+        let marker = 251u8;
+        for (i, img) in images.iter_mut().enumerate() {
+            let first = &mut img.pixels_mut()[0];
+            *first = if i == 2 {
+                marker
+            } else {
+                marker.wrapping_add(1)
+            };
+        }
+        let cfg = Config::with_threshold(10);
+        for jobs in [1, 4] {
+            let (results, summary) = run_batch_collect(
+                &images,
+                &BatchOptions::new().jobs(jobs),
+                || {
+                    Box::new(PanicOn {
+                        inner: HostPipeline::<u8>::new(cfg, false),
+                        bad: marker,
+                    })
+                },
+                &mut NullTelemetry,
+            );
+            assert_eq!(summary.failed, vec![2], "jobs={jobs}");
+            assert!(!summary.all_ok());
+            assert_eq!(summary.images, 6);
+            let mut expect_regions = 0u64;
+            for (i, (img, got)) in images.iter().zip(&results).enumerate() {
+                if i == 2 {
+                    // The failed slot keeps its default (never delivered).
+                    assert!(got.is_empty(), "jobs={jobs}");
+                    continue;
+                }
+                let want = segment(img, &cfg);
+                assert_eq!(&want, got, "jobs={jobs} image={i}");
+                expect_regions += want.num_regions as u64;
+            }
+            assert_eq!(summary.total_regions, expect_regions, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn panicking_callback_fails_only_that_image() {
+        let images = demo_images(4);
+        let cfg = Config::with_threshold(10);
+        for jobs in [1, 3] {
+            let delivered = Mutex::new(Vec::new());
+            let summary = run_batch(
+                &images,
+                &BatchOptions::new().jobs(jobs),
+                || Box::new(HostPipeline::<u8>::new(cfg, false)),
+                &mut NullTelemetry,
+                |i, _seg| {
+                    assert_ne!(i, 1, "deliberate callback fault");
+                    lock_recover(&delivered).push(i);
+                },
+            );
+            assert_eq!(summary.failed, vec![1], "jobs={jobs}");
+            let mut got = delivered.into_inner().unwrap();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 2, 3], "jobs={jobs}");
+        }
     }
 
     #[test]

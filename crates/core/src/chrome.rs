@@ -326,15 +326,24 @@ fn push_run(out: &mut Vec<Json>, events: &[Event], pid: u64) {
     }
 }
 
-/// Splits a journal stream into runs (each `run_start` opens a new one);
-/// events before the first `run_start` form a run of their own.
+/// Splits a journal stream into runs (each *top-level* `run_start` opens
+/// a new one); events before the first boundary form a run of their own.
+///
+/// A `run_start` emitted while spans are open is **not** a boundary: the
+/// batch (`batch` > `image:<i>`) and tiled (`tiled` > `tile:<i>`) runtimes
+/// wrap many driver runs in outer spans, and cutting there would slice
+/// those spans across chunks, breaking span balance in every piece.
 pub fn split_runs(events: &[Event]) -> Vec<&[Event]> {
-    let mut starts: Vec<usize> = events
-        .iter()
-        .enumerate()
-        .filter(|(_, e)| matches!(e.kind, EventKind::RunStart { .. }))
-        .map(|(i, _)| i)
-        .collect();
+    let mut depth = 0usize;
+    let mut starts: Vec<usize> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        match e.kind {
+            EventKind::RunStart { .. } if depth == 0 => starts.push(i),
+            EventKind::SpanBegin { .. } => depth += 1,
+            EventKind::SpanEnd { .. } => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+    }
     if starts.first() != Some(&0) {
         starts.insert(0, 0);
     }

@@ -59,6 +59,7 @@ pub mod regions;
 pub mod split;
 pub mod split_ref;
 pub mod telemetry;
+pub mod tiles;
 pub mod verify;
 
 pub use analyze::{analyze_journal, analyze_run, RankTimeline, RunAnalysis};
@@ -88,4 +89,5 @@ pub use telemetry::{
     Histogram, MergeIterationRecord, NullTelemetry, Recorder, SpanGuard, SpanKind, Stage,
     StageSpan, Telemetry, TelemetryReport,
 };
+pub use tiles::{segment_tiled, TileGrid, TileRect, TiledRunner, TiledStats};
 pub use verify::{verify_segmentation, Violation};

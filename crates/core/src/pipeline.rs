@@ -559,7 +559,10 @@ impl<P: Intensity> TraceHook for HostBackend<'_, P> {
 /// `map_stamp[v] == epoch` marks a valid entry, making per-image table
 /// invalidation O(1) with no clearing pass and no allocation. Output is
 /// bit-identical to gather-then-`compact_first_appearance`.
-fn compact_gather(
+///
+/// Shared with the tiled runtime ([`crate::tiles`]), which calls it with a
+/// global pixel → stitch-vertex map in place of `square_of`.
+pub(crate) fn compact_gather(
     square_of: &[u32],
     by_vertex: &[u32],
     map_val: &mut Vec<u32>,

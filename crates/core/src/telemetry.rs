@@ -139,6 +139,15 @@ pub enum SpanKind {
     /// One communication exchange of a merge iteration (message-passing
     /// engine; the index is the exchange ordinal within the iteration).
     CommRound(u32),
+    /// A tiled sharded run: per-tile driver runs plus the stitch pass
+    /// (outermost span of the tiled runtime; see [`crate::tiles`]).
+    Tiled,
+    /// One tile of a tiled run (0-based raster index), nested in
+    /// [`SpanKind::Tiled`]; each wraps a full per-tile `run` subtree.
+    Tile(u32),
+    /// The cross-tile stitch pass (seam RAG + boundary merge + global
+    /// relabel), nested in [`SpanKind::Tiled`] after the tile spans.
+    Stitch,
 }
 
 impl SpanKind {
@@ -155,6 +164,9 @@ impl SpanKind {
             SpanKind::Apply => "apply".to_string(),
             SpanKind::Compact => "compact".to_string(),
             SpanKind::CommRound(k) => format!("comm_round:{k}"),
+            SpanKind::Tiled => "tiled".to_string(),
+            SpanKind::Tile(i) => format!("tile:{i}"),
+            SpanKind::Stitch => "stitch".to_string(),
         }
     }
 
@@ -166,6 +178,8 @@ impl SpanKind {
             "choice" => return Some(SpanKind::Choice),
             "apply" => return Some(SpanKind::Apply),
             "compact" => return Some(SpanKind::Compact),
+            "tiled" => return Some(SpanKind::Tiled),
+            "stitch" => return Some(SpanKind::Stitch),
             _ => {}
         }
         if let Some(name) = label.strip_prefix("stage:") {
@@ -180,6 +194,9 @@ impl SpanKind {
         if let Some(n) = label.strip_prefix("comm_round:") {
             return n.parse().ok().map(SpanKind::CommRound);
         }
+        if let Some(n) = label.strip_prefix("tile:") {
+            return n.parse().ok().map(SpanKind::Tile);
+        }
         None
     }
 
@@ -190,12 +207,20 @@ impl SpanKind {
         match self {
             SpanKind::Batch => parent.is_none(),
             SpanKind::BatchImage(_) => parent == Some(SpanKind::Batch),
-            SpanKind::Run => parent.is_none() || matches!(parent, Some(SpanKind::BatchImage(_))),
+            SpanKind::Run => {
+                parent.is_none()
+                    || matches!(
+                        parent,
+                        Some(SpanKind::BatchImage(_)) | Some(SpanKind::Tile(_))
+                    )
+            }
             SpanKind::Stage(_) => parent == Some(SpanKind::Run),
             SpanKind::MergeIteration(_) => parent == Some(SpanKind::Stage(Stage::Merge)),
             SpanKind::Choice | SpanKind::Apply | SpanKind::Compact | SpanKind::CommRound(_) => {
                 matches!(parent, Some(SpanKind::MergeIteration(_)))
             }
+            SpanKind::Tiled => parent.is_none() || matches!(parent, Some(SpanKind::BatchImage(_))),
+            SpanKind::Tile(_) | SpanKind::Stitch => parent == Some(SpanKind::Tiled),
         }
     }
 }

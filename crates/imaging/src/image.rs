@@ -242,6 +242,28 @@ impl<P: Intensity> Image<P> {
         }
     }
 
+    /// [`Image::crop`] into a recyclable image: refills `out`'s pixel
+    /// buffer in place (no allocation once `out` has reached the window's
+    /// high-water capacity) and resets its dimensions to `w × h`.
+    ///
+    /// # Panics
+    /// Panics if the window exceeds the image bounds or either dimension
+    /// is zero.
+    pub fn crop_into(&self, x0: usize, y0: usize, w: usize, h: usize, out: &mut Self) {
+        assert!(w > 0 && h > 0, "image dimensions must be nonzero");
+        assert!(
+            x0 + w <= self.width && y0 + h <= self.height,
+            "crop window out of bounds"
+        );
+        out.data.clear();
+        out.data.reserve(w * h);
+        for y in y0..y0 + h {
+            out.data.extend_from_slice(&self.row(y)[x0..x0 + w]);
+        }
+        out.width = w;
+        out.height = h;
+    }
+
     /// Maps every pixel through `f`, producing an image of a possibly
     /// different intensity type.
     pub fn map<Q: Intensity>(&self, mut f: impl FnMut(P) -> Q) -> Image<Q> {
@@ -344,6 +366,19 @@ mod tests {
         let img: Image<u8> = Image::from_fn(4, 4, |x, y| (y * 4 + x) as u8);
         let c = img.crop(1, 2, 2, 2);
         assert_eq!(c.pixels(), &[9, 10, 13, 14]);
+    }
+
+    #[test]
+    fn crop_into_matches_crop_and_reuses_buffer() {
+        let img: Image<u8> = Image::from_fn(6, 5, |x, y| (y * 6 + x) as u8);
+        let mut out: Image<u8> = Image::new(1, 1, 0);
+        img.crop_into(1, 2, 3, 2, &mut out);
+        assert_eq!(out, img.crop(1, 2, 3, 2));
+        let cap = out.data.capacity();
+        // A smaller window refills in place without reallocating.
+        img.crop_into(0, 0, 2, 2, &mut out);
+        assert_eq!(out, img.crop(0, 0, 2, 2));
+        assert_eq!(out.data.capacity(), cap);
     }
 
     #[test]

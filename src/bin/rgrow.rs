@@ -14,9 +14,14 @@
 //!                          `demo:<scene>:<count>` (scenes as --demo, plus
 //!                          `random` for per-index random 256x256 scenes).
 //!                          [output.pgm] names a directory in batch mode.
-//!   --jobs N               batch worker count; each worker owns one pipeline
-//!                          [1]. Forced to 1 when telemetry/tracing is on so
-//!                          the journal's span nesting stays strict.
+//!   --jobs N               batch/tile worker count; each worker owns one
+//!                          pipeline [1]. Forced to 1 when telemetry/tracing
+//!                          is on so the journal's span nesting stays strict.
+//!   --tiles RxC            shard the image into an R-row, C-column tile grid,
+//!                          segment tiles on the worker pool, and stitch with
+//!                          a cross-tile boundary merge (host engines only;
+//!                          see DESIGN.md §17). The grid clamps so every tile
+//!                          holds at least one pixel.
 //!   --threshold N          homogeneity threshold T in grey levels [10]
 //!   --tie random|smallest|largest    tie-break policy [random]
 //!   --seed N               seed for random tie-breaking [0x5EED]
@@ -35,7 +40,9 @@
 //!                          journals switch to the logical clock so the same
 //!                          seed writes a byte-identical journal every run.
 //!   --demo NAME            use a built-in scene instead of an input file
-//!                          (image1..image6, circles, rects, nested, tool)
+//!                          (image1..image6, circles, rects, nested, tool).
+//!                          The scalable scenes take a `:SIZE` suffix, e.g.
+//!                          `nested:1024` for a 1024x1024 nested-rects scene.
 //!   --telemetry PATH       write a JSON telemetry report (stage timings,
 //!                          per-iteration merge counts, comm counters,
 //!                          histograms); PATH of `-` writes to stdout
@@ -58,7 +65,7 @@ use rg_core::{
     analyze_journal, chrome_trace, jsonl_sink, labels::labels_to_image, run_batch,
     segment_par_with_telemetry, segment_with_telemetry, verify_segmentation, BatchOptions,
     ClockMode, Config, Connectivity, Criterion, EmitEvent, EventLog, Fanout, HostPipeline,
-    NullTelemetry, Pipeline, Recorder, Segmentation, Telemetry, TieBreak,
+    NullTelemetry, Pipeline, Recorder, Segmentation, Telemetry, TieBreak, TileGrid, TiledRunner,
 };
 use rg_imaging::{pgm, synth, GrayImage};
 use std::process::exit;
@@ -68,6 +75,7 @@ struct Options {
     output: Option<String>,
     demo: Option<String>,
     batch: Option<String>,
+    tiles: Option<TileGrid>,
     jobs: usize,
     threshold: u32,
     tie: TieBreak,
@@ -98,7 +106,8 @@ fn usage() -> ! {
          \x20            [--seed N] [--connectivity 4|8] [--criterion range|mean] [--cap N]\n\
          \x20            [--engine seq|par|cm2-8k|cm2-16k|cm5-dp|mp-lp|mp-async] [--nodes N]\n\
          \x20            [--chaos SEED[:none|drop|dup|corrupt|delay|slow|storm|blackhole]]\n\
-         \x20            [--demo image1..image6|circles|rects|nested|tool] [--telemetry out.json|-]\n\
+         \x20            [--tiles RxC] [--jobs N]\n\
+         \x20            [--demo image1..image6|circles|rects|nested|tool[:SIZE]] [--telemetry out.json|-]\n\
          \x20            [--trace-out out.jsonl|-] [--chrome-trace out.trace.json]\n\
          \x20            [--analyze] [--verify] [--quiet]"
     );
@@ -111,6 +120,7 @@ fn parse_args() -> Options {
         output: None,
         demo: None,
         batch: None,
+        tiles: None,
         jobs: 1,
         threshold: 10,
         tie: TieBreak::Random { seed: 0x5EED },
@@ -186,6 +196,13 @@ fn parse_args() -> Options {
             }
             "--demo" => o.demo = Some(need_value(&mut args, &a)),
             "--batch" => o.batch = Some(need_value(&mut args, &a)),
+            "--tiles" => {
+                let spec = need_value(&mut args, &a);
+                o.tiles = Some(TileGrid::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("bad --tiles spec: {e}");
+                    usage()
+                }))
+            }
             "--jobs" | "-j" => {
                 let v = need_value(&mut args, &a);
                 o.jobs = v.parse().unwrap_or_else(|_| {
@@ -237,19 +254,66 @@ fn parse_args() -> Options {
         );
         usage()
     }
+    if o.tiles.is_some() {
+        if o.batch.is_some() {
+            eprintln!("--tiles shards one image and cannot combine with --batch");
+            usage()
+        }
+        if !matches!(o.engine.as_str(), "seq" | "par") {
+            eprintln!(
+                "--tiles runs on the host engines (seq, par); got {:?}",
+                o.engine
+            );
+            usage()
+        }
+    }
     o
 }
 
 fn load_image(o: &Options) -> GrayImage {
     if let Some(demo) = &o.demo {
-        return match demo.as_str() {
+        // Scalable scenes take a `:SIZE` suffix (e.g. `nested:1024`); the
+        // paper's fixed images do not.
+        let (scene, size) = match demo.split_once(':') {
+            Some((scene, n)) => {
+                let size = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&s| s > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("bad demo size in {demo:?}: expected a positive pixel count");
+                        usage()
+                    });
+                (scene, Some(size))
+            }
+            None => (demo.as_str(), None),
+        };
+        if size.is_some() && !matches!(scene, "nested" | "circles" | "rects" | "tool") {
+            eprintln!(
+                "demo scene {scene:?} has a fixed size (sizes apply to nested/circles/rects/tool)"
+            );
+            usage()
+        }
+        return match scene {
             "image1" => synth::PaperImage::Image1.generate(),
             "image2" => synth::PaperImage::Image2.generate(),
-            "image3" | "circles" => synth::PaperImage::Image3.generate(),
+            "image3" => synth::PaperImage::Image3.generate(),
             "image4" => synth::PaperImage::Image4.generate(),
-            "image5" | "rects" => synth::PaperImage::Image5.generate(),
-            "image6" | "tool" => synth::PaperImage::Image6.generate(),
-            "nested" => synth::nested_rects(256),
+            "image5" => synth::PaperImage::Image5.generate(),
+            "image6" => synth::PaperImage::Image6.generate(),
+            "circles" => match size {
+                Some(n) => synth::circle_collection(n),
+                None => synth::PaperImage::Image3.generate(),
+            },
+            "rects" => match size {
+                Some(n) => synth::rect_collection(n),
+                None => synth::PaperImage::Image5.generate(),
+            },
+            "tool" => match size {
+                Some(n) => synth::tool(n),
+                None => synth::PaperImage::Image6.generate(),
+            },
+            "nested" => synth::nested_rects(size.unwrap_or(256)),
             other => {
                 eprintln!("unknown demo scene {other:?}");
                 usage()
@@ -379,6 +443,10 @@ fn expand_batch(spec: &str) -> Vec<(String, GrayImage)> {
             ),
             None => (rest, 1),
         };
+        if count == 0 {
+            eprintln!("batch spec {spec:?} asks for zero images; use a positive count");
+            exit(2);
+        }
         return (0..count)
             .map(|i| {
                 let img = match scene {
@@ -415,8 +483,8 @@ fn expand_batch(spec: &str) -> Vec<(String, GrayImage)> {
             .collect();
         names.sort();
         if names.is_empty() {
-            eprintln!("batch glob {spec:?} matched no files");
-            exit(1);
+            eprintln!("batch glob {spec:?} matched no files; an empty batch is almost certainly a mistake");
+            exit(2);
         }
         return names
             .into_iter()
@@ -476,6 +544,34 @@ fn pipeline_for(
             usage()
         }
     }
+}
+
+/// Tiled mode: shard one image over the worker pool and stitch (see
+/// `rg_core::tiles`). Telemetry-enabled runs execute on one worker so the
+/// `tiled > tile:<i> > run` journal nesting stays strict.
+fn run_tiled(
+    o: &Options,
+    img: &GrayImage,
+    cfg: &Config,
+    grid: TileGrid,
+    tel: &mut dyn Telemetry,
+) -> (Segmentation, Option<String>) {
+    let mut runner = TiledRunner::new(*cfg, o.engine == "par", grid, o.jobs);
+    let mut seg = Segmentation::default();
+    let stats = runner.run_into(img, tel, &mut seg);
+    let jobs = if tel.enabled() { 1 } else { o.jobs.max(1) };
+    let note = format!(
+        "tiled {}x{} ({} tiles, jobs {jobs}): {} tile regions, {} seam edges, \
+         {} stitch merges in {} stitch iters",
+        stats.rows,
+        stats.cols,
+        stats.tiles,
+        stats.tile_regions,
+        stats.seam_edges,
+        stats.stitch_merges,
+        stats.stitch_iterations
+    );
+    (seg, Some(note))
 }
 
 /// Batch mode: stream every image in the spec through pooled pipelines.
@@ -547,9 +643,23 @@ fn run_batch_mode(o: &Options, cfg: &Config, tel: &mut dyn Telemetry) {
                 o.jobs.max(1)
             },
         );
-        if o.verify {
+        if o.verify && summary.all_ok() {
             println!("verify: ok ({} images)", summary.images);
         }
+    }
+    if !summary.all_ok() {
+        let names: Vec<&str> = summary
+            .failed
+            .iter()
+            .map(|&i| images[i].0.as_str())
+            .collect();
+        eprintln!(
+            "batch: {} of {} image(s) FAILED (pipeline panicked): {}",
+            summary.failed.len(),
+            summary.images,
+            names.join(", ")
+        );
+        exit(1);
     }
 }
 
@@ -613,7 +723,10 @@ fn main() {
     };
     let t0 = std::time::Instant::now();
     let single = match &img {
-        Some(img) => Some(run_engine(&o, img, &cfg, tel)),
+        Some(img) => match o.tiles {
+            Some(grid) => Some(run_tiled(&o, img, &cfg, grid, tel)),
+            None => Some(run_engine(&o, img, &cfg, tel)),
+        },
         None => {
             run_batch_mode(&o, &cfg, tel);
             None

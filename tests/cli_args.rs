@@ -112,6 +112,80 @@ fn unknown_flag_exits_2_with_usage() {
 }
 
 #[test]
+fn bad_tiles_spec_exits_2_and_shows_expected_form() {
+    for bad in ["4", "0x4", "4x0", "axb"] {
+        let out = rgrow(&["--demo", "nested", "--tiles", bad]);
+        assert_eq!(out.status.code(), Some(2), "spec {bad:?}");
+        let err = stderr(&out);
+        assert!(err.contains("bad --tiles spec"), "{bad:?}: {err}");
+        assert!(err.contains("ROWSxCOLS"), "{bad:?}: {err}");
+    }
+}
+
+#[test]
+fn tiles_with_simulator_engine_exits_2() {
+    let out = rgrow(&["--demo", "nested", "--tiles", "2x2", "--engine", "mp-lp"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("host engines"), "{err}");
+    assert!(err.contains("\"mp-lp\""), "{err}");
+}
+
+#[test]
+fn tiles_with_batch_exits_2() {
+    let out = rgrow(&["--batch", "demo:nested:2", "--tiles", "2x2"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("cannot combine with --batch"));
+}
+
+#[test]
+fn zero_count_batch_exits_2_with_message() {
+    // `demo:scene:0` used to run an empty batch silently and exit 0.
+    let out = rgrow(&["--batch", "demo:nested:0", "--quiet"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("zero images"), "{err}");
+    assert!(err.contains("demo:nested:0"), "{err}");
+}
+
+#[test]
+fn empty_glob_batch_exits_2_with_message() {
+    let dir = std::env::temp_dir().join("rgrow_empty_glob_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = format!("{}/*.pgm", dir.display());
+    let out = rgrow(&["--batch", &spec, "--quiet"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("matched no files"));
+}
+
+#[test]
+fn bad_demo_size_exits_2() {
+    for bad in ["nested:0", "nested:huge", "image3:128"] {
+        let out = rgrow(&["--demo", bad]);
+        assert_eq!(out.status.code(), Some(2), "demo {bad:?}");
+    }
+}
+
+#[test]
+fn tiled_demo_runs_and_verifies() {
+    let out = rgrow(&[
+        "--demo",
+        "nested:128",
+        "--engine",
+        "seq",
+        "--tiles",
+        "3x2",
+        "--jobs",
+        "2",
+        "--verify",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("tiled 3x2 (6 tiles"), "{stdout}");
+    assert!(stdout.contains("verify: ok"), "{stdout}");
+}
+
+#[test]
 fn good_args_still_run() {
     // Sanity: the guard rails above must not reject valid invocations.
     let out = rgrow(&[

@@ -1,0 +1,151 @@
+//! Tiled-vs-whole differential suite for `rg_core::tiles`.
+//!
+//! The stitch layer's contract is *partition identity*: on a
+//! threshold-separated scene (every pair of adjacent flat regions differs
+//! by more than the threshold) the merge fixed point is unique, so a tiled
+//! run must reproduce the whole-image host engine's labels **exactly** —
+//! any grid, any worker count, any tie policy. On arbitrary scenes the
+//! guarantee weakens to worker-count invariance plus the verifier's
+//! structural invariants (connected, homogeneous, maximal); these are
+//! property-tested separately.
+
+use proptest::prelude::*;
+use rg_core::{segment, segment_tiled, verify_segmentation, Config, TieBreak, TileGrid};
+use rg_imaging::{synth, Image};
+
+/// Paints axis-aligned rectangles whose intensities are multiples of 40 on
+/// a zero background: any two distinct painted values differ by at least
+/// 40, so the scene is threshold-separated for every threshold below 40.
+fn separated_scene(w: usize, h: usize, rects: &[(usize, usize, usize, usize)]) -> Image<u8> {
+    let mut img = Image::new(w, h, 0u8);
+    for (i, &(x, y, rw, rh)) in rects.iter().enumerate() {
+        let v = 40 * ((i % 6) + 1) as u8;
+        for yy in y.min(h)..(y + rh).min(h) {
+            for xx in x.min(w)..(x + rw).min(w) {
+                img.set(xx, yy, v);
+            }
+        }
+    }
+    img
+}
+
+const TIES: [TieBreak; 3] = [
+    TieBreak::SmallestId,
+    TieBreak::LargestId,
+    TieBreak::Random { seed: 41 },
+];
+
+/// Partition identity = the pixel→label map and the region count. Run
+/// metadata (square counts, iteration tallies) legitimately differs
+/// between a tiled run and a whole-image run and is excluded.
+fn partition_of(seg: &rg_core::Segmentation) -> (&[u32], usize, usize, usize) {
+    (&seg.labels, seg.num_regions, seg.width, seg.height)
+}
+
+prop_compose! {
+    fn scene()(
+        w in 1usize..72,
+        h in 1usize..72,
+        rects in proptest::collection::vec(
+            (0usize..72, 0usize..72, 1usize..36, 1usize..36),
+            0..8,
+        ),
+    ) -> Image<u8> {
+        separated_scene(w, h, &rects)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Separated scenes: exact label identity against the whole-image
+    /// engine for every tie family, random grids (including grids larger
+    /// than the image — they clamp), and both serial and pooled workers.
+    #[test]
+    fn tiled_matches_whole_on_separated_scenes(
+        img in scene(),
+        rows in 1usize..7,
+        cols in 1usize..7,
+        tie_idx in 0usize..3,
+        jobs in 1usize..5,
+    ) {
+        let cfg = Config::with_threshold(10).tie_break(TIES[tie_idx]);
+        let whole = segment(&img, &cfg);
+        let tiled = segment_tiled(&img, &cfg, TileGrid::new(rows, cols), jobs);
+        prop_assert_eq!(
+            partition_of(&whole), partition_of(&tiled),
+            "grid {}x{} jobs {} tie {:?} on {}x{}",
+            rows, cols, jobs, TIES[tie_idx], img.width(), img.height()
+        );
+    }
+
+    /// Arbitrary (non-separated) scenes: the tiled result must not depend
+    /// on the worker count, and must satisfy the verifier's invariants —
+    /// connected, homogeneous, and maximal under the monotone criterion.
+    #[test]
+    fn tiled_runs_are_worker_invariant_and_verify(
+        w in 2usize..64,
+        h in 2usize..64,
+        seed in 0u64..10_000,
+        t in 5u32..60,
+        rows in 1usize..5,
+        cols in 1usize..5,
+    ) {
+        let img = synth::random_rects(w, h, 8, seed);
+        let cfg = Config::with_threshold(t);
+        let grid = TileGrid::new(rows, cols);
+        let serial = segment_tiled(&img, &cfg, grid, 1);
+        let pooled = segment_tiled(&img, &cfg, grid, 4);
+        prop_assert_eq!(&serial, &pooled, "tiled output depends on worker count");
+        if let Err(violations) = verify_segmentation(&img, &serial, &cfg) {
+            prop_assert!(
+                false,
+                "grid {}x{} on {}x{} t={}: {:?}",
+                rows, cols, w, h, t, violations
+            );
+        }
+    }
+}
+
+/// Non-divisible shapes the floor-split must handle: a wide-and-shallow
+/// image whose tile widths differ, and degenerate 1-pixel-thin strips
+/// where one grid axis clamps away entirely.
+#[test]
+fn non_divisible_and_degenerate_shapes_match_whole() {
+    let rects = [
+        (7usize, 3usize, 120usize, 40usize),
+        (200, 0, 90, 99),
+        (350, 50, 163, 50),
+        (0, 60, 40, 40),
+        (480, 2, 33, 20),
+    ];
+    let scenes = [
+        separated_scene(513, 100, &rects),
+        separated_scene(1, 257, &rects),
+        separated_scene(257, 1, &rects),
+        separated_scene(4, 4, &rects),
+    ];
+    for img in &scenes {
+        for tie in TIES {
+            let cfg = Config::with_threshold(10).tie_break(tie);
+            let whole = segment(img, &cfg);
+            for grid in [
+                TileGrid::new(4, 3),
+                TileGrid::new(8, 8),
+                TileGrid::new(1, 9),
+                TileGrid::new(9, 9),
+            ] {
+                for jobs in [1, 4] {
+                    let tiled = segment_tiled(img, &cfg, grid, jobs);
+                    assert_eq!(
+                        partition_of(&whole),
+                        partition_of(&tiled),
+                        "{}x{} grid {grid} jobs {jobs} tie {tie:?}",
+                        img.width(),
+                        img.height(),
+                    );
+                }
+            }
+        }
+    }
+}
